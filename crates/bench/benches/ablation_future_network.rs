@@ -1,0 +1,52 @@
+//! §4.4 / §5 projection: "we might expect that [optimal subpage] size to
+//! decrease in the future, particularly for subpage pipelining, as the
+//! ratio of network speed to memory speed increases."
+//!
+//! This bench sweeps subpage size under the paper's network and under
+//! hypothetical 4x and 16x faster wires (software costs unchanged) and
+//! reports the best size for each.
+
+use gms_bench::{apps, ms, run, scale, MemoryConfig, SubpageSize, Table};
+use gms_core::{FetchPolicy, SimConfig, Simulator};
+use gms_net::NetParams;
+
+fn main() {
+    let app = apps::modula3().scaled(scale());
+    let mut table = Table::new(
+        &format!("Ablation: faster networks (Modula-3, 1/2-mem, pipelined, scale {})", scale()),
+        &["network", "subpage", "runtime_ms"],
+    );
+    let mut best = Vec::new();
+    for (label, factor) in [("AN2 (1x)", 1.0), ("4x", 4.0), ("16x", 16.0)] {
+        let net = NetParams::paper().scaled_network(factor);
+        let mut best_size = None;
+        let mut best_time = None;
+        for size in SubpageSize::PAPER_SIZES {
+            let report = Simulator::new(
+                SimConfig::builder()
+                    .policy(FetchPolicy::pipelined(size))
+                    .memory(MemoryConfig::Half)
+                    .net(net)
+                    .build(),
+            )
+            .run(&app);
+            if best_time.is_none_or(|t| report.total_time < t) {
+                best_time = Some(report.total_time);
+                best_size = Some(size);
+            }
+            table.row(vec![
+                label.to_owned(),
+                size.bytes().get().to_string(),
+                ms(report.total_time),
+            ]);
+        }
+        best.push((label, best_size.expect("sizes swept")));
+    }
+    table.emit("ablation_future_network");
+    for (label, size) in best {
+        println!("{label}: best subpage {}", size.bytes());
+    }
+    // A placeholder run() reference keeps the helper linked for parity
+    // with the other benches.
+    let _ = run;
+}

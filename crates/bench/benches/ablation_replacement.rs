@@ -1,0 +1,42 @@
+//! Ablation: the replacement policy behind the paging behaviour.
+//!
+//! The paper's simulator uses LRU ("an LRU policy is used by default" —
+//! implying the module is configurable). This bench swaps in FIFO, Clock
+//! and 2-random-choices to show how much of the subpage benefit is
+//! robust to the replacement policy.
+
+use gms_bench::{apps, ms, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
+use gms_core::{ReplacementKind, SimConfig, Simulator};
+
+fn main() {
+    let app = apps::modula3().scaled(scale());
+    let mut table = Table::new(
+        &format!("Ablation: replacement policies (Modula-3, 1/4-mem, scale {})", scale()),
+        &["replacement", "policy", "runtime_ms", "faults", "evictions"],
+    );
+    for replacement in [
+        ReplacementKind::Lru,
+        ReplacementKind::Clock,
+        ReplacementKind::Fifo,
+        ReplacementKind::Random2 { seed: 7 },
+    ] {
+        for policy in [FetchPolicy::fullpage(), FetchPolicy::eager(SubpageSize::S1K)] {
+            let report = Simulator::new(
+                SimConfig::builder()
+                    .policy(policy)
+                    .memory(MemoryConfig::Quarter)
+                    .replacement(replacement)
+                    .build(),
+            )
+            .run(&app);
+            table.row(vec![
+                replacement.name().to_owned(),
+                report.policy.clone(),
+                ms(report.total_time),
+                report.faults.total().to_string(),
+                report.evictions.to_string(),
+            ]);
+        }
+    }
+    table.emit("ablation_replacement");
+}

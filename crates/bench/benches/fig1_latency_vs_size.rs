@@ -1,0 +1,42 @@
+//! Figure 1: transfer latency vs. page size for a disk subsystem, a
+//! heavily-loaded Ethernet, a lightly-loaded Ethernet, and an ATM
+//! network.
+//!
+//! The paper's four observations, all visible in the output: (1) the disk
+//! has high latency even for a zero-length page; (2) the networks' linear
+//! size term dominates their totals; (3) even ATM latency drops
+//! substantially with smaller transfers; (4) Ethernet beats the disk for
+//! very small pages.
+
+use gms_bench::Table;
+use gms_net::{AccessPattern, AtmLink, DiskModel, EthernetLink, LinkModel};
+use gms_units::Bytes;
+
+fn main() {
+    let links: Vec<Box<dyn LinkModel>> = vec![
+        Box::new(DiskModel::paper(AccessPattern::Random)),
+        Box::new(DiskModel::paper(AccessPattern::Sequential)),
+        Box::new(EthernetLink::loaded()),
+        Box::new(EthernetLink::light()),
+        Box::new(AtmLink::an2()),
+    ];
+    let mut headers = vec!["size_bytes".to_owned()];
+    headers.extend(links.iter().map(|l| format!("{}_ms", l.name())));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut table = Table::new(
+        "Figure 1: latency vs page size (ms)",
+        &header_refs,
+    );
+    for size in [0u64, 256, 512, 1024, 2048, 4096, 6144, 8192] {
+        let mut row = vec![size.to_string()];
+        for link in &links {
+            row.push(format!(
+                "{:.3}",
+                link.transfer_time(Bytes::new(size)).as_millis_f64()
+            ));
+        }
+        table.row(row);
+    }
+    table.emit("fig1_latency_vs_size");
+}

@@ -1,0 +1,55 @@
+//! Figure 2: the remote page fetch timeline — per-resource component
+//! spans for a full 8 KB page, 2 KB subpages, and 1 KB subpages under
+//! eager fullpage fetch, rendered as text Gantt charts.
+
+use gms_net::{NetParams, Timeline, TimelineResource, TransferPlan};
+use gms_units::{Bytes, SimTime};
+
+const LANES: [TimelineResource; 5] = [
+    TimelineResource::ReqCpu,
+    TimelineResource::ReqDma,
+    TimelineResource::Wire,
+    TimelineResource::SrvDma,
+    TimelineResource::SrvCpu,
+];
+
+fn render(label: &str, plan: &TransferPlan) {
+    let fault = Timeline::new(NetParams::paper()).fault(SimTime::ZERO, plan);
+    let span_ms = fault.page_complete_at.as_millis_f64().max(1.5);
+    let cols = 72usize;
+    println!(
+        "\n-- {label}: resume {:.2} ms, complete {:.2} ms --",
+        fault.resume_at.as_millis_f64(),
+        fault.page_complete_at.as_millis_f64()
+    );
+    for lane in LANES {
+        let mut cells = vec![' '; cols];
+        for seg in fault.segments.iter().filter(|s| s.resource == lane) {
+            let a = ((seg.start.as_millis_f64() / span_ms) * cols as f64) as usize;
+            let b = ((seg.end.as_millis_f64() / span_ms) * cols as f64) as usize;
+            let mark = match seg.what {
+                "fault+request" | "request" | "process-request" | "send-setup" => '#',
+                "receive+resume" => '@',
+                _ => '=',
+            };
+            for cell in cells.iter_mut().take(b.min(cols)).skip(a) {
+                *cell = mark;
+            }
+        }
+        println!("{:>8} |{}|", lane.label(), cells.into_iter().collect::<String>());
+    }
+    let axis: String = (0..=4)
+        .map(|i| format!("{:.1}ms", span_ms * i as f64 / 4.0))
+        .collect::<Vec<_>>()
+        .join(&" ".repeat(cols / 4 - 5));
+    println!("{:>8}  {axis}", "");
+    println!("          # control   = data transfer   @ receive+resume");
+}
+
+fn main() {
+    println!("== Figure 2: remote page fetch timelines ==");
+    let page = Bytes::kib(8);
+    render("fullpage 8K", &TransferPlan::fullpage(page));
+    render("eager, 2K subpage", &TransferPlan::eager(page, Bytes::new(2048)));
+    render("eager, 1K subpage", &TransferPlan::eager(page, Bytes::new(1024)));
+}

@@ -1,0 +1,36 @@
+//! Figure 4: decomposition of Modula-3's 1/2-memory runtime into
+//! execution, initial-subpage latency and rest-of-page waiting, per
+//! subpage size. The paper's trends: `sp_latency` falls as subpages
+//! shrink (55% at 4 KB to 25% at 256 B) while `page_wait` rises (2% to
+//! 35%).
+
+use gms_bench::{apps, ms, pct, run, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
+
+fn main() {
+    let app = apps::modula3().scaled(scale());
+    let mut table = Table::new(
+        &format!("Figure 4: Modula-3 runtime decomposition at 1/2-mem, scale {}", scale()),
+        &["policy", "total_ms", "exec", "sp_latency", "page_wait", "other"],
+    );
+    let policies = [
+        FetchPolicy::fullpage(),
+        FetchPolicy::eager(SubpageSize::S4K),
+        FetchPolicy::eager(SubpageSize::S2K),
+        FetchPolicy::eager(SubpageSize::S1K),
+        FetchPolicy::eager(SubpageSize::S512),
+        FetchPolicy::eager(SubpageSize::S256),
+    ];
+    for policy in policies {
+        let report = run(&app, policy, MemoryConfig::Half);
+        let (exec, sp, wait) = report.decomposition();
+        table.row(vec![
+            report.policy.clone(),
+            ms(report.total_time),
+            pct(exec),
+            pct(sp),
+            pct(wait),
+            pct(1.0 - exec - sp - wait),
+        ]);
+    }
+    table.emit("fig4_decomposition");
+}

@@ -1,0 +1,25 @@
+//! Figure 6: temporal clustering of page faults for Modula-3 —
+//! cumulative faults against the memory-reference clock. Horizontal runs
+//! of the reference clock with steep fault growth are the phase changes
+//! where I/O overlap happens.
+
+use gms_bench::{apps, run, scale, FetchPolicy, MemoryConfig, Table};
+use gms_core::{burstiness, cumulative_fault_series, downsample};
+
+fn main() {
+    let app = apps::modula3().scaled(scale());
+    let mut points = Table::new(
+        &format!("Figure 6: Modula-3 fault clustering (1/2-mem, scale {})", scale()),
+        &["refs_millions", "faults"],
+    );
+    let report = run(&app, FetchPolicy::fullpage(), MemoryConfig::Half);
+    let series = cumulative_fault_series(&report);
+    for (at_ref, count) in downsample(&series, 48) {
+        points.row(vec![format!("{:.2}", at_ref as f64 / 1e6), count.to_string()]);
+    }
+    points.emit("fig6_fault_clustering");
+    println!(
+        "burstiness (fraction of faults inside the busiest 10% of the run): {:.2}",
+        burstiness(&report, 0.1)
+    );
+}

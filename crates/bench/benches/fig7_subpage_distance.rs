@@ -1,0 +1,33 @@
+//! Figure 7: the distribution of distances from a faulted subpage to the
+//! next different subpage accessed on the same page, for 2 KB (a) and
+//! 1 KB (b) subpages. The paper finds the +1 neighbour dominates —
+//! the basis for the pipelining order.
+
+use gms_bench::{apps, run, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
+
+fn main() {
+    let app = apps::modula3().scaled(scale());
+    for (label, size) in [("2K", SubpageSize::S2K), ("1K", SubpageSize::S1K)] {
+        let report = run(&app, FetchPolicy::eager(size), MemoryConfig::Half);
+        let mut table = Table::new(
+            &format!(
+                "Figure 7{}: distance to next accessed subpage ({label} subpages)",
+                if size == SubpageSize::S2K { "a" } else { "b" }
+            ),
+            &["distance", "count", "fraction"],
+        );
+        for (d, count) in report.distances.iter() {
+            table.row(vec![
+                format!("{d:+}"),
+                count.to_string(),
+                format!("{:.3}", report.distances.fraction(d)),
+            ]);
+        }
+        table.emit(&format!("fig7_subpage_distance_{label}"));
+        println!(
+            "mode: {:?}; +1 fraction {:.2} (paper: +1 dominates)",
+            report.distances.mode(),
+            report.distances.fraction(1)
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks for the core data structures and the
+//! simulation engine's throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use gms_cluster::Gms;
+use gms_core::{FetchPolicy, MemoryConfig, SimConfig, Simulator};
+use gms_mem::{Lru, PageId, ReplacementPolicy, SubpageIndex, SubpageMask, SubpageSize};
+use gms_net::{NetParams, Timeline, TransferPlan};
+use gms_trace::{apps, TraceSource};
+use gms_units::{Bytes, NodeId, SimTime};
+
+fn bench_subpage_mask(c: &mut Criterion) {
+    c.bench_function("subpage_mask_fill_32", |b| {
+        b.iter(|| {
+            let mut mask = SubpageMask::empty(32);
+            for i in 0..32 {
+                mask.set(SubpageIndex::new(i));
+            }
+            black_box(mask.is_full())
+        });
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_touch_evict_1k_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut lru = Lru::new();
+                for i in 0..1024 {
+                    lru.insert(PageId::new(i));
+                }
+                lru
+            },
+            |mut lru| {
+                for i in 0..1024u64 {
+                    lru.touch(PageId::new((i * 7) % 1024));
+                }
+                for _ in 0..256 {
+                    black_box(lru.evict());
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_timeline(c: &mut Criterion) {
+    c.bench_function("timeline_eager_fault", |b| {
+        let plan = TransferPlan::eager(Bytes::kib(8), Bytes::kib(1));
+        b.iter_batched(
+            || Timeline::new(NetParams::paper()),
+            |mut tl| black_box(tl.fault(SimTime::ZERO, &plan)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_gms(c: &mut Criterion) {
+    c.bench_function("gms_getpage_putpage_cycle", |b| {
+        b.iter_batched(
+            || {
+                let mut gms = Gms::new(4, 4096);
+                gms.warm_cache((0..1024).map(PageId::new));
+                gms
+            },
+            |mut gms| {
+                for i in 0..1024u64 {
+                    black_box(gms.getpage(NodeId::new(0), PageId::new(i)));
+                    gms.putpage(NodeId::new(0), PageId::new(i), i % 2 == 0);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_gen_gdb_full", |b| {
+        let app = apps::gdb();
+        b.iter(|| {
+            let mut source = app.source();
+            let mut refs = 0u64;
+            while let Some(run) = source.next_run() {
+                refs += run.count();
+            }
+            black_box(refs)
+        });
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("simulate_gdb_full_scale_eager1k_quarter", |b| {
+        let app = apps::gdb();
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Quarter)
+                .build(),
+        );
+        b.iter(|| black_box(sim.run(&app)));
+    });
+    group.bench_function("simulate_modula3_2pct_fullpage_half", |b| {
+        let app = apps::modula3().scaled(0.02);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::fullpage())
+                .memory(MemoryConfig::Half)
+                .build(),
+        );
+        b.iter(|| black_box(sim.run(&app)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_subpage_mask,
+    bench_lru,
+    bench_timeline,
+    bench_gms,
+    bench_trace_generation,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,450 @@
+//! Command-line driver for the `gms-subpages` simulator.
+//!
+//! ```text
+//! gms-sim apps
+//! gms-sim run --app modula3 --policy sp_1024 --memory half [--scale 0.1]
+//!             [--net atm|ethernet|fast4|fast16] [--replacement lru|fifo|clock|random2]
+//!             [--pal]
+//! gms-sim sweep --app gdb [--scale 1.0]
+//! gms-sim latency [--subpage 1024]
+//! ```
+//!
+//! The parsing and command logic live in this library so they can be
+//! unit-tested; `main` is a thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use gms_core::{
+    AccessCost, FetchPolicy, MemoryConfig, ReplacementKind, SimConfig, Simulator, Sweep,
+};
+use gms_mem::{PageSize, SubpageSize};
+use gms_net::{NetParams, Timeline, TransferPlan};
+use gms_trace::apps::{self, AppProfile};
+use gms_units::{Bytes, SimTime};
+
+/// A failure to understand or execute a command line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gms-sim — the gms-subpages simulator
+
+USAGE:
+  gms-sim apps
+  gms-sim run --app <name> --policy <label> [--memory full|half|quarter|<frames>]
+              [--scale <f>] [--net atm|ethernet|fast4|fast16]
+              [--replacement lru|fifo|clock|random2] [--pal]
+  gms-sim sweep --app <name> [--scale <f>]
+  gms-sim latency [--subpage <bytes>]
+
+POLICY LABELS:
+  disk | p_8192 | sp_<bytes> (eager) | pl_<bytes> (pipelined)
+  | lazy_<bytes> | small_<bytes>
+";
+
+/// Looks an application profile up by name.
+///
+/// # Errors
+///
+/// Unknown names.
+pub fn parse_app(name: &str) -> Result<AppProfile, CliError> {
+    apps::all()
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| err(format!("unknown app '{name}' (try `gms-sim apps`)")))
+}
+
+/// Parses a policy label as printed in the paper's figures.
+///
+/// # Errors
+///
+/// Unknown labels or invalid sizes.
+pub fn parse_policy(label: &str) -> Result<FetchPolicy, CliError> {
+    let size = |s: &str| -> Result<Bytes, CliError> {
+        let n: u64 = s.parse().map_err(|_| err(format!("bad size '{s}'")))?;
+        Ok(Bytes::new(n))
+    };
+    match label {
+        "disk" | "disk_8192" => Ok(FetchPolicy::disk()),
+        "fullpage" | "p_8192" => Ok(FetchPolicy::fullpage()),
+        _ => {
+            if let Some(s) = label.strip_prefix("sp_") {
+                Ok(FetchPolicy::eager(SubpageSize::new(size(s)?)))
+            } else if let Some(s) = label.strip_prefix("pl_") {
+                Ok(FetchPolicy::pipelined(SubpageSize::new(size(s)?)))
+            } else if let Some(s) = label.strip_prefix("lazy_") {
+                Ok(FetchPolicy::lazy(SubpageSize::new(size(s)?)))
+            } else if let Some(s) = label.strip_prefix("small_") {
+                Ok(FetchPolicy::SmallPages { page: PageSize::new(size(s)?) })
+            } else {
+                Err(err(format!("unknown policy '{label}'")))
+            }
+        }
+    }
+}
+
+/// Parses a memory configuration.
+///
+/// # Errors
+///
+/// Anything that is neither a named configuration nor a frame count.
+pub fn parse_memory(text: &str) -> Result<MemoryConfig, CliError> {
+    match text {
+        "full" => Ok(MemoryConfig::Full),
+        "half" => Ok(MemoryConfig::Half),
+        "quarter" => Ok(MemoryConfig::Quarter),
+        n => n
+            .parse::<u64>()
+            .map(MemoryConfig::Frames)
+            .map_err(|_| err(format!("bad memory '{n}'"))),
+    }
+}
+
+/// Parses a network preset.
+///
+/// # Errors
+///
+/// Unknown presets.
+pub fn parse_net(text: &str) -> Result<NetParams, CliError> {
+    match text {
+        "atm" | "an2" => Ok(NetParams::paper()),
+        "ethernet" => Ok(NetParams::ethernet()),
+        "fast4" => Ok(NetParams::paper().scaled_network(4.0)),
+        "fast16" => Ok(NetParams::paper().scaled_network(16.0)),
+        other => Err(err(format!("unknown network '{other}'"))),
+    }
+}
+
+/// Parses a replacement policy name.
+///
+/// # Errors
+///
+/// Unknown names.
+pub fn parse_replacement(text: &str) -> Result<ReplacementKind, CliError> {
+    match text {
+        "lru" => Ok(ReplacementKind::Lru),
+        "fifo" => Ok(ReplacementKind::Fifo),
+        "clock" => Ok(ReplacementKind::Clock),
+        "random2" => Ok(ReplacementKind::Random2 { seed: 7 }),
+        other => Err(err(format!("unknown replacement '{other}'"))),
+    }
+}
+
+/// Flag-style argument extraction: `--key value` pairs plus bare flags.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(args: &[String]) -> Self {
+        Args { rest: args.to_vec() }
+    }
+
+    fn take_value(&mut self, key: &str) -> Option<String> {
+        let pos = self.rest.iter().position(|a| a == key)?;
+        if pos + 1 < self.rest.len() {
+            let value = self.rest.remove(pos + 1);
+            self.rest.remove(pos);
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn take_flag(&mut self, key: &str) -> bool {
+        if let Some(pos) = self.rest.iter().position(|a| a == key) {
+            self.rest.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(err(format!("unrecognized arguments: {:?}", self.rest)))
+        }
+    }
+}
+
+/// Executes a command line (without the program name) and returns its
+/// output.
+///
+/// # Errors
+///
+/// [`CliError`] for unknown commands, bad flags, or bad values.
+pub fn execute(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let mut args = Args::new(&argv[1..]);
+    match command.as_str() {
+        "apps" => {
+            args.finish()?;
+            Ok(list_apps())
+        }
+        "run" => {
+            let app = parse_app(&args.take_value("--app").ok_or_else(|| err("--app is required"))?)?;
+            let policy =
+                parse_policy(&args.take_value("--policy").ok_or_else(|| err("--policy is required"))?)?;
+            let memory = match args.take_value("--memory") {
+                Some(m) => parse_memory(&m)?,
+                None => MemoryConfig::Half,
+            };
+            let scale: f64 = match args.take_value("--scale") {
+                Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
+                None => 1.0,
+            };
+            let net = match args.take_value("--net") {
+                Some(n) => parse_net(&n)?,
+                None => NetParams::paper(),
+            };
+            let replacement = match args.take_value("--replacement") {
+                Some(r) => parse_replacement(&r)?,
+                None => ReplacementKind::Lru,
+            };
+            let pal = args.take_flag("--pal");
+            args.finish()?;
+            Ok(run_command(&app.scaled(scale), policy, memory, net, replacement, pal))
+        }
+        "sweep" => {
+            let app = parse_app(&args.take_value("--app").ok_or_else(|| err("--app is required"))?)?;
+            let scale: f64 = match args.take_value("--scale") {
+                Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
+                None => 1.0,
+            };
+            args.finish()?;
+            Ok(sweep_command(&app.scaled(scale)))
+        }
+        "latency" => {
+            let subpage = match args.take_value("--subpage") {
+                Some(s) => Bytes::new(s.parse().map_err(|_| err("bad --subpage"))?),
+                None => Bytes::kib(1),
+            };
+            args.finish()?;
+            Ok(latency_command(subpage))
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn list_apps() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<9} {:>12} {:>9} {:>22}", "app", "references", "pages", "paper faults (f..q)");
+    for app in apps::all() {
+        let (lo, hi) = app.paper_fault_range();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>12} {:>9} {:>22}",
+            app.name(),
+            app.paper_refs(),
+            app.footprint_pages(Bytes::kib(8)),
+            format!("{lo}..{hi}"),
+        );
+    }
+    out
+}
+
+fn run_command(
+    app: &AppProfile,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+    net: NetParams,
+    replacement: ReplacementKind,
+    pal: bool,
+) -> String {
+    let access_cost = if pal { AccessCost::PalEmulated } else { AccessCost::TlbSupported };
+    let report = Simulator::new(
+        SimConfig::builder()
+            .policy(policy)
+            .memory(memory)
+            .net(net)
+            .replacement(replacement)
+            .access_cost(access_cost)
+            .build(),
+    )
+    .run(app);
+    let (exec, sp, wait) = report.decomposition();
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.summary());
+    let _ = writeln!(
+        out,
+        "decomposition: exec {:.0}%  sp_latency {:.0}%  page_wait {:.0}%",
+        exec * 100.0,
+        sp * 100.0,
+        wait * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "faults: {} remote, {} disk, {} lazy; {} evictions ({} dirty), {} wasted transfers",
+        report.faults.remote,
+        report.faults.disk,
+        report.faults.lazy_subpage,
+        report.evictions,
+        report.dirty_evictions,
+        report.wasted_transfers
+    );
+    let _ = writeln!(
+        out,
+        "overlap: {:.0}% I/O-on-I/O; emulation {:.2} ms; putpage setup {:.2} ms",
+        report.overlap.io_fraction() * 100.0,
+        report.emulation_time.as_millis_f64(),
+        report.putpage_overhead.as_millis_f64()
+    );
+    out
+}
+
+fn sweep_command(app: &AppProfile) -> String {
+    let results = Sweep::new(app.clone()).run();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<9} {:>10} {:>12} {:>8}", "memory", "policy", "runtime_ms", "faults");
+    for cell in results.cells() {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>10} {:>12.2} {:>8}",
+            cell.memory.label(),
+            cell.report.policy,
+            cell.report.total_time.as_millis_f64(),
+            cell.report.faults.total()
+        );
+    }
+    if let Some(best) = results.best() {
+        let _ = writeln!(out, "fastest: {} at {}", best.report.policy, best.memory.label());
+    }
+    out
+}
+
+fn latency_command(subpage: Bytes) -> String {
+    let page = Bytes::kib(8);
+    let mut out = String::new();
+    let full = Timeline::new(NetParams::paper())
+        .fault(SimTime::ZERO, &TransferPlan::fullpage(page));
+    let _ = writeln!(
+        out,
+        "fullpage 8K: restart {:.2} ms",
+        full.restart_latency().as_millis_f64()
+    );
+    if subpage < page {
+        let fault = Timeline::new(NetParams::paper())
+            .fault(SimTime::ZERO, &TransferPlan::eager(page, subpage));
+        let _ = writeln!(
+            out,
+            "eager {}: restart {:.2} ms, page complete {:.2} ms, overlap window {:.2} ms",
+            subpage,
+            fault.restart_latency().as_millis_f64(),
+            fault.completion_latency().as_millis_f64(),
+            fault.overlap_window().as_millis_f64()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_policies() {
+        assert_eq!(parse_policy("disk").unwrap(), FetchPolicy::disk());
+        assert_eq!(parse_policy("p_8192").unwrap(), FetchPolicy::fullpage());
+        assert_eq!(
+            parse_policy("sp_1024").unwrap(),
+            FetchPolicy::eager(SubpageSize::S1K)
+        );
+        assert_eq!(
+            parse_policy("pl_2048").unwrap(),
+            FetchPolicy::pipelined(SubpageSize::S2K)
+        );
+        assert_eq!(
+            parse_policy("lazy_512").unwrap(),
+            FetchPolicy::lazy(SubpageSize::S512)
+        );
+        assert!(parse_policy("bogus").is_err());
+        assert!(parse_policy("sp_banana").is_err());
+    }
+
+    #[test]
+    fn parses_memory_and_net() {
+        assert_eq!(parse_memory("half").unwrap(), MemoryConfig::Half);
+        assert_eq!(parse_memory("37").unwrap(), MemoryConfig::Frames(37));
+        assert!(parse_memory("lots").is_err());
+        assert!(parse_net("atm").is_ok());
+        assert!(parse_net("ethernet").is_ok());
+        assert!(parse_net("warp").is_err());
+        assert!(parse_replacement("clock").is_ok());
+        assert!(parse_replacement("mru").is_err());
+    }
+
+    #[test]
+    fn apps_command_lists_all_five() {
+        let out = execute(&argv("apps")).unwrap();
+        for name in ["modula3", "ld", "atom", "render", "gdb"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn run_command_produces_a_report() {
+        let out = execute(&argv(
+            "run --app gdb --policy sp_1024 --memory quarter --scale 0.3",
+        ))
+        .unwrap();
+        assert!(out.contains("sp_1024"), "{out}");
+        assert!(out.contains("decomposition"), "{out}");
+    }
+
+    #[test]
+    fn run_command_rejects_unknown_flags() {
+        let result = execute(&argv("run --app gdb --policy sp_1024 --frobnicate yes"));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        assert!(execute(&argv("run --policy sp_1024")).is_err());
+        assert!(execute(&argv("run --app gdb")).is_err());
+    }
+
+    #[test]
+    fn latency_command_matches_table2() {
+        let out = execute(&argv("latency --subpage 1024")).unwrap();
+        assert!(out.contains("restart 0.5"), "{out}");
+        assert!(out.contains("fullpage 8K: restart 1.52"), "{out}");
+    }
+
+    #[test]
+    fn sweep_command_runs_grid() {
+        let out = execute(&argv("sweep --app gdb --scale 0.2")).unwrap();
+        assert!(out.contains("full-mem"), "{out}");
+        assert!(out.contains("fastest:"), "{out}");
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = execute(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `gms-sim`: the command-line front end.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match gms_cli::execute(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The global cache directory (GCD).
+//!
+//! GMS locates pages with a distributed directory: each page has a
+//! *custodian* node, determined by hashing its identity, which records
+//! where the page's global copy (if any) currently lives. In this
+//! library-level reproduction the directory is one data structure, but
+//! custodianship is still modelled so that lookup traffic can be
+//! attributed to the right node.
+
+use std::collections::HashMap;
+
+use gms_mem::PageId;
+use gms_units::NodeId;
+
+/// Maps pages to the node caching their global copy.
+///
+/// # Examples
+///
+/// ```
+/// use gms_cluster::Directory;
+/// use gms_mem::PageId;
+/// use gms_units::NodeId;
+///
+/// let mut dir = Directory::new(4);
+/// dir.record(PageId::new(7), NodeId::new(2));
+/// assert_eq!(dir.lookup(PageId::new(7)), Some(NodeId::new(2)));
+/// dir.clear(PageId::new(7));
+/// assert_eq!(dir.lookup(PageId::new(7)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    n_nodes: u32,
+    map: HashMap<PageId, NodeId>,
+}
+
+impl Directory {
+    /// A directory for a cluster of `n_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is zero.
+    #[must_use]
+    pub fn new(n_nodes: u32) -> Self {
+        assert!(n_nodes > 0, "a cluster needs at least one node");
+        Directory { n_nodes, map: HashMap::new() }
+    }
+
+    /// Grows the cluster: custodianship rehashes over `n_nodes` nodes.
+    /// Existing `(page, holder)` entries are unaffected — only which node
+    /// *answers* for a page changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` shrinks below the current size (nodes retire
+    /// in place; their ids remain valid).
+    pub fn resize(&mut self, n_nodes: u32) {
+        assert!(
+            n_nodes >= self.n_nodes,
+            "directory cannot shrink ({} -> {n_nodes})",
+            self.n_nodes
+        );
+        self.n_nodes = n_nodes;
+    }
+
+    /// The node responsible for `page`'s directory entry. Deterministic
+    /// hash of the page id, uniformly spread over the cluster.
+    #[must_use]
+    pub fn custodian(&self, page: PageId) -> NodeId {
+        // Fibonacci hashing: cheap, deterministic, well-mixed.
+        let h = page.get().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        NodeId::new((h >> 32) as u32 % self.n_nodes)
+    }
+
+    /// Where `page`'s global copy lives, if anywhere.
+    #[must_use]
+    pub fn lookup(&self, page: PageId) -> Option<NodeId> {
+        self.map.get(&page).copied()
+    }
+
+    /// Records that `node` now caches `page`. Returns the previous
+    /// holder, if any (which indicates a protocol bug upstream).
+    pub fn record(&mut self, page: PageId, node: NodeId) -> Option<NodeId> {
+        self.map.insert(page, node)
+    }
+
+    /// Removes `page`'s entry (its global copy was consumed or dropped).
+    /// Returns the holder it was mapped to.
+    pub fn clear(&mut self, page: PageId) -> Option<NodeId> {
+        self.map.remove(&page)
+    }
+
+    /// Number of pages with live global copies.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no global copies are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(page, holder)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, NodeId)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lookup_clear_cycle() {
+        let mut dir = Directory::new(3);
+        assert!(dir.is_empty());
+        assert_eq!(dir.record(PageId::new(1), NodeId::new(2)), None);
+        assert_eq!(dir.lookup(PageId::new(1)), Some(NodeId::new(2)));
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.clear(PageId::new(1)), Some(NodeId::new(2)));
+        assert_eq!(dir.lookup(PageId::new(1)), None);
+    }
+
+    #[test]
+    fn record_returns_previous_holder() {
+        let mut dir = Directory::new(3);
+        dir.record(PageId::new(1), NodeId::new(0));
+        assert_eq!(
+            dir.record(PageId::new(1), NodeId::new(1)),
+            Some(NodeId::new(0))
+        );
+    }
+
+    #[test]
+    fn custodianship_is_deterministic_and_in_range() {
+        let dir = Directory::new(5);
+        for i in 0..1000 {
+            let c = dir.custodian(PageId::new(i));
+            assert!(c.index() < 5);
+            assert_eq!(c, dir.custodian(PageId::new(i)));
+        }
+    }
+
+    #[test]
+    fn custodianship_spreads_over_nodes() {
+        let dir = Directory::new(4);
+        let mut counts = [0u32; 4];
+        for i in 0..4000 {
+            counts[dir.custodian(PageId::new(i)).as_usize()] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&c),
+                "node {node} got {c} of 4000 pages"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        let _ = Directory::new(0);
+    }
+
+    #[test]
+    fn iter_lists_entries() {
+        let mut dir = Directory::new(2);
+        dir.record(PageId::new(1), NodeId::new(0));
+        dir.record(PageId::new(2), NodeId::new(1));
+        assert_eq!(dir.iter().count(), 2);
+    }
+}

@@ -1,0 +1,467 @@
+//! The GMS facade: the operations the paging engine drives.
+
+use gms_mem::PageId;
+use gms_units::NodeId;
+
+use crate::proto::{Reply, Request, TrafficLog};
+use crate::{Directory, EpochManager, Node};
+
+/// Result of a getpage: where the page came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetPageOutcome {
+    /// The page was in some node's global cache and has been transferred
+    /// (and, GMS-style, *moved*: the global copy is consumed).
+    RemoteHit {
+        /// The node that served the page.
+        server: NodeId,
+    },
+    /// No global copy exists; the requester must read from disk.
+    Miss,
+}
+
+/// Result of a putpage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutPageOutcome {
+    /// The node that now caches the page.
+    pub stored_at: NodeId,
+    /// A page the target had to push out of the network to make room
+    /// (it would be written to disk in the real system).
+    pub displaced: Option<PageId>,
+}
+
+/// Aggregate statistics of a GMS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GmsStats {
+    /// Protocol traffic counts.
+    pub traffic: TrafficLog,
+    /// getpages served from global memory.
+    pub remote_hits: u64,
+    /// getpages that fell through to disk.
+    pub misses: u64,
+    /// Pages pushed out of the network entirely (global caches full).
+    pub displaced_to_disk: u64,
+}
+
+impl GmsStats {
+    /// Fraction of getpages served from global memory.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.remote_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A running global memory service over a set of nodes.
+///
+/// Node 0 is the *active* node by convention; its local memory is managed
+/// by the caller (the simulator engine). All nodes' global caches are
+/// managed here.
+///
+/// # Examples
+///
+/// ```
+/// use gms_cluster::{GetPageOutcome, Gms};
+/// use gms_mem::PageId;
+/// use gms_units::NodeId;
+///
+/// let mut gms = Gms::new(3, 100);
+/// gms.warm_cache((0..10).map(PageId::new));
+/// let got = gms.getpage(NodeId::new(0), PageId::new(3));
+/// assert!(matches!(got, GetPageOutcome::RemoteHit { .. }));
+/// // Moved, not copied: a second fetch of the same page misses.
+/// let again = gms.getpage(NodeId::new(0), PageId::new(3));
+/// assert_eq!(again, GetPageOutcome::Miss);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gms {
+    nodes: Vec<Node>,
+    directory: Directory,
+    epochs: EpochManager,
+    clock: u64,
+    stats: GmsStats,
+}
+
+impl Gms {
+    /// Default epoch length (placements between weight recomputations).
+    const EPOCH_LEN: u64 = 256;
+
+    /// A cluster of `n_nodes` nodes, each donating `frames_per_node`
+    /// global frames. The active node (node 0) donates none — its memory
+    /// is local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes < 2` (a global memory system needs at least one
+    /// idle node) or `frames_per_node` is zero.
+    #[must_use]
+    pub fn new(n_nodes: u32, frames_per_node: u64) -> Self {
+        assert!(n_nodes >= 2, "GMS needs at least one idle node");
+        assert!(frames_per_node > 0, "idle nodes must donate frames");
+        let nodes = (0..n_nodes)
+            .map(|i| {
+                let capacity = if i == 0 { 1 } else { frames_per_node };
+                Node::new(NodeId::new(i), capacity)
+            })
+            .collect();
+        Gms {
+            nodes,
+            directory: Directory::new(n_nodes),
+            epochs: EpochManager::new(Self::EPOCH_LEN),
+            clock: 0,
+            stats: GmsStats::default(),
+        }
+    }
+
+    /// Pre-loads `pages` into the idle nodes' global caches, round-robin —
+    /// the paper's warm-cache setup where "all pages are assumed to
+    /// initially reside in remote memory".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the idle nodes cannot hold all the pages.
+    pub fn warm_cache(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        let idle: Vec<NodeId> = self.nodes[1..].iter().map(Node::id).collect();
+        let mut next = 0usize;
+        for page in pages {
+            // Find an idle node with room, starting from the round-robin
+            // cursor.
+            let mut placed = false;
+            for probe in 0..idle.len() {
+                let node = idle[(next + probe) % idle.len()];
+                if self.nodes[node.as_usize()].free() > 0 {
+                    self.clock += 1;
+                    let displaced =
+                        self.nodes[node.as_usize()].store(page, false, self.clock);
+                    debug_assert!(displaced.is_none());
+                    self.directory.record(page, node);
+                    next = (next + probe + 1) % idle.len();
+                    placed = true;
+                    break;
+                }
+            }
+            assert!(placed, "global caches too small to warm with {page}");
+        }
+    }
+
+    /// Handles a remote page fault from `requester`: looks the page up in
+    /// the directory and, on a hit, consumes the global copy.
+    pub fn getpage(&mut self, requester: NodeId, page: PageId) -> GetPageOutcome {
+        let request = Request::GetPage { from: requester, page };
+        let reply;
+        let outcome = match self.directory.lookup(page) {
+            Some(server) => {
+                let entry = self.nodes[server.as_usize()]
+                    .take(page)
+                    .expect("directory says the page is here");
+                let _ = entry;
+                self.directory.clear(page);
+                self.stats.remote_hits += 1;
+                reply = Reply::PageFound { server };
+                GetPageOutcome::RemoteHit { server }
+            }
+            None => {
+                self.stats.misses += 1;
+                reply = Reply::PageNotFound;
+                GetPageOutcome::Miss
+            }
+        };
+        self.stats.traffic.record(&request, &reply);
+        outcome
+    }
+
+    /// Handles an eviction from `from`: picks a target via the epoch
+    /// weights and stores the page there. If the target was full, the
+    /// displaced (globally oldest) page leaves the network.
+    pub fn putpage(&mut self, from: NodeId, page: PageId, dirty: bool) -> PutPageOutcome {
+        let request = Request::PutPage { from, page, dirty };
+        // A stale global copy (e.g. the owner re-pushed a page it never
+        // fetched back) is superseded by this newer one.
+        if let Some(stale) = self.directory.clear(page) {
+            self.nodes[stale.as_usize()].take(page);
+        }
+        let target = self.epochs.pick_target(&self.nodes, from);
+        self.clock += 1;
+        let displaced = self.nodes[target.as_usize()].store(page, dirty, self.clock);
+        if let Some(old) = displaced {
+            self.directory.clear(old);
+            self.stats.displaced_to_disk += 1;
+        }
+        self.directory.record(page, target);
+        self.stats.traffic.record(&request, &Reply::Ack);
+        PutPageOutcome { stored_at: target, displaced }
+    }
+
+    /// Handles a discard: the global copy of `page`, if any, is dropped
+    /// without a transfer.
+    pub fn discard(&mut self, from: NodeId, page: PageId) {
+        let request = Request::Discard { from, page };
+        if let Some(server) = self.directory.clear(page) {
+            self.nodes[server.as_usize()].take(page);
+        }
+        self.stats.traffic.record(&request, &Reply::Ack);
+    }
+
+    /// Adds an idle node donating `frames` global frames, returning its
+    /// id. New nodes start empty and attract evictions in proportion to
+    /// their free space from the next epoch on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn join_node(&mut self, frames: u64) -> NodeId {
+        assert!(frames > 0, "a joining node must donate frames");
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Node::new(id, frames));
+        self.directory.resize(self.nodes.len() as u32);
+        id
+    }
+
+    /// Retires an idle node: its cached pages are redistributed to the
+    /// remaining nodes (displacing the globally oldest pages to disk if
+    /// the remaining caches are full), and it stops receiving evictions.
+    /// Returns the pages that had to leave the network entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the active node (node 0), is already retired,
+    /// or is the last idle node.
+    pub fn retire_node(&mut self, node: NodeId) -> Vec<PageId> {
+        assert_ne!(node.index(), 0, "cannot retire the active node");
+        assert!(
+            !self.nodes[node.as_usize()].is_retired(),
+            "{node} is already retired"
+        );
+        assert!(
+            self.nodes
+                .iter()
+                .filter(|n| n.id().index() != 0 && !n.is_retired())
+                .count()
+                > 1,
+            "cannot retire the last idle node"
+        );
+        let pages = self.nodes[node.as_usize()].drain();
+        self.nodes[node.as_usize()].retire();
+        let mut displaced = Vec::new();
+        for (page, entry) in pages {
+            self.directory.clear(page);
+            let target = self.epochs.pick_target(&self.nodes, node);
+            self.clock += 1;
+            if let Some(old) = self.nodes[target.as_usize()].store(page, entry.dirty, self.clock)
+            {
+                self.directory.clear(old);
+                self.stats.displaced_to_disk += 1;
+                displaced.push(old);
+            }
+            self.directory.record(page, target);
+        }
+        displaced
+    }
+
+    /// The cluster's nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The directory (read-only).
+    #[must_use]
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> GmsStats {
+        self.stats
+    }
+
+    /// Epochs elapsed in the placement manager.
+    #[must_use]
+    pub fn epochs_completed(&self) -> u64 {
+        self.epochs.epochs_completed()
+    }
+
+    /// Checks the directory against the nodes: every entry must point at
+    /// a node actually caching the page, and every cached page must have
+    /// exactly one directory entry. Used by tests and debug assertions.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let dir_ok = self
+            .directory
+            .iter()
+            .all(|(page, node)| self.nodes[node.as_usize()].contains(page));
+        let cached: usize = self.nodes.iter().map(Node::len).sum();
+        dir_ok && cached == self.directory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_gms(nodes: u32, frames: u64, pages: u64) -> Gms {
+        let mut gms = Gms::new(nodes, frames);
+        gms.warm_cache((0..pages).map(PageId::new));
+        gms
+    }
+
+    #[test]
+    fn warm_cache_spreads_round_robin() {
+        let gms = warm_gms(4, 100, 90);
+        // 90 pages over 3 idle nodes: 30 each.
+        for node in &gms.nodes()[1..] {
+            assert_eq!(node.len(), 30, "{}", node.id());
+        }
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn getpage_moves_the_page() {
+        let mut gms = warm_gms(3, 100, 10);
+        let active = NodeId::new(0);
+        let got = gms.getpage(active, PageId::new(5));
+        let GetPageOutcome::RemoteHit { server } = got else {
+            panic!("warm page should hit");
+        };
+        assert!(!gms.nodes()[server.as_usize()].contains(PageId::new(5)));
+        assert_eq!(gms.getpage(active, PageId::new(5)), GetPageOutcome::Miss);
+        assert_eq!(gms.stats().remote_hits, 1);
+        assert_eq!(gms.stats().misses, 1);
+        assert!((gms.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn putpage_restores_a_copy_for_later_fetch() {
+        let mut gms = warm_gms(3, 100, 4);
+        let active = NodeId::new(0);
+        gms.getpage(active, PageId::new(2));
+        let put = gms.putpage(active, PageId::new(2), true);
+        assert_ne!(put.stored_at, active);
+        assert_eq!(put.displaced, None);
+        assert!(matches!(
+            gms.getpage(active, PageId::new(2)),
+            GetPageOutcome::RemoteHit { .. }
+        ));
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn full_global_caches_displace_oldest_to_disk() {
+        // 2 idle nodes with 2 frames each, warmed with 4 pages: full.
+        let mut gms = warm_gms(3, 2, 4);
+        let active = NodeId::new(0);
+        let put = gms.putpage(active, PageId::new(99), false);
+        assert!(put.displaced.is_some(), "a full cache must displace");
+        assert_eq!(gms.stats().displaced_to_disk, 1);
+        assert!(gms.is_consistent());
+        // The displaced page is really gone.
+        let gone = put.displaced.expect("displaced");
+        assert_eq!(gms.getpage(active, gone), GetPageOutcome::Miss);
+    }
+
+    #[test]
+    fn discard_drops_without_transfer() {
+        let mut gms = warm_gms(3, 100, 4);
+        gms.discard(NodeId::new(0), PageId::new(1));
+        assert_eq!(gms.getpage(NodeId::new(0), PageId::new(1)), GetPageOutcome::Miss);
+        assert_eq!(gms.stats().traffic.discards, 1);
+        assert!(gms.is_consistent());
+        // Discarding a page with no copy is a harmless no-op.
+        gms.discard(NodeId::new(0), PageId::new(77));
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn fault_evict_cycle_stays_consistent() {
+        let mut gms = warm_gms(4, 50, 100);
+        let active = NodeId::new(0);
+        // Simulate heavy paging: fetch a page, push another back, 500x.
+        for i in 0..500u64 {
+            let want = PageId::new(i % 100);
+            let _ = gms.getpage(active, want);
+            gms.putpage(active, PageId::new((i + 37) % 100 + 1000), i % 3 == 0);
+            assert!(gms.is_consistent(), "iteration {i}");
+        }
+        assert!(gms.epochs_completed() >= 1);
+        assert_eq!(gms.stats().traffic.putpages, 500);
+    }
+
+    #[test]
+    fn join_node_attracts_future_evictions() {
+        let mut gms = warm_gms(3, 4, 8); // two idle nodes, full
+        let newcomer = gms.join_node(100);
+        assert_eq!(newcomer, NodeId::new(3));
+        // With the old nodes full, putpages flow to the newcomer without
+        // displacing anything.
+        for i in 0..20u64 {
+            let put = gms.putpage(NodeId::new(0), PageId::new(1000 + i), false);
+            assert_eq!(put.stored_at, newcomer, "iteration {i}");
+            assert_eq!(put.displaced, None);
+        }
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn retire_node_redistributes_pages() {
+        let mut gms = warm_gms(4, 100, 90); // 30 pages per idle node
+        let displaced = gms.retire_node(NodeId::new(1));
+        assert!(displaced.is_empty(), "plenty of room elsewhere");
+        assert!(gms.nodes()[1].is_retired());
+        assert!(gms.nodes()[1].is_empty());
+        assert!(gms.is_consistent());
+        // Every page is still fetchable.
+        for i in 0..90 {
+            assert!(matches!(
+                gms.getpage(NodeId::new(0), PageId::new(i)),
+                GetPageOutcome::RemoteHit { .. }
+            ));
+        }
+        // And the retired node never receives new putpages.
+        for i in 0..50u64 {
+            let put = gms.putpage(NodeId::new(0), PageId::new(i), false);
+            assert_ne!(put.stored_at, NodeId::new(1));
+        }
+    }
+
+    #[test]
+    fn retire_into_full_cluster_displaces_to_disk() {
+        // Two idle nodes, both full; retiring one forces displacements.
+        let mut gms = warm_gms(3, 5, 10);
+        let displaced = gms.retire_node(NodeId::new(2));
+        assert!(!displaced.is_empty());
+        assert_eq!(gms.stats().displaced_to_disk, displaced.len() as u64);
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retire the last idle node")]
+    fn retiring_last_idle_node_panics() {
+        let mut gms = warm_gms(2, 10, 4);
+        gms.retire_node(NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retire the active node")]
+    fn retiring_active_node_panics() {
+        let mut gms = warm_gms(3, 10, 4);
+        gms.retire_node(NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one idle node")]
+    fn single_node_cluster_panics() {
+        let _ = Gms::new(1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small to warm")]
+    fn overfull_warm_cache_panics() {
+        let mut gms = Gms::new(2, 2);
+        gms.warm_cache((0..5).map(PageId::new));
+    }
+}

@@ -1,0 +1,54 @@
+//! The Global Memory Service (GMS) substrate.
+//!
+//! The paper's prototype "is implemented as an extension to GMS, a full
+//! global memory management system described in \[7\]" (Feeley et al.,
+//! SOSP '95). This crate provides a library-level GMS: a cluster of nodes
+//! whose idle memory forms a shared page cache, with
+//!
+//! * a hashed **global cache directory** ([`Directory`]) mapping pages to
+//!   the nodes storing them,
+//! * a **getpage / putpage / discard protocol** ([`proto`]) with full
+//!   traffic accounting,
+//! * **epoch-based placement** ([`EpochManager`]) approximating global
+//!   LRU: eviction targets are chosen by per-node weights recomputed each
+//!   epoch from free space and page age, and
+//! * per-node **global page caches** ([`Node`]) with oldest-first local
+//!   replacement.
+//!
+//! The simulator drives one *active* node (node 0) through the [`Gms`]
+//! facade; the remaining nodes are idle memory servers, matching the
+//! paper's warm-cache experimental setup ("all pages are assumed to
+//! initially reside in remote memory", §4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use gms_cluster::{Gms, GetPageOutcome};
+//! use gms_mem::PageId;
+//! use gms_units::NodeId;
+//!
+//! // Three idle servers with 1000 frames each, warm-loaded with an
+//! // application's pages.
+//! let mut gms = Gms::new(4, 1000);
+//! gms.warm_cache((0..100).map(PageId::new));
+//!
+//! let active = NodeId::new(0);
+//! match gms.getpage(active, PageId::new(42)) {
+//!     GetPageOutcome::RemoteHit { server } => assert_ne!(server, active),
+//!     GetPageOutcome::Miss => panic!("warm cache cannot miss"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod directory;
+mod epoch;
+mod gms;
+mod node;
+pub mod proto;
+
+pub use directory::Directory;
+pub use epoch::EpochManager;
+pub use gms::{GetPageOutcome, Gms, GmsStats, PutPageOutcome};
+pub use node::{GlobalEntry, Node};

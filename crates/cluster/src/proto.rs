@@ -1,0 +1,125 @@
+//! The GMS wire protocol: message types and traffic accounting.
+
+use core::fmt;
+
+use gms_mem::PageId;
+use gms_units::NodeId;
+
+/// A request sent between cluster nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch `page` for `from` (a remote page fault).
+    GetPage {
+        /// The faulting node.
+        from: NodeId,
+        /// The wanted page.
+        page: PageId,
+    },
+    /// Store `page` evicted from `from` into the target's global cache.
+    PutPage {
+        /// The evicting node.
+        from: NodeId,
+        /// The evicted page.
+        page: PageId,
+        /// Whether this copy is the only up-to-date one.
+        dirty: bool,
+    },
+    /// Drop the global copy of `page` (its owner no longer needs it
+    /// preserved).
+    Discard {
+        /// The owning node.
+        from: NodeId,
+        /// The page to drop.
+        page: PageId,
+    },
+}
+
+/// A reply to a [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reply {
+    /// The page was found and is being transferred from `server`.
+    PageFound {
+        /// The node serving the page.
+        server: NodeId,
+    },
+    /// No global copy exists; the requester must go to disk.
+    PageNotFound,
+    /// The operation was applied.
+    Ack,
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::GetPage { from, page } => write!(f, "getpage({page}) from {from}"),
+            Request::PutPage { from, page, dirty } => {
+                write!(f, "putpage({page}, dirty={dirty}) from {from}")
+            }
+            Request::Discard { from, page } => write!(f, "discard({page}) from {from}"),
+        }
+    }
+}
+
+/// Counts of protocol traffic, for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficLog {
+    /// getpage requests issued.
+    pub getpages: u64,
+    /// putpage requests issued.
+    pub putpages: u64,
+    /// discard requests issued.
+    pub discards: u64,
+    /// getpages answered `PageNotFound`.
+    pub not_found: u64,
+}
+
+impl TrafficLog {
+    /// Records one request/reply exchange.
+    pub fn record(&mut self, request: &Request, reply: &Reply) {
+        match request {
+            Request::GetPage { .. } => {
+                self.getpages += 1;
+                if matches!(reply, Reply::PageNotFound) {
+                    self.not_found += 1;
+                }
+            }
+            Request::PutPage { .. } => self.putpages += 1,
+            Request::Discard { .. } => self.discards += 1,
+        }
+    }
+
+    /// Total requests of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.getpages + self.putpages + self.discards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_classifies_requests() {
+        let mut log = TrafficLog::default();
+        let from = NodeId::new(0);
+        let page = PageId::new(1);
+        log.record(&Request::GetPage { from, page }, &Reply::PageFound { server: NodeId::new(1) });
+        log.record(&Request::GetPage { from, page }, &Reply::PageNotFound);
+        log.record(&Request::PutPage { from, page, dirty: true }, &Reply::Ack);
+        log.record(&Request::Discard { from, page }, &Reply::Ack);
+        assert_eq!(log.getpages, 2);
+        assert_eq!(log.not_found, 1);
+        assert_eq!(log.putpages, 1);
+        assert_eq!(log.discards, 1);
+        assert_eq!(log.total(), 4);
+    }
+
+    #[test]
+    fn display_names_operations() {
+        let r = Request::GetPage { from: NodeId::new(0), page: PageId::new(5) };
+        assert_eq!(format!("{r}"), "getpage(page#5) from node0");
+        let p = Request::PutPage { from: NodeId::new(2), page: PageId::new(5), dirty: true };
+        assert!(format!("{p}").contains("dirty=true"));
+    }
+}

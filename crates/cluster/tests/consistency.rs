@@ -1,0 +1,113 @@
+//! Property tests for the GMS protocol: the directory and node contents
+//! stay mutually consistent under arbitrary operation sequences,
+//! including membership changes.
+
+use proptest::prelude::*;
+
+use gms_cluster::{GetPageOutcome, Gms};
+use gms_mem::PageId;
+use gms_units::NodeId;
+
+/// One protocol operation chosen by the fuzzer.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Put(u64, bool),
+    Discard(u64),
+    Join(u64),
+    Retire(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..200).prop_map(Op::Get),
+        4 => ((0u64..200), prop::bool::ANY).prop_map(|(p, d)| Op::Put(p, d)),
+        1 => (0u64..200).prop_map(Op::Discard),
+        1 => (1u64..50).prop_map(Op::Join),
+        1 => (1u32..8).prop_map(Op::Retire),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any operation sequence: the directory maps exactly the
+    /// cached pages; a page fetched and not put back always misses; a
+    /// page put back always hits.
+    #[test]
+    fn protocol_keeps_directory_consistent(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut gms = Gms::new(4, 64);
+        gms.warm_cache((0..100).map(PageId::new));
+        let active = NodeId::new(0);
+        // Track which pages should have a live global copy.
+        let mut global: std::collections::HashSet<u64> = (0..100).collect();
+
+        for op in ops {
+            match op {
+                Op::Get(p) => {
+                    let expect_hit = global.contains(&p);
+                    match gms.getpage(active, PageId::new(p)) {
+                        GetPageOutcome::RemoteHit { .. } => {
+                            prop_assert!(expect_hit, "unexpected hit for {p}");
+                            global.remove(&p);
+                        }
+                        GetPageOutcome::Miss => {
+                            prop_assert!(!expect_hit, "unexpected miss for {p}");
+                        }
+                    }
+                }
+                Op::Put(p, dirty) => {
+                    let out = gms.putpage(active, PageId::new(p), dirty);
+                    global.insert(p);
+                    if let Some(old) = out.displaced {
+                        global.remove(&old.get());
+                    }
+                }
+                Op::Discard(p) => {
+                    gms.discard(active, PageId::new(p));
+                    global.remove(&p);
+                }
+                Op::Join(frames) => {
+                    gms.join_node(frames);
+                }
+                Op::Retire(idx) => {
+                    let n = gms.nodes().len() as u32;
+                    let target = 1 + idx % (n - 1);
+                    let idle = gms
+                        .nodes()
+                        .iter()
+                        .filter(|nd| nd.id().index() != 0 && !nd.is_retired())
+                        .count();
+                    let candidate = &gms.nodes()[target as usize];
+                    if idle > 1 && !candidate.is_retired() {
+                        for page in gms.retire_node(NodeId::new(target)) {
+                            // Displaced pages left the network.
+                            prop_assert!(global.remove(&page.get()), "{page} was not tracked");
+                        }
+                    }
+                }
+            }
+            prop_assert!(gms.is_consistent());
+        }
+
+        // Final audit: every tracked page hits, every untracked misses.
+        let tracked: Vec<u64> = global.iter().copied().collect();
+        for p in tracked {
+            prop_assert!(matches!(
+                gms.getpage(active, PageId::new(p)),
+                GetPageOutcome::RemoteHit { .. }
+            ), "page {p} lost");
+        }
+    }
+
+    /// The retire bookkeeping: displaced counts match the stats delta.
+    #[test]
+    fn retire_displacement_accounting(pages in 1u64..40, frames in 1u64..30) {
+        let mut gms = Gms::new(3, frames.max(pages.div_ceil(2)));
+        gms.warm_cache((0..pages).map(PageId::new));
+        let before = gms.stats().displaced_to_disk;
+        let displaced = gms.retire_node(NodeId::new(1));
+        prop_assert_eq!(gms.stats().displaced_to_disk - before, displaced.len() as u64);
+        prop_assert!(gms.is_consistent());
+    }
+}

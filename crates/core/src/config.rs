@@ -1,0 +1,305 @@
+//! Simulation configuration.
+
+use gms_mem::PageSize;
+use gms_net::NetParams;
+use gms_units::Duration;
+
+use crate::FetchPolicy;
+
+/// How much local memory the traced program gets (Figure 3's three
+/// configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryConfig {
+    /// As much as it needs: every fault is an initial (cold) fault.
+    Full,
+    /// Half of its maximum memory.
+    Half,
+    /// One quarter of its maximum memory.
+    Quarter,
+    /// An explicit frame count.
+    Frames(u64),
+}
+
+impl MemoryConfig {
+    /// Resolves to a frame count for a program whose footprint is
+    /// `footprint_pages` pages (minimum 2 frames so that eviction is
+    /// always possible while one page is being faulted in).
+    #[must_use]
+    pub fn frames(self, footprint_pages: u64) -> u64 {
+        let frames = match self {
+            MemoryConfig::Full => footprint_pages,
+            MemoryConfig::Half => footprint_pages.div_ceil(2),
+            MemoryConfig::Quarter => footprint_pages.div_ceil(4),
+            MemoryConfig::Frames(n) => n,
+        };
+        frames.max(2)
+    }
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            MemoryConfig::Full => "full-mem".to_owned(),
+            MemoryConfig::Half => "1/2-mem".to_owned(),
+            MemoryConfig::Quarter => "1/4-mem".to_owned(),
+            MemoryConfig::Frames(n) => format!("{n}-frames"),
+        }
+    }
+}
+
+/// Which local page-replacement policy the simulated node runs.
+///
+/// The paper's simulator uses LRU by default; the alternatives exist for
+/// the replacement ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementKind {
+    /// True least-recently-used (the paper's default).
+    #[default]
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Clock / second chance.
+    Clock,
+    /// Two random choices, evicting the older.
+    Random2 {
+        /// RNG seed for the random choices.
+        seed: u64,
+    },
+}
+
+impl ReplacementKind {
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn build(self) -> Box<dyn gms_mem::ReplacementPolicy + Send> {
+        match self {
+            ReplacementKind::Lru => Box::new(gms_mem::Lru::new()),
+            ReplacementKind::Fifo => Box::new(gms_mem::Fifo::new()),
+            ReplacementKind::Clock => Box::new(gms_mem::Clock::new()),
+            ReplacementKind::Random2 { seed } => Box::new(gms_mem::Random2::new(seed)),
+        }
+    }
+
+    /// The policy's name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplacementKind::Lru => "lru",
+            ReplacementKind::Fifo => "fifo",
+            ReplacementKind::Clock => "clock",
+            ReplacementKind::Random2 { .. } => "random2",
+        }
+    }
+}
+
+/// How accesses to valid subpages of *incomplete* pages are charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessCost {
+    /// TLB-supported subpage valid bits: "no overhead associated with
+    /// accessing resident subpages" (§3.1.1) — the paper's simulation
+    /// assumption.
+    #[default]
+    TlbSupported,
+    /// The prototype's software scheme: every access to an incomplete
+    /// page pays the Table-1 PALcode emulation cost.
+    PalEmulated,
+}
+
+/// Complete configuration of one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use gms_core::{FetchPolicy, MemoryConfig, SimConfig};
+/// use gms_mem::SubpageSize;
+///
+/// let config = SimConfig::builder()
+///     .policy(FetchPolicy::eager(SubpageSize::S2K))
+///     .memory(MemoryConfig::Quarter)
+///     .build();
+/// assert_eq!(config.policy.label(), "sp_2048");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The machine's base page size (8 KB on the paper's Alphas).
+    pub page_size: PageSize,
+    /// The fetch policy under evaluation.
+    pub policy: FetchPolicy,
+    /// Local memory available to the program.
+    pub memory: MemoryConfig,
+    /// Simulated time per memory reference. The paper measures ~12 ns:
+    /// "83,000 events correspond to one millisecond" (§3.2).
+    pub ns_per_ref: u64,
+    /// Network timing constants.
+    pub net: NetParams,
+    /// Cluster size (one active node plus idle memory servers).
+    pub cluster_nodes: u32,
+    /// Cost model for accesses to incomplete pages.
+    pub access_cost: AccessCost,
+    /// Local page-replacement policy.
+    pub replacement: ReplacementKind,
+}
+
+impl SimConfig {
+    /// Starts building a configuration from the paper's defaults:
+    /// 8 KB pages, full-page remote fetch, full memory, 12 ns per
+    /// reference, the calibrated AN2 network, 4 nodes, TLB-supported
+    /// subpage access.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder { config: SimConfig::default() }
+    }
+
+    /// Time for `n` references of pure execution.
+    #[must_use]
+    pub fn exec_time(&self, n: u64) -> Duration {
+        Duration::from_nanos(self.ns_per_ref * n)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            page_size: PageSize::P8K,
+            policy: FetchPolicy::fullpage(),
+            memory: MemoryConfig::Full,
+            ns_per_ref: 12,
+            net: NetParams::paper(),
+            cluster_nodes: 4,
+            access_cost: AccessCost::default(),
+            replacement: ReplacementKind::default(),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`]. Created by [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the base page size.
+    #[must_use]
+    pub fn page_size(mut self, page_size: PageSize) -> Self {
+        self.config.page_size = page_size;
+        self
+    }
+
+    /// Sets the fetch policy.
+    #[must_use]
+    pub fn policy(mut self, policy: FetchPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the memory configuration.
+    #[must_use]
+    pub fn memory(mut self, memory: MemoryConfig) -> Self {
+        self.config.memory = memory;
+        self
+    }
+
+    /// Sets the simulated cost of one memory reference, in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is zero.
+    #[must_use]
+    pub fn ns_per_ref(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "a reference must take non-zero time");
+        self.config.ns_per_ref = ns;
+        self
+    }
+
+    /// Sets the network timing constants.
+    #[must_use]
+    pub fn net(mut self, net: NetParams) -> Self {
+        self.config.net = net;
+        self
+    }
+
+    /// Sets the cluster size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    #[must_use]
+    pub fn cluster_nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes >= 2, "need at least one idle node");
+        self.config.cluster_nodes = nodes;
+        self
+    }
+
+    /// Sets the incomplete-page access cost model.
+    #[must_use]
+    pub fn access_cost(mut self, access_cost: AccessCost) -> Self {
+        self.config.access_cost = access_cost;
+        self
+    }
+
+    /// Sets the local page-replacement policy.
+    #[must_use]
+    pub fn replacement(mut self, replacement: ReplacementKind) -> Self {
+        self.config.replacement = replacement;
+        self
+    }
+
+    /// Finalizes the configuration.
+    #[must_use]
+    pub fn build(self) -> SimConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_mem::SubpageSize;
+
+    #[test]
+    fn memory_config_resolves_frames() {
+        assert_eq!(MemoryConfig::Full.frames(773), 773);
+        assert_eq!(MemoryConfig::Half.frames(773), 387);
+        assert_eq!(MemoryConfig::Quarter.frames(773), 194);
+        assert_eq!(MemoryConfig::Frames(10).frames(773), 10);
+        // Tiny footprints still get at least two frames.
+        assert_eq!(MemoryConfig::Quarter.frames(3), 2);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(MemoryConfig::Full.label(), "full-mem");
+        assert_eq!(MemoryConfig::Half.label(), "1/2-mem");
+        assert_eq!(MemoryConfig::Quarter.label(), "1/4-mem");
+        assert_eq!(MemoryConfig::Frames(5).label(), "5-frames");
+    }
+
+    #[test]
+    fn builder_overrides_defaults() {
+        let config = SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .ns_per_ref(10)
+            .cluster_nodes(8)
+            .access_cost(AccessCost::PalEmulated)
+            .build();
+        assert_eq!(config.ns_per_ref, 10);
+        assert_eq!(config.cluster_nodes, 8);
+        assert_eq!(config.access_cost, AccessCost::PalEmulated);
+        assert_eq!(config.policy.label(), "sp_1024");
+    }
+
+    #[test]
+    fn default_matches_paper_clock() {
+        let config = SimConfig::default();
+        // 83,000 events correspond to one millisecond (§3.2).
+        let ms = config.exec_time(83_000).as_millis_f64();
+        assert!((0.95..1.05).contains(&ms), "{ms} ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero time")]
+    fn zero_ref_cost_panics() {
+        let _ = SimConfig::builder().ns_per_ref(0);
+    }
+}

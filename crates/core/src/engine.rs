@@ -1,0 +1,1066 @@
+//! The trace-driven simulation engine.
+//!
+//! The engine replays a reference trace against a memory of configurable
+//! size, servicing faults through the fetch policy's transfer plans on the
+//! shared network timeline. It is the counterpart of the paper's §3.2
+//! simulator:
+//!
+//! * the clock advances by a fixed cost per memory reference (12 ns —
+//!   "83,000 events correspond to one millisecond");
+//! * page faults schedule transfers on the five-resource pipeline, so
+//!   request/wire/receive components of concurrent transfers overlap and
+//!   contend exactly as described ("the simulator models congestion
+//!   delays in the network");
+//! * follow-on arrivals are applied lazily: the program only stalls when
+//!   it touches a subpage whose data has not yet arrived (`page_wait`);
+//! * achieved overlap is attributed to I/O-on-I/O vs computation (§4.4).
+
+use std::collections::HashMap;
+
+use gms_cluster::{GetPageOutcome, Gms};
+use gms_mem::{
+    FramePool, Geometry, PageId, PageState, PageTable, PalEmulator, ReplacementPolicy,
+    SubpageIndex, Tlb,
+};
+use gms_net::{DiskModel, LinkModel, Timeline, TransferPlan};
+use gms_trace::apps::AppProfile;
+use gms_trace::synth::LAYOUT_BASE;
+use gms_trace::{AccessKind, Run, TraceSource};
+use gms_units::{Bytes, Duration, NodeId, SimTime, VirtAddr};
+
+use crate::metrics::{DistanceHistogram, FaultCounts, FaultKind, FaultRecord, OverlapStats};
+use crate::{AccessCost, FetchPolicy, RunReport, SimConfig};
+
+/// Runs traces under one [`SimConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use gms_core::{FetchPolicy, MemoryConfig, SimConfig, Simulator};
+/// use gms_mem::SubpageSize;
+/// use gms_trace::apps;
+///
+/// let sim = Simulator::new(
+///     SimConfig::builder()
+///         .policy(FetchPolicy::eager(SubpageSize::S2K))
+///         .memory(MemoryConfig::Quarter)
+///         .build(),
+/// );
+/// let report = sim.run(&apps::gdb().scaled(0.25));
+/// report.assert_conserved();
+/// assert!(report.faults.total() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// A simulator for the given configuration.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one of the synthetic application profiles: builds its trace,
+    /// sizes memory from its footprint, warms the global cache with its
+    /// pages, and replays it.
+    pub fn run(&self, app: &AppProfile) -> RunReport {
+        let mut source = app.source();
+        self.run_trace(&mut *source, app.footprint(), LAYOUT_BASE)
+    }
+
+    /// Runs an arbitrary trace. `footprint` is the trace's total touched
+    /// span starting at `base` (page-aligned); it determines the memory
+    /// configuration's frame count and which pages pre-reside in the warm
+    /// global cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` is zero.
+    pub fn run_trace(
+        &self,
+        source: &mut dyn TraceSource,
+        footprint: Bytes,
+        base: VirtAddr,
+    ) -> RunReport {
+        assert!(!footprint.is_zero(), "cannot size memory for an empty trace");
+        let geom = self.config.policy.geometry(self.config.page_size);
+        let footprint_pages = footprint.div_ceil(geom.page_size().bytes());
+        let frames = self.config.memory.frames(footprint_pages);
+
+        let mut engine = Engine::new(&self.config, geom, frames);
+        if !self.config.policy.is_disk() {
+            let base_page = geom.page_of(base);
+            engine.warm(
+                (0..footprint_pages).map(|i| PageId::new(base_page.get() + i)),
+                footprint_pages,
+            );
+        }
+        while let Some(run) = source.next_run() {
+            engine.process_run(run);
+        }
+        engine.into_report(&self.config)
+    }
+}
+
+/// Which accounting bucket a span of simulated time belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    Exec,
+    SpLatency,
+    PageWait,
+    RecvOverhead,
+    Emulation,
+    Putpage,
+}
+
+/// One follow-on message still on its way to a resident page.
+#[derive(Debug)]
+struct Arrival {
+    available_at: SimTime,
+    subpages: Vec<SubpageIndex>,
+    /// CPU the receive interrupt steals *if* the program is running when
+    /// it fires (it is free while the program is stalled anyway — the
+    /// paper's Table 2 deducts this overhead from the overlap window,
+    /// not from stall time).
+    recv_cpu: Duration,
+}
+
+/// Follow-on data still on its way to a resident page.
+#[derive(Debug)]
+struct PendingPage {
+    /// In send order (monotone arrival times).
+    arrivals: Vec<Arrival>,
+    /// First unapplied arrival.
+    next: usize,
+    /// Index of the fault record waiting-time is attributed to.
+    fault_idx: usize,
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    geom: Geometry,
+    policy: FetchPolicy,
+    ref_cost: Duration,
+    active: NodeId,
+
+    clock: SimTime,
+    refs_done: u64,
+    exec: Duration,
+    sp_latency: Duration,
+    page_wait: Duration,
+    recv_overhead: Duration,
+    emulation: Duration,
+    putpage_overhead: Duration,
+
+    frames: FramePool,
+    table: PageTable,
+    lru: Box<dyn ReplacementPolicy + Send>,
+    pending: HashMap<PageId, PendingPage>,
+    armed: HashMap<PageId, SubpageIndex>,
+    inflight: Vec<(SimTime, PageId)>,
+    /// Recent stall intervals, for deciding whether a receive interrupt
+    /// fired while the program was blocked (free) or running (charged).
+    recent_stalls: std::collections::VecDeque<(SimTime, SimTime)>,
+
+    timeline: Timeline,
+    gms: Option<Gms>,
+    disk: DiskModel,
+    pal: PalEmulator,
+    tlb: Tlb,
+
+    faults: FaultCounts,
+    fault_log: Vec<FaultRecord>,
+    distances: DistanceHistogram,
+    overlap: OverlapStats,
+    evictions: u64,
+    dirty_evictions: u64,
+    wasted_transfers: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig, geom: Geometry, frames: u64) -> Self {
+        let disk_pattern = match cfg.policy {
+            FetchPolicy::Disk { pattern } => pattern,
+            _ => gms_net::AccessPattern::Random,
+        };
+        Engine {
+            cfg,
+            geom,
+            policy: cfg.policy,
+            ref_cost: Duration::from_nanos(cfg.ns_per_ref),
+            active: NodeId::new(0),
+            clock: SimTime::ZERO,
+            refs_done: 0,
+            exec: Duration::ZERO,
+            sp_latency: Duration::ZERO,
+            page_wait: Duration::ZERO,
+            recv_overhead: Duration::ZERO,
+            emulation: Duration::ZERO,
+            putpage_overhead: Duration::ZERO,
+            frames: FramePool::new(frames),
+            table: PageTable::new(geom),
+            lru: cfg.replacement.build(),
+            pending: HashMap::new(),
+            armed: HashMap::new(),
+            inflight: Vec::new(),
+            recent_stalls: std::collections::VecDeque::new(),
+            timeline: Timeline::new(cfg.net),
+            gms: None,
+            disk: DiskModel::paper(disk_pattern),
+            pal: PalEmulator::paper(),
+            tlb: Tlb::alpha_dtlb(),
+            faults: FaultCounts::default(),
+            fault_log: Vec::new(),
+            distances: DistanceHistogram::new(),
+            overlap: OverlapStats::default(),
+            evictions: 0,
+            dirty_evictions: 0,
+            wasted_transfers: 0,
+        }
+    }
+
+    /// Sets up the warm global cache holding every page the trace will
+    /// touch.
+    fn warm(&mut self, pages: impl Iterator<Item = PageId>, footprint_pages: u64) {
+        // Idle nodes need room for the full footprint plus churn headroom.
+        let per_node = footprint_pages
+            .div_ceil(u64::from(self.cfg.cluster_nodes - 1))
+            .max(1)
+            * 2;
+        let mut gms = Gms::new(self.cfg.cluster_nodes, per_node);
+        gms.warm_cache(pages);
+        self.gms = Some(gms);
+    }
+
+    // -- time accounting -------------------------------------------------
+
+    /// Whether any fault's follow-on data (other than `exclude`'s) is
+    /// still in flight at the current clock.
+    fn other_inflight(&mut self, exclude: Option<PageId>) -> bool {
+        let now = self.clock;
+        self.inflight.retain(|(t, _)| *t > now);
+        self.inflight
+            .iter()
+            .any(|(_, p)| Some(*p) != exclude)
+    }
+
+    /// Advances the clock, attributing the span to `bucket` and to the
+    /// overlap statistics. `wait_page` is the page being waited on (for
+    /// stall buckets), excluded from the in-flight check so a fault does
+    /// not "overlap with itself".
+    fn advance(&mut self, d: Duration, bucket: Bucket, wait_page: Option<PageId>) {
+        if d == Duration::ZERO {
+            return;
+        }
+        match bucket {
+            Bucket::Exec | Bucket::Emulation => {
+                if self.other_inflight(None) {
+                    self.overlap.comp_overlap += d;
+                }
+            }
+            Bucket::SpLatency | Bucket::PageWait => {
+                if self.other_inflight(wait_page) {
+                    self.overlap.io_overlap += d;
+                }
+                self.recent_stalls.push_back((self.clock, self.clock + d));
+                if self.recent_stalls.len() > 64 {
+                    self.recent_stalls.pop_front();
+                }
+            }
+            Bucket::RecvOverhead | Bucket::Putpage => {}
+        }
+        self.clock += d;
+        match bucket {
+            Bucket::Exec => self.exec += d,
+            Bucket::SpLatency => self.sp_latency += d,
+            Bucket::PageWait => self.page_wait += d,
+            Bucket::RecvOverhead => self.recv_overhead += d,
+            Bucket::Emulation => self.emulation += d,
+            Bucket::Putpage => self.putpage_overhead += d,
+        }
+    }
+
+    // -- trace consumption ------------------------------------------------
+
+    fn process_run(&mut self, run: Run) {
+        let stride = run.stride();
+        let kind = run.kind();
+        if stride == 0 {
+            self.process_segment(run.start(), 0, run.count(), kind);
+            return;
+        }
+        let page_bytes = self.geom.page_size().bytes().get();
+        if stride.unsigned_abs() >= page_bytes {
+            // Sparse: every reference may land on a different page.
+            for i in 0..run.count() {
+                self.process_segment(run.addr_at(i), 0, 1, kind);
+            }
+            return;
+        }
+        // Dense: split into per-page segments.
+        let mut rest = run;
+        loop {
+            let addr = rest.start();
+            let in_page = self.refs_in_page(addr, stride);
+            let n = in_page.min(rest.count());
+            self.process_segment(addr, stride, n, kind);
+            if n == rest.count() {
+                break;
+            }
+            (_, rest) = rest.split_at(n);
+        }
+    }
+
+    /// How many references starting at `addr` with `stride` stay on
+    /// `addr`'s page.
+    fn refs_in_page(&self, addr: VirtAddr, stride: i64) -> u64 {
+        let page_bytes = self.geom.page_size().bytes();
+        let offset = addr.offset_in(page_bytes).get();
+        if stride > 0 {
+            (page_bytes.get() - 1 - offset) / stride as u64 + 1
+        } else {
+            offset / stride.unsigned_abs() + 1
+        }
+    }
+
+    /// Executes `n` references at `addr`, `stride` apart, all on one page.
+    fn process_segment(&mut self, addr: VirtAddr, stride: i64, n: u64, kind: AccessKind) {
+        let page = self.geom.page_of(addr);
+        if !self.armed.is_empty() {
+            self.resolve_distance(page, addr, stride, n);
+        }
+        match self.table.get(page) {
+            Some(state) if state.is_complete() => {
+                self.lru.touch(page);
+                if kind.is_write() {
+                    self.table.mark_dirty(page);
+                }
+                self.charge_tlb(page);
+                self.refs_done += n;
+                self.advance(self.ref_cost * n, Bucket::Exec, None);
+            }
+            Some(_) => {
+                self.lru.touch(page);
+                self.process_partial(page, addr, stride, n, kind);
+            }
+            None => {
+                self.handle_page_fault(addr, kind);
+                // The page is now resident (partially at least); execute
+                // the segment through the partial/complete paths.
+                self.process_segment(addr, stride, n, kind);
+            }
+        }
+    }
+
+    /// Small-pages ablation: charge a TLB refill per page transition.
+    fn charge_tlb(&mut self, page: PageId) {
+        if !matches!(self.policy, FetchPolicy::SmallPages { .. }) {
+            return;
+        }
+        if !self.tlb.access(page) {
+            let refill = gms_units::ClockRate::from_mhz(266).time_for(self.tlb.refill_cost());
+            self.advance(refill, Bucket::Emulation, None);
+        }
+    }
+
+    /// Executes a segment on a partially-resident page, subpage chunk by
+    /// subpage chunk, stalling where data has not arrived.
+    fn process_partial(
+        &mut self,
+        page: PageId,
+        mut addr: VirtAddr,
+        stride: i64,
+        mut left: u64,
+        kind: AccessKind,
+    ) {
+        self.charge_tlb(page);
+        if kind.is_write() {
+            self.table.mark_dirty(page);
+        }
+        // Catch up on anything that arrived since the page was last
+        // touched (billing interrupts that fired during execution).
+        self.apply_arrivals(page, true);
+        while left > 0 {
+            let sub = self.geom.subpage_of(addr);
+            self.ensure_subpage(page, sub);
+
+            // How many references stay inside this subpage?
+            let chunk = if stride == 0 {
+                left
+            } else {
+                let sp = self.geom.subpage_size().bytes();
+                let offset = addr.offset_in(sp).get();
+                let in_sub = if stride > 0 {
+                    (sp.get() - 1 - offset) / stride as u64 + 1
+                } else {
+                    offset / stride.unsigned_abs() + 1
+                };
+                in_sub.min(left)
+            };
+
+            // Execution cost, plus PAL emulation while the page is
+            // incomplete under the software scheme.
+            self.refs_done += chunk;
+            self.advance(self.ref_cost * chunk, Bucket::Exec, None);
+            if self.cfg.access_cost == AccessCost::PalEmulated
+                && !self.table.get(page).is_some_and(PageState::is_complete)
+            {
+                let mut emu = Duration::ZERO;
+                for _ in 0..chunk {
+                    emu += self.pal.emulated_access(page, kind.is_write());
+                }
+                self.advance(emu, Bucket::Emulation, None);
+            }
+
+            left -= chunk;
+            if left > 0 {
+                let delta = stride * chunk as i64;
+                addr = VirtAddr::new((addr.get() as i64 + delta) as u64);
+            }
+        }
+    }
+
+    /// Blocks (if needed) until subpage `sub` of resident page `page` is
+    /// valid.
+    fn ensure_subpage(&mut self, page: PageId, sub: SubpageIndex) {
+        if self.table.get(page).expect("resident").mask.contains(sub) {
+            return;
+        }
+        self.apply_arrivals(page, true);
+        if self.table.get(page).expect("resident").mask.contains(sub) {
+            return;
+        }
+        // Not yet arrived: either wait for the in-flight message carrying
+        // it, or (lazy policy) fault it in now.
+        let waiting_arrival = self.pending.get(&page).and_then(|p| {
+            p.arrivals[p.next..]
+                .iter()
+                .find(|a| a.subpages.contains(&sub))
+                .map(|a| a.available_at)
+        });
+        match waiting_arrival {
+            Some(at) => {
+                let wait = at.saturating_since(self.clock);
+                let fault_idx = self.pending[&page].fault_idx;
+                self.advance(wait, Bucket::PageWait, Some(page));
+                self.fault_log[fault_idx].wait += wait;
+                // Arrivals applied here landed during the stall: their
+                // receive interrupts were free (CPU was idle).
+                self.apply_arrivals(page, false);
+                debug_assert!(
+                    self.table.get(page).expect("resident").mask.contains(sub),
+                    "waited for an arrival that did not carry {sub}"
+                );
+            }
+            None => {
+                assert!(
+                    self.policy.is_lazy(),
+                    "non-lazy incomplete page {page} has no arrival carrying {sub}"
+                );
+                self.lazy_subpage_fault(page, sub);
+            }
+        }
+    }
+
+    /// Whether the program was stalled at instant `t` (within the
+    /// remembered window of recent stalls).
+    fn was_stalled_at(&self, t: SimTime) -> bool {
+        self.recent_stalls.iter().any(|&(s, e)| s <= t && t <= e)
+    }
+
+    /// Applies every arrival whose time has passed. With `charge`, the
+    /// receive-interrupt CPU of arrivals that fired while the program was
+    /// *running* is billed against the clock (arrivals landing inside a
+    /// stall are free — the CPU was idle).
+    fn apply_arrivals(&mut self, page: PageId, charge: bool) {
+        let Some(p) = self.pending.get_mut(&page) else { return };
+        let mut changed = false;
+        let mut billed = Duration::ZERO;
+        let mut fired_at = Vec::new();
+        while p.next < p.arrivals.len() && p.arrivals[p.next].available_at <= self.clock {
+            let arrival = &p.arrivals[p.next];
+            for &s in &arrival.subpages {
+                self.table.mark_valid(page, s);
+            }
+            if charge && arrival.recv_cpu > Duration::ZERO {
+                fired_at.push((arrival.available_at, arrival.recv_cpu));
+            }
+            p.next += 1;
+            changed = true;
+        }
+        if p.next == p.arrivals.len() {
+            self.pending.remove(&page);
+        }
+        if changed {
+            self.pal.page_state_changed(page);
+        }
+        for (t, cost) in fired_at {
+            if !self.was_stalled_at(t) {
+                billed += cost;
+            }
+        }
+        if billed > Duration::ZERO {
+            self.advance(billed, Bucket::RecvOverhead, None);
+        }
+    }
+
+    // -- faulting ----------------------------------------------------------
+
+    fn handle_page_fault(&mut self, addr: VirtAddr, kind: AccessKind) {
+        let (page, sub) = self.geom.decompose(addr);
+        let _ = kind;
+        if self.frames.is_full() {
+            self.evict_one();
+        }
+        assert!(self.frames.try_alloc(), "eviction freed no frame");
+
+        let fault_kind = self.fetch_page(page, sub, addr);
+        self.lru.insert(page);
+        if self.geom.subpages_per_page() > 1 {
+            self.armed.insert(page, sub);
+        }
+        self.faults.record(fault_kind);
+    }
+
+    /// Performs the transfer for a whole-page fault and installs the page
+    /// (fully or partially). Returns what serviced it.
+    fn fetch_page(&mut self, page: PageId, sub: SubpageIndex, addr: VirtAddr) -> FaultKind {
+        let n_sub = self.geom.subpages_per_page();
+
+        // Where is the page? (Disk policy never asks the cluster.)
+        let remote = if self.policy.is_disk() {
+            false
+        } else {
+            match self
+                .gms
+                .as_mut()
+                .expect("remote policies run with a cluster")
+                .getpage(self.active, page)
+            {
+                GetPageOutcome::RemoteHit { .. } => true,
+                GetPageOutcome::Miss => false,
+            }
+        };
+
+        if !remote {
+            // Disk service: position + full page transfer, synchronous.
+            let latency = self.disk.transfer_time(self.geom.page_size().bytes());
+            self.fault_log.push(FaultRecord {
+                at_ref: self.refs_done,
+                page,
+                subpage: sub,
+                kind: FaultKind::Disk,
+                wait: latency,
+            });
+            self.advance(latency, Bucket::SpLatency, Some(page));
+            self.table.insert(page, PageState::complete(n_sub));
+            return FaultKind::Disk;
+        }
+
+        // Remote service through the shared timeline.
+        let sp_bytes = self.geom.subpage_size().bytes().get() as f64;
+        let offset_frac = addr.offset_in(self.geom.subpage_size().bytes()).get() as f64 / sp_bytes;
+        let plan = self.policy.plan_fault(self.geom, sub, offset_frac);
+        let sizes = plan.message_sizes(self.geom);
+        let tplan = TransferPlan::new(sizes, self.policy.recv_overhead());
+        let ft = self.timeline.fault(self.clock, &tplan);
+
+        let sp_wait = ft.resume_at.elapsed_since(self.clock);
+        self.fault_log.push(FaultRecord {
+            at_ref: self.refs_done,
+            page,
+            subpage: sub,
+            kind: FaultKind::Remote,
+            wait: sp_wait,
+        });
+        let fault_idx = self.fault_log.len() - 1;
+
+        self.advance(sp_wait, Bucket::SpLatency, Some(page));
+
+        // Install the initial message's subpages; queue the rest.
+        let mut state = PageState::partial(n_sub, plan.groups()[0][0]);
+        for &s in &plan.groups()[0][1..] {
+            state.mask.set(s);
+        }
+        // Lazy refaults re-install pages... (pages are whole-page absent
+        // here, so plain insert is correct).
+        self.table.insert(page, state);
+
+        if plan.groups().len() > 1 {
+            let arrivals: Vec<Arrival> = plan.groups()[1..]
+                .iter()
+                .zip(&ft.arrivals[1..])
+                .map(|(subs, arr)| Arrival {
+                    available_at: arr.available_at,
+                    subpages: subs.clone(),
+                    recv_cpu: arr.recv_cpu,
+                })
+                .collect();
+            self.inflight.push((ft.page_complete_at, page));
+            self.pending.insert(page, PendingPage { arrivals, next: 0, fault_idx });
+        }
+        FaultKind::Remote
+    }
+
+    /// Lazy policy: fetch one missing subpage of a resident page.
+    fn lazy_subpage_fault(&mut self, page: PageId, sub: SubpageIndex) {
+        let tplan = TransferPlan::lazy(self.geom.subpage_size().bytes());
+        let ft = self.timeline.fault(self.clock, &tplan);
+        let wait = ft.resume_at.elapsed_since(self.clock);
+        self.fault_log.push(FaultRecord {
+            at_ref: self.refs_done,
+            page,
+            subpage: sub,
+            kind: FaultKind::LazySubpage,
+            wait,
+        });
+        self.advance(wait, Bucket::SpLatency, Some(page));
+        self.table.mark_valid(page, sub);
+        self.pal.page_state_changed(page);
+        self.faults.record(FaultKind::LazySubpage);
+    }
+
+    fn evict_one(&mut self) {
+        let victim = self.lru.evict().expect("full memory implies a victim");
+        let state = self.table.remove(victim).expect("victim was resident");
+        if self.pending.remove(&victim).is_some() {
+            // Follow-on data for this page is still in flight; it will be
+            // discarded on arrival.
+            self.wasted_transfers += 1;
+        }
+        self.armed.remove(&victim);
+        self.pal.page_state_changed(victim);
+        self.tlb.invalidate(victim);
+        self.frames.release();
+        self.evictions += 1;
+        if state.dirty {
+            self.dirty_evictions += 1;
+        }
+
+        if let Some(gms) = self.gms.as_mut() {
+            // GMS holds the only copy once a page is fetched: push every
+            // eviction back to global memory (asynchronously — only the
+            // send setup stalls the CPU).
+            gms.putpage(self.active, victim, state.dirty);
+            let send = self.timeline.send(self.clock, self.geom.page_size().bytes());
+            let setup = send.cpu_free_at.elapsed_since(self.clock);
+            self.advance(setup, Bucket::Putpage, None);
+        }
+        // Disk policy: clean pages are dropped; dirty pages are written
+        // back asynchronously without stalling the application.
+    }
+
+    // -- Figure 7 ----------------------------------------------------------
+
+    /// If `page` is armed (recently faulted), record the distance to the
+    /// first *different* subpage this segment touches, if any.
+    fn resolve_distance(&mut self, page: PageId, addr: VirtAddr, stride: i64, n: u64) {
+        let Some(&origin) = self.armed.get(&page) else { return };
+        let first = self.geom.subpage_of(addr);
+        if first != origin {
+            self.distances.record(first.distance_from(origin));
+            self.armed.remove(&page);
+            return;
+        }
+        if stride == 0 || n <= 1 {
+            return;
+        }
+        // Does the segment walk beyond the origin subpage?
+        let sp = self.geom.subpage_size().bytes();
+        let offset = addr.offset_in(sp).get();
+        let in_sub = if stride > 0 {
+            (sp.get() - 1 - offset) / stride as u64 + 1
+        } else {
+            offset / stride.unsigned_abs() + 1
+        };
+        if n > in_sub {
+            let next = if stride > 0 { 1i8 } else { -1i8 };
+            self.distances.record(next);
+            self.armed.remove(&page);
+        }
+    }
+
+    // -- reporting -----------------------------------------------------------
+
+    fn into_report(self, cfg: &SimConfig) -> RunReport {
+        let net_busy = self.timeline.busy_times();
+        let report = RunReport {
+            policy: cfg.policy.label(),
+            memory: cfg.memory.label(),
+            frames: self.frames.capacity(),
+            total_refs: self.refs_done,
+            total_time: self.clock.elapsed_since(SimTime::ZERO),
+            exec_time: self.exec,
+            sp_latency: self.sp_latency,
+            page_wait: self.page_wait,
+            recv_overhead: self.recv_overhead,
+            emulation_time: self.emulation,
+            putpage_overhead: self.putpage_overhead,
+            faults: self.faults,
+            evictions: self.evictions,
+            dirty_evictions: self.dirty_evictions,
+            wasted_transfers: self.wasted_transfers,
+            fault_log: self.fault_log,
+            distances: self.distances,
+            overlap: self.overlap,
+            gms: self.gms.map(|g| g.stats()).unwrap_or_default(),
+            net_busy,
+        };
+        report.assert_conserved();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryConfig, PipelineStrategy};
+    use gms_mem::SubpageSize;
+    use gms_net::RecvOverhead;
+    use gms_trace::synth::{Layout, Phase, PhaseProgram, SeqScan};
+    use gms_trace::VecSource;
+
+    fn run_policy(policy: FetchPolicy, memory: MemoryConfig, app: &AppProfile) -> RunReport {
+        Simulator::new(
+            SimConfig::builder().policy(policy).memory(memory).build(),
+        )
+        .run(app)
+    }
+
+    fn tiny_app() -> AppProfile {
+        gms_trace::apps::gdb().scaled(0.3)
+    }
+
+    #[test]
+    fn full_memory_faults_equal_footprint() {
+        let app = tiny_app();
+        for policy in [
+            FetchPolicy::disk(),
+            FetchPolicy::fullpage(),
+            FetchPolicy::eager(SubpageSize::S1K),
+            FetchPolicy::pipelined(SubpageSize::S1K),
+        ] {
+            let report = run_policy(policy, MemoryConfig::Full, &app);
+            assert_eq!(
+                report.faults.page_faults(),
+                app.footprint_pages(Bytes::kib(8)),
+                "{}",
+                policy.label()
+            );
+            report.assert_conserved();
+        }
+    }
+
+    #[test]
+    fn refs_are_fully_executed() {
+        let app = tiny_app();
+        let report = run_policy(
+            FetchPolicy::eager(SubpageSize::S1K),
+            MemoryConfig::Quarter,
+            &app,
+        );
+        assert_eq!(report.total_refs, app.target_refs());
+        assert_eq!(
+            report.exec_time,
+            Duration::from_nanos(12 * app.target_refs())
+        );
+    }
+
+    #[test]
+    fn constrained_memory_faults_more() {
+        let app = tiny_app();
+        let full = run_policy(FetchPolicy::fullpage(), MemoryConfig::Full, &app);
+        let half = run_policy(FetchPolicy::fullpage(), MemoryConfig::Half, &app);
+        let quarter = run_policy(FetchPolicy::fullpage(), MemoryConfig::Quarter, &app);
+        assert!(full.faults.total() < half.faults.total());
+        assert!(half.faults.total() < quarter.faults.total());
+    }
+
+    #[test]
+    fn disk_is_slowest_subpages_beat_fullpage() {
+        // The paper's headline ordering (Figure 3).
+        let app = tiny_app();
+        let disk = run_policy(FetchPolicy::disk(), MemoryConfig::Half, &app);
+        let full = run_policy(FetchPolicy::fullpage(), MemoryConfig::Half, &app);
+        let eager = run_policy(FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half, &app);
+        assert!(disk.total_time > full.total_time, "GMS beats disk");
+        assert!(full.total_time > eager.total_time, "subpages beat fullpage");
+    }
+
+    #[test]
+    fn pipelining_reduces_page_wait() {
+        let app = tiny_app();
+        let eager = run_policy(FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half, &app);
+        let piped = run_policy(
+            FetchPolicy::pipelined(SubpageSize::S1K),
+            MemoryConfig::Half,
+            &app,
+        );
+        assert!(
+            piped.page_wait < eager.page_wait,
+            "pipelined wait {} vs eager {}",
+            piped.page_wait,
+            eager.page_wait
+        );
+        assert!(piped.total_time <= eager.total_time);
+    }
+
+    #[test]
+    fn sequential_scan_distances_are_plus_one() {
+        // A pure forward scan: every next-subpage distance is +1.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("seq", 16);
+        let mut source = PhaseProgram::new(vec![Phase::new(
+            "scan",
+            SeqScan::passes(region, 8, 1, AccessKind::Read),
+        )]);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .build(),
+        );
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert_eq!(report.distances.mode(), Some(1));
+        assert!((report.distances.fraction(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_scan_distances_are_minus_one() {
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("rev", 8);
+        let mut source = PhaseProgram::new(vec![Phase::new(
+            "scan",
+            SeqScan::passes(region, -8, 1, AccessKind::Read),
+        )]);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .build(),
+        );
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert_eq!(report.distances.mode(), Some(-1));
+    }
+
+    #[test]
+    fn lazy_policy_fetches_only_touched_subpages() {
+        // Touch one word per page: lazy moves one subpage per page; the
+        // other policies move everything eventually.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("sparse", 32);
+        let run = Run::new(region.start(), 8192, 32, AccessKind::Read);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::lazy(SubpageSize::S1K))
+                .build(),
+        );
+        let mut source = VecSource::new(vec![run]);
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert_eq!(report.faults.remote, 32);
+        assert_eq!(report.faults.lazy_subpage, 0, "one touch per page");
+    }
+
+    #[test]
+    fn lazy_policy_refaults_on_other_subpages() {
+        // Two touches per page, 4 KB apart: the second lands on a missing
+        // subpage and triggers a lazy refill.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("two-touch", 8);
+        let runs: Vec<Run> = (0..8)
+            .map(|i| {
+                Run::new(
+                    region.at(Bytes::new(i * 8192)),
+                    4096,
+                    2,
+                    AccessKind::Read,
+                )
+            })
+            .collect();
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::lazy(SubpageSize::S1K))
+                .build(),
+        );
+        let mut source = VecSource::new(runs);
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert_eq!(report.faults.remote, 8);
+        assert_eq!(report.faults.lazy_subpage, 8);
+    }
+
+    #[test]
+    fn dirty_evictions_are_counted() {
+        let app = tiny_app();
+        let report = run_policy(FetchPolicy::fullpage(), MemoryConfig::Quarter, &app);
+        assert!(report.evictions > 0);
+        assert!(report.dirty_evictions > 0, "gdb writes state pages");
+        assert!(report.dirty_evictions <= report.evictions);
+        // Every remote eviction produced a putpage.
+        assert_eq!(report.gms.traffic.putpages, report.evictions);
+    }
+
+    #[test]
+    fn fault_log_matches_counts_and_is_ordered() {
+        let app = tiny_app();
+        let report = run_policy(
+            FetchPolicy::eager(SubpageSize::S2K),
+            MemoryConfig::Quarter,
+            &app,
+        );
+        assert_eq!(report.fault_log.len() as u64, report.faults.total());
+        for w in report.fault_log.windows(2) {
+            assert!(w[0].at_ref <= w[1].at_ref);
+        }
+        // Waits are at least the lone-fault subpage latency... and no
+        // more than a handful of full-page times even under congestion.
+        for f in &report.fault_log {
+            assert!(f.wait >= Duration::from_micros(400), "{f:?}");
+            assert!(f.wait <= Duration::from_millis(30), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_requires_constrained_memory() {
+        let app = tiny_app();
+        let report = run_policy(
+            FetchPolicy::eager(SubpageSize::S1K),
+            MemoryConfig::Quarter,
+            &app,
+        );
+        let total_overlap = report.overlap.io_overlap + report.overlap.comp_overlap;
+        assert!(total_overlap > Duration::ZERO, "gdb's bursts should overlap");
+    }
+
+    #[test]
+    fn pal_emulated_access_costs_extra() {
+        let app = tiny_app();
+        let free = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Half)
+                .build(),
+        )
+        .run(&app);
+        let emulated = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Half)
+                .access_cost(crate::AccessCost::PalEmulated)
+                .build(),
+        )
+        .run(&app);
+        assert_eq!(free.emulation_time, Duration::ZERO);
+        assert!(emulated.emulation_time > Duration::ZERO);
+        assert!(emulated.total_time > free.total_time);
+        // "emulation slowed execution by less than 1%" (§3.1.1) — allow
+        // a little headroom for the synthetic traces.
+        let frac = emulated.emulation_time.as_nanos() as f64
+            / emulated.total_time.as_nanos() as f64;
+        assert!(frac < 0.05, "emulation is {:.1}% of runtime", frac * 100.0);
+    }
+
+    #[test]
+    fn negative_stride_runs_cross_pages_correctly() {
+        // A backward scan over 4 pages: every page faults exactly once
+        // and every reference executes.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("rev", 4);
+        let per_page = 8192 / 8;
+        let run = Run::new(
+            region.end() - Bytes::new(8),
+            -8,
+            4 * per_page,
+            AccessKind::Read,
+        );
+        let sim = Simulator::new(
+            SimConfig::builder().policy(FetchPolicy::eager(SubpageSize::S1K)).build(),
+        );
+        let mut source = VecSource::new(vec![run]);
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert_eq!(report.faults.total(), 4);
+        assert_eq!(report.total_refs, 4 * per_page);
+    }
+
+    #[test]
+    fn wasted_transfers_counted_when_pending_pages_evicted() {
+        // Two frames, eager policy, and a page-per-touch sweep: pages are
+        // evicted while their rest-of-page is still in flight.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("sweep", 16);
+        let run = Run::new(region.start(), 8192, 16, AccessKind::Read);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Frames(2))
+                .build(),
+        );
+        let mut source = VecSource::new(vec![run]);
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert!(report.wasted_transfers > 0, "in-flight pages were evicted");
+        report.assert_conserved();
+    }
+
+    #[test]
+    fn burst_faults_pay_congestion() {
+        // Back-to-back faults (one touch per page) see higher average
+        // subpage latency than a lone fault, because each fault's data
+        // queues behind the previous fault's rest-of-page.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("burst", 64);
+        let run = Run::new(region.start(), 8192, 64, AccessKind::Read);
+        let sim = Simulator::new(
+            SimConfig::builder().policy(FetchPolicy::eager(SubpageSize::S1K)).build(),
+        );
+        let mut source = VecSource::new(vec![run]);
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        let avg = report.sp_latency / report.faults.total();
+        let lone = gms_net::Timeline::new(gms_net::NetParams::paper())
+            .fault(gms_units::SimTime::ZERO, &TransferPlan::eager(Bytes::kib(8), Bytes::kib(1)))
+            .restart_latency();
+        assert!(avg > lone, "burst avg {avg} vs lone {lone}");
+    }
+
+    #[test]
+    fn small_pages_pay_tlb_refills() {
+        let app = tiny_app();
+        let report = run_policy(
+            FetchPolicy::SmallPages { page: gms_mem::PageSize::new(Bytes::kib(1)) },
+            MemoryConfig::Half,
+            &app,
+        );
+        assert!(
+            report.emulation_time > Duration::ZERO,
+            "1 KB pages must overflow the 32-entry TLB"
+        );
+        report.assert_conserved();
+    }
+
+    #[test]
+    fn pipelining_strategies_all_run() {
+        let app = tiny_app();
+        for strategy in [
+            PipelineStrategy::NeighborsFirst,
+            PipelineStrategy::Ascending,
+            PipelineStrategy::DoubledFollowOn,
+            PipelineStrategy::AdaptiveHalf,
+        ] {
+            let report = run_policy(
+                FetchPolicy::PipelinedSubpage {
+                    subpage: SubpageSize::S1K,
+                    strategy,
+                    recv_overhead: RecvOverhead::Zero,
+                },
+                MemoryConfig::Half,
+                &app,
+            );
+            report.assert_conserved();
+            assert!(report.faults.total() > 0, "{}", strategy.name());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Metric types collected by the simulator.
+
+use std::collections::BTreeMap;
+
+use gms_mem::{PageId, SubpageIndex};
+use gms_units::Duration;
+
+/// What serviced a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A whole-page fault served from another node's memory.
+    Remote,
+    /// A fault served from the local disk.
+    Disk,
+    /// A lazy-policy fault on a missing subpage of an already-resident
+    /// page.
+    LazySubpage,
+}
+
+/// One page fault, as recorded for Figures 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// How many references had been executed when the fault occurred
+    /// (the X axis of Figures 6 and 10).
+    pub at_ref: u64,
+    /// The faulted page.
+    pub page: PageId,
+    /// The faulted subpage within it.
+    pub subpage: SubpageIndex,
+    /// What serviced it.
+    pub kind: FaultKind,
+    /// Total waiting attributed to this fault: the initial subpage
+    /// latency plus any later stalls for the remainder of the same page
+    /// (the Y axis of Figure 5).
+    pub wait: Duration,
+}
+
+/// Fault totals by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Remote whole-page faults.
+    pub remote: u64,
+    /// Disk faults.
+    pub disk: u64,
+    /// Lazy subpage faults.
+    pub lazy_subpage: u64,
+}
+
+impl FaultCounts {
+    /// All faults.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.remote + self.disk + self.lazy_subpage
+    }
+
+    /// Page-granularity faults (excluding lazy subpage refills).
+    #[must_use]
+    pub fn page_faults(&self) -> u64 {
+        self.remote + self.disk
+    }
+
+    /// Adds one fault of the given kind.
+    pub fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Remote => self.remote += 1,
+            FaultKind::Disk => self.disk += 1,
+            FaultKind::LazySubpage => self.lazy_subpage += 1,
+        }
+    }
+}
+
+/// Attribution of achieved overlap (§4.4): while at least one fault's
+/// follow-on data was in flight, was the program computing or stalled on
+/// another fault?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlapStats {
+    /// Time stalled on one fault while another fault's data was in
+    /// flight: overlapped I/O.
+    pub io_overlap: Duration,
+    /// Time executing while fault data was in flight: overlapped
+    /// computation.
+    pub comp_overlap: Duration,
+}
+
+impl OverlapStats {
+    /// Fraction of total overlap that was I/O-on-I/O, in `[0, 1]`.
+    /// The paper measures 53% (Atom) to 83% (gdb).
+    #[must_use]
+    pub fn io_fraction(&self) -> f64 {
+        let total = self.io_overlap + self.comp_overlap;
+        if total == Duration::ZERO {
+            0.0
+        } else {
+            self.io_overlap.as_nanos() as f64 / total.as_nanos() as f64
+        }
+    }
+}
+
+/// Histogram of distances from a faulted subpage to the next different
+/// subpage touched on the same page (Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DistanceHistogram {
+    counts: BTreeMap<i8, u64>,
+    total: u64,
+}
+
+impl DistanceHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        DistanceHistogram::default()
+    }
+
+    /// Records one observed distance (in subpages, signed).
+    pub fn record(&mut self, distance: i8) {
+        *self.counts.entry(distance).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations at `distance`, in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self, distance: i8) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.counts.get(&distance).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates `(distance, count)` in ascending distance order.
+    pub fn iter(&self) -> impl Iterator<Item = (i8, u64)> + '_ {
+        self.counts.iter().map(|(d, c)| (*d, *c))
+    }
+
+    /// The most common distance, if any observations exist.
+    #[must_use]
+    pub fn mode(&self) -> Option<i8> {
+        self.counts
+            .iter()
+            .max_by_key(|(d, c)| (**c, std::cmp::Reverse(**d)))
+            .map(|(d, _)| *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_counts_record_by_kind() {
+        let mut c = FaultCounts::default();
+        c.record(FaultKind::Remote);
+        c.record(FaultKind::Remote);
+        c.record(FaultKind::Disk);
+        c.record(FaultKind::LazySubpage);
+        assert_eq!(c.remote, 2);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.page_faults(), 3);
+    }
+
+    #[test]
+    fn overlap_fraction() {
+        let s = OverlapStats {
+            io_overlap: Duration::from_micros(80),
+            comp_overlap: Duration::from_micros(20),
+        };
+        assert!((s.io_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(OverlapStats::default().io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn histogram_fractions_and_mode() {
+        let mut h = DistanceHistogram::new();
+        for _ in 0..7 {
+            h.record(1);
+        }
+        for _ in 0..2 {
+            h.record(-1);
+        }
+        h.record(3);
+        assert_eq!(h.total(), 10);
+        assert!((h.fraction(1) - 0.7).abs() < 1e-12);
+        assert!((h.fraction(-1) - 0.2).abs() < 1e-12);
+        assert_eq!(h.fraction(5), 0.0);
+        assert_eq!(h.mode(), Some(1));
+        let dists: Vec<i8> = h.iter().map(|(d, _)| d).collect();
+        assert_eq!(dists, vec![-1, 1, 3]);
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let h = DistanceHistogram::new();
+        assert_eq!(h.mode(), None);
+        assert_eq!(h.fraction(1), 0.0);
+        assert_eq!(h.total(), 0);
+    }
+}

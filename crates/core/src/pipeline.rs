@@ -1,0 +1,320 @@
+//! Follow-on sequencing strategies for subpage pipelining.
+
+use gms_mem::{Geometry, SubpageIndex};
+use gms_units::Bytes;
+
+/// How the rest of a faulted page is sequenced behind the initial
+/// subpage (§4.3).
+///
+/// Figure 7 shows that the subpage touched next after a fault is most
+/// often the `+1` neighbour, sometimes the `−1` neighbour; the paper's
+/// measured scheme pipelines those two, then ships the remainder in one
+/// message. §4.3 also sketches two variants, both implemented here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PipelineStrategy {
+    /// The paper's scheme: `+1`, then `−1`, then the remainder as one
+    /// message.
+    #[default]
+    NeighborsFirst,
+    /// All following subpages one by one (ascending), then the preceding
+    /// ones (descending) — maximal pipelining.
+    Ascending,
+    /// §4.3: "we doubled the size of the pipeline transfers" — the `+1`
+    /// and `+2` neighbours ride in one double-sized message, then `−1`,
+    /// then the remainder.
+    DoubledFollowOn,
+    /// §4.3: the initial transfer is doubled instead — the neighbour on
+    /// the side of the fault's offset within the subpage ("preceding or
+    /// following, depending on where in the subpage the faulted word was
+    /// located") joins the first message; the remainder follows in one
+    /// message.
+    AdaptiveHalf,
+}
+
+/// A planned fault transfer: per-message subpage payloads.
+///
+/// `groups[0]` is the initial message the program blocks on; the rest are
+/// follow-ons in send order. Produced by [`PipelineStrategy::plan`] and by
+/// the eager/fullpage planners in [`crate::FetchPolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessagePlan {
+    groups: Vec<Vec<SubpageIndex>>,
+}
+
+impl MessagePlan {
+    /// Creates a plan from explicit per-message subpage groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no groups or any group is empty.
+    #[must_use]
+    pub fn new(groups: Vec<Vec<SubpageIndex>>) -> Self {
+        assert!(!groups.is_empty(), "a plan needs at least one message");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "messages must carry at least one subpage"
+        );
+        MessagePlan { groups }
+    }
+
+    /// Per-message subpage payloads, initial message first.
+    #[must_use]
+    pub fn groups(&self) -> &[Vec<SubpageIndex>] {
+        &self.groups
+    }
+
+    /// Message sizes in bytes for the given geometry.
+    #[must_use]
+    pub fn message_sizes(&self, geom: Geometry) -> Vec<Bytes> {
+        self.groups
+            .iter()
+            .map(|g| geom.subpage_size().bytes() * g.len() as u64)
+            .collect()
+    }
+
+    /// Total subpages carried.
+    #[must_use]
+    pub fn total_subpages(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+impl PipelineStrategy {
+    /// Plans the messages for a fault on subpage `faulted` of a wholly
+    /// non-resident page: which subpages ride in which message, in order.
+    ///
+    /// Every subpage of the page appears exactly once across the plan.
+    ///
+    /// The fault's byte offset *within* the subpage (`offset_in_subpage`,
+    /// as a fraction in `[0, 1)`) feeds the [`AdaptiveHalf`] variant.
+    ///
+    /// [`AdaptiveHalf`]: PipelineStrategy::AdaptiveHalf
+    #[must_use]
+    pub fn plan(self, geom: Geometry, faulted: SubpageIndex, offset_in_subpage: f64) -> MessagePlan {
+        let n = geom.subpages_per_page() as u8;
+        let f = faulted.get();
+        debug_assert!(f < n);
+        if n == 1 {
+            return MessagePlan::new(vec![vec![faulted]]);
+        }
+
+        let mut groups: Vec<Vec<SubpageIndex>> = Vec::new();
+        let mut remaining: Vec<u8> = (0..n).filter(|&i| i != f).collect();
+        let take = |remaining: &mut Vec<u8>, i: u8| -> Option<SubpageIndex> {
+            remaining
+                .iter()
+                .position(|&x| x == i)
+                .map(|pos| SubpageIndex::new(remaining.remove(pos)))
+        };
+
+        match self {
+            PipelineStrategy::NeighborsFirst => {
+                groups.push(vec![faulted]);
+                if let Some(next) = f.checked_add(1).filter(|&i| i < n).and_then(|i| take(&mut remaining, i)) {
+                    groups.push(vec![next]);
+                }
+                if let Some(prev) = f.checked_sub(1).and_then(|i| take(&mut remaining, i)) {
+                    groups.push(vec![prev]);
+                }
+            }
+            PipelineStrategy::Ascending => {
+                groups.push(vec![faulted]);
+                for i in f + 1..n {
+                    if let Some(s) = take(&mut remaining, i) {
+                        groups.push(vec![s]);
+                    }
+                }
+                for i in (0..f).rev() {
+                    if let Some(s) = take(&mut remaining, i) {
+                        groups.push(vec![s]);
+                    }
+                }
+            }
+            PipelineStrategy::DoubledFollowOn => {
+                groups.push(vec![faulted]);
+                let mut double = Vec::new();
+                for i in [f.checked_add(1), f.checked_add(2)].into_iter().flatten() {
+                    if i < n {
+                        if let Some(s) = take(&mut remaining, i) {
+                            double.push(s);
+                        }
+                    }
+                }
+                if !double.is_empty() {
+                    groups.push(double);
+                }
+                if let Some(prev) = f.checked_sub(1).and_then(|i| take(&mut remaining, i)) {
+                    groups.push(vec![prev]);
+                }
+            }
+            PipelineStrategy::AdaptiveHalf => {
+                // The companion rides in the *initial* message.
+                let mut first = vec![faulted];
+                let companion = if offset_in_subpage >= 0.5 {
+                    f.checked_add(1).filter(|&i| i < n)
+                } else {
+                    f.checked_sub(1)
+                };
+                if let Some(s) = companion.and_then(|i| take(&mut remaining, i)) {
+                    first.push(s);
+                }
+                groups.push(first);
+            }
+        }
+
+        if !remaining.is_empty() {
+            groups.push(remaining.into_iter().map(SubpageIndex::new).collect());
+        }
+        MessagePlan::new(groups)
+    }
+
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStrategy::NeighborsFirst => "neighbors-first",
+            PipelineStrategy::Ascending => "ascending",
+            PipelineStrategy::DoubledFollowOn => "doubled-followon",
+            PipelineStrategy::AdaptiveHalf => "adaptive-half",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_mem::{PageSize, SubpageSize};
+
+    fn geom() -> Geometry {
+        Geometry::new(PageSize::P8K, SubpageSize::S1K) // 8 subpages
+    }
+
+    fn flat(plan: &MessagePlan) -> Vec<u8> {
+        let mut all: Vec<u8> = plan
+            .groups()
+            .iter()
+            .flat_map(|g| g.iter().map(|s| s.get()))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn every_strategy_covers_the_page_exactly_once() {
+        for strategy in [
+            PipelineStrategy::NeighborsFirst,
+            PipelineStrategy::Ascending,
+            PipelineStrategy::DoubledFollowOn,
+            PipelineStrategy::AdaptiveHalf,
+        ] {
+            for f in 0..8u8 {
+                for offset in [0.1, 0.9] {
+                    let plan = strategy.plan(geom(), SubpageIndex::new(f), offset);
+                    assert_eq!(
+                        flat(&plan),
+                        (0..8).collect::<Vec<u8>>(),
+                        "{strategy:?} fault {f} offset {offset}"
+                    );
+                    assert_eq!(plan.total_subpages(), 8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_first_orders_plus_one_then_minus_one() {
+        let plan = PipelineStrategy::NeighborsFirst.plan(geom(), SubpageIndex::new(3), 0.0);
+        let firsts: Vec<u8> = plan.groups().iter().map(|g| g[0].get()).collect();
+        assert_eq!(firsts[0], 3);
+        assert_eq!(firsts[1], 4);
+        assert_eq!(firsts[2], 2);
+        // Remainder in one message.
+        assert_eq!(plan.groups().len(), 4);
+        assert_eq!(plan.groups()[3].len(), 5);
+    }
+
+    #[test]
+    fn neighbors_first_at_page_edges() {
+        let at0 = PipelineStrategy::NeighborsFirst.plan(geom(), SubpageIndex::new(0), 0.0);
+        assert_eq!(at0.groups()[1], vec![SubpageIndex::new(1)]);
+        assert_eq!(at0.groups().len(), 3); // no -1 neighbour
+        let at7 = PipelineStrategy::NeighborsFirst.plan(geom(), SubpageIndex::new(7), 0.0);
+        assert_eq!(at7.groups()[1], vec![SubpageIndex::new(6)]);
+        assert_eq!(at7.groups().len(), 3); // no +1 neighbour
+    }
+
+    #[test]
+    fn ascending_sends_every_subpage_individually() {
+        let plan = PipelineStrategy::Ascending.plan(geom(), SubpageIndex::new(2), 0.0);
+        assert_eq!(plan.groups().len(), 8);
+        let order: Vec<u8> = plan.groups().iter().map(|g| g[0].get()).collect();
+        assert_eq!(order, vec![2, 3, 4, 5, 6, 7, 1, 0]);
+    }
+
+    #[test]
+    fn doubled_followon_pairs_the_next_two() {
+        let plan = PipelineStrategy::DoubledFollowOn.plan(geom(), SubpageIndex::new(3), 0.0);
+        assert_eq!(plan.groups()[0], vec![SubpageIndex::new(3)]);
+        assert_eq!(
+            plan.groups()[1],
+            vec![SubpageIndex::new(4), SubpageIndex::new(5)]
+        );
+        assert_eq!(plan.groups()[2], vec![SubpageIndex::new(2)]);
+        let sizes = plan.message_sizes(geom());
+        assert_eq!(sizes[1], Bytes::kib(2)); // double-sized message
+    }
+
+    #[test]
+    fn adaptive_half_picks_side_by_offset() {
+        let high = PipelineStrategy::AdaptiveHalf.plan(geom(), SubpageIndex::new(3), 0.8);
+        assert_eq!(
+            high.groups()[0],
+            vec![SubpageIndex::new(3), SubpageIndex::new(4)],
+            "fault near the end pulls the following subpage"
+        );
+        let low = PipelineStrategy::AdaptiveHalf.plan(geom(), SubpageIndex::new(3), 0.2);
+        assert_eq!(
+            low.groups()[0],
+            vec![SubpageIndex::new(3), SubpageIndex::new(2)],
+            "fault near the start pulls the preceding subpage"
+        );
+    }
+
+    #[test]
+    fn single_subpage_geometry_degenerates() {
+        let g = Geometry::fullpage_8k();
+        let plan = PipelineStrategy::NeighborsFirst.plan(g, SubpageIndex::new(0), 0.0);
+        assert_eq!(plan.groups().len(), 1);
+        assert_eq!(plan.message_sizes(g), vec![Bytes::kib(8)]);
+    }
+
+    #[test]
+    fn message_sizes_scale_with_group_len() {
+        let plan = MessagePlan::new(vec![
+            vec![SubpageIndex::new(0)],
+            vec![SubpageIndex::new(1), SubpageIndex::new(2), SubpageIndex::new(3)],
+        ]);
+        let g = Geometry::new(PageSize::P8K, SubpageSize::S2K);
+        assert_eq!(plan.message_sizes(g), vec![Bytes::kib(2), Bytes::kib(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subpage")]
+    fn empty_group_panics() {
+        let _ = MessagePlan::new(vec![vec![]]);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = [
+            PipelineStrategy::NeighborsFirst,
+            PipelineStrategy::Ascending,
+            PipelineStrategy::DoubledFollowOn,
+            PipelineStrategy::AdaptiveHalf,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! Fetch policies: what a page fault transfers.
+
+use core::fmt;
+
+use gms_mem::{Geometry, PageSize, SubpageIndex, SubpageSize};
+use gms_net::{AccessPattern, RecvOverhead};
+use gms_units::Bytes;
+
+use crate::pipeline::{MessagePlan, PipelineStrategy};
+
+/// The backing-store / transfer-granularity policy under evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use gms_core::FetchPolicy;
+/// use gms_mem::SubpageSize;
+///
+/// let policy = FetchPolicy::pipelined(SubpageSize::S1K);
+/// assert_eq!(policy.label(), "pl_1024");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchPolicy {
+    /// All faults go to the local disk, full pages (the `disk_8192` bars
+    /// of Figure 3).
+    Disk {
+        /// Seek behaviour of the paging disk.
+        pattern: AccessPattern,
+    },
+    /// Global memory with full-page transfers (the `p_8192` bars).
+    RemoteFullPage,
+    /// Eager fullpage fetch: faulted subpage first, rest of page as one
+    /// follow-on message (§2.1, scheme 2).
+    EagerSubpage {
+        /// The transfer granularity.
+        subpage: SubpageSize,
+    },
+    /// Subpage pipelining: faulted subpage, then sequenced subpage
+    /// messages (§2.1, scheme 3).
+    PipelinedSubpage {
+        /// The transfer granularity.
+        subpage: SubpageSize,
+        /// Follow-on ordering.
+        strategy: PipelineStrategy,
+        /// Receiver CPU cost model for follow-ons. The paper's
+        /// simulations "assume zero CPU overhead on the receiving node
+        /// for the follow-on pipelined subpages" (§4.3).
+        recv_overhead: RecvOverhead,
+    },
+    /// Lazy subpage fetch: only faulted subpages, on demand (§2.1,
+    /// scheme 1 — the ablation the paper rejects).
+    LazySubpage {
+        /// The transfer granularity.
+        subpage: SubpageSize,
+    },
+    /// Small pages: the page size itself is reduced (the §2.1
+    /// architecture comparison; pays TLB coverage costs).
+    SmallPages {
+        /// The reduced page size.
+        page: PageSize,
+    },
+}
+
+impl FetchPolicy {
+    /// Disk paging with random-access seeks.
+    #[must_use]
+    pub fn disk() -> Self {
+        FetchPolicy::Disk { pattern: AccessPattern::Random }
+    }
+
+    /// Full 8 KB pages from global memory.
+    #[must_use]
+    pub fn fullpage() -> Self {
+        FetchPolicy::RemoteFullPage
+    }
+
+    /// Eager fullpage fetch at the given subpage size.
+    #[must_use]
+    pub fn eager(subpage: SubpageSize) -> Self {
+        FetchPolicy::EagerSubpage { subpage }
+    }
+
+    /// Subpage pipelining with the paper's defaults: neighbours first,
+    /// idealized (zero-overhead) follow-on receives.
+    #[must_use]
+    pub fn pipelined(subpage: SubpageSize) -> Self {
+        FetchPolicy::PipelinedSubpage {
+            subpage,
+            strategy: PipelineStrategy::NeighborsFirst,
+            recv_overhead: RecvOverhead::Zero,
+        }
+    }
+
+    /// Lazy subpage fetch at the given subpage size.
+    #[must_use]
+    pub fn lazy(subpage: SubpageSize) -> Self {
+        FetchPolicy::LazySubpage { subpage }
+    }
+
+    /// The transfer geometry this policy imposes on `base_page`-sized
+    /// pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subpage does not divide the page (see
+    /// [`Geometry::new`]).
+    #[must_use]
+    pub fn geometry(&self, base_page: PageSize) -> Geometry {
+        match *self {
+            FetchPolicy::Disk { .. } | FetchPolicy::RemoteFullPage => {
+                Geometry::new(base_page, SubpageSize::new(base_page.bytes()))
+            }
+            FetchPolicy::EagerSubpage { subpage }
+            | FetchPolicy::PipelinedSubpage { subpage, .. }
+            | FetchPolicy::LazySubpage { subpage } => Geometry::new(base_page, subpage),
+            FetchPolicy::SmallPages { page } => {
+                Geometry::new(page, SubpageSize::new(page.bytes()))
+            }
+        }
+    }
+
+    /// Plans the messages for a fault on `faulted` of a wholly
+    /// non-resident page. `offset_in_subpage` is the fault's fractional
+    /// position within the subpage (used by the adaptive strategies).
+    #[must_use]
+    pub fn plan_fault(
+        &self,
+        geom: Geometry,
+        faulted: SubpageIndex,
+        offset_in_subpage: f64,
+    ) -> MessagePlan {
+        let n = geom.subpages_per_page() as u8;
+        match *self {
+            FetchPolicy::Disk { .. }
+            | FetchPolicy::RemoteFullPage
+            | FetchPolicy::SmallPages { .. } => MessagePlan::new(vec![vec![faulted]]),
+            FetchPolicy::EagerSubpage { .. } => {
+                let mut groups = vec![vec![faulted]];
+                let rest: Vec<SubpageIndex> = (0..n)
+                    .filter(|&i| i != faulted.get())
+                    .map(SubpageIndex::new)
+                    .collect();
+                if !rest.is_empty() {
+                    groups.push(rest);
+                }
+                MessagePlan::new(groups)
+            }
+            FetchPolicy::PipelinedSubpage { strategy, .. } => {
+                strategy.plan(geom, faulted, offset_in_subpage)
+            }
+            FetchPolicy::LazySubpage { .. } => MessagePlan::new(vec![vec![faulted]]),
+        }
+    }
+
+    /// Receiver-side CPU model for follow-on messages.
+    #[must_use]
+    pub fn recv_overhead(&self) -> RecvOverhead {
+        match *self {
+            FetchPolicy::PipelinedSubpage { recv_overhead, .. } => recv_overhead,
+            _ => RecvOverhead::Measured,
+        }
+    }
+
+    /// Whether missing subpages are fetched on demand (lazy) rather than
+    /// arriving via follow-on messages.
+    #[must_use]
+    pub fn is_lazy(&self) -> bool {
+        matches!(self, FetchPolicy::LazySubpage { .. })
+    }
+
+    /// Whether this policy pages to disk rather than remote memory.
+    #[must_use]
+    pub fn is_disk(&self) -> bool {
+        matches!(self, FetchPolicy::Disk { .. })
+    }
+
+    /// The label used in the paper's figures (`disk_8192`, `p_8192`,
+    /// `sp_1024`, …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            FetchPolicy::Disk { .. } => "disk_8192".to_owned(),
+            FetchPolicy::RemoteFullPage => "p_8192".to_owned(),
+            FetchPolicy::EagerSubpage { subpage } => {
+                format!("sp_{}", subpage.bytes().get())
+            }
+            FetchPolicy::PipelinedSubpage { subpage, .. } => {
+                format!("pl_{}", subpage.bytes().get())
+            }
+            FetchPolicy::LazySubpage { subpage } => {
+                format!("lazy_{}", subpage.bytes().get())
+            }
+            FetchPolicy::SmallPages { page } => {
+                format!("small_{}", page.bytes().get())
+            }
+        }
+    }
+
+    /// Transfer bytes a fault moves in total under this policy, for a
+    /// page of `geom` (lazy policies move one subpage per fault).
+    #[must_use]
+    pub fn bytes_per_fault(&self, geom: Geometry) -> Bytes {
+        if self.is_lazy() {
+            geom.subpage_size().bytes()
+        } else {
+            geom.page_size().bytes()
+        }
+    }
+}
+
+impl fmt::Display for FetchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_follows_policy() {
+        let base = PageSize::P8K;
+        assert_eq!(FetchPolicy::disk().geometry(base).subpages_per_page(), 1);
+        assert_eq!(FetchPolicy::fullpage().geometry(base).subpages_per_page(), 1);
+        assert_eq!(
+            FetchPolicy::eager(SubpageSize::S1K).geometry(base).subpages_per_page(),
+            8
+        );
+        let small = FetchPolicy::SmallPages { page: PageSize::new(Bytes::kib(1)) };
+        let g = small.geometry(base);
+        assert_eq!(g.page_size().bytes(), Bytes::kib(1));
+        assert_eq!(g.subpages_per_page(), 1);
+    }
+
+    #[test]
+    fn eager_plan_is_subpage_plus_rest() {
+        let policy = FetchPolicy::eager(SubpageSize::S1K);
+        let geom = policy.geometry(PageSize::P8K);
+        let plan = policy.plan_fault(geom, SubpageIndex::new(5), 0.0);
+        assert_eq!(plan.groups().len(), 2);
+        assert_eq!(plan.groups()[0], vec![SubpageIndex::new(5)]);
+        assert_eq!(plan.groups()[1].len(), 7);
+        assert_eq!(
+            plan.message_sizes(geom),
+            vec![Bytes::kib(1), Bytes::kib(7)]
+        );
+    }
+
+    #[test]
+    fn fullpage_plan_is_one_message() {
+        let policy = FetchPolicy::fullpage();
+        let geom = policy.geometry(PageSize::P8K);
+        let plan = policy.plan_fault(geom, SubpageIndex::new(0), 0.0);
+        assert_eq!(plan.message_sizes(geom), vec![Bytes::kib(8)]);
+    }
+
+    #[test]
+    fn lazy_plan_fetches_only_the_fault() {
+        let policy = FetchPolicy::lazy(SubpageSize::S2K);
+        let geom = policy.geometry(PageSize::P8K);
+        let plan = policy.plan_fault(geom, SubpageIndex::new(1), 0.0);
+        assert_eq!(plan.message_sizes(geom), vec![Bytes::kib(2)]);
+        assert!(policy.is_lazy());
+        assert_eq!(policy.bytes_per_fault(geom), Bytes::kib(2));
+    }
+
+    #[test]
+    fn pipelined_defaults_match_paper() {
+        let FetchPolicy::PipelinedSubpage { strategy, recv_overhead, .. } =
+            FetchPolicy::pipelined(SubpageSize::S1K)
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(strategy, PipelineStrategy::NeighborsFirst);
+        assert_eq!(recv_overhead, RecvOverhead::Zero);
+    }
+
+    #[test]
+    fn labels_match_figure3_legend() {
+        assert_eq!(FetchPolicy::disk().label(), "disk_8192");
+        assert_eq!(FetchPolicy::fullpage().label(), "p_8192");
+        assert_eq!(FetchPolicy::eager(SubpageSize::S256).label(), "sp_256");
+        assert_eq!(FetchPolicy::pipelined(SubpageSize::S1K).label(), "pl_1024");
+        assert_eq!(FetchPolicy::lazy(SubpageSize::S512).label(), "lazy_512");
+        assert_eq!(format!("{}", FetchPolicy::fullpage()), "p_8192");
+    }
+
+    #[test]
+    fn recv_overhead_defaults() {
+        assert_eq!(
+            FetchPolicy::eager(SubpageSize::S1K).recv_overhead(),
+            RecvOverhead::Measured
+        );
+        assert_eq!(
+            FetchPolicy::pipelined(SubpageSize::S1K).recv_overhead(),
+            RecvOverhead::Zero
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Experiment grids: run a workload across policy × memory
+//! combinations and compare the results, as every figure of the paper
+//! does.
+
+use gms_trace::apps::AppProfile;
+
+use crate::{FetchPolicy, MemoryConfig, RunReport, SimConfig, SimConfigBuilder, Simulator};
+
+/// One cell of a sweep: its coordinates plus the full report.
+#[derive(Debug)]
+pub struct SweepCell {
+    /// The fetch policy of this cell.
+    pub policy: FetchPolicy,
+    /// The memory configuration of this cell.
+    pub memory: MemoryConfig,
+    /// The measured run.
+    pub report: RunReport,
+}
+
+/// A grid of simulation runs over one application.
+///
+/// # Examples
+///
+/// ```
+/// use gms_core::{FetchPolicy, MemoryConfig, Sweep};
+/// use gms_mem::SubpageSize;
+/// use gms_trace::apps;
+///
+/// let sweep = Sweep::new(apps::gdb().scaled(0.2))
+///     .policies([FetchPolicy::fullpage(), FetchPolicy::eager(SubpageSize::S1K)])
+///     .memories([MemoryConfig::Half])
+///     .run();
+/// let best = sweep.best().expect("non-empty grid");
+/// assert_eq!(best.policy, FetchPolicy::eager(SubpageSize::S1K));
+/// ```
+#[derive(Debug)]
+pub struct Sweep {
+    app: AppProfile,
+    policies: Vec<FetchPolicy>,
+    memories: Vec<MemoryConfig>,
+    configure: fn(SimConfigBuilder) -> SimConfigBuilder,
+}
+
+impl Sweep {
+    /// Starts a sweep over `app` with the paper's default grid: the
+    /// disk and fullpage baselines plus eager fetch at the five paper
+    /// subpage sizes, across all three memory configurations.
+    #[must_use]
+    pub fn new(app: AppProfile) -> Self {
+        let mut policies = vec![FetchPolicy::disk(), FetchPolicy::fullpage()];
+        for size in gms_mem::SubpageSize::PAPER_SIZES {
+            policies.push(FetchPolicy::eager(size));
+        }
+        Sweep {
+            app,
+            policies,
+            memories: vec![MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter],
+            configure: |b| b,
+        }
+    }
+
+    /// Replaces the policy axis.
+    #[must_use]
+    pub fn policies(mut self, policies: impl IntoIterator<Item = FetchPolicy>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Replaces the memory axis.
+    #[must_use]
+    pub fn memories(mut self, memories: impl IntoIterator<Item = MemoryConfig>) -> Self {
+        self.memories = memories.into_iter().collect();
+        self
+    }
+
+    /// Applies extra configuration (network, replacement, …) to every
+    /// cell.
+    #[must_use]
+    pub fn configure(mut self, f: fn(SimConfigBuilder) -> SimConfigBuilder) -> Self {
+        self.configure = f;
+        self
+    }
+
+    /// Runs the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    #[must_use]
+    pub fn run(self) -> SweepResults {
+        assert!(
+            !self.policies.is_empty() && !self.memories.is_empty(),
+            "sweep axes must be non-empty"
+        );
+        let mut cells = Vec::with_capacity(self.policies.len() * self.memories.len());
+        for &memory in &self.memories {
+            for &policy in &self.policies {
+                let builder = SimConfig::builder().policy(policy).memory(memory);
+                let config = (self.configure)(builder).build();
+                let report = Simulator::new(config).run(&self.app);
+                cells.push(SweepCell { policy, memory, report });
+            }
+        }
+        SweepResults { cells }
+    }
+}
+
+/// The completed grid. Produced by [`Sweep::run`].
+#[derive(Debug)]
+pub struct SweepResults {
+    cells: Vec<SweepCell>,
+}
+
+impl SweepResults {
+    /// All cells, memory-major in the order they ran.
+    #[must_use]
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// The cell for an exact `(policy, memory)` pair.
+    #[must_use]
+    pub fn get(&self, policy: FetchPolicy, memory: MemoryConfig) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.memory == memory)
+    }
+
+    /// The fastest cell overall.
+    #[must_use]
+    pub fn best(&self) -> Option<&SweepCell> {
+        self.cells.iter().min_by_key(|c| c.report.total_time)
+    }
+
+    /// Speedup of `policy` relative to `baseline` within `memory`.
+    /// `None` if either cell is missing.
+    #[must_use]
+    pub fn speedup(
+        &self,
+        policy: FetchPolicy,
+        baseline: FetchPolicy,
+        memory: MemoryConfig,
+    ) -> Option<f64> {
+        let a = self.get(policy, memory)?;
+        let b = self.get(baseline, memory)?;
+        Some(a.report.speedup_vs(&b.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_mem::SubpageSize;
+    use gms_trace::apps;
+
+    fn tiny_sweep() -> SweepResults {
+        Sweep::new(apps::gdb().scaled(0.2))
+            .policies([
+                FetchPolicy::fullpage(),
+                FetchPolicy::eager(SubpageSize::S1K),
+            ])
+            .memories([MemoryConfig::Full, MemoryConfig::Half])
+            .run()
+    }
+
+    #[test]
+    fn grid_has_all_cells() {
+        let results = tiny_sweep();
+        assert_eq!(results.cells().len(), 4);
+        for memory in [MemoryConfig::Full, MemoryConfig::Half] {
+            for policy in [FetchPolicy::fullpage(), FetchPolicy::eager(SubpageSize::S1K)] {
+                assert!(results.get(policy, memory).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn best_is_eager_and_speedup_positive() {
+        let results = tiny_sweep();
+        let best = results.best().expect("non-empty");
+        assert_eq!(best.policy, FetchPolicy::eager(SubpageSize::S1K));
+        let s = results
+            .speedup(
+                FetchPolicy::eager(SubpageSize::S1K),
+                FetchPolicy::fullpage(),
+                MemoryConfig::Half,
+            )
+            .expect("cells exist");
+        assert!(s > 1.0, "speedup {s}");
+    }
+
+    #[test]
+    fn missing_cell_returns_none() {
+        let results = tiny_sweep();
+        assert!(results.get(FetchPolicy::disk(), MemoryConfig::Half).is_none());
+        assert_eq!(
+            results.speedup(FetchPolicy::disk(), FetchPolicy::fullpage(), MemoryConfig::Half),
+            None
+        );
+    }
+
+    #[test]
+    fn configure_applies_to_every_cell() {
+        let results = Sweep::new(apps::gdb().scaled(0.1))
+            .policies([FetchPolicy::fullpage()])
+            .memories([MemoryConfig::Half])
+            .configure(|b| b.ns_per_ref(24))
+            .run();
+        let cell = &results.cells()[0];
+        // Doubled per-reference cost doubles exec time.
+        assert_eq!(
+            cell.report.exec_time.as_nanos(),
+            24 * cell.report.total_refs
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_axis_panics() {
+        let _ = Sweep::new(apps::gdb().scaled(0.1)).policies([]).run();
+    }
+}

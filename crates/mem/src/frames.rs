@@ -1,0 +1,129 @@
+//! Physical-frame accounting.
+
+use core::fmt;
+
+/// A pool of physical page frames.
+///
+/// The simulator's memory configurations (full / half / quarter memory,
+/// Figure 3) are expressed as frame-pool capacities. The pool only counts;
+/// which page occupies which frame is irrelevant to the model.
+///
+/// # Examples
+///
+/// ```
+/// use gms_mem::FramePool;
+///
+/// let mut pool = FramePool::new(2);
+/// assert!(pool.try_alloc());
+/// assert!(pool.try_alloc());
+/// assert!(!pool.try_alloc()); // full: the caller must evict first
+/// pool.release();
+/// assert!(pool.try_alloc());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePool {
+    capacity: u64,
+    used: u64,
+}
+
+impl FramePool {
+    /// A pool of `capacity` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a machine needs at least one frame.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "frame pool needs at least one frame");
+        FramePool { capacity, used: 0 }
+    }
+
+    /// Total frames.
+    #[must_use]
+    pub const fn capacity(self) -> u64 {
+        self.capacity
+    }
+
+    /// Frames currently allocated.
+    #[must_use]
+    pub const fn used(self) -> u64 {
+        self.used
+    }
+
+    /// Frames still free.
+    #[must_use]
+    pub const fn free(self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Whether every frame is allocated.
+    #[must_use]
+    pub const fn is_full(self) -> bool {
+        self.used == self.capacity
+    }
+
+    /// Allocates one frame if any is free. Returns whether it succeeded.
+    pub fn try_alloc(&mut self) -> bool {
+        if self.used < self.capacity {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases one frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frames are allocated (a double free).
+    pub fn release(&mut self) {
+        assert!(self.used > 0, "releasing a frame that was never allocated");
+        self.used -= 1;
+    }
+}
+
+impl fmt::Display for FramePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} frames", self.used, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_full_then_release() {
+        let mut pool = FramePool::new(3);
+        assert_eq!(pool.free(), 3);
+        for _ in 0..3 {
+            assert!(pool.try_alloc());
+        }
+        assert!(pool.is_full());
+        assert!(!pool.try_alloc());
+        pool.release();
+        assert_eq!(pool.used(), 2);
+        assert!(pool.try_alloc());
+    }
+
+    #[test]
+    #[should_panic(expected = "never allocated")]
+    fn double_free_panics() {
+        let mut pool = FramePool::new(1);
+        pool.release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = FramePool::new(0);
+    }
+
+    #[test]
+    fn display_shows_occupancy() {
+        let mut pool = FramePool::new(4);
+        pool.try_alloc();
+        assert_eq!(format!("{pool}"), "1/4 frames");
+    }
+}

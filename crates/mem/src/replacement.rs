@@ -1,0 +1,547 @@
+//! Page-replacement policies.
+//!
+//! The paper's simulator uses LRU by default ("Paging policy is determined
+//! by a configurable memory management module; an LRU policy is used by
+//! default", §3.2). [`Lru`] is the faithful policy; [`Fifo`], [`Clock`]
+//! and [`Random2`] exist for the replacement-policy ablation bench.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::PageId;
+
+/// A local page-replacement policy: tracks resident pages and nominates
+/// victims.
+///
+/// The policy tracks membership only; the caller owns the page table and
+/// frame pool. All implementations uphold two invariants, checked by the
+/// shared test suite:
+///
+/// 1. `evict` never returns a page that was not inserted (or was removed).
+/// 2. After `touch(p)`, an immediate `evict` on a policy with ≥2 pages
+///    never returns `p` for recency-based policies.
+pub trait ReplacementPolicy {
+    /// Notes that `page` was just inserted (made resident). The page must
+    /// not already be tracked.
+    fn insert(&mut self, page: PageId);
+
+    /// Notes that `page` was just accessed. Untracked pages are ignored.
+    fn touch(&mut self, page: PageId);
+
+    /// Selects and removes a victim. `None` if no pages are tracked.
+    fn evict(&mut self) -> Option<PageId>;
+
+    /// Stops tracking `page` (e.g. it was discarded for another reason).
+    fn remove(&mut self, page: PageId);
+
+    /// Number of tracked pages.
+    fn len(&self) -> usize;
+
+    /// Whether no pages are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The policy's name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// LRU: O(1) doubly-linked list over a slab.
+// ---------------------------------------------------------------------
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+/// True least-recently-used replacement in O(1) per operation.
+///
+/// # Examples
+///
+/// ```
+/// use gms_mem::{Lru, PageId, ReplacementPolicy};
+///
+/// let mut lru = Lru::new();
+/// lru.insert(PageId::new(1));
+/// lru.insert(PageId::new(2));
+/// lru.touch(PageId::new(1)); // 2 is now the coldest
+/// assert_eq!(lru.evict(), Some(PageId::new(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lru {
+    map: HashMap<PageId, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+}
+
+impl Lru {
+    /// An empty LRU list.
+    #[must_use]
+    pub fn new() -> Self {
+        Lru {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let Node { prev, next, .. } = self.nodes[slot];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// The current victim candidate (least recently used), without
+    /// removing it.
+    #[must_use]
+    pub fn coldest(&self) -> Option<PageId> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].page)
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn insert(&mut self, page: PageId) {
+        assert!(
+            !self.map.contains_key(&page),
+            "{page} inserted twice into LRU"
+        );
+        let slot = if let Some(slot) = self.free.pop() {
+            self.nodes[slot] = Node { page, prev: NIL, next: NIL };
+            slot
+        } else {
+            self.nodes.push(Node { page, prev: NIL, next: NIL });
+            self.nodes.len() - 1
+        };
+        self.map.insert(page, slot);
+        self.push_front(slot);
+    }
+
+    fn touch(&mut self, page: PageId) {
+        let Some(&slot) = self.map.get(&page) else { return };
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    fn evict(&mut self) -> Option<PageId> {
+        if self.tail == NIL {
+            return None;
+        }
+        let slot = self.tail;
+        let page = self.nodes[slot].page;
+        self.unlink(slot);
+        self.map.remove(&page);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    fn remove(&mut self, page: PageId) {
+        if let Some(slot) = self.map.remove(&page) {
+            self.unlink(slot);
+            self.free.push(slot);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIFO.
+// ---------------------------------------------------------------------
+
+/// First-in-first-out replacement: eviction order ignores recency.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    queue: VecDeque<PageId>,
+    present: HashMap<PageId, ()>,
+}
+
+impl Fifo {
+    /// An empty FIFO queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Fifo::default()
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn insert(&mut self, page: PageId) {
+        assert!(
+            self.present.insert(page, ()).is_none(),
+            "{page} inserted twice into FIFO"
+        );
+        self.queue.push_back(page);
+    }
+
+    fn touch(&mut self, _page: PageId) {}
+
+    fn evict(&mut self) -> Option<PageId> {
+        while let Some(page) = self.queue.pop_front() {
+            if self.present.remove(&page).is_some() {
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, page: PageId) {
+        // Lazy removal: the queue entry is skipped at eviction time.
+        self.present.remove(&page);
+    }
+
+    fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clock (second chance).
+// ---------------------------------------------------------------------
+
+/// The classic clock / second-chance approximation of LRU.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    ring: Vec<PageId>,
+    referenced: HashMap<PageId, bool>,
+    hand: usize,
+}
+
+impl Clock {
+    /// An empty clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Clock::default()
+    }
+}
+
+impl ReplacementPolicy for Clock {
+    fn insert(&mut self, page: PageId) {
+        assert!(
+            self.referenced.insert(page, false).is_none(),
+            "{page} inserted twice into Clock"
+        );
+        self.ring.push(page);
+    }
+
+    fn touch(&mut self, page: PageId) {
+        if let Some(r) = self.referenced.get_mut(&page) {
+            *r = true;
+        }
+    }
+
+    fn evict(&mut self) -> Option<PageId> {
+        if self.referenced.is_empty() {
+            return None;
+        }
+        loop {
+            if self.ring.is_empty() {
+                return None;
+            }
+            self.hand %= self.ring.len();
+            let page = self.ring[self.hand];
+            match self.referenced.get_mut(&page) {
+                None => {
+                    // Removed lazily: drop the stale ring slot.
+                    self.ring.swap_remove(self.hand);
+                }
+                Some(r) if *r => {
+                    *r = false;
+                    self.hand += 1;
+                }
+                Some(_) => {
+                    self.ring.swap_remove(self.hand);
+                    self.referenced.remove(&page);
+                    return Some(page);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, page: PageId) {
+        self.referenced.remove(&page);
+    }
+
+    fn len(&self) -> usize {
+        self.referenced.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random two-choices.
+// ---------------------------------------------------------------------
+
+/// Evicts the older of two randomly-chosen resident pages (the
+/// power-of-two-choices approximation of LRU).
+#[derive(Debug, Clone)]
+pub struct Random2 {
+    pages: Vec<PageId>,
+    slots: HashMap<PageId, usize>,
+    stamps: HashMap<PageId, u64>,
+    clock: u64,
+    rng: SmallRng,
+}
+
+impl Random2 {
+    /// An empty policy with the given RNG seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Random2 {
+            pages: Vec::new(),
+            slots: HashMap::new(),
+            stamps: HashMap::new(),
+            clock: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if let Some(slot) = self.slots.remove(&page) {
+            self.pages.swap_remove(slot);
+            if let Some(&moved) = self.pages.get(slot) {
+                self.slots.insert(moved, slot);
+            }
+            self.stamps.remove(&page);
+        }
+    }
+}
+
+impl ReplacementPolicy for Random2 {
+    fn insert(&mut self, page: PageId) {
+        assert!(
+            !self.slots.contains_key(&page),
+            "{page} inserted twice into Random2"
+        );
+        self.slots.insert(page, self.pages.len());
+        self.pages.push(page);
+        self.clock += 1;
+        self.stamps.insert(page, self.clock);
+    }
+
+    fn touch(&mut self, page: PageId) {
+        if let Some(stamp) = self.stamps.get_mut(&page) {
+            self.clock += 1;
+            *stamp = self.clock;
+        }
+    }
+
+    fn evict(&mut self) -> Option<PageId> {
+        if self.pages.is_empty() {
+            return None;
+        }
+        let a = self.pages[self.rng.gen_range(0..self.pages.len())];
+        let b = self.pages[self.rng.gen_range(0..self.pages.len())];
+        let victim = if self.stamps[&a] <= self.stamps[&b] { a } else { b };
+        self.forget(victim);
+        Some(victim)
+    }
+
+    fn remove(&mut self, page: PageId) {
+        self.forget(page);
+    }
+
+    fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "random2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> PageId {
+        PageId::new(n)
+    }
+
+    /// Shared conformance checks for every policy.
+    fn conformance(mut policy: impl ReplacementPolicy) {
+        assert!(policy.is_empty());
+        assert_eq!(policy.evict(), None);
+
+        for i in 0..10 {
+            policy.insert(p(i));
+        }
+        assert_eq!(policy.len(), 10);
+
+        // Evicting drains exactly the inserted set, no duplicates.
+        let mut evicted = std::collections::HashSet::new();
+        while let Some(page) = policy.evict() {
+            assert!(evicted.insert(page), "{page} evicted twice");
+        }
+        assert_eq!(evicted.len(), 10);
+        assert!(policy.is_empty());
+
+        // Removal prevents later eviction.
+        policy.insert(p(100));
+        policy.insert(p(101));
+        policy.remove(p(100));
+        assert_eq!(policy.evict(), Some(p(101)));
+        assert_eq!(policy.evict(), None);
+
+        // Touching an untracked page is a no-op.
+        policy.touch(p(42));
+        assert!(policy.is_empty());
+    }
+
+    #[test]
+    fn all_policies_conform() {
+        conformance(Lru::new());
+        conformance(Fifo::new());
+        conformance(Clock::new());
+        conformance(Random2::new(7));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new();
+        for i in 0..4 {
+            lru.insert(p(i));
+        }
+        lru.touch(p(0));
+        lru.touch(p(1));
+        // Order of coldness now: 2, 3, 0, 1.
+        assert_eq!(lru.coldest(), Some(p(2)));
+        assert_eq!(lru.evict(), Some(p(2)));
+        assert_eq!(lru.evict(), Some(p(3)));
+        assert_eq!(lru.evict(), Some(p(0)));
+        assert_eq!(lru.evict(), Some(p(1)));
+    }
+
+    #[test]
+    fn lru_touch_of_head_is_stable() {
+        let mut lru = Lru::new();
+        lru.insert(p(1));
+        lru.insert(p(2));
+        lru.touch(p(2));
+        lru.touch(p(2));
+        assert_eq!(lru.evict(), Some(p(1)));
+    }
+
+    #[test]
+    fn lru_reuses_slots_after_heavy_churn() {
+        let mut lru = Lru::new();
+        for round in 0..100u64 {
+            lru.insert(p(round));
+            if round >= 4 {
+                lru.evict().expect("non-empty");
+            }
+        }
+        // The slab should not have grown past the peak population plus
+        // a small constant.
+        assert!(lru.nodes.len() <= 8, "slab grew to {}", lru.nodes.len());
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut fifo = Fifo::new();
+        fifo.insert(p(1));
+        fifo.insert(p(2));
+        fifo.touch(p(1));
+        assert_eq!(fifo.evict(), Some(p(1)));
+    }
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut clock = Clock::new();
+        clock.insert(p(1));
+        clock.insert(p(2));
+        clock.touch(p(1));
+        // 1 is referenced: it survives the first sweep, 2 goes.
+        assert_eq!(clock.evict(), Some(p(2)));
+        assert_eq!(clock.evict(), Some(p(1)));
+    }
+
+    #[test]
+    fn random2_prefers_older_pages() {
+        let mut r2 = Random2::new(42);
+        for i in 0..50 {
+            r2.insert(p(i));
+        }
+        // Keep the second half hot.
+        for _ in 0..5 {
+            for i in 25..50 {
+                r2.touch(p(i));
+            }
+        }
+        // Evict half the pages; the survivors should be mostly hot ones.
+        let mut cold_evictions = 0;
+        for _ in 0..25 {
+            if r2.evict().expect("non-empty").get() < 25 {
+                cold_evictions += 1;
+            }
+        }
+        assert!(cold_evictions >= 18, "only {cold_evictions}/25 were cold");
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn lru_double_insert_panics() {
+        let mut lru = Lru::new();
+        lru.insert(p(1));
+        lru.insert(p(1));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Lru::new().name(),
+            Fifo::new().name(),
+            Clock::new().name(),
+            Random2::new(0).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

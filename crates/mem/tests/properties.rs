@@ -1,0 +1,138 @@
+//! Property tests for the memory substrate: TLB against a reference
+//! model, and replacement-policy population invariants.
+
+use proptest::prelude::*;
+
+use gms_mem::{
+    Clock, Fifo, Lru, PageId, Random2, ReplacementPolicy, SubpageIndex, SubpageMask, Tlb,
+};
+use gms_units::Cycles;
+
+/// A straightforward fully-associative LRU reference model.
+struct RefTlb {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+impl RefTlb {
+    fn access(&mut self, page: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == page) {
+            self.entries.remove(pos);
+            self.entries.push(page);
+            true
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.remove(0);
+            }
+            self.entries.push(page);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fully-associative TLB agrees with the reference model on every
+    /// access of an arbitrary page stream.
+    #[test]
+    fn tlb_matches_reference_model(pages in prop::collection::vec(0u64..64, 1..400)) {
+        let mut tlb = Tlb::new(1, 32, Cycles::new(40));
+        let mut reference = RefTlb { entries: Vec::new(), capacity: 32 };
+        let mut hits = 0u64;
+        for &p in &pages {
+            let got = tlb.access(PageId::new(p));
+            let want = reference.access(p);
+            prop_assert_eq!(got, want, "page {}", p);
+            if got {
+                hits += 1;
+            }
+        }
+        prop_assert_eq!(tlb.stats().hits, hits);
+        prop_assert_eq!(tlb.stats().misses, pages.len() as u64 - hits);
+    }
+
+    /// Invalidation really removes entries, in both models.
+    #[test]
+    fn tlb_invalidate_agrees(ops in prop::collection::vec((0u64..32, prop::bool::ANY), 1..200)) {
+        let mut tlb = Tlb::new(1, 8, Cycles::new(1));
+        let mut reference = RefTlb { entries: Vec::new(), capacity: 8 };
+        for (p, invalidate) in ops {
+            if invalidate {
+                tlb.invalidate(PageId::new(p));
+                reference.entries.retain(|&e| e != p);
+            } else {
+                prop_assert_eq!(tlb.access(PageId::new(p)), reference.access(p));
+            }
+        }
+    }
+
+    /// Every replacement policy maintains exactly the inserted-minus-
+    /// evicted/removed population, for arbitrary op sequences.
+    #[test]
+    fn replacement_population_invariant(
+        ops in prop::collection::vec((0u64..64, 0u8..4), 1..300),
+        which in 0usize..4,
+    ) {
+        let mut policy: Box<dyn ReplacementPolicy> = match which {
+            0 => Box::new(Lru::new()),
+            1 => Box::new(Fifo::new()),
+            2 => Box::new(Clock::new()),
+            _ => Box::new(Random2::new(9)),
+        };
+        let mut present = std::collections::HashSet::new();
+        for (p, op) in ops {
+            let page = PageId::new(p);
+            match op {
+                0 => {
+                    if !present.contains(&p) {
+                        policy.insert(page);
+                        present.insert(p);
+                    }
+                }
+                1 => policy.touch(page),
+                2 => {
+                    policy.remove(page);
+                    present.remove(&p);
+                }
+                _ => {
+                    if let Some(victim) = policy.evict() {
+                        prop_assert!(
+                            present.remove(&victim.get()),
+                            "evicted untracked {victim}"
+                        );
+                    } else {
+                        prop_assert!(present.is_empty());
+                    }
+                }
+            }
+            prop_assert_eq!(policy.len(), present.len());
+        }
+    }
+
+    /// Mask display, iteration and counting stay mutually consistent
+    /// under random set/clear sequences.
+    #[test]
+    fn mask_consistency(width in 1u32..=64, ops in prop::collection::vec((0u8..64, prop::bool::ANY), 0..200)) {
+        let mut mask = SubpageMask::empty(width);
+        let mut reference = std::collections::BTreeSet::new();
+        for (i, set) in ops {
+            if (i as u32) < width {
+                if set {
+                    mask.set(SubpageIndex::new(i));
+                    reference.insert(i);
+                } else {
+                    mask.clear(SubpageIndex::new(i));
+                    reference.remove(&i);
+                }
+            }
+        }
+        let from_iter: Vec<u8> = mask.iter().map(|s| s.get()).collect();
+        let from_ref: Vec<u8> = reference.iter().copied().collect();
+        prop_assert_eq!(from_iter, from_ref);
+        prop_assert_eq!(mask.count() as usize, reference.len());
+        let rendered = format!("{mask}");
+        prop_assert_eq!(rendered.chars().filter(|c| *c == '1').count(), reference.len());
+        prop_assert_eq!(rendered.len(), width as usize);
+    }
+}

@@ -1,0 +1,127 @@
+//! The DEC AN2 ATM link model.
+
+use gms_units::{Bytes, BytesPerSec, Duration};
+
+use crate::LinkModel;
+
+/// ATM cell payload size: 48 of every 53 bytes on the wire carry data.
+pub const CELL_PAYLOAD: u64 = 48;
+/// ATM cell size on the wire.
+pub const CELL_TOTAL: u64 = 53;
+
+/// The DEC AN2 155 Mb/s ATM network of the paper's prototype.
+///
+/// Data is carried in 53-byte cells with 48-byte payloads, so the
+/// effective per-byte wire time is `53/48` of the nominal rate. A fixed
+/// per-transfer overhead models driver send/receive costs.
+///
+/// # Examples
+///
+/// ```
+/// use gms_net::{AtmLink, LinkModel};
+/// use gms_units::Bytes;
+///
+/// let atm = AtmLink::an2();
+/// // An 8 KB page needs 171 cells, about 467 us on the wire, plus the
+/// // fixed software overhead.
+/// let t = atm.transfer_time(Bytes::kib(8));
+/// assert!(t.as_micros_f64() > 460.0 && t.as_micros_f64() < 650.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtmLink {
+    rate: BytesPerSec,
+    fixed: Duration,
+}
+
+impl AtmLink {
+    /// The paper's AN2: 155 Mb/s with a 120 µs fixed per-transfer software
+    /// overhead (one request/reply handshake's worth).
+    #[must_use]
+    pub fn an2() -> Self {
+        AtmLink::new(BytesPerSec::from_bits_per_sec(155_000_000), Duration::from_micros(120))
+    }
+
+    /// Creates an ATM link with an arbitrary nominal rate and fixed
+    /// overhead.
+    #[must_use]
+    pub fn new(rate: BytesPerSec, fixed: Duration) -> Self {
+        AtmLink { rate, fixed }
+    }
+
+    /// Number of cells required for `size` bytes of payload.
+    #[must_use]
+    pub fn cells_for(size: Bytes) -> u64 {
+        size.div_ceil(Bytes::new(CELL_PAYLOAD))
+    }
+
+    /// Pure wire occupancy of `size` bytes (cell framing included, no
+    /// fixed overhead).
+    #[must_use]
+    pub fn wire_time(&self, size: Bytes) -> Duration {
+        let on_wire = Bytes::new(Self::cells_for(size) * CELL_TOTAL);
+        self.rate.time_for(on_wire)
+    }
+
+    /// Effective time per payload byte including cell framing, in
+    /// nanoseconds.
+    #[must_use]
+    pub fn nanos_per_payload_byte(&self) -> f64 {
+        self.rate.nanos_per_byte() * CELL_TOTAL as f64 / CELL_PAYLOAD as f64
+    }
+}
+
+impl LinkModel for AtmLink {
+    fn transfer_time(&self, size: Bytes) -> Duration {
+        self.fixed + self.wire_time(size)
+    }
+
+    fn name(&self) -> &'static str {
+        "atm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_count_rounds_up() {
+        assert_eq!(AtmLink::cells_for(Bytes::ZERO), 0);
+        assert_eq!(AtmLink::cells_for(Bytes::new(1)), 1);
+        assert_eq!(AtmLink::cells_for(Bytes::new(48)), 1);
+        assert_eq!(AtmLink::cells_for(Bytes::new(49)), 2);
+        assert_eq!(AtmLink::cells_for(Bytes::kib(8)), 171);
+    }
+
+    #[test]
+    fn framing_overhead_is_53_over_48() {
+        let atm = AtmLink::an2();
+        let per_byte = atm.nanos_per_payload_byte();
+        // 155 Mb/s is 51.6 ns per byte raw; framed ~57 ns.
+        assert!((56.0..59.0).contains(&per_byte), "got {per_byte}");
+    }
+
+    #[test]
+    fn wire_time_for_8k_page_matches_paper_scale() {
+        // The paper attributes ~1.03 ms of an 8 KB fault to network and
+        // controller time; the pure wire component is ~0.47 ms.
+        let atm = AtmLink::an2();
+        let t = atm.wire_time(Bytes::kib(8)).as_micros_f64();
+        assert!((455.0..480.0).contains(&t), "got {t} us");
+    }
+
+    #[test]
+    fn transfer_time_includes_fixed_overhead() {
+        let atm = AtmLink::an2();
+        assert_eq!(atm.zero_length_latency(), Duration::from_micros(120));
+        assert!(atm.transfer_time(Bytes::new(48)) > atm.zero_length_latency());
+    }
+
+    #[test]
+    fn quantized_by_cells() {
+        let atm = AtmLink::an2();
+        // 1 byte and 48 bytes cost the same wire time: one cell.
+        assert_eq!(atm.wire_time(Bytes::new(1)), atm.wire_time(Bytes::new(48)));
+        assert!(atm.wire_time(Bytes::new(49)) > atm.wire_time(Bytes::new(48)));
+    }
+}

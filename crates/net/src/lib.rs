@@ -1,0 +1,59 @@
+//! Network, disk and fault-timeline models for the `gms-subpages`
+//! reproduction.
+//!
+//! The paper's prototype runs on DEC Alpha 250 workstations connected by a
+//! DEC AN2 155 Mb/s ATM network, with a local disk as the baseline backing
+//! store. This crate provides the latency models standing in for that
+//! hardware:
+//!
+//! * [`LinkModel`] implementations — [`AtmLink`] (with 53/48-byte cell
+//!   framing), [`EthernetLink`] (lightly and heavily loaded variants) and
+//!   [`DiskModel`] (seek + rotation + transfer) — reproduce Figure 1's
+//!   latency-vs-page-size curves.
+//! * [`Timeline`] — the five-resource pipeline of Figure 2 (requester CPU,
+//!   requester DMA, wire, server DMA, server CPU). Scheduling a fault
+//!   through it yields the subpage and rest-of-page latencies of Table 2,
+//!   the component spans of Figure 2, and — because resource busy times
+//!   persist across faults — the congestion delays between overlapping
+//!   faults that the paper's simulator models.
+//! * [`NetParams`] — the calibrated constants (fixed CPU costs, DMA and
+//!   copy rates) fitted to the paper's measurements.
+//!
+//! # Examples
+//!
+//! ```
+//! use gms_net::{NetParams, Timeline, TransferPlan};
+//! use gms_units::{Bytes, SimTime};
+//!
+//! // Fault a 1 KB subpage of an 8 KB page with eager fullpage fetch.
+//! let mut timeline = Timeline::new(NetParams::paper());
+//! let plan = TransferPlan::eager(Bytes::kib(8), Bytes::kib(1));
+//! let fault = timeline.fault(SimTime::ZERO, &plan);
+//! let restart_ms = fault.resume_at.as_millis_f64();
+//! // Paper, Table 2: 0.52 ms.
+//! assert!((0.45..0.60).contains(&restart_ms));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atm;
+mod disk;
+mod ethernet;
+mod link;
+mod params;
+mod resource;
+mod timeline;
+
+pub use atm::AtmLink;
+pub use disk::{AccessPattern, DiskModel};
+pub use ethernet::EthernetLink;
+pub use link::{FixedRateLink, LinkModel};
+pub use params::NetParams;
+pub use resource::Resource;
+pub use timeline::{
+    BusyTimes,
+    SendTimeline,
+    FaultTimeline, MessageArrival, RecvOverhead, Segment, Timeline, TimelineResource,
+    TransferPlan,
+};

@@ -1,0 +1,116 @@
+//! The link abstraction behind Figure 1.
+
+use gms_units::{Bytes, BytesPerSec, Duration};
+
+/// A point-to-point transfer medium with a fixed per-transfer overhead and
+/// a size-dependent component.
+///
+/// Figure 1 of the paper plots exactly this quantity — the latency of a
+/// standalone transfer as a function of its size — for a disk subsystem,
+/// two Ethernet load levels and an ATM network.
+pub trait LinkModel {
+    /// Latency of a standalone transfer of `size` bytes, including all
+    /// fixed per-transfer overheads.
+    fn transfer_time(&self, size: Bytes) -> Duration;
+
+    /// Short human-readable name for tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// The fixed cost of a zero-length transfer.
+    fn zero_length_latency(&self) -> Duration {
+        self.transfer_time(Bytes::ZERO)
+    }
+}
+
+/// The simplest [`LinkModel`]: a fixed overhead plus bytes at a constant
+/// rate. Useful as a building block and in tests.
+///
+/// # Examples
+///
+/// ```
+/// use gms_net::{FixedRateLink, LinkModel};
+/// use gms_units::{Bytes, BytesPerSec, Duration};
+///
+/// let link = FixedRateLink::new("toy", Duration::from_micros(100),
+///     BytesPerSec::new(10_000_000));
+/// assert_eq!(link.zero_length_latency(), Duration::from_micros(100));
+/// assert_eq!(link.transfer_time(Bytes::new(10_000)), Duration::from_micros(1_100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedRateLink {
+    name: &'static str,
+    fixed: Duration,
+    rate: BytesPerSec,
+}
+
+impl FixedRateLink {
+    /// Creates a link with the given fixed overhead and byte rate.
+    #[must_use]
+    pub fn new(name: &'static str, fixed: Duration, rate: BytesPerSec) -> Self {
+        FixedRateLink { name, fixed, rate }
+    }
+
+    /// The link's raw byte rate.
+    #[must_use]
+    pub fn rate(&self) -> BytesPerSec {
+        self.rate
+    }
+
+    /// The link's fixed per-transfer overhead.
+    #[must_use]
+    pub fn fixed(&self) -> Duration {
+        self.fixed
+    }
+}
+
+impl LinkModel for FixedRateLink {
+    fn transfer_time(&self, size: Bytes) -> Duration {
+        self.fixed + self.rate.time_for(size)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_affine_in_size() {
+        let link = FixedRateLink::new(
+            "t",
+            Duration::from_micros(50),
+            BytesPerSec::new(1_000_000),
+        );
+        let t0 = link.transfer_time(Bytes::ZERO);
+        let t1 = link.transfer_time(Bytes::new(1000));
+        let t2 = link.transfer_time(Bytes::new(2000));
+        assert_eq!(t0, Duration::from_micros(50));
+        assert_eq!(t1 - t0, t2 - t1);
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let link = FixedRateLink::new(
+            "toy",
+            Duration::from_micros(1),
+            BytesPerSec::new(42),
+        );
+        assert_eq!(link.name(), "toy");
+        assert_eq!(link.fixed(), Duration::from_micros(1));
+        assert_eq!(link.rate().get(), 42);
+    }
+
+    #[test]
+    fn works_as_a_trait_object() {
+        let link = FixedRateLink::new(
+            "obj",
+            Duration::from_micros(10),
+            BytesPerSec::new(1_000),
+        );
+        let dyn_link: &dyn LinkModel = &link;
+        assert_eq!(dyn_link.zero_length_latency(), Duration::from_micros(10));
+    }
+}

@@ -1,0 +1,100 @@
+//! Serially-reusable resources.
+
+use gms_units::{Duration, SimTime};
+
+/// A resource that serves one occupant at a time: a DMA engine, the wire,
+/// or a CPU's share of message processing.
+///
+/// Acquisitions queue in FIFO order of their `ready` times; this is how
+/// the simulator "models congestion delays in the network" (§3.2) —
+/// overlapping transfers serialize on the shared stages.
+///
+/// # Examples
+///
+/// ```
+/// use gms_net::Resource;
+/// use gms_units::{Duration, SimTime};
+///
+/// let mut wire = Resource::new();
+/// let (s1, e1) = wire.acquire(SimTime::ZERO, Duration::from_micros(100));
+/// // A second message ready at t=30 must wait for the first.
+/// let (s2, _) = wire.acquire(SimTime::from_nanos(30_000), Duration::from_micros(10));
+/// assert_eq!(s1, SimTime::ZERO);
+/// assert_eq!(s2, e1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Resource {
+    next_free: SimTime,
+    busy: Duration,
+}
+
+impl Resource {
+    /// A resource that has never been used.
+    #[must_use]
+    pub fn new() -> Self {
+        Resource::default()
+    }
+
+    /// Occupies the resource for `duration`, starting no earlier than
+    /// `ready` and no earlier than the end of the previous occupancy.
+    /// Returns the actual `(start, end)` interval.
+    pub fn acquire(&mut self, ready: SimTime, duration: Duration) -> (SimTime, SimTime) {
+        let start = ready.max(self.next_free);
+        let end = start + duration;
+        self.next_free = end;
+        self.busy += duration;
+        (start, end)
+    }
+
+    /// When the resource next becomes idle.
+    #[must_use]
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Total time the resource has been occupied.
+    #[must_use]
+    pub fn total_busy(&self) -> Duration {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new();
+        let at = SimTime::from_nanos(500);
+        let (s, e) = r.acquire(at, Duration::from_nanos(100));
+        assert_eq!(s, at);
+        assert_eq!(e, SimTime::from_nanos(600));
+    }
+
+    #[test]
+    fn busy_resource_queues() {
+        let mut r = Resource::new();
+        r.acquire(SimTime::ZERO, Duration::from_nanos(1000));
+        let (s, e) = r.acquire(SimTime::from_nanos(200), Duration::from_nanos(50));
+        assert_eq!(s, SimTime::from_nanos(1000));
+        assert_eq!(e, SimTime::from_nanos(1050));
+    }
+
+    #[test]
+    fn gap_leaves_idle_time_unbilled() {
+        let mut r = Resource::new();
+        r.acquire(SimTime::ZERO, Duration::from_nanos(10));
+        r.acquire(SimTime::from_nanos(100), Duration::from_nanos(10));
+        assert_eq!(r.total_busy(), Duration::from_nanos(20));
+        assert_eq!(r.next_free(), SimTime::from_nanos(110));
+    }
+
+    #[test]
+    fn zero_duration_acquire_is_a_noop_occupancy() {
+        let mut r = Resource::new();
+        let (s, e) = r.acquire(SimTime::from_nanos(5), Duration::ZERO);
+        assert_eq!(s, e);
+        assert_eq!(r.total_busy(), Duration::ZERO);
+    }
+}

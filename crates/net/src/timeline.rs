@@ -1,0 +1,751 @@
+//! The five-resource remote-fetch timeline of Figure 2.
+
+use gms_units::{Bytes, Duration, SimTime};
+
+use crate::{NetParams, Resource};
+
+/// One of the five components of a remote paging operation (§3.1.1,
+/// Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimelineResource {
+    /// Computation on the faulting node.
+    ReqCpu,
+    /// The faulting node's network controller moving data to/from host
+    /// memory.
+    ReqDma,
+    /// Transmission on the network interconnect.
+    Wire,
+    /// The serving node's controller.
+    SrvDma,
+    /// Execution on the serving node.
+    SrvCpu,
+}
+
+impl TimelineResource {
+    /// The label used in Figure 2.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TimelineResource::ReqCpu => "Req-CPU",
+            TimelineResource::ReqDma => "Req-DMA",
+            TimelineResource::Wire => "Wire",
+            TimelineResource::SrvDma => "Srv-DMA",
+            TimelineResource::SrvCpu => "Srv-CPU",
+        }
+    }
+}
+
+/// A span of work on one resource, for rendering Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Which resource was occupied.
+    pub resource: TimelineResource,
+    /// What the occupancy was for (e.g. `"fault"`, `"msg0"`).
+    pub what: &'static str,
+    /// Occupancy start.
+    pub start: SimTime,
+    /// Occupancy end.
+    pub end: SimTime,
+}
+
+/// Receiver-side CPU cost charged for *follow-on* messages (the faulted
+/// subpage itself always pays the measured interrupt-plus-copy cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecvOverhead {
+    /// The prototype's measured AN2 behaviour: every message interrupts
+    /// the CPU and is copied (68–91 µs per pipelined subpage, §4.3).
+    #[default]
+    Measured,
+    /// The paper's idealized controller that deposits data and updates
+    /// subpage valid bits directly, with no CPU involvement.
+    Zero,
+}
+
+/// What a fault transfers: an ordered list of message sizes.
+///
+/// `messages[0]` is the faulted subpage — the program resumes when it has
+/// been received and copied. Any further messages are follow-on transfers
+/// (the rest of the page, or pipelined subpages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferPlan {
+    messages: Vec<Bytes>,
+    recv_overhead: RecvOverhead,
+}
+
+impl TransferPlan {
+    /// A plan from explicit message sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages` is empty or contains a zero-sized message.
+    #[must_use]
+    pub fn new(messages: Vec<Bytes>, recv_overhead: RecvOverhead) -> Self {
+        assert!(!messages.is_empty(), "a transfer plan needs at least one message");
+        assert!(
+            messages.iter().all(|m| !m.is_zero()),
+            "transfer messages must be non-empty"
+        );
+        TransferPlan { messages, recv_overhead }
+    }
+
+    /// The classic full-page fetch: one message carrying the whole page.
+    #[must_use]
+    pub fn fullpage(page: Bytes) -> Self {
+        TransferPlan::new(vec![page], RecvOverhead::Measured)
+    }
+
+    /// Eager fullpage fetch: the faulted subpage, then the rest of the
+    /// page as a single large follow-on message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subpage` is not smaller than `page`.
+    #[must_use]
+    pub fn eager(page: Bytes, subpage: Bytes) -> Self {
+        assert!(subpage < page, "subpage must be smaller than the page");
+        TransferPlan::new(vec![subpage, page - subpage], RecvOverhead::Measured)
+    }
+
+    /// Lazy subpage fetch: just the faulted subpage.
+    #[must_use]
+    pub fn lazy(subpage: Bytes) -> Self {
+        TransferPlan::new(vec![subpage], RecvOverhead::Measured)
+    }
+
+    /// Subpage pipelining: the faulted subpage followed by `followons`
+    /// individually-sized messages, with the given receiver overhead
+    /// model for the follow-ons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any follow-on is zero-sized.
+    #[must_use]
+    pub fn pipelined(subpage: Bytes, followons: &[Bytes], recv_overhead: RecvOverhead) -> Self {
+        let mut messages = Vec::with_capacity(1 + followons.len());
+        messages.push(subpage);
+        messages.extend_from_slice(followons);
+        TransferPlan::new(messages, recv_overhead)
+    }
+
+    /// The message sizes, faulted subpage first.
+    #[must_use]
+    pub fn messages(&self) -> &[Bytes] {
+        &self.messages
+    }
+
+    /// Total bytes transferred.
+    #[must_use]
+    pub fn total(&self) -> Bytes {
+        self.messages.iter().copied().sum()
+    }
+
+    /// The follow-on receive-overhead model.
+    #[must_use]
+    pub fn recv_overhead(&self) -> RecvOverhead {
+        self.recv_overhead
+    }
+}
+
+/// When one message of a fault became usable at the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageArrival {
+    /// Index into the plan's message list.
+    pub index: usize,
+    /// Message size.
+    pub size: Bytes,
+    /// Instant the data is usable by the application.
+    pub available_at: SimTime,
+    /// Requester CPU consumed receiving this message.
+    pub recv_cpu: Duration,
+}
+
+/// The outcome of scheduling one fault through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTimeline {
+    /// When the fault occurred.
+    pub fault_at: SimTime,
+    /// When the program resumes (first message received and copied).
+    pub resume_at: SimTime,
+    /// Per-message availability, in plan order.
+    pub arrivals: Vec<MessageArrival>,
+    /// When the final message is available: the page is complete.
+    pub page_complete_at: SimTime,
+    /// Requester CPU consumed by follow-on receives (interrupts stolen
+    /// from the application after it resumed).
+    pub stolen_cpu: Duration,
+    /// Per-resource spans for rendering Figure 2.
+    pub segments: Vec<Segment>,
+}
+
+impl FaultTimeline {
+    /// Restart latency: fault to resume.
+    #[must_use]
+    pub fn restart_latency(&self) -> Duration {
+        self.resume_at.elapsed_since(self.fault_at)
+    }
+
+    /// Fault to page-complete: Table 2's "Rest of Page" column.
+    #[must_use]
+    pub fn completion_latency(&self) -> Duration {
+        self.page_complete_at.elapsed_since(self.fault_at)
+    }
+
+    /// The window between program resume and page completion in which the
+    /// program can run, net of receive interrupts — Table 2's
+    /// "Overlapped Execution" numerator.
+    #[must_use]
+    pub fn overlap_window(&self) -> Duration {
+        self.page_complete_at
+            .saturating_since(self.resume_at)
+            .saturating_sub(self.stolen_cpu)
+    }
+}
+
+/// The shared transfer pipeline: one requester, a full-duplex switched
+/// link, and the serving side.
+///
+/// Resource occupancy persists across faults, so back-to-back faults
+/// contend for the wire and DMA engines exactly as the paper's congestion
+/// modelling requires. Use a fresh `Timeline` to measure an isolated
+/// fault.
+///
+/// Modelling choices (documented deviations from a single shared medium):
+///
+/// * The AN2 is a *switched, full-duplex* ATM network, so inbound fetch
+///   data and outbound putpage data occupy independent directions
+///   (`wire_in` / `wire_out`), as do the controller's RX and TX DMA
+///   rings.
+/// * Tiny control messages (the fault's request) bypass the wire queues:
+///   ATM multiplexes at cell granularity, so a 64-byte request never
+///   waits behind a bulk transfer in any meaningful way. They are charged
+///   their fixed transit latency only.
+/// * All remote servers share one `srv_dma`/`srv_cpu` pair — a slight
+///   over-serialization when consecutive faults hit different idle
+///   nodes; the requester's inbound link is the real bottleneck.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    params: NetParams,
+    req_cpu: Resource,
+    req_dma_in: Resource,
+    req_dma_out: Resource,
+    wire_in: Resource,
+    wire_out: Resource,
+    srv_dma: Resource,
+    srv_cpu: Resource,
+}
+
+impl Timeline {
+    /// A timeline with all resources idle.
+    #[must_use]
+    pub fn new(params: NetParams) -> Self {
+        Timeline {
+            params,
+            req_cpu: Resource::new(),
+            req_dma_in: Resource::new(),
+            req_dma_out: Resource::new(),
+            wire_in: Resource::new(),
+            wire_out: Resource::new(),
+            srv_dma: Resource::new(),
+            srv_cpu: Resource::new(),
+        }
+    }
+
+    /// The timing constants in use.
+    #[must_use]
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Cumulative busy time per resource, for utilization analysis:
+    /// `(req_cpu, req_dma_in, req_dma_out, wire_in, wire_out, srv_dma,
+    /// srv_cpu)`.
+    #[must_use]
+    pub fn busy_times(&self) -> BusyTimes {
+        BusyTimes {
+            req_cpu: self.req_cpu.total_busy(),
+            req_dma_in: self.req_dma_in.total_busy(),
+            req_dma_out: self.req_dma_out.total_busy(),
+            wire_in: self.wire_in.total_busy(),
+            wire_out: self.wire_out.total_busy(),
+            srv_dma: self.srv_dma.total_busy(),
+            srv_cpu: self.srv_cpu.total_busy(),
+        }
+    }
+
+    /// Schedules a fault occurring at `at` that transfers `plan`, and
+    /// returns the complete timing breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes a time the requester CPU is already
+    /// committed past and the clock would run backwards (callers should
+    /// fault at monotonically non-decreasing times).
+    pub fn fault(&mut self, at: SimTime, plan: &TransferPlan) -> FaultTimeline {
+        let p = self.params;
+        let mut segments = Vec::with_capacity(4 + plan.messages().len() * 5);
+
+        // 1. Requester CPU: handle the fault, look up the page's location,
+        //    send the request message.
+        let (fstart, fend) = self.req_cpu.acquire(at, p.fault_cpu);
+        segments.push(Segment {
+            resource: TimelineResource::ReqCpu,
+            what: "fault+request",
+            start: fstart,
+            end: fend,
+        });
+
+        // 2. The request message crosses the network. It is tiny, so it
+        //    rides between the cells of any bulk transfer: fixed transit
+        //    latency, no queueing.
+        let qend = fend + p.request_transit;
+        segments.push(Segment {
+            resource: TimelineResource::Wire,
+            what: "request",
+            start: fend,
+            end: qend,
+        });
+
+        // 3. Server CPU: interpret the request.
+        let (sstart, send_ready) = self.srv_cpu.acquire(qend, p.server_request_cpu);
+        segments.push(Segment {
+            resource: TimelineResource::SrvCpu,
+            what: "process-request",
+            start: sstart,
+            end: send_ready,
+        });
+
+        // 4. Each message flows through send-CPU -> server DMA -> wire ->
+        //    requester DMA -> receive CPU. Send setups are issued back to
+        //    back; the per-stage resources provide the pipelining (and the
+        //    contention) of Figure 2.
+        let mut arrivals = Vec::with_capacity(plan.messages().len());
+        let mut resume_at = SimTime::ZERO;
+        let mut stolen = Duration::ZERO;
+        let mut setup_ready = send_ready;
+
+        for (index, &size) in plan.messages().iter().enumerate() {
+            let (a, b) = self.srv_cpu.acquire(setup_ready, p.server_send_cpu);
+            segments.push(Segment {
+                resource: TimelineResource::SrvCpu,
+                what: "send-setup",
+                start: a,
+                end: b,
+            });
+            setup_ready = b;
+
+            let (a, b) = self
+                .srv_dma
+                .acquire(b, p.dma_startup + p.dma_time(size));
+            segments.push(Segment {
+                resource: TimelineResource::SrvDma,
+                what: "dma-out",
+                start: a,
+                end: b,
+            });
+
+            let (a, b) = self
+                .wire_in
+                .acquire(b, p.wire_startup + p.wire.wire_time(size));
+            segments.push(Segment {
+                resource: TimelineResource::Wire,
+                what: "data",
+                start: a,
+                end: b,
+            });
+
+            let (a, rdma_end) = self
+                .req_dma_in
+                .acquire(b, p.dma_startup + p.dma_time(size));
+            segments.push(Segment {
+                resource: TimelineResource::ReqDma,
+                what: "dma-in",
+                start: a,
+                end: rdma_end,
+            });
+
+            let first = index == 0;
+            let charged = first || plan.recv_overhead() == RecvOverhead::Measured;
+            let (available_at, recv_cpu) = if first {
+                // The faulting CPU is idle (blocked on this very data):
+                // it takes the interrupt and copies, then resumes.
+                let cost = p.recv_interrupt_cpu + p.copy_time(size);
+                let (a, b) = self.req_cpu.acquire(rdma_end, cost);
+                segments.push(Segment {
+                    resource: TimelineResource::ReqCpu,
+                    what: "receive+resume",
+                    start: a,
+                    end: b,
+                });
+                (b, cost)
+            } else if charged {
+                // Follow-on receives steal CPU from the (running)
+                // application. Their cost is reported via `stolen_cpu`
+                // and charged by the caller against the application's
+                // clock — not against this pipeline's CPU resource, which
+                // would double-bill it.
+                let cost = p.recv_interrupt_cpu + p.copy_time(size);
+                let b = rdma_end + cost;
+                segments.push(Segment {
+                    resource: TimelineResource::ReqCpu,
+                    what: "receive",
+                    start: rdma_end,
+                    end: b,
+                });
+                (b, cost)
+            } else {
+                // Idealized controller: data lands in place, valid bits
+                // update, no interrupt.
+                (rdma_end, Duration::ZERO)
+            };
+
+            if first {
+                resume_at = available_at;
+            } else {
+                stolen += recv_cpu;
+            }
+            arrivals.push(MessageArrival { index, size, available_at, recv_cpu });
+        }
+
+        let page_complete_at = arrivals
+            .iter()
+            .map(|m| m.available_at)
+            .max()
+            .expect("plans are non-empty");
+
+        FaultTimeline {
+            fault_at: at,
+            resume_at,
+            arrivals,
+            page_complete_at,
+            stolen_cpu: stolen,
+            segments,
+        }
+    }
+}
+
+/// Cumulative busy time per pipeline resource. Produced by
+/// [`Timeline::busy_times`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BusyTimes {
+    /// Requester CPU (fault handling and first-message receives).
+    pub req_cpu: Duration,
+    /// Requester inbound DMA ring.
+    pub req_dma_in: Duration,
+    /// Requester outbound DMA ring.
+    pub req_dma_out: Duration,
+    /// Inbound wire direction (fetch data).
+    pub wire_in: Duration,
+    /// Outbound wire direction (putpage data).
+    pub wire_out: Duration,
+    /// Serving-side DMA.
+    pub srv_dma: Duration,
+    /// Serving-side CPU.
+    pub srv_cpu: Duration,
+}
+
+impl BusyTimes {
+    /// Inbound wire utilization over a run of length `span`: the paper's
+    /// key congestion indicator. Zero for an empty span.
+    #[must_use]
+    pub fn wire_in_utilization(&self, span: Duration) -> f64 {
+        if span == Duration::ZERO {
+            0.0
+        } else {
+            self.wire_in.as_nanos() as f64 / span.as_nanos() as f64
+        }
+    }
+}
+
+/// The outcome of scheduling an outbound (requester-to-server) transfer,
+/// e.g. a `putpage` pushing an evicted page into global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendTimeline {
+    /// When the send was initiated.
+    pub send_at: SimTime,
+    /// When the sending CPU is free again (GMS putpage is asynchronous:
+    /// the application stalls only for this setup time).
+    pub cpu_free_at: SimTime,
+    /// When the data has fully arrived at the receiving node.
+    pub delivered_at: SimTime,
+}
+
+impl Timeline {
+    /// Schedules an outbound transfer of `size` bytes from the requester
+    /// to another node (the reverse direction of [`Timeline::fault`]),
+    /// occupying the outbound DMA ring and wire direction — so
+    /// back-to-back evictions serialize with each other, but not with
+    /// inbound fetch data (the link is full duplex).
+    ///
+    /// Models the paper's asynchronous putpage: the sending CPU pays only
+    /// the send setup; DMA and wire proceed in the background. The
+    /// receiving node is an arbitrary idle server, modelled as
+    /// uncontended fixed latency.
+    pub fn send(&mut self, at: SimTime, size: Bytes) -> SendTimeline {
+        let p = self.params;
+        let (_, cpu_free_at) = self.req_cpu.acquire(at, p.server_send_cpu);
+        let (_, dma_end) = self
+            .req_dma_out
+            .acquire(cpu_free_at, p.dma_startup + p.dma_time(size));
+        let (_, wire_end) = self
+            .wire_out
+            .acquire(dma_end, p.wire_startup + p.wire.wire_time(size));
+        let delivered_at = wire_end
+            + p.dma_startup
+            + p.dma_time(size)
+            + p.recv_interrupt_cpu
+            + p.copy_time(size);
+        SendTimeline { send_at: at, cpu_free_at, delivered_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lone_fault(plan: &TransferPlan) -> FaultTimeline {
+        Timeline::new(NetParams::paper()).fault(SimTime::ZERO, plan)
+    }
+
+    /// Table 2 of the paper: subpage restart latencies for eager fullpage
+    /// fetch on an 8 KB page, within 10%.
+    #[test]
+    fn table2_subpage_latencies() {
+        let page = Bytes::kib(8);
+        let cases = [
+            (256u64, 0.45),
+            (512, 0.47),
+            (1024, 0.52),
+            (2048, 0.66),
+            (4096, 0.94),
+        ];
+        for (size, paper_ms) in cases {
+            let fault = lone_fault(&TransferPlan::eager(page, Bytes::new(size)));
+            let got = fault.restart_latency().as_millis_f64();
+            let err = (got - paper_ms).abs() / paper_ms;
+            assert!(err < 0.10, "{size} B subpage: got {got:.3} ms, paper {paper_ms} ms");
+        }
+    }
+
+    /// Table 2: "Rest of Page" arrival latencies, within 10%.
+    #[test]
+    fn table2_rest_of_page_latencies() {
+        let page = Bytes::kib(8);
+        let cases = [
+            (256u64, 1.49),
+            (512, 1.46),
+            (1024, 1.38),
+            (2048, 1.25),
+            (4096, 1.23),
+        ];
+        for (size, paper_ms) in cases {
+            let fault = lone_fault(&TransferPlan::eager(page, Bytes::new(size)));
+            let got = fault.completion_latency().as_millis_f64();
+            let err = (got - paper_ms).abs() / paper_ms;
+            assert!(err < 0.10, "{size} B rest: got {got:.3} ms, paper {paper_ms} ms");
+        }
+    }
+
+    /// Table 2: a full 8 KB page fault restarts in about 1.48 ms.
+    #[test]
+    fn table2_fullpage_latency() {
+        let fault = lone_fault(&TransferPlan::fullpage(Bytes::kib(8)));
+        let got = fault.restart_latency().as_millis_f64();
+        assert!((1.35..1.60).contains(&got), "got {got:.3} ms");
+        // Figure 2: the requester DMA completes at about 1.15 ms.
+        let dma_end = fault
+            .segments
+            .iter()
+            .filter(|s| s.resource == TimelineResource::ReqDma)
+            .map(|s| s.end)
+            .max()
+            .expect("dma segment");
+        let dma_ms = dma_ms_of(dma_end);
+        assert!((1.00..1.30).contains(&dma_ms), "dma ends {dma_ms:.3} ms");
+    }
+
+    fn dma_ms_of(t: SimTime) -> f64 {
+        t.as_millis_f64()
+    }
+
+    /// §3.1.1: eager fetch with 2 KB subpages completes the whole page
+    /// *sooner* than the monolithic full-page transfer, thanks to
+    /// DMA/wire overlap between the two messages.
+    #[test]
+    fn eager_2k_completes_before_fullpage() {
+        let full = lone_fault(&TransferPlan::fullpage(Bytes::kib(8)));
+        let eager = lone_fault(&TransferPlan::eager(Bytes::kib(8), Bytes::new(2048)));
+        assert!(eager.page_complete_at < full.page_complete_at);
+    }
+
+    /// §3.1.1: the 1 KB eager case finishes the total operation slightly
+    /// later than the 2 KB case — the first message is "too small" for
+    /// optimal overlap.
+    #[test]
+    fn eager_1k_completion_slightly_worse_than_2k() {
+        let e1k = lone_fault(&TransferPlan::eager(Bytes::kib(8), Bytes::new(1024)));
+        let e2k = lone_fault(&TransferPlan::eager(Bytes::kib(8), Bytes::new(2048)));
+        assert!(e1k.page_complete_at > e2k.page_complete_at);
+    }
+
+    /// Restart latency rises monotonically with subpage size.
+    #[test]
+    fn restart_latency_monotonic_in_subpage_size() {
+        let page = Bytes::kib(8);
+        let mut last = Duration::ZERO;
+        for size in [256u64, 512, 1024, 2048, 4096] {
+            let f = lone_fault(&TransferPlan::eager(page, Bytes::new(size)));
+            assert!(f.restart_latency() > last, "{size} not monotonic");
+            last = f.restart_latency();
+        }
+    }
+
+    /// Causality: every message arrives after the fault, the first
+    /// message defines resume, and the last defines completion.
+    #[test]
+    fn arrival_invariants() {
+        let plan = TransferPlan::pipelined(
+            Bytes::new(1024),
+            &[Bytes::new(1024), Bytes::new(1024), Bytes::new(5120)],
+            RecvOverhead::Zero,
+        );
+        let f = lone_fault(&plan);
+        assert_eq!(f.arrivals.len(), 4);
+        assert_eq!(f.arrivals[0].available_at, f.resume_at);
+        // Follow-ons share a path and arrive in order. (The first message
+        // may become available *after* an early follow-on, because only
+        // the first message pays the interrupt-plus-copy cost here.)
+        for w in f.arrivals[1..].windows(2) {
+            assert!(w[0].available_at <= w[1].available_at);
+        }
+        for m in &f.arrivals {
+            assert!(m.available_at > f.fault_at);
+        }
+        assert_eq!(
+            f.page_complete_at,
+            f.arrivals.iter().map(|m| m.available_at).max().expect("non-empty")
+        );
+        assert_eq!(f.stolen_cpu, Duration::ZERO, "zero-overhead follow-ons");
+    }
+
+    /// Measured receive overhead charges the requester CPU per follow-on.
+    #[test]
+    fn measured_recv_overhead_steals_cpu() {
+        let plan = TransferPlan::pipelined(
+            Bytes::new(1024),
+            &[Bytes::new(1024); 3],
+            RecvOverhead::Measured,
+        );
+        let f = lone_fault(&plan);
+        // Three follow-ons at 65 us + 1 KB * 36 ns each.
+        let per = Duration::from_micros(65) + Duration::from_nanos(36 * 1024);
+        assert_eq!(f.stolen_cpu, per * 3);
+    }
+
+    /// Back-to-back eager faults contend: the second fault's subpage
+    /// queues behind the first fault's still-in-flight rest-of-page on
+    /// the inbound wire.
+    #[test]
+    fn consecutive_faults_queue_on_the_inbound_wire() {
+        let mut tl = Timeline::new(NetParams::paper());
+        let plan = TransferPlan::eager(Bytes::kib(8), Bytes::new(1024));
+        let f1 = tl.fault(SimTime::ZERO, &plan);
+        // Fault again the instant the program resumes: f1's 7 KB rest is
+        // still being transferred.
+        let f2 = tl.fault(f1.resume_at, &plan);
+        let lone = lone_fault(&plan).restart_latency();
+        assert!(
+            f2.restart_latency() > lone + Duration::from_micros(50),
+            "second fault {} vs lone {lone}",
+            f2.restart_latency()
+        );
+        // A third fault issued long after everything drained sees the
+        // lone latency again.
+        let quiet = f2.page_complete_at + Duration::from_millis(10);
+        let f3 = tl.fault(quiet, &plan);
+        assert_eq!(f3.restart_latency(), lone);
+    }
+
+    /// Overlapping faults: faulting immediately after restart while the
+    /// rest-of-page is in flight delays the rest of page (congestion).
+    #[test]
+    fn overlap_window_is_positive_for_small_subpages() {
+        let f = lone_fault(&TransferPlan::eager(Bytes::kib(8), Bytes::new(256)));
+        // Table 2: about 50% of the full-page latency is overlappable.
+        let window_ms = f.overlap_window().as_millis_f64();
+        assert!((0.55..0.95).contains(&window_ms), "got {window_ms:.3} ms");
+    }
+
+    #[test]
+    fn busy_times_accumulate_by_direction() {
+        let mut tl = Timeline::new(NetParams::paper());
+        let before = tl.busy_times();
+        assert_eq!(before, BusyTimes::default());
+        tl.fault(SimTime::ZERO, &TransferPlan::fullpage(Bytes::kib(8)));
+        let after_fetch = tl.busy_times();
+        assert!(after_fetch.wire_in > Duration::ZERO);
+        assert_eq!(after_fetch.wire_out, Duration::ZERO, "fetches are inbound");
+        tl.send(SimTime::ZERO, Bytes::kib(8));
+        let after_send = tl.busy_times();
+        assert!(after_send.wire_out > Duration::ZERO);
+        assert_eq!(after_send.wire_in, after_fetch.wire_in, "sends are outbound");
+        // An 8 KB page occupies the wire for ~0.47 ms.
+        let util = after_send.wire_in_utilization(Duration::from_millis(1));
+        assert!((0.4..0.55).contains(&util), "got {util}");
+        assert_eq!(after_send.wire_in_utilization(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn plan_constructors_validate() {
+        assert_eq!(
+            TransferPlan::eager(Bytes::kib(8), Bytes::kib(1)).total(),
+            Bytes::kib(8)
+        );
+        assert_eq!(TransferPlan::fullpage(Bytes::kib(8)).messages().len(), 1);
+        assert_eq!(TransferPlan::lazy(Bytes::new(256)).total(), Bytes::new(256));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the page")]
+    fn eager_rejects_fullsize_subpage() {
+        let _ = TransferPlan::eager(Bytes::kib(8), Bytes::kib(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn empty_plan_panics() {
+        let _ = TransferPlan::new(vec![], RecvOverhead::Measured);
+    }
+
+    #[test]
+    fn send_is_asynchronous_and_duplex() {
+        let mut tl = Timeline::new(NetParams::paper());
+        let s1 = tl.send(SimTime::ZERO, Bytes::kib(8));
+        // The CPU is released long before delivery completes.
+        assert!(s1.cpu_free_at < s1.delivered_at);
+        let cpu_us = s1.cpu_free_at.elapsed_since(s1.send_at).as_micros_f64();
+        assert!(cpu_us < 50.0, "putpage stalled the CPU for {cpu_us} us");
+        // Consecutive putpages serialize with each other on the outbound
+        // direction.
+        let s2 = tl.send(s1.cpu_free_at, Bytes::kib(8));
+        assert!(
+            s2.delivered_at.elapsed_since(s2.send_at)
+                > s1.delivered_at.elapsed_since(s1.send_at)
+        );
+        // But an inbound fetch is essentially unaffected: the link is
+        // full duplex and the request message multiplexes between cells.
+        // (Only s2's 25 µs CPU send setup can delay the fault handler.)
+        let f = tl.fault(s2.cpu_free_at, &TransferPlan::fullpage(Bytes::kib(8)));
+        let lone = Timeline::new(NetParams::paper())
+            .fault(SimTime::ZERO, &TransferPlan::fullpage(Bytes::kib(8)));
+        assert_eq!(f.restart_latency(), lone.restart_latency());
+    }
+
+    #[test]
+    fn segments_are_causally_ordered_within_a_message() {
+        let f = lone_fault(&TransferPlan::eager(Bytes::kib(8), Bytes::new(1024)));
+        for s in &f.segments {
+            assert!(s.end >= s.start, "segment {s:?}");
+            assert!(s.start >= f.fault_at);
+        }
+    }
+}

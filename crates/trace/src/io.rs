@@ -1,0 +1,249 @@
+//! Compact binary trace files.
+//!
+//! Traces can be captured once (e.g. from a slow generator) and replayed
+//! many times across experiments. The format is a fixed header followed by
+//! one 25-byte little-endian record per run:
+//!
+//! ```text
+//! magic "GMSTRC01"  (8 bytes)
+//! run count          (u64 LE)
+//! per run: start u64 | stride i64 | count u64 | kind u8 (0 read, 1 write)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gms_units::VirtAddr;
+
+use crate::{AccessKind, Run, TraceSource, VecSource};
+
+const MAGIC: &[u8; 8] = b"GMSTRC01";
+const RECORD_LEN: usize = 8 + 8 + 8 + 1;
+
+/// Errors produced when decoding a trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The file ended before the declared number of runs.
+    Truncated,
+    /// A record contained an invalid access-kind byte.
+    BadKind(u8),
+    /// A record described an empty or address-space-overflowing run.
+    BadRun,
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReadTraceError::BadMagic => f.write_str("not a gms trace file"),
+            ReadTraceError::Truncated => f.write_str("trace file ends mid-record"),
+            ReadTraceError::BadKind(k) => write!(f, "invalid access kind byte {k}"),
+            ReadTraceError::BadRun => f.write_str("record describes an invalid run"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Drains `source` and writes it to `writer` in the binary trace format.
+/// Returns the number of runs written.
+///
+/// Pass `&mut writer` if you need the writer back afterwards.
+///
+/// # Errors
+///
+/// Any I/O error from `writer`.
+pub fn write_trace<S, W>(source: &mut S, mut writer: W) -> io::Result<u64>
+where
+    S: TraceSource + ?Sized,
+    W: Write,
+{
+    // Buffer runs first: the header needs the count.
+    let mut runs = Vec::new();
+    while let Some(run) = source.next_run() {
+        runs.push(run);
+    }
+    let mut buf = BytesMut::with_capacity(16 + runs.len() * RECORD_LEN);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(runs.len() as u64);
+    for run in &runs {
+        buf.put_u64_le(run.start().get());
+        buf.put_i64_le(run.stride());
+        buf.put_u64_le(run.count());
+        buf.put_u8(u8::from(run.kind().is_write()));
+    }
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(runs.len() as u64)
+}
+
+/// Reads a trace previously written by [`write_trace`] into a replayable
+/// [`VecSource`].
+///
+/// Pass `&mut reader` if you need the reader back afterwards.
+///
+/// # Errors
+///
+/// [`ReadTraceError`] on I/O failure or malformed input.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<VecSource, ReadTraceError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < MAGIC.len() + 8 {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let count = buf.get_u64_le();
+    let need = (count as usize).checked_mul(RECORD_LEN).ok_or(ReadTraceError::Truncated)?;
+    if buf.remaining() < need {
+        return Err(ReadTraceError::Truncated);
+    }
+    let mut runs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let start = buf.get_u64_le();
+        let stride = buf.get_i64_le();
+        let n = buf.get_u64_le();
+        let kind = match buf.get_u8() {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            other => return Err(ReadTraceError::BadKind(other)),
+        };
+        if n == 0 {
+            return Err(ReadTraceError::BadRun);
+        }
+        // Re-validate the run bounds without panicking on bad files.
+        let span = (n - 1).checked_mul(stride.unsigned_abs());
+        let ok = span
+            .and_then(|s| {
+                if stride >= 0 {
+                    start.checked_add(s)
+                } else {
+                    start.checked_sub(s)
+                }
+            })
+            .is_some();
+        if !ok {
+            return Err(ReadTraceError::BadRun);
+        }
+        runs.push(Run::new(VirtAddr::new(start), stride, n, kind));
+    }
+    Ok(VecSource::new(runs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gms_units::VirtAddr;
+
+    fn sample_runs() -> Vec<Run> {
+        vec![
+            Run::new(VirtAddr::new(0x1000), 8, 100, AccessKind::Read),
+            Run::new(VirtAddr::new(0x9000), -16, 5, AccessKind::Write),
+            Run::single(VirtAddr::new(0xdead0), AccessKind::Read),
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut src = VecSource::new(sample_runs());
+        let mut file = Vec::new();
+        let written = write_trace(&mut src, &mut file).expect("write");
+        assert_eq!(written, 3);
+
+        let mut replay = read_trace(file.as_slice()).expect("read");
+        let mut got = Vec::new();
+        while let Some(r) = replay.next_run() {
+            got.push(r);
+        }
+        assert_eq!(got, sample_runs());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut src = VecSource::new(vec![]);
+        let mut file = Vec::new();
+        write_trace(&mut src, &mut file).expect("write");
+        let mut replay = read_trace(file.as_slice()).expect("read");
+        assert!(replay.next_run().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOTATRACEFILE AT ALL"[..]).expect_err("bad magic");
+        assert!(matches!(err, ReadTraceError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut src = VecSource::new(sample_runs());
+        let mut file = Vec::new();
+        write_trace(&mut src, &mut file).expect("write");
+        file.truncate(file.len() - 3);
+        let err = read_trace(file.as_slice()).expect_err("truncated");
+        assert!(matches!(err, ReadTraceError::Truncated));
+    }
+
+    #[test]
+    fn rejects_bad_kind_byte() {
+        let mut src = VecSource::new(vec![sample_runs()[0]]);
+        let mut file = Vec::new();
+        write_trace(&mut src, &mut file).expect("write");
+        let last = file.len() - 1;
+        file[last] = 9;
+        let err = read_trace(file.as_slice()).expect_err("bad kind");
+        assert!(matches!(err, ReadTraceError::BadKind(9)));
+    }
+
+    #[test]
+    fn rejects_zero_count_run() {
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&1u64.to_le_bytes());
+        file.extend_from_slice(&0u64.to_le_bytes()); // start
+        file.extend_from_slice(&8i64.to_le_bytes()); // stride
+        file.extend_from_slice(&0u64.to_le_bytes()); // count = 0: invalid
+        file.push(0);
+        let err = read_trace(file.as_slice()).expect_err("zero-length run");
+        assert!(matches!(err, ReadTraceError::BadRun));
+    }
+
+    #[test]
+    fn rejects_overflowing_run() {
+        let mut file = Vec::new();
+        file.extend_from_slice(MAGIC);
+        file.extend_from_slice(&1u64.to_le_bytes());
+        file.extend_from_slice(&u64::MAX.to_le_bytes()); // start at top
+        file.extend_from_slice(&8i64.to_le_bytes());
+        file.extend_from_slice(&2u64.to_le_bytes()); // walks past the end
+        file.push(0);
+        let err = read_trace(file.as_slice()).expect_err("overflow");
+        assert!(matches!(err, ReadTraceError::BadRun));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert_eq!(format!("{}", ReadTraceError::BadMagic), "not a gms trace file");
+        assert!(format!("{}", ReadTraceError::BadKind(7)).contains('7'));
+    }
+}

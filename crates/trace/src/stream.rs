@@ -1,0 +1,287 @@
+//! Streaming trace sources and adapters.
+
+use crate::{Access, Run};
+
+/// A pull-based stream of trace [`Run`]s.
+///
+/// Implementors produce the reference stream lazily; a 245-million-reference
+/// Render trace is never materialized. The simulator drains a source run by
+/// run, and adapters ([`Chain`], [`TakeRefs`], [`PerRef`]) compose sources.
+pub trait TraceSource {
+    /// The next run, or `None` when the trace is exhausted.
+    fn next_run(&mut self) -> Option<Run>;
+
+    /// Remaining references `(lower_bound, upper_bound)`; `None` for an
+    /// unknown upper bound. Defaults to "unknown".
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        (0, None)
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_run(&mut self) -> Option<Run> {
+        (**self).next_run()
+    }
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        (**self).refs_hint()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &mut T {
+    fn next_run(&mut self) -> Option<Run> {
+        (**self).next_run()
+    }
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        (**self).refs_hint()
+    }
+}
+
+/// A source backed by an in-memory list of runs. Mostly useful in tests
+/// and for replaying traces loaded with [`crate::io`].
+#[derive(Debug, Clone, Default)]
+pub struct VecSource {
+    runs: std::vec::IntoIter<Run>,
+}
+
+impl VecSource {
+    /// Creates a source that yields `runs` in order.
+    #[must_use]
+    pub fn new(runs: Vec<Run>) -> Self {
+        VecSource { runs: runs.into_iter() }
+    }
+}
+
+impl TraceSource for VecSource {
+    fn next_run(&mut self) -> Option<Run> {
+        self.runs.next()
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        let total = self.runs.as_slice().iter().map(|r| r.count()).sum();
+        (total, Some(total))
+    }
+}
+
+impl FromIterator<Run> for VecSource {
+    fn from_iter<I: IntoIterator<Item = Run>>(iter: I) -> Self {
+        VecSource::new(iter.into_iter().collect())
+    }
+}
+
+/// Plays one source to exhaustion, then the next. Created by [`chain`].
+#[derive(Debug)]
+pub struct Chain<A, B> {
+    first: Option<A>,
+    second: B,
+}
+
+/// Chains two sources end to end.
+pub fn chain<A: TraceSource, B: TraceSource>(first: A, second: B) -> Chain<A, B> {
+    Chain { first: Some(first), second }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
+    fn next_run(&mut self) -> Option<Run> {
+        if let Some(f) = self.first.as_mut() {
+            if let Some(run) = f.next_run() {
+                return Some(run);
+            }
+            self.first = None;
+        }
+        self.second.next_run()
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        let (alo, ahi) = self.first.as_ref().map_or((0, Some(0)), TraceSource::refs_hint);
+        let (blo, bhi) = self.second.refs_hint();
+        (alo + blo, ahi.zip(bhi).map(|(a, b)| a + b))
+    }
+}
+
+/// Truncates a source to at most `limit` references, splitting the final
+/// run if necessary. Created by [`take_refs`].
+#[derive(Debug)]
+pub struct TakeRefs<S> {
+    inner: S,
+    left: u64,
+}
+
+/// Limits `source` to `limit` references.
+pub fn take_refs<S: TraceSource>(source: S, limit: u64) -> TakeRefs<S> {
+    TakeRefs { inner: source, left: limit }
+}
+
+impl<S: TraceSource> TraceSource for TakeRefs<S> {
+    fn next_run(&mut self) -> Option<Run> {
+        if self.left == 0 {
+            return None;
+        }
+        let run = self.inner.next_run()?;
+        if run.count() <= self.left {
+            self.left -= run.count();
+            Some(run)
+        } else {
+            let keep = self.left;
+            self.left = 0;
+            // keep > 0 and keep < count, so the split point is interior.
+            let (head, _tail) = run.split_at(keep);
+            Some(head)
+        }
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        let (lo, hi) = self.inner.refs_hint();
+        (lo.min(self.left), Some(hi.unwrap_or(self.left).min(self.left)))
+    }
+}
+
+/// Alternates runs from two sources round-robin until both are
+/// exhausted. Created by [`interleave`].
+///
+/// Models concurrent activities sharing one processor — e.g. a compute
+/// kernel interleaved with a logging thread — at run granularity.
+#[derive(Debug)]
+pub struct Interleave<A, B> {
+    first: A,
+    second: B,
+    take_first: bool,
+}
+
+/// Interleaves two sources run by run, starting with `first`.
+pub fn interleave<A: TraceSource, B: TraceSource>(first: A, second: B) -> Interleave<A, B> {
+    Interleave { first, second, take_first: true }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Interleave<A, B> {
+    fn next_run(&mut self) -> Option<Run> {
+        if self.take_first {
+            self.take_first = false;
+            self.first.next_run().or_else(|| self.second.next_run())
+        } else {
+            self.take_first = true;
+            self.second.next_run().or_else(|| self.first.next_run())
+        }
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        let (alo, ahi) = self.first.refs_hint();
+        let (blo, bhi) = self.second.refs_hint();
+        (alo + blo, ahi.zip(bhi).map(|(a, b)| a + b))
+    }
+}
+
+/// Flattens a source into individual [`Access`]es. Created by [`per_ref`].
+#[derive(Debug)]
+pub struct PerRef<S> {
+    inner: S,
+    current: Option<crate::run::RunIter>,
+}
+
+/// Iterates a source reference by reference (slow path; prefer consuming
+/// whole runs when performance matters).
+pub fn per_ref<S: TraceSource>(source: S) -> PerRef<S> {
+    PerRef { inner: source, current: None }
+}
+
+impl<S: TraceSource> Iterator for PerRef<S> {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            if let Some(iter) = self.current.as_mut() {
+                if let Some(access) = iter.next() {
+                    return Some(access);
+                }
+                self.current = None;
+            }
+            self.current = Some(self.inner.next_run()?.iter());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+    use gms_units::VirtAddr;
+
+    fn run(start: u64, count: u64) -> Run {
+        Run::new(VirtAddr::new(start), 8, count, AccessKind::Read)
+    }
+
+    #[test]
+    fn vec_source_yields_in_order() {
+        let mut s = VecSource::new(vec![run(0, 2), run(100, 3)]);
+        assert_eq!(s.refs_hint(), (5, Some(5)));
+        assert_eq!(s.next_run(), Some(run(0, 2)));
+        assert_eq!(s.refs_hint(), (3, Some(3)));
+        assert_eq!(s.next_run(), Some(run(100, 3)));
+        assert_eq!(s.next_run(), None);
+    }
+
+    #[test]
+    fn chain_plays_both() {
+        let a = VecSource::new(vec![run(0, 1)]);
+        let b = VecSource::new(vec![run(64, 2)]);
+        let mut c = chain(a, b);
+        assert_eq!(c.refs_hint(), (3, Some(3)));
+        assert_eq!(c.next_run(), Some(run(0, 1)));
+        assert_eq!(c.next_run(), Some(run(64, 2)));
+        assert_eq!(c.next_run(), None);
+    }
+
+    #[test]
+    fn take_refs_truncates_mid_run() {
+        let s = VecSource::new(vec![run(0, 10)]);
+        let mut t = take_refs(s, 4);
+        let got = t.next_run().expect("one truncated run");
+        assert_eq!(got.count(), 4);
+        assert_eq!(t.next_run(), None);
+    }
+
+    #[test]
+    fn take_refs_exact_boundary_keeps_whole_run() {
+        let s = VecSource::new(vec![run(0, 4), run(100, 1)]);
+        let mut t = take_refs(s, 4);
+        assert_eq!(t.next_run(), Some(run(0, 4)));
+        assert_eq!(t.next_run(), None);
+    }
+
+    #[test]
+    fn take_zero_is_empty() {
+        let mut t = take_refs(VecSource::new(vec![run(0, 3)]), 0);
+        assert_eq!(t.next_run(), None);
+    }
+
+    #[test]
+    fn interleave_alternates_and_drains_both() {
+        let a = VecSource::new(vec![run(0, 1), run(8, 1), run(16, 1)]);
+        let b = VecSource::new(vec![run(100, 1)]);
+        let mut i = interleave(a, b);
+        assert_eq!(i.refs_hint(), (4, Some(4)));
+        let starts: Vec<u64> = std::iter::from_fn(|| i.next_run())
+            .map(|r| r.start().get())
+            .collect();
+        // a, b, then a finishes alone.
+        assert_eq!(starts, vec![0, 100, 8, 16]);
+    }
+
+    #[test]
+    fn interleave_of_empties_is_empty() {
+        let mut i = interleave(VecSource::new(vec![]), VecSource::new(vec![]));
+        assert_eq!(i.next_run(), None);
+    }
+
+    #[test]
+    fn per_ref_flattens() {
+        let s = VecSource::new(vec![run(0, 2), run(100, 1)]);
+        let addrs: Vec<u64> = per_ref(s).map(|a| a.addr.get()).collect();
+        assert_eq!(addrs, vec![0, 8, 100]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: VecSource = [run(0, 1), run(8, 1)].into_iter().collect();
+        assert_eq!(s.refs_hint().0, 2);
+    }
+}

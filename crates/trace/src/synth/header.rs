@@ -1,0 +1,362 @@
+//! Header-touch bursts: the access pattern behind the paper's I/O
+//! overlap.
+
+use gms_units::Bytes;
+
+use crate::synth::Region;
+use crate::{AccessKind, Run, TraceSource};
+
+/// Touches a small *cluster* at the start of each page of a region, in
+/// page order, interleaving a slice of hot-region work between pages.
+///
+/// This models header processing — a compiler reading declaration
+/// headers, a linker scanning section tables, a debugger building partial
+/// symbol tables: each page is faulted, only its first ~1 KB is consumed,
+/// and the program immediately moves on to the next page.
+///
+/// It is the pattern that makes *eager fullpage fetch* shine: during a
+/// header burst, consecutive faults' rest-of-page transfers overlap with
+/// the following faults (§4.2: "I/O overlap occurs mostly during the
+/// high-fault intervals"), and the untouched remainder of each page
+/// arrives long before the later full-scan phases need it. The cluster
+/// size also creates the paper's subpage-size trade-off: subpages of at
+/// least the cluster size satisfy the whole burst-touch with one
+/// transfer, while smaller subpages stall mid-cluster.
+///
+/// # Examples
+///
+/// ```
+/// use gms_trace::synth::{HeaderTouch, Layout};
+/// use gms_trace::{AccessKind, TraceStats};
+/// use gms_units::Bytes;
+///
+/// let mut layout = Layout::new();
+/// let data = layout.alloc_pages("objects", 10);
+/// let hot = layout.alloc_pages("symtab", 2);
+/// let mut burst = HeaderTouch::builder(data)
+///     .hot(hot, 500)
+///     .passes(1)
+///     .build();
+/// let stats = TraceStats::collect(&mut burst, Bytes::kib(8));
+/// assert_eq!(stats.distinct_pages, 12); // every page touched
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeaderTouch {
+    region: Region,
+    cluster: Bytes,
+    offset: Bytes,
+    stride: u64,
+    hot: Option<Region>,
+    hot_refs_per_page: u64,
+    kind: AccessKind,
+    budget: u64,
+    page_idx: u64,
+    n_pages: u64,
+    hot_cursor: u64,
+    hot_left: u64,
+}
+
+impl HeaderTouch {
+    /// Starts building a burst over `region` with the defaults: 1 KB
+    /// clusters of 8-byte reads, no hot interleave, one pass.
+    #[must_use]
+    pub fn builder(region: Region) -> HeaderTouchBuilder {
+        HeaderTouchBuilder {
+            region,
+            cluster: Bytes::new(1024),
+            offset: Bytes::ZERO,
+            stride: 8,
+            hot: None,
+            hot_refs_per_page: 0,
+            kind: AccessKind::Read,
+            passes: 1,
+            budget: None,
+        }
+    }
+
+    /// References one page contributes: the cluster plus the hot slice.
+    #[must_use]
+    pub fn refs_per_page(&self) -> u64 {
+        self.cluster.get() / self.stride + self.hot_refs_per_page
+    }
+}
+
+/// Configures a [`HeaderTouch`]. Created by [`HeaderTouch::builder`].
+#[derive(Debug, Clone)]
+pub struct HeaderTouchBuilder {
+    region: Region,
+    cluster: Bytes,
+    offset: Bytes,
+    stride: u64,
+    hot: Option<Region>,
+    hot_refs_per_page: u64,
+    kind: AccessKind,
+    passes: u64,
+    budget: Option<u64>,
+}
+
+impl HeaderTouchBuilder {
+    /// Bytes consumed at the start of each page (clamped to the page).
+    #[must_use]
+    pub fn cluster(mut self, cluster: Bytes) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Places each cluster `offset` bytes into its page instead of at the
+    /// page base. Pages whose remainder is later consumed from the base
+    /// contribute the *negative* distances of Figure 7.
+    #[must_use]
+    pub fn offset(mut self, offset: Bytes) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Bytes between consecutive references within a cluster.
+    #[must_use]
+    pub fn stride(mut self, stride: u64) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Interleaves `refs_per_page` references of hot-region work after
+    /// each page's cluster.
+    #[must_use]
+    pub fn hot(mut self, hot: Region, refs_per_page: u64) -> Self {
+        self.hot = Some(hot);
+        self.hot_refs_per_page = refs_per_page;
+        self
+    }
+
+    /// Reads or writes.
+    #[must_use]
+    pub fn kind(mut self, kind: AccessKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// How many passes over the region to make (default 1).
+    #[must_use]
+    pub fn passes(mut self, passes: u64) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Caps the total references (cluster + hot) exactly, overriding
+    /// `passes` if it is reached first.
+    #[must_use]
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Total references `passes` passes would produce (ignoring any
+    /// budget cap).
+    #[must_use]
+    pub fn full_refs(&self) -> u64 {
+        let page = crate::synth::REGION_ALIGN;
+        let n_pages = self.region.len().div_ceil(page);
+        let cluster = self.cluster.min(page).get() / self.stride.max(1);
+        n_pages * (cluster + self.hot_refs_per_page) * self.passes
+    }
+
+    /// Builds the burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is zero or exceeds the cluster, or if a hot
+    /// interleave was requested with zero references.
+    #[must_use]
+    pub fn build(self) -> HeaderTouch {
+        let page = crate::synth::REGION_ALIGN;
+        let cluster = self.cluster.min(page).min(self.region.len());
+        assert!(
+            self.offset + cluster <= page,
+            "cluster at offset {} does not fit in a page",
+            self.offset
+        );
+        assert!(self.stride > 0, "cluster stride must be non-zero");
+        assert!(
+            self.stride <= cluster.get(),
+            "stride {} exceeds cluster {cluster}",
+            self.stride
+        );
+        assert!(
+            self.hot.is_none() || self.hot_refs_per_page > 0,
+            "hot interleave needs at least one reference per page"
+        );
+        let n_pages = self.region.len().div_ceil(page);
+        let budget = self.budget.unwrap_or_else(|| {
+            n_pages
+                * (cluster.get() / self.stride + self.hot_refs_per_page)
+                * self.passes
+        });
+        HeaderTouch {
+            region: self.region,
+            cluster,
+            offset: self.offset,
+            stride: self.stride,
+            hot: self.hot,
+            hot_refs_per_page: self.hot_refs_per_page,
+            kind: self.kind,
+            budget,
+            page_idx: 0,
+            n_pages,
+            hot_cursor: 0,
+            hot_left: 0,
+        }
+    }
+}
+
+impl TraceSource for HeaderTouch {
+    fn next_run(&mut self) -> Option<Run> {
+        if self.budget == 0 {
+            return None;
+        }
+        let page = crate::synth::REGION_ALIGN;
+        if self.hot_left > 0 {
+            let hot = self.hot.expect("hot_left implies a hot region");
+            // A wrapping sequential sweep of the hot region from a
+            // rotating cursor, 8 bytes per reference, split at the
+            // region end.
+            let hot_len = hot.len().get();
+            let start = (self.hot_cursor * 8) % hot_len;
+            let want = self.hot_left.min(self.budget);
+            let fit = ((hot_len - start) / 8).max(1).min(want);
+            self.hot_cursor = (self.hot_cursor + fit) % (hot_len / 8);
+            self.hot_left -= fit;
+            self.budget -= fit;
+            return Some(Run::new(
+                hot.at(Bytes::new(start)),
+                8,
+                fit,
+                AccessKind::Read,
+            ));
+        }
+
+        // Emit this page's cluster, `offset` bytes in.
+        let page_base = Bytes::new((self.page_idx % self.n_pages) * page.get());
+        // The final page of a non-page-multiple region may be short.
+        let avail = self.region.len() - page_base;
+        let base = page_base + self.offset.min(avail.saturating_sub(self.cluster.min(avail)));
+        let cluster = self.cluster.min(self.region.len() - base);
+        let count = (cluster.get() / self.stride).max(1).min(self.budget);
+        self.budget -= count;
+        self.page_idx += 1;
+        if self.hot.is_some() && self.budget > 0 {
+            self.hot_left = self.hot_refs_per_page;
+        }
+        Some(Run::new(
+            self.region.at(base),
+            self.stride as i64,
+            count,
+            self.kind,
+        ))
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        (self.budget, Some(self.budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Layout;
+    use crate::TraceStats;
+
+    fn setup(pages: u64) -> (Region, Region) {
+        let mut layout = Layout::new();
+        let data = layout.alloc_pages("data", pages);
+        let hot = layout.alloc_pages("hot", 2);
+        (data, hot)
+    }
+
+    #[test]
+    fn touches_every_page_once_per_pass() {
+        let (data, _) = setup(10);
+        let mut burst = HeaderTouch::builder(data).build();
+        let stats = TraceStats::collect(&mut burst, Bytes::kib(8));
+        assert_eq!(stats.distinct_pages, 10);
+        assert_eq!(stats.total_refs, 10 * 128); // 1 KB / 8 B per page
+    }
+
+    #[test]
+    fn cluster_stays_at_page_starts() {
+        let (data, _) = setup(4);
+        let mut burst = HeaderTouch::builder(data).build();
+        while let Some(run) = burst.next_run() {
+            let offset = run.start().offset_in(Bytes::kib(8)).get();
+            assert_eq!(offset, 0, "clusters start at page bases");
+            assert!(run.last_addr().offset_in(Bytes::kib(8)).get() < 1024);
+        }
+    }
+
+    #[test]
+    fn hot_interleave_alternates_and_counts() {
+        let (data, hot) = setup(5);
+        let mut burst = HeaderTouch::builder(data).hot(hot, 500).build();
+        let mut in_data = 0u64;
+        let mut in_hot = 0u64;
+        while let Some(run) = burst.next_run() {
+            if run.start() >= hot.start() {
+                in_hot += run.count();
+            } else {
+                in_data += run.count();
+            }
+        }
+        assert_eq!(in_data, 5 * 128);
+        assert_eq!(in_hot, 5 * 500);
+    }
+
+    #[test]
+    fn budget_caps_exactly() {
+        let (data, hot) = setup(100);
+        let mut burst = HeaderTouch::builder(data).hot(hot, 300).budget(1000).build();
+        let stats = TraceStats::collect(&mut burst, Bytes::kib(8));
+        assert_eq!(stats.total_refs, 1000);
+    }
+
+    #[test]
+    fn passes_wrap_the_region() {
+        let (data, _) = setup(3);
+        let mut burst = HeaderTouch::builder(data).passes(2).build();
+        let mut starts = Vec::new();
+        while let Some(run) = burst.next_run() {
+            starts.push(run.start());
+        }
+        assert_eq!(starts.len(), 6);
+        assert_eq!(starts[0], starts[3]); // second pass revisits page 0
+    }
+
+    #[test]
+    fn full_refs_predicts_build() {
+        let (data, hot) = setup(7);
+        let builder = HeaderTouch::builder(data).hot(hot, 200).passes(3);
+        let predicted = builder.full_refs();
+        let mut burst = builder.build();
+        let stats = TraceStats::collect(&mut burst, Bytes::kib(8));
+        assert_eq!(stats.total_refs, predicted);
+        assert_eq!(predicted, 7 * (128 + 200) * 3);
+    }
+
+    #[test]
+    fn custom_cluster_and_stride() {
+        let (data, _) = setup(4);
+        let mut burst = HeaderTouch::builder(data)
+            .cluster(Bytes::new(512))
+            .stride(64)
+            .kind(AccessKind::Write)
+            .build();
+        let stats = TraceStats::collect(&mut burst, Bytes::kib(8));
+        assert_eq!(stats.total_refs, 4 * 8); // 512/64 per page
+        assert_eq!(stats.writes, stats.total_refs);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cluster")]
+    fn oversized_stride_panics() {
+        let (data, _) = setup(1);
+        let _ = HeaderTouch::builder(data).stride(4096).cluster(Bytes::new(256)).build();
+    }
+}

@@ -1,0 +1,287 @@
+//! Working-set compute loops.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gms_units::Bytes;
+
+use crate::synth::Region;
+use crate::{AccessKind, Run, TraceSource};
+
+/// A compute loop over a working set.
+///
+/// The loop repeatedly sweeps `window`-sized slices of its region. Most of
+/// the time the next window is the adjacent one (ascending, wrapping),
+/// preserving the paper's +1 subpage locality; with probability
+/// `1 - locality` it jumps to a random window instead. A `write_fraction`
+/// of sweeps are stores, which dirties pages and exercises eviction
+/// write-back.
+///
+/// Work loops model the low-fault-rate periods between the paper's phase
+/// changes: when the whole region is resident they generate no faults at
+/// all, and when memory is constrained they generate a steady trickle.
+///
+/// # Examples
+///
+/// ```
+/// use gms_trace::synth::{Layout, WorkLoop};
+/// use gms_trace::{TraceStats};
+/// use gms_units::Bytes;
+///
+/// let region = Layout::new().alloc_pages("ws", 8);
+/// let mut looped = WorkLoop::builder(region)
+///     .refs(10_000)
+///     .seed(7)
+///     .build();
+/// let stats = TraceStats::collect(&mut looped, Bytes::kib(8));
+/// assert_eq!(stats.total_refs, 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkLoop {
+    region: Region,
+    window: Bytes,
+    stride: u64,
+    budget: u64,
+    locality: f64,
+    write_fraction: f64,
+    rng: SmallRng,
+    window_index: u64,
+    n_windows: u64,
+}
+
+impl WorkLoop {
+    /// Starts building a loop over `region` with the default parameters:
+    /// 2 KB windows, 8-byte elements, 90% adjacent-window locality, 20%
+    /// write sweeps, seed 1, and a zero budget (set
+    /// [`refs`](WorkLoopBuilder::refs)).
+    #[must_use]
+    pub fn builder(region: Region) -> WorkLoopBuilder {
+        WorkLoopBuilder {
+            region,
+            window: Bytes::new(2048),
+            stride: 8,
+            budget: 0,
+            locality: 0.9,
+            write_fraction: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+/// Configures a [`WorkLoop`]. Created by [`WorkLoop::builder`].
+#[derive(Debug, Clone)]
+pub struct WorkLoopBuilder {
+    region: Region,
+    window: Bytes,
+    stride: u64,
+    budget: u64,
+    locality: f64,
+    write_fraction: f64,
+    seed: u64,
+}
+
+impl WorkLoopBuilder {
+    /// Total references the loop will issue.
+    #[must_use]
+    pub fn refs(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sweep window size in bytes (clamped to the region length).
+    #[must_use]
+    pub fn window(mut self, window: Bytes) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Bytes between consecutive references within a sweep.
+    #[must_use]
+    pub fn stride(mut self, stride: u64) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Probability in `[0, 1]` that the next window is the adjacent one.
+    #[must_use]
+    pub fn locality(mut self, locality: f64) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    /// Fraction of sweeps that write rather than read.
+    #[must_use]
+    pub fn write_fraction(mut self, write_fraction: f64) -> Self {
+        self.write_fraction = write_fraction;
+        self
+    }
+
+    /// Seed for the deterministic window-selection generator.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stride is zero or exceeds the window, or if
+    /// `locality` / `write_fraction` are outside `[0, 1]`.
+    #[must_use]
+    pub fn build(self) -> WorkLoop {
+        let window = self.window.min(self.region.len());
+        assert!(self.stride > 0, "loop stride must be non-zero");
+        assert!(
+            self.stride <= window.get(),
+            "stride {} exceeds window {window}",
+            self.stride
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.locality),
+            "locality must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "write_fraction must be a probability"
+        );
+        let n_windows = (self.region.len().get() / window.get()).max(1);
+        WorkLoop {
+            region: self.region,
+            window,
+            stride: self.stride,
+            budget: self.budget,
+            locality: self.locality,
+            write_fraction: self.write_fraction,
+            rng: SmallRng::seed_from_u64(self.seed),
+            window_index: 0,
+            n_windows,
+        }
+    }
+}
+
+impl TraceSource for WorkLoop {
+    fn next_run(&mut self) -> Option<Run> {
+        if self.budget == 0 {
+            return None;
+        }
+        let sweep_refs = (self.window.get() / self.stride).max(1);
+        let count = sweep_refs.min(self.budget);
+        let kind = if self.rng.gen::<f64>() < self.write_fraction {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let start = self
+            .region
+            .at(Bytes::new(self.window_index * self.window.get()));
+        let run = Run::new(start, self.stride as i64, count, kind);
+        self.budget -= count;
+
+        // Choose the next window: usually the adjacent one (ascending,
+        // wrapping), occasionally a random jump.
+        self.window_index = if self.rng.gen::<f64>() < self.locality {
+            (self.window_index + 1) % self.n_windows
+        } else {
+            self.rng.gen_range(0..self.n_windows)
+        };
+        Some(run)
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        (self.budget, Some(self.budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Layout;
+    use crate::TraceStats;
+
+    fn region(pages: u64) -> Region {
+        Layout::new().alloc_pages("ws", pages)
+    }
+
+    #[test]
+    fn budget_is_exact() {
+        let mut l = WorkLoop::builder(region(4)).refs(12_345).build();
+        let stats = TraceStats::collect(&mut l, Bytes::kib(8));
+        assert_eq!(stats.total_refs, 12_345);
+    }
+
+    #[test]
+    fn stays_inside_region() {
+        let r = region(4);
+        let mut l = WorkLoop::builder(r).refs(50_000).seed(3).build();
+        let stats = TraceStats::collect(&mut l, Bytes::kib(8));
+        assert!(stats.min_addr >= r.start().get());
+        assert!(stats.max_addr < r.end().get());
+        assert!(stats.distinct_pages <= 4);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let collect = |seed| {
+            let mut l = WorkLoop::builder(region(8)).refs(5_000).seed(seed).build();
+            let mut runs = Vec::new();
+            while let Some(r) = l.next_run() {
+                runs.push(r);
+            }
+            runs
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+
+    #[test]
+    fn write_fraction_zero_means_all_reads() {
+        let mut l = WorkLoop::builder(region(2))
+            .refs(4_000)
+            .write_fraction(0.0)
+            .build();
+        let stats = TraceStats::collect(&mut l, Bytes::kib(8));
+        assert_eq!(stats.writes, 0);
+    }
+
+    #[test]
+    fn write_fraction_one_means_all_writes() {
+        let mut l = WorkLoop::builder(region(2))
+            .refs(4_000)
+            .write_fraction(1.0)
+            .build();
+        let stats = TraceStats::collect(&mut l, Bytes::kib(8));
+        assert_eq!(stats.writes, 4_000);
+    }
+
+    #[test]
+    fn full_locality_visits_windows_in_ascending_order() {
+        let r = region(2); // 8 windows of 2 KB
+        let mut l = WorkLoop::builder(r)
+            .refs(8 * 256)
+            .locality(1.0)
+            .write_fraction(0.0)
+            .build();
+        let mut starts = Vec::new();
+        while let Some(run) = l.next_run() {
+            starts.push(run.start().get());
+        }
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "ascending windows expected");
+    }
+
+    #[test]
+    fn window_clamped_to_region() {
+        let r = region(1);
+        let l = WorkLoop::builder(r).window(Bytes::mib(1)).refs(10).build();
+        assert_eq!(l.window, Bytes::kib(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_locality_panics() {
+        let _ = WorkLoop::builder(region(1)).locality(1.5).refs(1).build();
+    }
+}

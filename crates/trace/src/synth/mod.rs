@@ -1,0 +1,32 @@
+//! Composable synthetic reference generators.
+//!
+//! The paper's evaluation rests on three behavioural properties of its
+//! traced applications, and every generator here exists to produce one of
+//! them:
+//!
+//! 1. **Footprint vs. memory size** — the number of distinct pages an
+//!    application touches determines its fault counts in the full / half /
+//!    quarter memory configurations (Figure 3). [`SeqScan`] gives exact,
+//!    reproducible footprints.
+//! 2. **Temporal clustering of faults** — "many programs with low fault
+//!    rates undergo periods of high faulting, e.g. during a phase change"
+//!    (§4.2, Figures 6 and 10). [`PhaseProgram`] alternates scan phases
+//!    (bursts of faults) with [`WorkLoop`] compute phases (few faults).
+//! 3. **Spatial locality across subpages** — "there is a high likelihood
+//!    that the next subpage faulted on the same page will be the next
+//!    consecutive subpage" (§4.3, Figure 7). Scans and ascending window
+//!    walks produce exactly this +1-dominant distance distribution.
+
+mod chase;
+mod header;
+mod loopgen;
+mod phase;
+mod region;
+mod scan;
+
+pub use chase::PointerChase;
+pub use header::{HeaderTouch, HeaderTouchBuilder};
+pub use loopgen::{WorkLoop, WorkLoopBuilder};
+pub use phase::{Phase, PhaseProgram};
+pub use region::{Layout, Region, LAYOUT_BASE, REGION_ALIGN};
+pub use scan::SeqScan;

@@ -1,0 +1,252 @@
+//! Address-space regions for synthetic workloads.
+
+use core::fmt;
+
+use gms_units::{Bytes, VirtAddr};
+
+/// A contiguous, page-aligned span of the synthetic address space.
+///
+/// # Examples
+///
+/// ```
+/// use gms_trace::synth::{Layout, Region};
+/// use gms_units::Bytes;
+///
+/// let mut layout = Layout::new();
+/// let heap = layout.alloc("heap", Bytes::mib(1));
+/// let stack = layout.alloc("stack", Bytes::kib(64));
+/// assert_eq!(heap.len(), Bytes::mib(1));
+/// assert!(stack.start() >= heap.end());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    name: &'static str,
+    start: VirtAddr,
+    len: Bytes,
+}
+
+impl Region {
+    /// Creates a region; `start` and `len` should be page-aligned (use
+    /// [`Layout`] to guarantee this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn new(name: &'static str, start: VirtAddr, len: Bytes) -> Self {
+        assert!(!len.is_zero(), "region must be non-empty");
+        Region { name, start, len }
+    }
+
+    /// The region's debug name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        self.name
+    }
+
+    /// First address of the region.
+    #[must_use]
+    pub const fn start(self) -> VirtAddr {
+        self.start
+    }
+
+    /// One past the last address of the region.
+    #[must_use]
+    pub fn end(self) -> VirtAddr {
+        self.start + self.len
+    }
+
+    /// Size of the region.
+    #[must_use]
+    pub const fn len(self) -> Bytes {
+        self.len
+    }
+
+    /// Regions are never empty; this exists for API completeness.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The address `offset` bytes into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    #[must_use]
+    pub fn at(self, offset: Bytes) -> VirtAddr {
+        assert!(offset < self.len, "offset {offset} outside region {self}");
+        self.start + offset
+    }
+
+    /// Splits off the leading `head` bytes: `(head_region, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is zero or `head >= len`.
+    #[must_use]
+    pub fn split_at(self, head: Bytes) -> (Region, Region) {
+        assert!(!head.is_zero() && head < self.len, "split must be interior");
+        (
+            Region { len: head, ..self },
+            Region { start: self.start + head, len: self.len - head, ..self },
+        )
+    }
+
+    /// Divides the region into `n` equal consecutive chunks (the final one
+    /// absorbs any remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or larger than the region's length in bytes.
+    #[must_use]
+    pub fn chunks(self, n: u64) -> Vec<Region> {
+        assert!(n > 0 && n <= self.len.get(), "invalid chunk count {n}");
+        let base = Bytes::new(self.len.get() / n);
+        let mut out = Vec::with_capacity(n as usize);
+        let mut cursor = self.start;
+        for i in 0..n {
+            let len = if i == n - 1 {
+                self.end() - cursor
+            } else {
+                base
+            };
+            out.push(Region { name: self.name, start: cursor, len });
+            cursor = cursor + len;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}..{}]", self.name, self.start, self.end())
+    }
+}
+
+/// Default page granularity for region alignment: the Alpha's 8 KB page.
+pub const REGION_ALIGN: Bytes = Bytes::new(8192);
+
+/// Base of the synthetic data segment (4 GiB, clear of a notional
+/// code segment).
+pub const LAYOUT_BASE: VirtAddr = VirtAddr::new(0x1_0000_0000);
+
+/// Sequentially allocates page-aligned regions of a synthetic address
+/// space.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    cursor: VirtAddr,
+    allocated: Bytes,
+}
+
+impl Layout {
+    /// A layout starting at [`LAYOUT_BASE`].
+    #[must_use]
+    pub fn new() -> Self {
+        Layout { cursor: LAYOUT_BASE, allocated: Bytes::ZERO }
+    }
+
+    /// Allocates a region of at least `len` bytes, rounded up to the 8 KB
+    /// page granularity so that distinct regions never share a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn alloc(&mut self, name: &'static str, len: Bytes) -> Region {
+        assert!(!len.is_zero(), "cannot allocate an empty region");
+        let pages = len.div_ceil(REGION_ALIGN);
+        let rounded = REGION_ALIGN * pages;
+        let region = Region::new(name, self.cursor, rounded);
+        self.cursor = self.cursor + rounded;
+        self.allocated += rounded;
+        region
+    }
+
+    /// Allocates a region spanning exactly `pages` 8 KB pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is zero.
+    pub fn alloc_pages(&mut self, name: &'static str, pages: u64) -> Region {
+        assert!(pages > 0, "cannot allocate zero pages");
+        self.alloc(name, REGION_ALIGN * pages)
+    }
+
+    /// Total bytes allocated so far (page-rounded): the workload footprint.
+    #[must_use]
+    pub const fn allocated(&self) -> Bytes {
+        self.allocated
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_pages_and_never_overlaps() {
+        let mut l = Layout::new();
+        let a = l.alloc("a", Bytes::new(100));
+        let b = l.alloc("b", Bytes::kib(8));
+        assert_eq!(a.len(), Bytes::kib(8));
+        assert_eq!(a.end(), b.start());
+        assert_eq!(l.allocated(), Bytes::kib(16));
+    }
+
+    #[test]
+    fn alloc_pages_is_exact() {
+        let mut l = Layout::new();
+        let r = l.alloc_pages("r", 773);
+        assert_eq!(r.len(), Bytes::kib(8) * 773);
+    }
+
+    #[test]
+    fn region_at_and_bounds() {
+        let r = Region::new("r", VirtAddr::new(0x1000), Bytes::new(0x100));
+        assert_eq!(r.at(Bytes::new(0xff)), VirtAddr::new(0x10ff));
+        assert_eq!(r.end(), VirtAddr::new(0x1100));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region")]
+    fn region_at_end_panics() {
+        let r = Region::new("r", VirtAddr::new(0x1000), Bytes::new(0x100));
+        let _ = r.at(Bytes::new(0x100));
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let r = Region::new("r", VirtAddr::new(0), Bytes::new(100));
+        let (a, b) = r.split_at(Bytes::new(30));
+        assert_eq!(a.len(), Bytes::new(30));
+        assert_eq!(b.len(), Bytes::new(70));
+        assert_eq!(a.end(), b.start());
+    }
+
+    #[test]
+    fn chunks_cover_region_exactly() {
+        let r = Region::new("r", VirtAddr::new(0), Bytes::new(1000));
+        let chunks = r.chunks(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), Bytes::new(333));
+        assert_eq!(chunks[2].len(), Bytes::new(334));
+        assert_eq!(chunks[0].start(), r.start());
+        assert_eq!(chunks[2].end(), r.end());
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end(), w[1].start());
+        }
+    }
+
+    #[test]
+    fn display_names_region() {
+        let r = Region::new("heap", VirtAddr::new(0x1000), Bytes::new(0x1000));
+        assert_eq!(format!("{r}"), "heap[0x1000..0x2000]");
+    }
+}

@@ -1,0 +1,217 @@
+//! Sequential scans.
+
+use gms_units::Bytes;
+
+use crate::synth::Region;
+use crate::{AccessKind, Run, TraceSource};
+
+/// A sequential pass (or several) over a region.
+///
+/// Scans are the footprint workhorse: one forward pass touches every page
+/// of the region exactly once, in ascending order, which also produces the
+/// "+1 next subpage" spatial locality of Figure 7. A negative `stride`
+/// walks the region backward (e.g. a stack unwind), producing −1 locality.
+///
+/// The scan stops after exactly `budget` references, wrapping around the
+/// region for as many passes as the budget requires.
+///
+/// # Examples
+///
+/// ```
+/// use gms_trace::synth::{Layout, SeqScan};
+/// use gms_trace::{AccessKind, TraceSource, TraceStats};
+/// use gms_units::Bytes;
+///
+/// let mut layout = Layout::new();
+/// let region = layout.alloc_pages("data", 4);
+/// // Two full read passes, 8 bytes per reference.
+/// let refs = 2 * region.len().get() / 8;
+/// let mut scan = SeqScan::new(region, 8, refs, AccessKind::Read);
+/// let stats = TraceStats::collect(&mut scan, Bytes::kib(8));
+/// assert_eq!(stats.distinct_pages, 4);
+/// assert_eq!(stats.total_refs, refs);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqScan {
+    region: Region,
+    stride: i64,
+    element: u64,
+    kind: AccessKind,
+    budget: u64,
+    /// Byte offset of the next reference within the region (always in
+    /// forward orientation; reversed scans translate on emission).
+    offset: u64,
+}
+
+impl SeqScan {
+    /// Creates a scan of `region` issuing `budget` references of `kind`,
+    /// `stride` bytes apart (sign selects direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or its magnitude exceeds the region
+    /// length.
+    #[must_use]
+    pub fn new(region: Region, stride: i64, budget: u64, kind: AccessKind) -> Self {
+        let mag = stride.unsigned_abs();
+        assert!(mag > 0, "scan stride must be non-zero");
+        assert!(
+            mag <= region.len().get(),
+            "scan stride {mag} exceeds region {region}"
+        );
+        SeqScan { region, stride, element: mag, kind, budget, offset: 0 }
+    }
+
+    /// References needed for one full pass of `region` at `stride` bytes
+    /// per reference.
+    #[must_use]
+    pub fn refs_per_pass(region: Region, stride: i64) -> u64 {
+        region.len().get() / stride.unsigned_abs().max(1)
+    }
+
+    /// Convenience: a scan of exactly `passes` full passes.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SeqScan::new`]; additionally if `passes` is zero.
+    #[must_use]
+    pub fn passes(region: Region, stride: i64, passes: u64, kind: AccessKind) -> Self {
+        assert!(passes > 0, "need at least one pass");
+        let budget = Self::refs_per_pass(region, stride) * passes;
+        SeqScan::new(region, stride, budget, kind)
+    }
+}
+
+impl TraceSource for SeqScan {
+    fn next_run(&mut self) -> Option<Run> {
+        if self.budget == 0 {
+            return None;
+        }
+        let pass_refs = self.region.len().get() / self.element;
+        if pass_refs == 0 {
+            self.budget = 0;
+            return None;
+        }
+        let done_this_pass = self.offset / self.element;
+        let left_this_pass = pass_refs - done_this_pass;
+        let count = left_this_pass.min(self.budget);
+        let first_fwd = self.offset;
+        let run = if self.stride > 0 {
+            Run::new(
+                self.region.at(Bytes::new(first_fwd)),
+                self.stride,
+                count,
+                self.kind,
+            )
+        } else {
+            // Reversed: walk down from the top of the region.
+            let top = self.region.len().get() - self.element;
+            Run::new(
+                self.region.at(Bytes::new(top - first_fwd)),
+                self.stride,
+                count,
+                self.kind,
+            )
+        };
+        self.budget -= count;
+        self.offset += count * self.element;
+        if self.offset >= pass_refs * self.element {
+            self.offset = 0;
+        }
+        Some(run)
+    }
+
+    fn refs_hint(&self) -> (u64, Option<u64>) {
+        (self.budget, Some(self.budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Layout;
+    use crate::TraceStats;
+    use gms_units::VirtAddr;
+
+    fn region(pages: u64) -> Region {
+        Layout::new().alloc_pages("r", pages)
+    }
+
+    #[test]
+    fn forward_scan_covers_region_in_order() {
+        let r = region(2);
+        let mut scan = SeqScan::passes(r, 8, 1, AccessKind::Read);
+        let run = scan.next_run().expect("one run per pass");
+        assert_eq!(run.start(), r.start());
+        assert_eq!(run.count(), 2 * 8192 / 8);
+        assert_eq!(run.last_addr(), r.end() - Bytes::new(8));
+        assert!(scan.next_run().is_none());
+    }
+
+    #[test]
+    fn backward_scan_starts_at_top() {
+        let r = region(1);
+        let mut scan = SeqScan::passes(r, -8, 1, AccessKind::Read);
+        let run = scan.next_run().expect("one run");
+        assert_eq!(run.start(), r.end() - Bytes::new(8));
+        assert_eq!(run.last_addr(), r.start());
+    }
+
+    #[test]
+    fn budget_is_exact_across_passes() {
+        let r = region(1);
+        let per_pass = SeqScan::refs_per_pass(r, 8);
+        // 2.5 passes.
+        let budget = per_pass * 5 / 2;
+        let mut scan = SeqScan::new(r, 8, budget, AccessKind::Write);
+        let stats = TraceStats::collect(&mut scan, Bytes::kib(8));
+        assert_eq!(stats.total_refs, budget);
+        assert_eq!(stats.writes, budget);
+        assert_eq!(stats.distinct_pages, 1);
+    }
+
+    #[test]
+    fn wrapping_pass_restarts_at_region_base() {
+        let r = region(1);
+        let per_pass = SeqScan::refs_per_pass(r, 8);
+        let mut scan = SeqScan::new(r, 8, per_pass + 3, AccessKind::Read);
+        let first = scan.next_run().expect("pass 1");
+        assert_eq!(first.count(), per_pass);
+        let second = scan.next_run().expect("pass 2 fragment");
+        assert_eq!(second.count(), 3);
+        assert_eq!(second.start(), r.start());
+        assert!(scan.next_run().is_none());
+    }
+
+    #[test]
+    fn large_stride_touches_every_page_once() {
+        // Stride of one page: a page-granular touch pass.
+        let r = region(16);
+        let mut scan = SeqScan::passes(r, 8192, 1, AccessKind::Read);
+        let stats = TraceStats::collect(&mut scan, Bytes::kib(8));
+        assert_eq!(stats.total_refs, 16);
+        assert_eq!(stats.distinct_pages, 16);
+    }
+
+    #[test]
+    fn refs_hint_tracks_budget() {
+        let r = region(1);
+        let mut scan = SeqScan::new(r, 8, 100, AccessKind::Read);
+        assert_eq!(scan.refs_hint(), (100, Some(100)));
+        let _ = scan.next_run();
+        assert_eq!(scan.refs_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_stride_panics() {
+        let _ = SeqScan::new(region(1), 0, 10, AccessKind::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn oversized_stride_panics() {
+        let r = Region::new("tiny", VirtAddr::new(0x1000), Bytes::new(64));
+        let _ = SeqScan::new(r, 128, 10, AccessKind::Read);
+    }
+}

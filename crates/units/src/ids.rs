@@ -1,0 +1,71 @@
+//! Cluster-wide identifiers.
+
+use core::fmt;
+
+/// Identifies a node in the global-memory cluster.
+///
+/// Node 0 is conventionally the *active* (faulting) node in the paper's
+/// experiments; the remaining nodes are idle memory servers.
+///
+/// # Examples
+///
+/// ```
+/// use gms_units::NodeId;
+/// let server = NodeId::new(3);
+/// assert_eq!(server.index(), 3);
+/// assert_eq!(format!("{server}"), "node3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The dense index as a `usize`, for direct slice indexing.
+    #[must_use]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> NodeId {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_displays() {
+        let id = NodeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.as_usize(), 7);
+        assert_eq!(NodeId::from(7u32), id);
+        assert_eq!(format!("{id}"), "node7");
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

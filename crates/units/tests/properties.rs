@@ -1,0 +1,73 @@
+//! Arithmetic-law property tests for the quantity newtypes.
+
+use proptest::prelude::*;
+
+use gms_units::{Bytes, BytesPerSec, ClockRate, Cycles, Duration, SimTime, VirtAddr};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Duration addition is commutative and associative, and subtraction
+    /// inverts addition.
+    #[test]
+    fn duration_group_laws(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let (da, db, dc) = (Duration::from_nanos(a), Duration::from_nanos(b), Duration::from_nanos(c));
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert_eq!((da + db) - db, da);
+        prop_assert_eq!(da.saturating_sub(db) + db.min(da + db), da.max(db));
+    }
+
+    /// SimTime advances consistently: elapsed_since inverts `+`.
+    #[test]
+    fn simtime_elapsed_inverts_add(start in 0u64..1u64 << 40, step in 0u64..1u64 << 30) {
+        let t0 = SimTime::from_nanos(start);
+        let d = Duration::from_nanos(step);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1.elapsed_since(t0), d);
+        prop_assert_eq!(t1.saturating_since(t0), d);
+        prop_assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+        prop_assert_eq!(t1 - d, t0);
+    }
+
+    /// Transfer time is monotone and superadditive-free (linear): the
+    /// time for a+b equals time(a) + time(b) within rounding.
+    #[test]
+    fn rate_linearity(rate in 1u64..1u64 << 33, a in 0u64..1u64 << 20, b in 0u64..1u64 << 20) {
+        let r = BytesPerSec::new(rate);
+        let ta = r.time_for(Bytes::new(a)).as_nanos();
+        let tb = r.time_for(Bytes::new(b)).as_nanos();
+        let tab = r.time_for(Bytes::new(a + b)).as_nanos();
+        prop_assert!(tab >= ta.max(tb));
+        prop_assert!(tab.abs_diff(ta + tb) <= 1, "rounding drift");
+    }
+
+    /// Cycle-to-time conversion is monotone in both arguments.
+    #[test]
+    fn clock_monotone(mhz in 1u64..10_000, c1 in 0u64..1u64 << 30, c2 in 0u64..1u64 << 30) {
+        let clock = ClockRate::from_mhz(mhz);
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        prop_assert!(clock.time_for(Cycles::new(lo)) <= clock.time_for(Cycles::new(hi)));
+    }
+
+    /// Address alignment: align_down is idempotent, at or below the
+    /// input, and offset_in recovers the remainder.
+    #[test]
+    fn addr_alignment(addr in 0u64..u64::MAX / 2, pow in 6u32..=20) {
+        let align = Bytes::new(1 << pow);
+        let a = VirtAddr::new(addr);
+        let base = a.align_down(align);
+        prop_assert!(base <= a);
+        prop_assert_eq!(base.align_down(align), base);
+        prop_assert_eq!(base + a.offset_in(align), a);
+        prop_assert!(a.offset_in(align) < align);
+    }
+
+    /// Byte division: div_ceil never under-covers.
+    #[test]
+    fn bytes_div_ceil_covers(total in 0u64..1u64 << 40, chunk in 1u64..1u64 << 20) {
+        let n = Bytes::new(total).div_ceil(Bytes::new(chunk));
+        prop_assert!(n * chunk >= total);
+        prop_assert!(n == 0 || (n - 1) * chunk < total);
+    }
+}

@@ -1,0 +1,77 @@
+//! A tour of the GMS substrate itself: nodes, the hashed directory,
+//! the getpage/putpage protocol, and epoch-based placement — the
+//! machinery the paper builds subpages on top of (Feeley et al.,
+//! SOSP '95).
+//!
+//! ```sh
+//! cargo run --release --example cluster_tour
+//! ```
+
+use gms_subpages::cluster::{GetPageOutcome, Gms};
+use gms_subpages::mem::PageId;
+use gms_subpages::units::NodeId;
+
+fn main() {
+    // A five-node cluster: node 0 runs the application, nodes 1-4 donate
+    // 500 frames of idle memory each.
+    let mut gms = Gms::new(5, 500);
+    let active = NodeId::new(0);
+
+    // Warm the cache with a 1200-page working set, as the paper's
+    // experiments do ("all pages are assumed to initially reside in
+    // remote memory").
+    gms.warm_cache((0..1200).map(PageId::new));
+    println!("after warm-up:");
+    for node in gms.nodes() {
+        println!("  {}: {} / {} global frames", node.id(), node.len(), node.capacity());
+    }
+    println!("  directory entries: {}", gms.directory().len());
+
+    // Fault pages in: getpage *moves* each page from its global cache to
+    // the active node.
+    for page in 0..300u64 {
+        match gms.getpage(active, PageId::new(page)) {
+            GetPageOutcome::RemoteHit { server } => {
+                if page < 3 {
+                    println!("getpage(page#{page}) served by {server}");
+                }
+            }
+            GetPageOutcome::Miss => unreachable!("warm cache cannot miss"),
+        }
+    }
+
+    // The application's memory fills: evict (putpage) older pages back.
+    // The epoch manager spreads them over the idle nodes by weight.
+    for page in 0..150u64 {
+        let out = gms.putpage(active, PageId::new(page), page % 3 == 0);
+        if page < 3 {
+            println!("putpage(page#{page}) stored at {}", out.stored_at);
+        }
+    }
+
+    println!("\nafter 300 getpages and 150 putpages:");
+    for node in gms.nodes() {
+        println!("  {}: {} pages cached", node.id(), node.len());
+    }
+    let stats = gms.stats();
+    println!(
+        "  traffic: {} getpages ({} hits, {:.0}% hit rate), {} putpages, {} discards",
+        stats.traffic.getpages,
+        stats.remote_hits,
+        stats.hit_rate() * 100.0,
+        stats.traffic.putpages,
+        stats.traffic.discards,
+    );
+    println!("  epochs completed: {}", gms.epochs_completed());
+    assert!(gms.is_consistent(), "directory must match node contents");
+    println!("  directory consistent: yes");
+
+    // Refetch an evicted page: it comes back from wherever putpage left
+    // it.
+    match gms.getpage(active, PageId::new(42)) {
+        GetPageOutcome::RemoteHit { server } => {
+            println!("\nrefetched page#42 from {server} after eviction");
+        }
+        GetPageOutcome::Miss => println!("\npage#42 left the network (displaced to disk)"),
+    }
+}

@@ -1,0 +1,107 @@
+//! A deep dive into the paper's flagship workload: the Modula-3
+//! compilation trace.
+//!
+//! Reproduces the paper's §4 analysis for one application end to end:
+//! the memory-size sweep (Figure 3), the runtime decomposition
+//! (Figure 4), the best/worst-case fault split (Figure 5), fault
+//! clustering (Figure 6), and the subpage-distance distribution
+//! (Figure 7).
+//!
+//! ```sh
+//! cargo run --release --example compiler_workload [scale]
+//! ```
+
+use gms_subpages::core::{
+    burstiness, sorted_wait_curve, FetchPolicy, MemoryConfig, SimConfig, Simulator,
+};
+use gms_subpages::mem::SubpageSize;
+use gms_subpages::trace::apps;
+use gms_subpages::units::Duration;
+
+fn run(app: &gms_subpages::trace::apps::AppProfile, policy: FetchPolicy, memory: MemoryConfig)
+    -> gms_subpages::core::RunReport
+{
+    Simulator::new(SimConfig::builder().policy(policy).memory(memory).build()).run(app)
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.25);
+    let app = apps::modula3().scaled(scale);
+    println!(
+        "Modula-3 compile @ scale {scale}: {} references over {} pages\n",
+        app.target_refs(),
+        app.footprint_pages(gms_subpages::units::Bytes::kib(8))
+    );
+
+    // Figure 3: the memory-size sweep.
+    println!("--- memory-size sweep (runtime normalized to p_8192) ---");
+    for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
+        let base = run(&app, FetchPolicy::fullpage(), memory);
+        print!("{:>9}:", memory.label());
+        for policy in [
+            FetchPolicy::disk(),
+            FetchPolicy::fullpage(),
+            FetchPolicy::eager(SubpageSize::S2K),
+            FetchPolicy::eager(SubpageSize::S1K),
+            FetchPolicy::pipelined(SubpageSize::S1K),
+        ] {
+            let r = run(&app, policy, memory);
+            print!(
+                "  {}={:.2}",
+                r.policy,
+                r.total_time.as_nanos() as f64 / base.total_time.as_nanos() as f64
+            );
+        }
+        println!();
+    }
+
+    // Figure 4: decomposition at 1/2 memory.
+    println!("\n--- runtime decomposition at 1/2-mem ---");
+    for size in SubpageSize::PAPER_SIZES.into_iter().rev() {
+        let r = run(&app, FetchPolicy::eager(size), MemoryConfig::Half);
+        let (exec, sp, wait) = r.decomposition();
+        println!(
+            "  {:>8}: exec {:>4.0}%  sp_latency {:>4.0}%  page_wait {:>4.0}%",
+            r.policy,
+            exec * 100.0,
+            sp * 100.0,
+            wait * 100.0
+        );
+    }
+
+    // Figure 5: best-case / worst-case fault split for 1K subpages.
+    let r = run(&app, FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half);
+    let curve = sorted_wait_curve(&r);
+    let min = curve.last().copied().unwrap_or(Duration::ZERO);
+    let best = curve
+        .iter()
+        .filter(|w| w.as_nanos() <= min.as_nanos() * 11 / 10)
+        .count();
+    println!(
+        "\n--- per-fault waits (1K subpages, 1/2-mem) ---\n  {} faults; best-case (subpage-latency only): {} ({:.0}%); worst wait {:.2} ms",
+        curve.len(),
+        best,
+        best as f64 / curve.len().max(1) as f64 * 100.0,
+        curve.first().map_or(0.0, |w| w.as_millis_f64())
+    );
+
+    // Figure 6: clustering; Figure 7: distances.
+    println!(
+        "\n--- behaviour ---\n  fault clustering: {:.0}% of faults in the busiest 10% of the run",
+        burstiness(&r, 0.1) * 100.0
+    );
+    println!(
+        "  next-subpage distances: +1 at {:.0}%, -1 at {:.0}% (mode {:?})",
+        r.distances.fraction(1) * 100.0,
+        r.distances.fraction(-1) * 100.0,
+        r.distances.mode()
+    );
+    println!(
+        "  overlap attribution: {:.0}% I/O-on-I/O, {:.0}% computation",
+        r.overlap.io_fraction() * 100.0,
+        (1.0 - r.overlap.io_fraction()) * 100.0
+    );
+}

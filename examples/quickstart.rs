@@ -1,0 +1,62 @@
+//! Quickstart: simulate one application under the three headline
+//! policies and print the comparison the paper opens with.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [scale]
+//! ```
+//!
+//! `scale` (default 0.1) shrinks the trace for a fast demo; use 1.0 for
+//! paper-fidelity reference counts.
+
+use gms_subpages::core::{FetchPolicy, MemoryConfig, SimConfig, Simulator};
+use gms_subpages::mem::SubpageSize;
+use gms_subpages::trace::apps;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.1);
+
+    let app = apps::modula3().scaled(scale);
+    println!(
+        "modula3 @ scale {scale}: {} refs, {} pages footprint\n",
+        app.target_refs(),
+        app.footprint_pages(gms_subpages::units::Bytes::kib(8)),
+    );
+
+    let policies = [
+        FetchPolicy::disk(),
+        FetchPolicy::fullpage(),
+        FetchPolicy::eager(SubpageSize::S1K),
+        FetchPolicy::eager(SubpageSize::S2K),
+        FetchPolicy::pipelined(SubpageSize::S1K),
+    ];
+
+    for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
+        println!("=== {} ===", memory.label());
+        let baseline = Simulator::new(
+            SimConfig::builder().policy(FetchPolicy::fullpage()).memory(memory).build(),
+        )
+        .run(&app);
+        for policy in policies {
+            let t0 = std::time::Instant::now();
+            let report = Simulator::new(
+                SimConfig::builder().policy(policy).memory(memory).build(),
+            )
+            .run(&app);
+            println!(
+                "  {:10} {:>9.1} ms  faults {:>6}  evict {:>6}  sp {:>8.1} ms  wait {:>8.1} ms  speedup vs p_8192 {:>5.2}  [{:?} wall]",
+                report.policy,
+                report.total_time.as_millis_f64(),
+                report.faults.total(),
+                report.evictions,
+                report.sp_latency.as_millis_f64(),
+                report.page_wait.as_millis_f64(),
+                report.speedup_vs(&baseline),
+                t0.elapsed(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,177 @@
+//! Regression tests for the extension experiments recorded in
+//! EXPERIMENTS.md: the faster-network projection, Ethernet-backed remote
+//! paging, the pipelining-scheme ablation, and the network-utilization
+//! reporting.
+
+use gms_subpages::core::{
+    FetchPolicy, MemoryConfig, PipelineStrategy, RunReport, SimConfig, Simulator,
+};
+use gms_subpages::mem::SubpageSize;
+use gms_subpages::net::{AccessPattern, NetParams, RecvOverhead};
+use gms_subpages::trace::apps::{self, AppProfile};
+
+fn run_with_net(
+    app: &AppProfile,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+    net: NetParams,
+) -> RunReport {
+    Simulator::new(
+        SimConfig::builder().policy(policy).memory(memory).net(net).build(),
+    )
+    .run(app)
+}
+
+/// §5's projection: on a much faster network, the optimal pipelined
+/// subpage size is no larger than on the AN2.
+#[test]
+fn faster_networks_shrink_the_optimal_subpage() {
+    let app = apps::modula3().scaled(0.05);
+    let best_size = |net: NetParams| {
+        SubpageSize::PAPER_SIZES
+            .into_iter()
+            .min_by_key(|&size| {
+                run_with_net(&app, FetchPolicy::pipelined(size), MemoryConfig::Half, net)
+                    .total_time
+            })
+            .expect("sizes swept")
+    };
+    let an2 = best_size(NetParams::paper());
+    let fast = best_size(NetParams::paper().scaled_network(16.0));
+    assert!(fast <= an2, "16x network best {fast:?} vs AN2 best {an2:?}");
+}
+
+/// Ethernet-backed remote memory: fullpage transfers lose to even a
+/// sequential disk, but lazy subpage fetch (which moves only the touched
+/// data) recovers a win over the *random* disk — the inverse of the AN2
+/// ordering, where lazy is the worst remote policy.
+#[test]
+fn ethernet_inverts_the_lazy_eager_ordering() {
+    let app = apps::gdb().scaled(0.5);
+    let eth = NetParams::ethernet();
+    let fullpage = run_with_net(&app, FetchPolicy::fullpage(), MemoryConfig::Half, eth);
+    let eager = run_with_net(
+        &app,
+        FetchPolicy::eager(SubpageSize::S2K),
+        MemoryConfig::Half,
+        eth,
+    );
+    let lazy = run_with_net(
+        &app,
+        FetchPolicy::lazy(SubpageSize::S2K),
+        MemoryConfig::Half,
+        eth,
+    );
+    let seq_disk = Simulator::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::Disk { pattern: AccessPattern::Sequential })
+            .memory(MemoryConfig::Half)
+            .build(),
+    )
+    .run(&app);
+    let rand_disk = Simulator::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::Disk { pattern: AccessPattern::Random })
+            .memory(MemoryConfig::Half)
+            .build(),
+    )
+    .run(&app);
+
+    // On a slow wire, moving less data wins.
+    assert!(lazy.total_time < eager.total_time, "lazy beats eager on Ethernet");
+    assert!(eager.total_time < fullpage.total_time, "subpages still beat fullpage");
+    // Figure 1's motivation, quantified.
+    assert!(fullpage.total_time > seq_disk.total_time, "fullpage Ethernet loses to a good disk");
+    assert!(lazy.total_time < rand_disk.total_time, "lazy Ethernet beats a random disk");
+
+    // And on the AN2, the ordering flips back: lazy is the worst.
+    let an2_eager = run_with_net(
+        &app,
+        FetchPolicy::eager(SubpageSize::S2K),
+        MemoryConfig::Half,
+        NetParams::paper(),
+    );
+    let an2_lazy = run_with_net(
+        &app,
+        FetchPolicy::lazy(SubpageSize::S2K),
+        MemoryConfig::Half,
+        NetParams::paper(),
+    );
+    assert!(an2_lazy.total_time > an2_eager.total_time, "lazy loses on the AN2");
+}
+
+/// §4.3: every pipelining scheme improves on plain eager fetch at a
+/// small subpage size.
+#[test]
+fn all_pipelining_schemes_beat_eager_at_512() {
+    let app = apps::modula3().scaled(0.05);
+    let eager = Simulator::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S512))
+            .memory(MemoryConfig::Half)
+            .build(),
+    )
+    .run(&app);
+    for strategy in [
+        PipelineStrategy::NeighborsFirst,
+        PipelineStrategy::Ascending,
+        PipelineStrategy::DoubledFollowOn,
+        PipelineStrategy::AdaptiveHalf,
+    ] {
+        let piped = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::PipelinedSubpage {
+                    subpage: SubpageSize::S512,
+                    strategy,
+                    recv_overhead: RecvOverhead::Zero,
+                })
+                .memory(MemoryConfig::Half)
+                .build(),
+        )
+        .run(&app);
+        assert!(
+            piped.total_time < eager.total_time,
+            "{} did not beat eager: {} vs {}",
+            strategy.name(),
+            piped.total_time,
+            eager.total_time
+        );
+    }
+}
+
+/// The report's wire-utilization indicator behaves: remote policies load
+/// the inbound wire, the disk policy not at all, and more constrained
+/// memory loads it more. (Modula-3's fault density varies strongly with
+/// memory size; gdb's is saturated in every configuration.)
+#[test]
+fn wire_utilization_tracks_paging_intensity() {
+    let app = apps::modula3().scaled(0.05);
+    let disk = Simulator::new(
+        SimConfig::builder().policy(FetchPolicy::disk()).memory(MemoryConfig::Half).build(),
+    )
+    .run(&app);
+    assert_eq!(disk.wire_utilization(), 0.0);
+
+    let full = Simulator::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Full)
+            .build(),
+    )
+    .run(&app);
+    let half = Simulator::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .build(),
+    )
+    .run(&app);
+    assert!(full.wire_utilization() > 0.0);
+    assert!(
+        half.wire_utilization() > full.wire_utilization(),
+        "half {:.3} vs full {:.3}",
+        half.wire_utilization(),
+        full.wire_utilization()
+    );
+    assert!(half.wire_utilization() < 1.0);
+}
