@@ -8,24 +8,23 @@
 //! reverses — the subpage mechanism is what makes slow-network remote
 //! memory viable at all.
 
-use gms_bench::{apps, ms, run, scale, MemoryConfig, SubpageSize, Table};
-use gms_core::{FetchPolicy, SimConfig, Simulator};
+use gms_bench::{apps, ms, run, scale, sweep_grid_configured, MemoryConfig, SubpageSize, Table};
+use gms_core::FetchPolicy;
 use gms_net::{AccessPattern, NetParams};
 
 fn main() {
     let app = apps::gdb().scaled(scale().min(1.0));
     let mut table = Table::new(
-        &format!("Ablation: remote paging over 10 Mb/s Ethernet (gdb, 1/2-mem, scale {})", scale()),
+        &format!(
+            "Ablation: remote paging over 10 Mb/s Ethernet (gdb, 1/2-mem, scale {})",
+            scale()
+        ),
         &["backing store", "policy", "runtime_ms"],
     );
 
     // Disk baselines: the band's two ends.
     for pattern in [AccessPattern::Sequential, AccessPattern::Random] {
-        let report = run(
-            &app,
-            FetchPolicy::Disk { pattern },
-            MemoryConfig::Half,
-        );
+        let report = run(&app, FetchPolicy::Disk { pattern }, MemoryConfig::Half);
         table.row(vec![
             format!("disk ({pattern:?})"),
             report.policy.clone(),
@@ -48,19 +47,14 @@ fn main() {
         FetchPolicy::lazy(SubpageSize::S1K),
         FetchPolicy::lazy(SubpageSize::S512),
     ];
-    for policy in policies {
-        let report = Simulator::new(
-            SimConfig::builder()
-                .policy(policy)
-                .memory(MemoryConfig::Half)
-                .net(NetParams::ethernet())
-                .build(),
-        )
-        .run(&app);
+    let results = sweep_grid_configured(&app, policies, [MemoryConfig::Half], |b| {
+        b.net(NetParams::ethernet())
+    });
+    for cell in results.cells() {
         table.row(vec![
             "ethernet".to_owned(),
-            report.policy.clone(),
-            ms(report.total_time),
+            cell.report.policy.clone(),
+            ms(cell.report.total_time),
         ]);
     }
     table.emit("ablation_ethernet_paging");

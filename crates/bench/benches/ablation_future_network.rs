@@ -6,30 +6,32 @@
 //! hypothetical 4x and 16x faster wires (software costs unchanged) and
 //! reports the best size for each.
 
-use gms_bench::{apps, ms, run, scale, MemoryConfig, SubpageSize, Table};
-use gms_core::{FetchPolicy, SimConfig, Simulator};
+use gms_bench::{apps, ms, scale, sweep_grid_configured, MemoryConfig, SubpageSize, Table};
+use gms_core::FetchPolicy;
 use gms_net::NetParams;
 
 fn main() {
     let app = apps::modula3().scaled(scale());
     let mut table = Table::new(
-        &format!("Ablation: faster networks (Modula-3, 1/2-mem, pipelined, scale {})", scale()),
+        &format!(
+            "Ablation: faster networks (Modula-3, 1/2-mem, pipelined, scale {})",
+            scale()
+        ),
         &["network", "subpage", "runtime_ms"],
     );
     let mut best = Vec::new();
     for (label, factor) in [("AN2 (1x)", 1.0), ("4x", 4.0), ("16x", 16.0)] {
         let net = NetParams::paper().scaled_network(factor);
+        let results = sweep_grid_configured(
+            &app,
+            SubpageSize::PAPER_SIZES.map(FetchPolicy::pipelined),
+            [MemoryConfig::Half],
+            move |b| b.net(net),
+        );
         let mut best_size = None;
         let mut best_time = None;
-        for size in SubpageSize::PAPER_SIZES {
-            let report = Simulator::new(
-                SimConfig::builder()
-                    .policy(FetchPolicy::pipelined(size))
-                    .memory(MemoryConfig::Half)
-                    .net(net)
-                    .build(),
-            )
-            .run(&app);
+        for (size, cell) in SubpageSize::PAPER_SIZES.into_iter().zip(results.cells()) {
+            let report = &cell.report;
             if best_time.is_none_or(|t| report.total_time < t) {
                 best_time = Some(report.total_time);
                 best_size = Some(size);
@@ -46,7 +48,4 @@ fn main() {
     for (label, size) in best {
         println!("{label}: best subpage {}", size.bytes());
     }
-    // A placeholder run() reference keeps the helper linked for parity
-    // with the other benches.
-    let _ = run;
 }

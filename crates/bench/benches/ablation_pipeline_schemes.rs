@@ -6,14 +6,38 @@
 //! schemes showed various amounts of improvement relative to the basic
 //! scheme."
 
-use gms_bench::{apps, ms, pct, run, scale, MemoryConfig, SubpageSize, Table};
+use gms_bench::{apps, ms, pct, scale, sweep_grid, MemoryConfig, SubpageSize, Table};
 use gms_core::{FetchPolicy, PipelineStrategy};
 use gms_net::RecvOverhead;
+
+const STRATEGIES: [PipelineStrategy; 4] = [
+    PipelineStrategy::NeighborsFirst,
+    PipelineStrategy::Ascending,
+    PipelineStrategy::DoubledFollowOn,
+    PipelineStrategy::AdaptiveHalf,
+];
+
+fn pipelined(size: SubpageSize, strategy: PipelineStrategy) -> FetchPolicy {
+    FetchPolicy::PipelinedSubpage {
+        subpage: size,
+        strategy,
+        recv_overhead: RecvOverhead::Zero,
+    }
+}
 
 fn main() {
     let app = apps::modula3().scaled(scale());
     for size in [SubpageSize::S512, SubpageSize::S1K] {
-        let eager = run(&app, FetchPolicy::eager(size), MemoryConfig::Half);
+        let policies =
+            std::iter::once(FetchPolicy::eager(size)).chain(STRATEGIES.map(|s| pipelined(size, s)));
+        let results = sweep_grid(&app, policies, [MemoryConfig::Half]);
+        let cell = |p| {
+            &results
+                .get(p, MemoryConfig::Half)
+                .expect("swept cell")
+                .report
+        };
+        let eager = cell(FetchPolicy::eager(size));
         let mut table = Table::new(
             &format!(
                 "Ablation: pipelining schemes ({} subpages, Modula-3 1/2-mem, scale {})",
@@ -28,23 +52,13 @@ fn main() {
             ms(eager.page_wait),
             "-".into(),
         ]);
-        for strategy in [
-            PipelineStrategy::NeighborsFirst,
-            PipelineStrategy::Ascending,
-            PipelineStrategy::DoubledFollowOn,
-            PipelineStrategy::AdaptiveHalf,
-        ] {
-            let policy = FetchPolicy::PipelinedSubpage {
-                subpage: size,
-                strategy,
-                recv_overhead: RecvOverhead::Zero,
-            };
-            let report = run(&app, policy, MemoryConfig::Half);
+        for strategy in STRATEGIES {
+            let report = cell(pipelined(size, strategy));
             table.row(vec![
                 strategy.name().to_owned(),
                 ms(report.total_time),
                 ms(report.page_wait),
-                pct(report.reduction_vs(&eager)),
+                pct(report.reduction_vs(eager)),
             ]);
         }
         table.emit(&format!("ablation_pipeline_schemes_{}", size.bytes().get()));
@@ -53,18 +67,25 @@ fn main() {
     // The paper also notes the prototype's measured per-message interrupt
     // cost makes software pipelining a wash on the AN2; show it.
     let app = apps::modula3().scaled(scale());
+    let overheads = [
+        ("zero", RecvOverhead::Zero),
+        ("measured", RecvOverhead::Measured),
+    ];
+    let results = sweep_grid(
+        &app,
+        overheads.map(|(_, recv_overhead)| FetchPolicy::PipelinedSubpage {
+            subpage: SubpageSize::S1K,
+            strategy: PipelineStrategy::NeighborsFirst,
+            recv_overhead,
+        }),
+        [MemoryConfig::Half],
+    );
     let mut realism = Table::new(
         "Pipelining with measured (AN2) vs zero (ideal controller) receive overhead",
         &["recv_overhead", "runtime_ms"],
     );
-    for (label, overhead) in [("zero", RecvOverhead::Zero), ("measured", RecvOverhead::Measured)] {
-        let policy = FetchPolicy::PipelinedSubpage {
-            subpage: SubpageSize::S1K,
-            strategy: PipelineStrategy::NeighborsFirst,
-            recv_overhead: overhead,
-        };
-        let report = run(&app, policy, MemoryConfig::Half);
-        realism.row(vec![label.into(), ms(report.total_time)]);
+    for ((label, _), cell) in overheads.iter().zip(results.cells()) {
+        realism.row(vec![(*label).into(), ms(cell.report.total_time)]);
     }
     realism.emit("ablation_pipeline_recv_overhead");
 }

@@ -5,13 +5,18 @@
 //! and 2-random-choices to show how much of the subpage benefit is
 //! robust to the replacement policy.
 
-use gms_bench::{apps, ms, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
-use gms_core::{ReplacementKind, SimConfig, Simulator};
+use gms_bench::{
+    apps, ms, scale, sweep_grid_configured, FetchPolicy, MemoryConfig, SubpageSize, Table,
+};
+use gms_core::ReplacementKind;
 
 fn main() {
     let app = apps::modula3().scaled(scale());
     let mut table = Table::new(
-        &format!("Ablation: replacement policies (Modula-3, 1/4-mem, scale {})", scale()),
+        &format!(
+            "Ablation: replacement policies (Modula-3, 1/4-mem, scale {})",
+            scale()
+        ),
         &["replacement", "policy", "runtime_ms", "faults", "evictions"],
     );
     for replacement in [
@@ -20,15 +25,17 @@ fn main() {
         ReplacementKind::Fifo,
         ReplacementKind::Random2 { seed: 7 },
     ] {
-        for policy in [FetchPolicy::fullpage(), FetchPolicy::eager(SubpageSize::S1K)] {
-            let report = Simulator::new(
-                SimConfig::builder()
-                    .policy(policy)
-                    .memory(MemoryConfig::Quarter)
-                    .replacement(replacement)
-                    .build(),
-            )
-            .run(&app);
+        let results = sweep_grid_configured(
+            &app,
+            [
+                FetchPolicy::fullpage(),
+                FetchPolicy::eager(SubpageSize::S1K),
+            ],
+            [MemoryConfig::Quarter],
+            move |b| b.replacement(replacement),
+        );
+        for cell in results.cells() {
+            let report = &cell.report;
             table.row(vec![
                 replacement.name().to_owned(),
                 report.policy.clone(),

@@ -7,7 +7,7 @@
 //! coverage. This bench compares lazy subpage fetch and true small pages
 //! against eager fetch at the same transfer granularity.
 
-use gms_bench::{apps, ms, run, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
+use gms_bench::{apps, ms, scale, sweep_grid, FetchPolicy, MemoryConfig, SubpageSize, Table};
 use gms_core::FetchPolicy as FP;
 use gms_mem::PageSize;
 use gms_units::Bytes;
@@ -15,18 +15,33 @@ use gms_units::Bytes;
 fn main() {
     let app = apps::modula3().scaled(scale());
     let mut table = Table::new(
-        &format!("Ablation: small pages vs subpages (Modula-3, 1/2-mem, scale {})", scale()),
-        &["policy", "runtime_ms", "faults", "sp_ms", "wait_ms", "tlb+emu_ms"],
+        &format!(
+            "Ablation: small pages vs subpages (Modula-3, 1/2-mem, scale {})",
+            scale()
+        ),
+        &[
+            "policy",
+            "runtime_ms",
+            "faults",
+            "sp_ms",
+            "wait_ms",
+            "tlb+emu_ms",
+        ],
     );
     let policies = [
         FetchPolicy::fullpage(),
         FetchPolicy::eager(SubpageSize::S1K),
         FetchPolicy::lazy(SubpageSize::S1K),
-        FP::SmallPages { page: PageSize::new(Bytes::kib(1)) },
-        FP::SmallPages { page: PageSize::new(Bytes::kib(2)) },
+        FP::SmallPages {
+            page: PageSize::new(Bytes::kib(1)),
+        },
+        FP::SmallPages {
+            page: PageSize::new(Bytes::kib(2)),
+        },
     ];
-    for policy in policies {
-        let report = run(&app, policy, MemoryConfig::Half);
+    let results = sweep_grid(&app, policies, [MemoryConfig::Half]);
+    for cell in results.cells() {
+        let report = &cell.report;
         table.row(vec![
             report.policy.clone(),
             ms(report.total_time),

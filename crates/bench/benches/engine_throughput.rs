@@ -1,0 +1,127 @@
+//! Engine and sweep-executor throughput.
+//!
+//! Measures the simulator's reference throughput (refs/sec) per fetch
+//! policy over a pre-materialized gdb trace, and the wall-clock of the
+//! paper-default sweep grid serially vs. on [`gms_bench::jobs`] workers.
+//! Results print as a table and are written to `BENCH_engine.json` at
+//! the repository root so regressions are diffable across commits.
+//!
+//! `GMS_SCALE` shrinks the trace, `GMS_JOBS` pins the worker count.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gms_bench::{
+    apps, jobs, scale, FetchPolicy, MemoryConfig, SimConfig, Simulator, SubpageSize, Sweep, Table,
+};
+use gms_trace::synth::LAYOUT_BASE;
+use gms_trace::MaterializedTrace;
+
+struct Sample {
+    label: String,
+    refs: u64,
+    secs: f64,
+}
+
+impl Sample {
+    fn refs_per_sec(&self) -> f64 {
+        self.refs as f64 / self.secs
+    }
+}
+
+fn main() {
+    let app = apps::gdb().scaled(scale());
+    let trace = Arc::new(MaterializedTrace::capture(&mut *app.source()));
+    let footprint = app.footprint();
+
+    // Per-policy engine throughput over the shared trace. Each policy is
+    // run once to warm caches and then timed over `REPS` replays.
+    const REPS: u32 = 5;
+    let policies = [
+        FetchPolicy::fullpage(),
+        FetchPolicy::eager(SubpageSize::S1K),
+        FetchPolicy::pipelined(SubpageSize::S1K),
+        FetchPolicy::lazy(SubpageSize::S1K),
+    ];
+    let mut samples = Vec::new();
+    for policy in policies {
+        let run_once = || {
+            let config = SimConfig::builder()
+                .policy(policy)
+                .memory(MemoryConfig::Half)
+                .build();
+            Simulator::new(config).run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE)
+        };
+        let warm = run_once();
+        let start = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(run_once());
+        }
+        let secs = start.elapsed().as_secs_f64() / f64::from(REPS);
+        samples.push(Sample {
+            label: policy.label(),
+            refs: warm.total_refs,
+            secs,
+        });
+    }
+
+    // Paper-default sweep grid: serial executor vs. the parallel one.
+    let sweep_secs = |jobs: usize| {
+        let start = Instant::now();
+        std::hint::black_box(Sweep::new(app.clone()).run_parallel(jobs));
+        start.elapsed().as_secs_f64()
+    };
+    let serial_secs = sweep_secs(1);
+    let parallel_jobs = jobs();
+    let parallel_secs = sweep_secs(parallel_jobs);
+
+    let mut table = Table::new(
+        &format!("Engine throughput (gdb trace, 1/2-mem, scale {})", scale()),
+        &["policy", "refs", "ms_per_run", "refs_per_sec"],
+    );
+    for s in &samples {
+        table.row(vec![
+            s.label.clone(),
+            s.refs.to_string(),
+            format!("{:.2}", s.secs * 1e3),
+            format!("{:.0}", s.refs_per_sec()),
+        ]);
+    }
+    table.emit("engine_throughput");
+    println!(
+        "paper-default sweep (21 cells): serial {:.2} s, {} jobs {:.2} s ({:.2}x)",
+        serial_secs,
+        parallel_jobs,
+        parallel_secs,
+        serial_secs / parallel_secs
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"app\": \"{}\",\n", app.name()));
+    json.push_str(&format!("  \"scale\": {},\n", scale()));
+    json.push_str(&format!("  \"total_refs\": {},\n", trace.total_refs()));
+    json.push_str("  \"policies\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"ms_per_run\": {:.3}, \"refs_per_sec\": {:.0} }}{comma}\n",
+            s.label,
+            s.secs * 1e3,
+            s.refs_per_sec()
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"sweep\": {\n");
+    json.push_str("    \"cells\": 21,\n");
+    json.push_str(&format!("    \"serial_secs\": {serial_secs:.3},\n"));
+    json.push_str(&format!("    \"jobs\": {parallel_jobs},\n"));
+    json.push_str(&format!("    \"parallel_secs\": {parallel_secs:.3},\n"));
+    json.push_str(&format!(
+        "    \"speedup\": {:.3}\n",
+        serial_secs / parallel_secs
+    ));
+    json.push_str("  }\n}\n");
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    std::fs::write(&path, json).expect("write BENCH_engine.json");
+    println!("[json: {}]", path.display());
+}

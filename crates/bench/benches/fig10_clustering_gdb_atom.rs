@@ -7,7 +7,10 @@ use gms_core::{burstiness, cumulative_fault_series, downsample};
 
 fn main() {
     let mut table = Table::new(
-        &format!("Figure 10: fault clustering, gdb vs atom (1/2-mem, scale {})", scale()),
+        &format!(
+            "Figure 10: fault clustering, gdb vs atom (1/2-mem, scale {})",
+            scale()
+        ),
         &["app", "progress_pct", "faults_pct"],
     );
     let mut bursts = Vec::new();
@@ -27,7 +30,10 @@ fn main() {
     }
     table.emit("fig10_clustering_gdb_atom");
     for (name, b) in bursts {
-        println!("{name}: {:.0}% of faults inside the busiest 10% of the run", b * 100.0);
+        println!(
+            "{name}: {:.0}% of faults inside the busiest 10% of the run",
+            b * 100.0
+        );
     }
     println!("paper: gdb steep staircase (most clustered), atom smooth ramp (least)");
 }

@@ -24,10 +24,7 @@ fn main() {
     headers.extend(links.iter().map(|l| format!("{}_ms", l.name())));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
 
-    let mut table = Table::new(
-        "Figure 1: latency vs page size (ms)",
-        &header_refs,
-    );
+    let mut table = Table::new("Figure 1: latency vs page size (ms)", &header_refs);
     for size in [0u64, 256, 512, 1024, 2048, 4096, 6144, 8192] {
         let mut row = vec![size.to_string()];
         for link in &links {

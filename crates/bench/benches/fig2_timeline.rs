@@ -36,7 +36,11 @@ fn render(label: &str, plan: &TransferPlan) {
                 *cell = mark;
             }
         }
-        println!("{:>8} |{}|", lane.label(), cells.into_iter().collect::<String>());
+        println!(
+            "{:>8} |{}|",
+            lane.label(),
+            cells.into_iter().collect::<String>()
+        );
     }
     let axis: String = (0..=4)
         .map(|i| format!("{:.1}ms", span_ms * i as f64 / 4.0))
@@ -50,6 +54,12 @@ fn main() {
     println!("== Figure 2: remote page fetch timelines ==");
     let page = Bytes::kib(8);
     render("fullpage 8K", &TransferPlan::fullpage(page));
-    render("eager, 2K subpage", &TransferPlan::eager(page, Bytes::new(2048)));
-    render("eager, 1K subpage", &TransferPlan::eager(page, Bytes::new(1024)));
+    render(
+        "eager, 2K subpage",
+        &TransferPlan::eager(page, Bytes::new(2048)),
+    );
+    render(
+        "eager, 1K subpage",
+        &TransferPlan::eager(page, Bytes::new(1024)),
+    );
 }

@@ -2,7 +2,7 @@
 //! full-page global memory, and eager subpage fetch at 4 KB down to
 //! 256 bytes — normalized to the full-page case, as the paper plots it.
 
-use gms_bench::{apps, ms, pct, run, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
+use gms_bench::{apps, ms, pct, scale, sweep_grid, FetchPolicy, MemoryConfig, SubpageSize, Table};
 
 fn main() {
     let app = apps::modula3().scaled(scale());
@@ -15,26 +15,41 @@ fn main() {
         FetchPolicy::eager(SubpageSize::S512),
         FetchPolicy::eager(SubpageSize::S256),
     ];
+    let memories = [
+        MemoryConfig::Full,
+        MemoryConfig::Half,
+        MemoryConfig::Quarter,
+    ];
+    let results = sweep_grid(&app, policies, memories);
 
     let mut table = Table::new(
         &format!("Figure 3: Modula-3 runtime, scale {}", scale()),
-        &["memory", "policy", "runtime_ms", "normalized", "faults", "vs_p8192"],
+        &[
+            "memory",
+            "policy",
+            "runtime_ms",
+            "normalized",
+            "faults",
+            "vs_p8192",
+        ],
     );
-    for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
-        let baseline = run(&app, FetchPolicy::fullpage(), memory);
+    for memory in memories {
+        let baseline = &results
+            .get(FetchPolicy::fullpage(), memory)
+            .expect("fullpage is on the policy axis")
+            .report;
         for policy in policies {
-            let report = run(&app, policy, memory);
+            let report = &results.get(policy, memory).expect("swept cell").report;
             table.row(vec![
                 memory.label(),
                 report.policy.clone(),
                 ms(report.total_time),
                 format!(
                     "{:.3}",
-                    report.total_time.as_nanos() as f64
-                        / baseline.total_time.as_nanos() as f64
+                    report.total_time.as_nanos() as f64 / baseline.total_time.as_nanos() as f64
                 ),
                 report.faults.total().to_string(),
-                pct(report.reduction_vs(&baseline)),
+                pct(report.reduction_vs(baseline)),
             ]);
         }
     }

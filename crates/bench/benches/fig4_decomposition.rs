@@ -9,8 +9,18 @@ use gms_bench::{apps, ms, pct, run, scale, FetchPolicy, MemoryConfig, SubpageSiz
 fn main() {
     let app = apps::modula3().scaled(scale());
     let mut table = Table::new(
-        &format!("Figure 4: Modula-3 runtime decomposition at 1/2-mem, scale {}", scale()),
-        &["policy", "total_ms", "exec", "sp_latency", "page_wait", "other"],
+        &format!(
+            "Figure 4: Modula-3 runtime decomposition at 1/2-mem, scale {}",
+            scale()
+        ),
+        &[
+            "policy",
+            "total_ms",
+            "exec",
+            "sp_latency",
+            "page_wait",
+            "other",
+        ],
     );
     let policies = [
         FetchPolicy::fullpage(),

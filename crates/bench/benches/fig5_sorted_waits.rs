@@ -25,8 +25,17 @@ fn main() {
 
     // Summarize each curve: plateau levels and the best-case fraction.
     let mut summary = Table::new(
-        &format!("Figure 5 summary: per-fault waits, 1/2-mem, scale {}", scale()),
-        &["policy", "faults", "max_wait_ms", "min_wait_ms", "best_case_frac"],
+        &format!(
+            "Figure 5 summary: per-fault waits, 1/2-mem, scale {}",
+            scale()
+        ),
+        &[
+            "policy",
+            "faults",
+            "max_wait_ms",
+            "min_wait_ms",
+            "best_case_frac",
+        ],
     );
     for (name, curve) in &curves {
         let n = curve.len().max(1);

@@ -9,13 +9,19 @@ use gms_core::{burstiness, cumulative_fault_series, downsample};
 fn main() {
     let app = apps::modula3().scaled(scale());
     let mut points = Table::new(
-        &format!("Figure 6: Modula-3 fault clustering (1/2-mem, scale {})", scale()),
+        &format!(
+            "Figure 6: Modula-3 fault clustering (1/2-mem, scale {})",
+            scale()
+        ),
         &["refs_millions", "faults"],
     );
     let report = run(&app, FetchPolicy::fullpage(), MemoryConfig::Half);
     let series = cumulative_fault_series(&report);
     for (at_ref, count) in downsample(&series, 48) {
-        points.row(vec![format!("{:.2}", at_ref as f64 / 1e6), count.to_string()]);
+        points.row(vec![
+            format!("{:.2}", at_ref as f64 / 1e6),
+            count.to_string(),
+        ]);
     }
     points.emit("fig6_fault_clustering");
     println!(

@@ -8,7 +8,10 @@ use gms_bench::{apps, ms, pct, run, scale, FetchPolicy, MemoryConfig, SubpageSiz
 fn main() {
     let app = apps::modula3().scaled(scale());
     let mut table = Table::new(
-        &format!("Figure 8: eager vs pipelining, Modula-3 1/2-mem, scale {}", scale()),
+        &format!(
+            "Figure 8: eager vs pipelining, Modula-3 1/2-mem, scale {}",
+            scale()
+        ),
         &[
             "subpage",
             "eager_ms",

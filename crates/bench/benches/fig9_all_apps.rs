@@ -6,11 +6,14 @@
 //! share of the overlap runs 53% (Atom) to 83% (gdb); pipelining's
 //! *relative* gain is largest for the apps that gain least from eager.
 
-use gms_bench::{apps, pct, run, scale, FetchPolicy, MemoryConfig, SubpageSize, Table};
+use gms_bench::{apps, pct, scale, sweep_grid, FetchPolicy, MemoryConfig, SubpageSize, Table};
 
 fn main() {
     let mut table = Table::new(
-        &format!("Figure 9: all applications, 1/2-mem, 1K subpages, scale {}", scale()),
+        &format!(
+            "Figure 9: all applications, 1/2-mem, 1K subpages, scale {}",
+            scale()
+        ),
         &[
             "app",
             "eager_reduction",
@@ -21,13 +24,28 @@ fn main() {
     );
     for app in apps::all() {
         let app = app.scaled(scale());
-        let base = run(&app, FetchPolicy::fullpage(), MemoryConfig::Half);
-        let eager = run(&app, FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half);
-        let piped = run(&app, FetchPolicy::pipelined(SubpageSize::S1K), MemoryConfig::Half);
+        let results = sweep_grid(
+            &app,
+            [
+                FetchPolicy::fullpage(),
+                FetchPolicy::eager(SubpageSize::S1K),
+                FetchPolicy::pipelined(SubpageSize::S1K),
+            ],
+            [MemoryConfig::Half],
+        );
+        let cell = |p| {
+            &results
+                .get(p, MemoryConfig::Half)
+                .expect("swept cell")
+                .report
+        };
+        let base = cell(FetchPolicy::fullpage());
+        let eager = cell(FetchPolicy::eager(SubpageSize::S1K));
+        let piped = cell(FetchPolicy::pipelined(SubpageSize::S1K));
         table.row(vec![
             app.name().to_owned(),
-            pct(eager.reduction_vs(&base)),
-            pct(piped.reduction_vs(&base)),
+            pct(eager.reduction_vs(base)),
+            pct(piped.reduction_vs(base)),
             pct(eager.overlap.io_fraction()),
             base.faults.total().to_string(),
         ]);

@@ -52,13 +52,23 @@ fn main() {
         "alternating pages".into(),
         alternating.fast_loads.to_string(),
         alternating.slow_loads.to_string(),
-        format!("{:.2}", ClockRate::from_mhz(266).time_for(alternating.cycles).as_micros_f64()),
+        format!(
+            "{:.2}",
+            ClockRate::from_mhz(266)
+                .time_for(alternating.cycles)
+                .as_micros_f64()
+        ),
     ]);
     dynamic.row(vec![
         "same page".into(),
         repeated.fast_loads.to_string(),
         repeated.slow_loads.to_string(),
-        format!("{:.2}", ClockRate::from_mhz(266).time_for(repeated.cycles).as_micros_f64()),
+        format!(
+            "{:.2}",
+            ClockRate::from_mhz(266)
+                .time_for(repeated.cycles)
+                .as_micros_f64()
+        ),
     ]);
     dynamic.emit("table1_palcode_dynamic");
 }

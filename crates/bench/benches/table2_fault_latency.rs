@@ -21,8 +21,8 @@ fn main() {
         ],
     );
 
-    let fullpage = Timeline::new(NetParams::paper())
-        .fault(SimTime::ZERO, &TransferPlan::fullpage(page));
+    let fullpage =
+        Timeline::new(NetParams::paper()).fault(SimTime::ZERO, &TransferPlan::fullpage(page));
     let full_ms = fullpage.restart_latency().as_millis_f64();
 
     let paper = [

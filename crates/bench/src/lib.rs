@@ -18,7 +18,8 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use gms_core::{
-    FetchPolicy, MemoryConfig, PipelineStrategy, RunReport, SimConfig, Simulator,
+    FetchPolicy, MemoryConfig, PipelineStrategy, RunReport, SimConfig, SimConfigBuilder, Simulator,
+    Sweep, SweepCell, SweepResults,
 };
 pub use gms_mem::SubpageSize;
 pub use gms_trace::apps::{self, AppProfile};
@@ -46,11 +47,59 @@ pub fn run(app: &AppProfile, policy: FetchPolicy, memory: MemoryConfig) -> RunRe
     Simulator::new(SimConfig::builder().policy(policy).memory(memory).build()).run(app)
 }
 
+/// Worker threads for grid benches: `GMS_JOBS` if set, else every
+/// available core. The reports are identical at any worker count, so
+/// this only affects wall-clock time.
+///
+/// # Panics
+///
+/// Panics if `GMS_JOBS` is set but not a positive integer.
+#[must_use]
+pub fn jobs() -> usize {
+    match std::env::var("GMS_JOBS") {
+        Ok(v) => {
+            let n: usize = v.parse().expect("GMS_JOBS must be an integer");
+            assert!(n >= 1, "GMS_JOBS must be at least 1");
+            n
+        }
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Runs a policy × memory grid on the parallel sweep executor with
+/// paper-default settings and [`jobs`] workers.
+#[must_use]
+pub fn sweep_grid(
+    app: &AppProfile,
+    policies: impl IntoIterator<Item = FetchPolicy>,
+    memories: impl IntoIterator<Item = MemoryConfig>,
+) -> SweepResults {
+    Sweep::new(app.clone())
+        .policies(policies)
+        .memories(memories)
+        .run_parallel(jobs())
+}
+
+/// [`sweep_grid`] with extra per-cell configuration (network,
+/// replacement, …).
+#[must_use]
+pub fn sweep_grid_configured(
+    app: &AppProfile,
+    policies: impl IntoIterator<Item = FetchPolicy>,
+    memories: impl IntoIterator<Item = MemoryConfig>,
+    configure: impl Fn(SimConfigBuilder) -> SimConfigBuilder + Send + Sync + 'static,
+) -> SweepResults {
+    Sweep::new(app.clone())
+        .policies(policies)
+        .memories(memories)
+        .configure(configure)
+        .run_parallel(jobs())
+}
+
 /// Where result CSVs are written.
 #[must_use]
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/gms-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/gms-results");
     fs::create_dir_all(&dir).expect("create results directory");
     dir
 }
@@ -108,7 +157,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));

@@ -5,7 +5,7 @@
 //! gms-sim run --app modula3 --policy sp_1024 --memory half [--scale 0.1]
 //!             [--net atm|ethernet|fast4|fast16] [--replacement lru|fifo|clock|random2]
 //!             [--pal]
-//! gms-sim sweep --app gdb [--scale 1.0]
+//! gms-sim sweep --app gdb [--scale 1.0] [--jobs 4]
 //! gms-sim latency [--subpage 1024]
 //! ```
 //!
@@ -50,8 +50,11 @@ USAGE:
   gms-sim run --app <name> --policy <label> [--memory full|half|quarter|<frames>]
               [--scale <f>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2] [--pal]
-  gms-sim sweep --app <name> [--scale <f>]
+  gms-sim sweep --app <name> [--scale <f>] [--jobs <n>]
   gms-sim latency [--subpage <bytes>]
+
+Sweeps fan the grid's cells over `--jobs` worker threads (default: all
+available cores); the reports are identical to a serial run.
 
 POLICY LABELS:
   disk | p_8192 | sp_<bytes> (eager) | pl_<bytes> (pipelined)
@@ -91,7 +94,9 @@ pub fn parse_policy(label: &str) -> Result<FetchPolicy, CliError> {
             } else if let Some(s) = label.strip_prefix("lazy_") {
                 Ok(FetchPolicy::lazy(SubpageSize::new(size(s)?)))
             } else if let Some(s) = label.strip_prefix("small_") {
-                Ok(FetchPolicy::SmallPages { page: PageSize::new(size(s)?) })
+                Ok(FetchPolicy::SmallPages {
+                    page: PageSize::new(size(s)?),
+                })
             } else {
                 Err(err(format!("unknown policy '{label}'")))
             }
@@ -153,7 +158,9 @@ struct Args {
 
 impl Args {
     fn new(args: &[String]) -> Self {
-        Args { rest: args.to_vec() }
+        Args {
+            rest: args.to_vec(),
+        }
     }
 
     fn take_value(&mut self, key: &str) -> Option<String> {
@@ -202,9 +209,16 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             Ok(list_apps())
         }
         "run" => {
-            let app = parse_app(&args.take_value("--app").ok_or_else(|| err("--app is required"))?)?;
-            let policy =
-                parse_policy(&args.take_value("--policy").ok_or_else(|| err("--policy is required"))?)?;
+            let app = parse_app(
+                &args
+                    .take_value("--app")
+                    .ok_or_else(|| err("--app is required"))?,
+            )?;
+            let policy = parse_policy(
+                &args
+                    .take_value("--policy")
+                    .ok_or_else(|| err("--policy is required"))?,
+            )?;
             let memory = match args.take_value("--memory") {
                 Some(m) => parse_memory(&m)?,
                 None => MemoryConfig::Half,
@@ -223,16 +237,37 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             };
             let pal = args.take_flag("--pal");
             args.finish()?;
-            Ok(run_command(&app.scaled(scale), policy, memory, net, replacement, pal))
+            Ok(run_command(
+                &app.scaled(scale),
+                policy,
+                memory,
+                net,
+                replacement,
+                pal,
+            ))
         }
         "sweep" => {
-            let app = parse_app(&args.take_value("--app").ok_or_else(|| err("--app is required"))?)?;
+            let app = parse_app(
+                &args
+                    .take_value("--app")
+                    .ok_or_else(|| err("--app is required"))?,
+            )?;
             let scale: f64 = match args.take_value("--scale") {
                 Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
                 None => 1.0,
             };
+            let jobs = match args.take_value("--jobs") {
+                Some(j) => {
+                    let n: usize = j.parse().map_err(|_| err("bad --jobs"))?;
+                    if n == 0 {
+                        return Err(err("--jobs must be at least 1"));
+                    }
+                    n
+                }
+                None => default_jobs(),
+            };
             args.finish()?;
-            Ok(sweep_command(&app.scaled(scale)))
+            Ok(sweep_command(&app.scaled(scale), jobs))
         }
         "latency" => {
             let subpage = match args.take_value("--subpage") {
@@ -249,7 +284,11 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
 
 fn list_apps() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<9} {:>12} {:>9} {:>22}", "app", "references", "pages", "paper faults (f..q)");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>9} {:>22}",
+        "app", "references", "pages", "paper faults (f..q)"
+    );
     for app in apps::all() {
         let (lo, hi) = app.paper_fault_range();
         let _ = writeln!(
@@ -272,7 +311,11 @@ fn run_command(
     replacement: ReplacementKind,
     pal: bool,
 ) -> String {
-    let access_cost = if pal { AccessCost::PalEmulated } else { AccessCost::TlbSupported };
+    let access_cost = if pal {
+        AccessCost::PalEmulated
+    } else {
+        AccessCost::TlbSupported
+    };
     let report = Simulator::new(
         SimConfig::builder()
             .policy(policy)
@@ -313,10 +356,20 @@ fn run_command(
     out
 }
 
-fn sweep_command(app: &AppProfile) -> String {
-    let results = Sweep::new(app.clone()).run();
+/// The default sweep worker count: every available core.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn sweep_command(app: &AppProfile, jobs: usize) -> String {
+    let results = Sweep::new(app.clone()).run_parallel(jobs);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<9} {:>10} {:>12} {:>8}", "memory", "policy", "runtime_ms", "faults");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>10} {:>12} {:>8}",
+        "memory", "policy", "runtime_ms", "faults"
+    );
     for cell in results.cells() {
         let _ = writeln!(
             out,
@@ -328,7 +381,12 @@ fn sweep_command(app: &AppProfile) -> String {
         );
     }
     if let Some(best) = results.best() {
-        let _ = writeln!(out, "fastest: {} at {}", best.report.policy, best.memory.label());
+        let _ = writeln!(
+            out,
+            "fastest: {} at {}",
+            best.report.policy,
+            best.memory.label()
+        );
     }
     out
 }
@@ -336,8 +394,8 @@ fn sweep_command(app: &AppProfile) -> String {
 fn latency_command(subpage: Bytes) -> String {
     let page = Bytes::kib(8);
     let mut out = String::new();
-    let full = Timeline::new(NetParams::paper())
-        .fault(SimTime::ZERO, &TransferPlan::fullpage(page));
+    let full =
+        Timeline::new(NetParams::paper()).fault(SimTime::ZERO, &TransferPlan::fullpage(page));
     let _ = writeln!(
         out,
         "fullpage 8K: restart {:.2} ms",
@@ -440,6 +498,16 @@ mod tests {
         let out = execute(&argv("sweep --app gdb --scale 0.2")).unwrap();
         assert!(out.contains("full-mem"), "{out}");
         assert!(out.contains("fastest:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_jobs_flag_is_validated_and_output_identical() {
+        assert!(execute(&argv("sweep --app gdb --jobs zero")).is_err());
+        assert!(execute(&argv("sweep --app gdb --jobs 0")).is_err());
+        let serial = execute(&argv("sweep --app gdb --scale 0.1 --jobs 1")).unwrap();
+        let parallel = execute(&argv("sweep --app gdb --scale 0.1 --jobs 4")).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(default_jobs() >= 1);
     }
 
     #[test]

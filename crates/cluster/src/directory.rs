@@ -42,7 +42,10 @@ impl Directory {
     #[must_use]
     pub fn new(n_nodes: u32) -> Self {
         assert!(n_nodes > 0, "a cluster needs at least one node");
-        Directory { n_nodes, map: HashMap::new() }
+        Directory {
+            n_nodes,
+            map: HashMap::new(),
+        }
     }
 
     /// Grows the cluster: custodianship rehashes over `n_nodes` nodes.

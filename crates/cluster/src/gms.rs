@@ -134,8 +134,7 @@ impl Gms {
                 let node = idle[(next + probe) % idle.len()];
                 if self.nodes[node.as_usize()].free() > 0 {
                     self.clock += 1;
-                    let displaced =
-                        self.nodes[node.as_usize()].store(page, false, self.clock);
+                    let displaced = self.nodes[node.as_usize()].store(page, false, self.clock);
                     debug_assert!(displaced.is_none());
                     self.directory.record(page, node);
                     next = (next + probe + 1) % idle.len();
@@ -150,7 +149,10 @@ impl Gms {
     /// Handles a remote page fault from `requester`: looks the page up in
     /// the directory and, on a hit, consumes the global copy.
     pub fn getpage(&mut self, requester: NodeId, page: PageId) -> GetPageOutcome {
-        let request = Request::GetPage { from: requester, page };
+        let request = Request::GetPage {
+            from: requester,
+            page,
+        };
         let reply;
         let outcome = match self.directory.lookup(page) {
             Some(server) => {
@@ -192,7 +194,10 @@ impl Gms {
         }
         self.directory.record(page, target);
         self.stats.traffic.record(&request, &Reply::Ack);
-        PutPageOutcome { stored_at: target, displaced }
+        PutPageOutcome {
+            stored_at: target,
+            displaced,
+        }
     }
 
     /// Handles a discard: the global copy of `page`, if any, is dropped
@@ -250,8 +255,7 @@ impl Gms {
             self.directory.clear(page);
             let target = self.epochs.pick_target(&self.nodes, node);
             self.clock += 1;
-            if let Some(old) = self.nodes[target.as_usize()].store(page, entry.dirty, self.clock)
-            {
+            if let Some(old) = self.nodes[target.as_usize()].store(page, entry.dirty, self.clock) {
                 self.directory.clear(old);
                 self.stats.displaced_to_disk += 1;
                 displaced.push(old);
@@ -368,7 +372,10 @@ mod tests {
     fn discard_drops_without_transfer() {
         let mut gms = warm_gms(3, 100, 4);
         gms.discard(NodeId::new(0), PageId::new(1));
-        assert_eq!(gms.getpage(NodeId::new(0), PageId::new(1)), GetPageOutcome::Miss);
+        assert_eq!(
+            gms.getpage(NodeId::new(0), PageId::new(1)),
+            GetPageOutcome::Miss
+        );
         assert_eq!(gms.stats().traffic.discards, 1);
         assert!(gms.is_consistent());
         // Discarding a page with no copy is a harmless no-op.

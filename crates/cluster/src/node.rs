@@ -48,7 +48,11 @@ impl Node {
     /// A node donating `capacity` global frames.
     #[must_use]
     pub fn new(id: NodeId, capacity: u64) -> Self {
-        Node { id, capacity, pages: HashMap::new() }
+        Node {
+            id,
+            capacity,
+            pages: HashMap::new(),
+        }
     }
 
     /// The node's identity.
@@ -137,7 +141,13 @@ impl Node {
         } else {
             None
         };
-        self.pages.insert(page, GlobalEntry { dirty, stored_at: now });
+        self.pages.insert(
+            page,
+            GlobalEntry {
+                dirty,
+                stored_at: now,
+            },
+        );
         displaced
     }
 

@@ -104,9 +104,21 @@ mod tests {
         let mut log = TrafficLog::default();
         let from = NodeId::new(0);
         let page = PageId::new(1);
-        log.record(&Request::GetPage { from, page }, &Reply::PageFound { server: NodeId::new(1) });
+        log.record(
+            &Request::GetPage { from, page },
+            &Reply::PageFound {
+                server: NodeId::new(1),
+            },
+        );
         log.record(&Request::GetPage { from, page }, &Reply::PageNotFound);
-        log.record(&Request::PutPage { from, page, dirty: true }, &Reply::Ack);
+        log.record(
+            &Request::PutPage {
+                from,
+                page,
+                dirty: true,
+            },
+            &Reply::Ack,
+        );
         log.record(&Request::Discard { from, page }, &Reply::Ack);
         assert_eq!(log.getpages, 2);
         assert_eq!(log.not_found, 1);
@@ -117,9 +129,16 @@ mod tests {
 
     #[test]
     fn display_names_operations() {
-        let r = Request::GetPage { from: NodeId::new(0), page: PageId::new(5) };
+        let r = Request::GetPage {
+            from: NodeId::new(0),
+            page: PageId::new(5),
+        };
         assert_eq!(format!("{r}"), "getpage(page#5) from node0");
-        let p = Request::PutPage { from: NodeId::new(2), page: PageId::new(5), dirty: true };
+        let p = Request::PutPage {
+            from: NodeId::new(2),
+            page: PageId::new(5),
+            dirty: true,
+        };
         assert!(format!("{p}").contains("dirty=true"));
     }
 }

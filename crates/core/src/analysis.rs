@@ -104,7 +104,11 @@ mod tests {
     }
 
     fn report_with(faults: Vec<FaultRecord>, total_refs: u64) -> RunReport {
-        RunReport { fault_log: faults, total_refs, ..RunReport::default() }
+        RunReport {
+            fault_log: faults,
+            total_refs,
+            ..RunReport::default()
+        }
     }
 
     #[test]
@@ -124,10 +128,7 @@ mod tests {
     #[test]
     fn cumulative_series_counts_up() {
         let r = report_with(vec![fault(10, 1), fault(20, 1), fault(90, 1)], 100);
-        assert_eq!(
-            cumulative_fault_series(&r),
-            vec![(10, 1), (20, 2), (90, 3)]
-        );
+        assert_eq!(cumulative_fault_series(&r), vec![(10, 1), (20, 2), (90, 3)]);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::FetchPolicy;
 
 /// How much local memory the traced program gets (Figure 3's three
 /// configurations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemoryConfig {
     /// As much as it needs: every fault is an initial (cold) fault.
     Full,
@@ -146,7 +146,9 @@ impl SimConfig {
     /// subpage access.
     #[must_use]
     pub fn builder() -> SimConfigBuilder {
-        SimConfigBuilder { config: SimConfig::default() }
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
     }
 
     /// Time for `n` references of pure execution.

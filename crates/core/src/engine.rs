@@ -90,7 +90,10 @@ impl Simulator {
         footprint: Bytes,
         base: VirtAddr,
     ) -> RunReport {
-        assert!(!footprint.is_zero(), "cannot size memory for an empty trace");
+        assert!(
+            !footprint.is_zero(),
+            "cannot size memory for an empty trace"
+        );
         let geom = self.config.policy.geometry(self.config.page_size);
         let footprint_pages = footprint.div_ceil(geom.page_size().bytes());
         let frames = self.config.memory.frames(footprint_pages);
@@ -247,9 +250,7 @@ impl<'a> Engine<'a> {
     fn other_inflight(&mut self, exclude: Option<PageId>) -> bool {
         let now = self.clock;
         self.inflight.retain(|(t, _)| *t > now);
-        self.inflight
-            .iter()
-            .any(|(_, p)| Some(*p) != exclude)
+        self.inflight.iter().any(|(_, p)| Some(*p) != exclude)
     }
 
     /// Advances the clock, attributing the span to `bucket` and to the
@@ -297,26 +298,61 @@ impl<'a> Engine<'a> {
             self.process_segment(run.start(), 0, run.count(), kind);
             return;
         }
-        let page_bytes = self.geom.page_size().bytes().get();
-        if stride.unsigned_abs() >= page_bytes {
-            // Sparse: every reference may land on a different page.
-            for i in 0..run.count() {
-                self.process_segment(run.addr_at(i), 0, 1, kind);
-            }
-            return;
-        }
-        // Dense: split into per-page segments.
+        // Split into per-page segments (a sparse run — |stride| ≥ page
+        // size — simply yields one-reference segments). Segments on
+        // fully-resident pages are batched past the per-segment
+        // bookkeeping while the engine is quiescent: their only effects
+        // are the recency touch, the dirty bit, and `exec` time, and the
+        // latter is additive, so one deferred `advance` at flush time is
+        // exact. The flush always precedes a slow-path segment so fault
+        // records still see the correct clock and reference count.
         let mut rest = run;
+        let mut batched: u64 = 0;
         loop {
             let addr = rest.start();
-            let in_page = self.refs_in_page(addr, stride);
-            let n = in_page.min(rest.count());
-            self.process_segment(addr, stride, n, kind);
+            let n = self.refs_in_page(addr, stride).min(rest.count());
+            let page = self.geom.page_of(addr);
+            let complete = self.table.get(page).is_some_and(PageState::is_complete);
+            // Quiescence cannot change while batching (the clock and all
+            // fault state are untouched), so one check per batch suffices.
+            if complete && (batched > 0 || self.exec_quiescent()) {
+                self.lru.touch(page);
+                if kind.is_write() {
+                    self.table.mark_dirty(page);
+                }
+                batched += n;
+            } else {
+                self.flush_exec_batch(&mut batched);
+                self.process_segment(addr, stride, n, kind);
+            }
             if n == rest.count() {
                 break;
             }
             (_, rest) = rest.split_at(n);
         }
+        self.flush_exec_batch(&mut batched);
+    }
+
+    /// Whether references to fully-resident pages can skip per-segment
+    /// bookkeeping entirely: no armed distance measurements, no pending
+    /// arrivals, no TLB model in play, and no follow-on data in flight
+    /// that execution would overlap with.
+    fn exec_quiescent(&mut self) -> bool {
+        self.armed.is_empty()
+            && self.pending.is_empty()
+            && !matches!(self.policy, FetchPolicy::SmallPages { .. })
+            && !self.other_inflight(None)
+    }
+
+    /// Credits a batch of references executed on fully-resident pages
+    /// while the engine was quiescent.
+    fn flush_exec_batch(&mut self, batched: &mut u64) {
+        if *batched == 0 {
+            return;
+        }
+        self.refs_done += *batched;
+        self.advance(self.ref_cost * *batched, Bucket::Exec, None);
+        *batched = 0;
     }
 
     /// How many references starting at `addr` with `stride` stay on
@@ -481,7 +517,9 @@ impl<'a> Engine<'a> {
     /// *running* is billed against the clock (arrivals landing inside a
     /// stall are free — the CPU was idle).
     fn apply_arrivals(&mut self, page: PageId, charge: bool) {
-        let Some(p) = self.pending.get_mut(&page) else { return };
+        let Some(p) = self.pending.get_mut(&page) else {
+            return;
+        };
         let mut changed = false;
         let mut billed = Duration::ZERO;
         let mut fired_at = Vec::new();
@@ -605,7 +643,14 @@ impl<'a> Engine<'a> {
                 })
                 .collect();
             self.inflight.push((ft.page_complete_at, page));
-            self.pending.insert(page, PendingPage { arrivals, next: 0, fault_idx });
+            self.pending.insert(
+                page,
+                PendingPage {
+                    arrivals,
+                    next: 0,
+                    fault_idx,
+                },
+            );
         }
         FaultKind::Remote
     }
@@ -650,7 +695,9 @@ impl<'a> Engine<'a> {
             // eviction back to global memory (asynchronously — only the
             // send setup stalls the CPU).
             gms.putpage(self.active, victim, state.dirty);
-            let send = self.timeline.send(self.clock, self.geom.page_size().bytes());
+            let send = self
+                .timeline
+                .send(self.clock, self.geom.page_size().bytes());
             let setup = send.cpu_free_at.elapsed_since(self.clock);
             self.advance(setup, Bucket::Putpage, None);
         }
@@ -663,7 +710,9 @@ impl<'a> Engine<'a> {
     /// If `page` is armed (recently faulted), record the distance to the
     /// first *different* subpage this segment touches, if any.
     fn resolve_distance(&mut self, page: PageId, addr: VirtAddr, stride: i64, n: u64) {
-        let Some(&origin) = self.armed.get(&page) else { return };
+        let Some(&origin) = self.armed.get(&page) else {
+            return;
+        };
         let first = self.geom.subpage_of(addr);
         if first != origin {
             self.distances.record(first.distance_from(origin));
@@ -729,10 +778,7 @@ mod tests {
     use gms_trace::VecSource;
 
     fn run_policy(policy: FetchPolicy, memory: MemoryConfig, app: &AppProfile) -> RunReport {
-        Simulator::new(
-            SimConfig::builder().policy(policy).memory(memory).build(),
-        )
-        .run(app)
+        Simulator::new(SimConfig::builder().policy(policy).memory(memory).build()).run(app)
     }
 
     fn tiny_app() -> AppProfile {
@@ -790,7 +836,11 @@ mod tests {
         let app = tiny_app();
         let disk = run_policy(FetchPolicy::disk(), MemoryConfig::Half, &app);
         let full = run_policy(FetchPolicy::fullpage(), MemoryConfig::Half, &app);
-        let eager = run_policy(FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half, &app);
+        let eager = run_policy(
+            FetchPolicy::eager(SubpageSize::S1K),
+            MemoryConfig::Half,
+            &app,
+        );
         assert!(disk.total_time > full.total_time, "GMS beats disk");
         assert!(full.total_time > eager.total_time, "subpages beat fullpage");
     }
@@ -798,7 +848,11 @@ mod tests {
     #[test]
     fn pipelining_reduces_page_wait() {
         let app = tiny_app();
-        let eager = run_policy(FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half, &app);
+        let eager = run_policy(
+            FetchPolicy::eager(SubpageSize::S1K),
+            MemoryConfig::Half,
+            &app,
+        );
         let piped = run_policy(
             FetchPolicy::pipelined(SubpageSize::S1K),
             MemoryConfig::Half,
@@ -874,14 +928,7 @@ mod tests {
         let mut layout = Layout::new();
         let region = layout.alloc_pages("two-touch", 8);
         let runs: Vec<Run> = (0..8)
-            .map(|i| {
-                Run::new(
-                    region.at(Bytes::new(i * 8192)),
-                    4096,
-                    2,
-                    AccessKind::Read,
-                )
-            })
+            .map(|i| Run::new(region.at(Bytes::new(i * 8192)), 4096, 2, AccessKind::Read))
             .collect();
         let sim = Simulator::new(
             SimConfig::builder()
@@ -934,7 +981,10 @@ mod tests {
             &app,
         );
         let total_overlap = report.overlap.io_overlap + report.overlap.comp_overlap;
-        assert!(total_overlap > Duration::ZERO, "gdb's bursts should overlap");
+        assert!(
+            total_overlap > Duration::ZERO,
+            "gdb's bursts should overlap"
+        );
     }
 
     #[test]
@@ -960,8 +1010,8 @@ mod tests {
         assert!(emulated.total_time > free.total_time);
         // "emulation slowed execution by less than 1%" (§3.1.1) — allow
         // a little headroom for the synthetic traces.
-        let frac = emulated.emulation_time.as_nanos() as f64
-            / emulated.total_time.as_nanos() as f64;
+        let frac =
+            emulated.emulation_time.as_nanos() as f64 / emulated.total_time.as_nanos() as f64;
         assert!(frac < 0.05, "emulation is {:.1}% of runtime", frac * 100.0);
     }
 
@@ -979,7 +1029,9 @@ mod tests {
             AccessKind::Read,
         );
         let sim = Simulator::new(
-            SimConfig::builder().policy(FetchPolicy::eager(SubpageSize::S1K)).build(),
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .build(),
         );
         let mut source = VecSource::new(vec![run]);
         let report = sim.run_trace(&mut source, region.len(), region.start());
@@ -1015,13 +1067,18 @@ mod tests {
         let region = layout.alloc_pages("burst", 64);
         let run = Run::new(region.start(), 8192, 64, AccessKind::Read);
         let sim = Simulator::new(
-            SimConfig::builder().policy(FetchPolicy::eager(SubpageSize::S1K)).build(),
+            SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .build(),
         );
         let mut source = VecSource::new(vec![run]);
         let report = sim.run_trace(&mut source, region.len(), region.start());
         let avg = report.sp_latency / report.faults.total();
         let lone = gms_net::Timeline::new(gms_net::NetParams::paper())
-            .fault(gms_units::SimTime::ZERO, &TransferPlan::eager(Bytes::kib(8), Bytes::kib(1)))
+            .fault(
+                gms_units::SimTime::ZERO,
+                &TransferPlan::eager(Bytes::kib(8), Bytes::kib(1)),
+            )
             .restart_latency();
         assert!(avg > lone, "burst avg {avg} vs lone {lone}");
     }
@@ -1030,7 +1087,9 @@ mod tests {
     fn small_pages_pay_tlb_refills() {
         let app = tiny_app();
         let report = run_policy(
-            FetchPolicy::SmallPages { page: gms_mem::PageSize::new(Bytes::kib(1)) },
+            FetchPolicy::SmallPages {
+                page: gms_mem::PageSize::new(Bytes::kib(1)),
+            },
             MemoryConfig::Half,
             &app,
         );

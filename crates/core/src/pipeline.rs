@@ -90,7 +90,12 @@ impl PipelineStrategy {
     ///
     /// [`AdaptiveHalf`]: PipelineStrategy::AdaptiveHalf
     #[must_use]
-    pub fn plan(self, geom: Geometry, faulted: SubpageIndex, offset_in_subpage: f64) -> MessagePlan {
+    pub fn plan(
+        self,
+        geom: Geometry,
+        faulted: SubpageIndex,
+        offset_in_subpage: f64,
+    ) -> MessagePlan {
         let n = geom.subpages_per_page() as u8;
         let f = faulted.get();
         debug_assert!(f < n);
@@ -110,7 +115,11 @@ impl PipelineStrategy {
         match self {
             PipelineStrategy::NeighborsFirst => {
                 groups.push(vec![faulted]);
-                if let Some(next) = f.checked_add(1).filter(|&i| i < n).and_then(|i| take(&mut remaining, i)) {
+                if let Some(next) = f
+                    .checked_add(1)
+                    .filter(|&i| i < n)
+                    .and_then(|i| take(&mut remaining, i))
+                {
                     groups.push(vec![next]);
                 }
                 if let Some(prev) = f.checked_sub(1).and_then(|i| take(&mut remaining, i)) {
@@ -292,7 +301,11 @@ mod tests {
     fn message_sizes_scale_with_group_len() {
         let plan = MessagePlan::new(vec![
             vec![SubpageIndex::new(0)],
-            vec![SubpageIndex::new(1), SubpageIndex::new(2), SubpageIndex::new(3)],
+            vec![
+                SubpageIndex::new(1),
+                SubpageIndex::new(2),
+                SubpageIndex::new(3),
+            ],
         ]);
         let g = Geometry::new(PageSize::P8K, SubpageSize::S2K);
         assert_eq!(plan.message_sizes(g), vec![Bytes::kib(2), Bytes::kib(6)]);

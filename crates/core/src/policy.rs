@@ -19,7 +19,7 @@ use crate::pipeline::{MessagePlan, PipelineStrategy};
 /// let policy = FetchPolicy::pipelined(SubpageSize::S1K);
 /// assert_eq!(policy.label(), "pl_1024");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FetchPolicy {
     /// All faults go to the local disk, full pages (the `disk_8192` bars
     /// of Figure 3).
@@ -65,7 +65,9 @@ impl FetchPolicy {
     /// Disk paging with random-access seeks.
     #[must_use]
     pub fn disk() -> Self {
-        FetchPolicy::Disk { pattern: AccessPattern::Random }
+        FetchPolicy::Disk {
+            pattern: AccessPattern::Random,
+        }
     }
 
     /// Full 8 KB pages from global memory.
@@ -113,9 +115,7 @@ impl FetchPolicy {
             FetchPolicy::EagerSubpage { subpage }
             | FetchPolicy::PipelinedSubpage { subpage, .. }
             | FetchPolicy::LazySubpage { subpage } => Geometry::new(base_page, subpage),
-            FetchPolicy::SmallPages { page } => {
-                Geometry::new(page, SubpageSize::new(page.bytes()))
-            }
+            FetchPolicy::SmallPages { page } => Geometry::new(page, SubpageSize::new(page.bytes())),
         }
     }
 
@@ -222,12 +222,19 @@ mod tests {
     fn geometry_follows_policy() {
         let base = PageSize::P8K;
         assert_eq!(FetchPolicy::disk().geometry(base).subpages_per_page(), 1);
-        assert_eq!(FetchPolicy::fullpage().geometry(base).subpages_per_page(), 1);
         assert_eq!(
-            FetchPolicy::eager(SubpageSize::S1K).geometry(base).subpages_per_page(),
+            FetchPolicy::fullpage().geometry(base).subpages_per_page(),
+            1
+        );
+        assert_eq!(
+            FetchPolicy::eager(SubpageSize::S1K)
+                .geometry(base)
+                .subpages_per_page(),
             8
         );
-        let small = FetchPolicy::SmallPages { page: PageSize::new(Bytes::kib(1)) };
+        let small = FetchPolicy::SmallPages {
+            page: PageSize::new(Bytes::kib(1)),
+        };
         let g = small.geometry(base);
         assert_eq!(g.page_size().bytes(), Bytes::kib(1));
         assert_eq!(g.subpages_per_page(), 1);
@@ -241,10 +248,7 @@ mod tests {
         assert_eq!(plan.groups().len(), 2);
         assert_eq!(plan.groups()[0], vec![SubpageIndex::new(5)]);
         assert_eq!(plan.groups()[1].len(), 7);
-        assert_eq!(
-            plan.message_sizes(geom),
-            vec![Bytes::kib(1), Bytes::kib(7)]
-        );
+        assert_eq!(plan.message_sizes(geom), vec![Bytes::kib(1), Bytes::kib(7)]);
     }
 
     #[test]
@@ -267,8 +271,11 @@ mod tests {
 
     #[test]
     fn pipelined_defaults_match_paper() {
-        let FetchPolicy::PipelinedSubpage { strategy, recv_overhead, .. } =
-            FetchPolicy::pipelined(SubpageSize::S1K)
+        let FetchPolicy::PipelinedSubpage {
+            strategy,
+            recv_overhead,
+            ..
+        } = FetchPolicy::pipelined(SubpageSize::S1K)
         else {
             panic!("wrong variant");
         };

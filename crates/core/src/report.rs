@@ -13,7 +13,7 @@ use crate::metrics::{DistanceHistogram, FaultCounts, FaultRecord, OverlapStats};
 /// `total_time = exec_time + sp_latency + page_wait + recv_overhead +
 /// emulation_time + putpage_overhead`, which
 /// [`RunReport::assert_conserved`] checks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// The policy label (`sp_1024`, `p_8192`, …).
     pub policy: String,

@@ -1,8 +1,23 @@
 //! Experiment grids: run a workload across policy × memory
 //! combinations and compare the results, as every figure of the paper
 //! does.
+//!
+//! Every cell of a grid is an independent, deterministic simulator run
+//! over the *same* application trace, so the executor exploits both
+//! facts: the trace is synthesized once into a shared
+//! [`MaterializedTrace`] that every cell replays, and the cells fan out
+//! over a bounded worker pool ([`Sweep::run_parallel`]). Reports are
+//! bit-identical to the serial path — only wall-clock time changes —
+//! and [`SweepResults::cells`] keeps the serial memory-major order
+//! regardless of which worker finished first.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use gms_trace::apps::AppProfile;
+use gms_trace::synth::LAYOUT_BASE;
+use gms_trace::MaterializedTrace;
 
 use crate::{FetchPolicy, MemoryConfig, RunReport, SimConfig, SimConfigBuilder, Simulator};
 
@@ -33,12 +48,21 @@ pub struct SweepCell {
 /// let best = sweep.best().expect("non-empty grid");
 /// assert_eq!(best.policy, FetchPolicy::eager(SubpageSize::S1K));
 /// ```
-#[derive(Debug)]
 pub struct Sweep {
     app: AppProfile,
     policies: Vec<FetchPolicy>,
     memories: Vec<MemoryConfig>,
-    configure: fn(SimConfigBuilder) -> SimConfigBuilder,
+    configure: Arc<dyn Fn(SimConfigBuilder) -> SimConfigBuilder + Send + Sync>,
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("app", &self.app)
+            .field("policies", &self.policies)
+            .field("memories", &self.memories)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Sweep {
@@ -54,8 +78,12 @@ impl Sweep {
         Sweep {
             app,
             policies,
-            memories: vec![MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter],
-            configure: |b| b,
+            memories: vec![
+                MemoryConfig::Full,
+                MemoryConfig::Half,
+                MemoryConfig::Quarter,
+            ],
+            configure: Arc::new(|b| b),
         }
     }
 
@@ -76,42 +104,120 @@ impl Sweep {
     /// Applies extra configuration (network, replacement, …) to every
     /// cell.
     #[must_use]
-    pub fn configure(mut self, f: fn(SimConfigBuilder) -> SimConfigBuilder) -> Self {
-        self.configure = f;
+    pub fn configure(
+        mut self,
+        f: impl Fn(SimConfigBuilder) -> SimConfigBuilder + Send + Sync + 'static,
+    ) -> Self {
+        self.configure = Arc::new(f);
         self
     }
 
-    /// Runs the grid.
+    /// Runs the grid serially (one worker).
     ///
     /// # Panics
     ///
     /// Panics if either axis is empty.
     #[must_use]
     pub fn run(self) -> SweepResults {
+        self.run_parallel(1)
+    }
+
+    /// Runs the grid on up to `jobs` worker threads.
+    ///
+    /// The application trace is synthesized **once** and replayed by
+    /// every cell, so N cells cost one synthesis. Cells are handed to
+    /// workers dynamically but collected in the exact memory-major
+    /// order of the serial path, and each cell's [`RunReport`] is
+    /// bit-identical to what [`Sweep::run`] produces: the simulator is
+    /// deterministic given a trace, and the cells share nothing else.
+    ///
+    /// `jobs` is clamped to `[1, cells]`; pass
+    /// `std::thread::available_parallelism()` for a machine-sized pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty.
+    #[must_use]
+    pub fn run_parallel(self, jobs: usize) -> SweepResults {
         assert!(
             !self.policies.is_empty() && !self.memories.is_empty(),
             "sweep axes must be non-empty"
         );
-        let mut cells = Vec::with_capacity(self.policies.len() * self.memories.len());
-        for &memory in &self.memories {
-            for &policy in &self.policies {
-                let builder = SimConfig::builder().policy(policy).memory(memory);
-                let config = (self.configure)(builder).build();
-                let report = Simulator::new(config).run(&self.app);
-                cells.push(SweepCell { policy, memory, report });
+        // Memory-major coordinates, exactly the serial cell order.
+        let coords: Vec<(FetchPolicy, MemoryConfig)> = self
+            .memories
+            .iter()
+            .flat_map(|&memory| self.policies.iter().map(move |&policy| (policy, memory)))
+            .collect();
+        let trace = Arc::new(MaterializedTrace::capture(&mut *self.app.source()));
+        let footprint = self.app.footprint();
+        let configure = &self.configure;
+
+        let run_cell = |policy: FetchPolicy, memory: MemoryConfig| -> SweepCell {
+            let builder = SimConfig::builder().policy(policy).memory(memory);
+            let config = configure(builder).build();
+            let report =
+                Simulator::new(config).run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE);
+            SweepCell {
+                policy,
+                memory,
+                report,
             }
+        };
+
+        let workers = jobs.max(1).min(coords.len());
+        if workers == 1 {
+            let cells = coords.iter().map(|&(p, m)| run_cell(p, m)).collect();
+            return SweepResults::new(cells);
         }
-        SweepResults { cells }
+
+        // Order-preserving work stealing: workers claim cell indices
+        // from a shared counter and deposit results into per-cell
+        // slots, so completion order never affects report order.
+        let slots: Vec<OnceLock<SweepCell>> = coords.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(policy, memory)) = coords.get(i) else {
+                        break;
+                    };
+                    let cell = run_cell(policy, memory);
+                    slots[i].set(cell).unwrap_or_else(|_| {
+                        unreachable!("cell {i} computed twice");
+                    });
+                });
+            }
+        });
+        let cells = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker pool computed every cell"))
+            .collect();
+        SweepResults::new(cells)
     }
 }
 
-/// The completed grid. Produced by [`Sweep::run`].
+/// The completed grid. Produced by [`Sweep::run`] /
+/// [`Sweep::run_parallel`].
 #[derive(Debug)]
 pub struct SweepResults {
     cells: Vec<SweepCell>,
+    /// `(policy, memory) -> cells index`, built once so lookups on
+    /// large grids (and repeated `speedup` calls) stay O(1).
+    index: HashMap<(FetchPolicy, MemoryConfig), usize>,
 }
 
 impl SweepResults {
+    fn new(cells: Vec<SweepCell>) -> Self {
+        let mut index = HashMap::with_capacity(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            // First occurrence wins, matching the old linear scan.
+            index.entry((cell.policy, cell.memory)).or_insert(i);
+        }
+        SweepResults { cells, index }
+    }
+
     /// All cells, memory-major in the order they ran.
     #[must_use]
     pub fn cells(&self) -> &[SweepCell] {
@@ -121,9 +227,7 @@ impl SweepResults {
     /// The cell for an exact `(policy, memory)` pair.
     #[must_use]
     pub fn get(&self, policy: FetchPolicy, memory: MemoryConfig) -> Option<&SweepCell> {
-        self.cells
-            .iter()
-            .find(|c| c.policy == policy && c.memory == memory)
+        self.index.get(&(policy, memory)).map(|&i| &self.cells[i])
     }
 
     /// The fastest cell overall.
@@ -168,7 +272,10 @@ mod tests {
         let results = tiny_sweep();
         assert_eq!(results.cells().len(), 4);
         for memory in [MemoryConfig::Full, MemoryConfig::Half] {
-            for policy in [FetchPolicy::fullpage(), FetchPolicy::eager(SubpageSize::S1K)] {
+            for policy in [
+                FetchPolicy::fullpage(),
+                FetchPolicy::eager(SubpageSize::S1K),
+            ] {
                 assert!(results.get(policy, memory).is_some());
             }
         }
@@ -192,9 +299,15 @@ mod tests {
     #[test]
     fn missing_cell_returns_none() {
         let results = tiny_sweep();
-        assert!(results.get(FetchPolicy::disk(), MemoryConfig::Half).is_none());
+        assert!(results
+            .get(FetchPolicy::disk(), MemoryConfig::Half)
+            .is_none());
         assert_eq!(
-            results.speedup(FetchPolicy::disk(), FetchPolicy::fullpage(), MemoryConfig::Half),
+            results.speedup(
+                FetchPolicy::disk(),
+                FetchPolicy::fullpage(),
+                MemoryConfig::Half
+            ),
             None
         );
     }

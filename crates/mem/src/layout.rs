@@ -250,8 +250,7 @@ impl Geometry {
     #[must_use]
     pub fn addr_of(self, page: PageId, sub: SubpageIndex) -> VirtAddr {
         VirtAddr::new(
-            (page.get() << self.page.shift())
-                + sub.get() as u64 * self.subpage.bytes().get(),
+            (page.get() << self.page.shift()) + sub.get() as u64 * self.subpage.bytes().get(),
         )
     }
 

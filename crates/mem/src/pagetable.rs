@@ -29,7 +29,10 @@ impl PageState {
     /// A fully-resident clean page.
     #[must_use]
     pub fn complete(n_subpages: u32) -> Self {
-        PageState { mask: SubpageMask::full(n_subpages), dirty: false }
+        PageState {
+            mask: SubpageMask::full(n_subpages),
+            dirty: false,
+        }
     }
 
     /// Whether all subpages are valid.
@@ -65,7 +68,10 @@ impl PageTable {
     /// An empty table for the given geometry.
     #[must_use]
     pub fn new(geometry: Geometry) -> Self {
-        PageTable { geometry, pages: HashMap::new() }
+        PageTable {
+            geometry,
+            pages: HashMap::new(),
+        }
     }
 
     /// The table's geometry.

@@ -109,7 +109,12 @@ impl PalEmulator {
     /// An emulator with explicit costs and clock rate.
     #[must_use]
     pub fn new(costs: PalCosts, clock: ClockRate) -> Self {
-        PalEmulator { costs, clock, last_page: None, stats: PalStats::default() }
+        PalEmulator {
+            costs,
+            clock,
+            last_page: None,
+            stats: PalStats::default(),
+        }
     }
 
     /// Charges one emulated access to a *valid subpage of an incomplete

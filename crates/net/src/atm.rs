@@ -38,7 +38,10 @@ impl AtmLink {
     /// overhead (one request/reply handshake's worth).
     #[must_use]
     pub fn an2() -> Self {
-        AtmLink::new(BytesPerSec::from_bits_per_sec(155_000_000), Duration::from_micros(120))
+        AtmLink::new(
+            BytesPerSec::from_bits_per_sec(155_000_000),
+            Duration::from_micros(120),
+        )
     }
 
     /// Creates an ATM link with an arbitrary nominal rate and fixed

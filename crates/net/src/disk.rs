@@ -57,7 +57,11 @@ impl DiskModel {
     /// Creates a disk with explicit positioning time and media rate.
     #[must_use]
     pub fn new(position: Duration, media_rate: BytesPerSec, pattern: AccessPattern) -> Self {
-        DiskModel { position, media_rate, pattern }
+        DiskModel {
+            position,
+            media_rate,
+            pattern,
+        }
     }
 
     /// The configured access pattern.
@@ -133,6 +137,9 @@ mod tests {
     #[test]
     fn names_follow_pattern() {
         assert_eq!(DiskModel::paper(AccessPattern::Random).name(), "disk-rand");
-        assert_eq!(DiskModel::paper(AccessPattern::Sequential).name(), "disk-seq");
+        assert_eq!(
+            DiskModel::paper(AccessPattern::Sequential).name(),
+            "disk-seq"
+        );
     }
 }

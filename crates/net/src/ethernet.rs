@@ -72,7 +72,12 @@ impl EthernetLink {
             (0.0..1.0).contains(&utilization),
             "utilization must be in [0, 1)"
         );
-        EthernetLink { rate, fixed, utilization, name }
+        EthernetLink {
+            rate,
+            fixed,
+            utilization,
+            name,
+        }
     }
 
     /// The background utilization of the segment.
@@ -123,21 +128,13 @@ mod tests {
         use crate::{AccessPattern, DiskModel};
         let loaded = EthernetLink::loaded();
         let disk = DiskModel::paper(AccessPattern::Random);
-        assert!(
-            loaded.transfer_time(Bytes::new(256))
-                < disk.transfer_time(Bytes::new(256))
-        );
+        assert!(loaded.transfer_time(Bytes::new(256)) < disk.transfer_time(Bytes::new(256)));
     }
 
     #[test]
     #[should_panic(expected = "utilization")]
     fn full_utilization_panics() {
-        let _ = EthernetLink::with_utilization(
-            "bad",
-            BytesPerSec::new(1),
-            Duration::ZERO,
-            1.0,
-        );
+        let _ = EthernetLink::with_utilization("bad", BytesPerSec::new(1), Duration::ZERO, 1.0);
     }
 
     #[test]

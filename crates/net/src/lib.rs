@@ -52,8 +52,6 @@ pub use link::{FixedRateLink, LinkModel};
 pub use params::NetParams;
 pub use resource::Resource;
 pub use timeline::{
-    BusyTimes,
-    SendTimeline,
-    FaultTimeline, MessageArrival, RecvOverhead, Segment, Timeline, TimelineResource,
-    TransferPlan,
+    BusyTimes, FaultTimeline, MessageArrival, RecvOverhead, Segment, SendTimeline, Timeline,
+    TimelineResource, TransferPlan,
 };

@@ -79,11 +79,7 @@ mod tests {
 
     #[test]
     fn transfer_time_is_affine_in_size() {
-        let link = FixedRateLink::new(
-            "t",
-            Duration::from_micros(50),
-            BytesPerSec::new(1_000_000),
-        );
+        let link = FixedRateLink::new("t", Duration::from_micros(50), BytesPerSec::new(1_000_000));
         let t0 = link.transfer_time(Bytes::ZERO);
         let t1 = link.transfer_time(Bytes::new(1000));
         let t2 = link.transfer_time(Bytes::new(2000));
@@ -93,11 +89,7 @@ mod tests {
 
     #[test]
     fn name_and_accessors() {
-        let link = FixedRateLink::new(
-            "toy",
-            Duration::from_micros(1),
-            BytesPerSec::new(42),
-        );
+        let link = FixedRateLink::new("toy", Duration::from_micros(1), BytesPerSec::new(42));
         assert_eq!(link.name(), "toy");
         assert_eq!(link.fixed(), Duration::from_micros(1));
         assert_eq!(link.rate().get(), 42);
@@ -105,11 +97,7 @@ mod tests {
 
     #[test]
     fn works_as_a_trait_object() {
-        let link = FixedRateLink::new(
-            "obj",
-            Duration::from_micros(10),
-            BytesPerSec::new(1_000),
-        );
+        let link = FixedRateLink::new("obj", Duration::from_micros(10), BytesPerSec::new(1_000));
         let dyn_link: &dyn LinkModel = &link;
         assert_eq!(dyn_link.zero_length_latency(), Duration::from_micros(10));
     }

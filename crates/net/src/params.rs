@@ -102,9 +102,8 @@ impl NetParams {
 
     fn wire_rate(&self) -> gms_units::BytesPerSec {
         // Reconstruct the nominal rate from the per-payload-byte figure.
-        let ns_per_raw_byte =
-            self.wire.nanos_per_payload_byte() * crate::atm::CELL_PAYLOAD as f64
-                / crate::atm::CELL_TOTAL as f64;
+        let ns_per_raw_byte = self.wire.nanos_per_payload_byte() * crate::atm::CELL_PAYLOAD as f64
+            / crate::atm::CELL_TOTAL as f64;
         gms_units::BytesPerSec::new((1e9 / ns_per_raw_byte).round() as u64)
     }
 
@@ -157,9 +156,7 @@ mod tests {
     fn per_byte_slope_is_about_135_ns() {
         // dma*2 + framed wire + copy: Table 2's marginal cost per byte.
         let p = NetParams::paper();
-        let slope = 2.0 * p.dma_ns_per_byte
-            + p.wire.nanos_per_payload_byte()
-            + p.copy_ns_per_byte;
+        let slope = 2.0 * p.dma_ns_per_byte + p.wire.nanos_per_payload_byte() + p.copy_ns_per_byte;
         assert!((125.0..145.0).contains(&slope), "got {slope} ns/B");
     }
 
@@ -175,9 +172,7 @@ mod tests {
         let base = NetParams::paper();
         let fast = base.scaled_network(4.0);
         assert!(fast.dma_ns_per_byte < base.dma_ns_per_byte);
-        assert!(
-            fast.wire.nanos_per_payload_byte() < base.wire.nanos_per_payload_byte() / 3.0
-        );
+        assert!(fast.wire.nanos_per_payload_byte() < base.wire.nanos_per_payload_byte() / 3.0);
         assert_eq!(fast.fault_cpu, base.fault_cpu);
     }
 

@@ -80,12 +80,18 @@ impl TransferPlan {
     /// Panics if `messages` is empty or contains a zero-sized message.
     #[must_use]
     pub fn new(messages: Vec<Bytes>, recv_overhead: RecvOverhead) -> Self {
-        assert!(!messages.is_empty(), "a transfer plan needs at least one message");
+        assert!(
+            !messages.is_empty(),
+            "a transfer plan needs at least one message"
+        );
         assert!(
             messages.iter().all(|m| !m.is_zero()),
             "transfer messages must be non-empty"
         );
-        TransferPlan { messages, recv_overhead }
+        TransferPlan {
+            messages,
+            recv_overhead,
+        }
     }
 
     /// The classic full-page fetch: one message carrying the whole page.
@@ -333,9 +339,7 @@ impl Timeline {
             });
             setup_ready = b;
 
-            let (a, b) = self
-                .srv_dma
-                .acquire(b, p.dma_startup + p.dma_time(size));
+            let (a, b) = self.srv_dma.acquire(b, p.dma_startup + p.dma_time(size));
             segments.push(Segment {
                 resource: TimelineResource::SrvDma,
                 what: "dma-out",
@@ -353,9 +357,7 @@ impl Timeline {
                 end: b,
             });
 
-            let (a, rdma_end) = self
-                .req_dma_in
-                .acquire(b, p.dma_startup + p.dma_time(size));
+            let (a, rdma_end) = self.req_dma_in.acquire(b, p.dma_startup + p.dma_time(size));
             segments.push(Segment {
                 resource: TimelineResource::ReqDma,
                 what: "dma-in",
@@ -403,7 +405,12 @@ impl Timeline {
             } else {
                 stolen += recv_cpu;
             }
-            arrivals.push(MessageArrival { index, size, available_at, recv_cpu });
+            arrivals.push(MessageArrival {
+                index,
+                size,
+                available_at,
+                recv_cpu,
+            });
         }
 
         let page_complete_at = arrivals
@@ -489,12 +496,13 @@ impl Timeline {
         let (_, wire_end) = self
             .wire_out
             .acquire(dma_end, p.wire_startup + p.wire.wire_time(size));
-        let delivered_at = wire_end
-            + p.dma_startup
-            + p.dma_time(size)
-            + p.recv_interrupt_cpu
-            + p.copy_time(size);
-        SendTimeline { send_at: at, cpu_free_at, delivered_at }
+        let delivered_at =
+            wire_end + p.dma_startup + p.dma_time(size) + p.recv_interrupt_cpu + p.copy_time(size);
+        SendTimeline {
+            send_at: at,
+            cpu_free_at,
+            delivered_at,
+        }
     }
 }
 
@@ -522,7 +530,10 @@ mod tests {
             let fault = lone_fault(&TransferPlan::eager(page, Bytes::new(size)));
             let got = fault.restart_latency().as_millis_f64();
             let err = (got - paper_ms).abs() / paper_ms;
-            assert!(err < 0.10, "{size} B subpage: got {got:.3} ms, paper {paper_ms} ms");
+            assert!(
+                err < 0.10,
+                "{size} B subpage: got {got:.3} ms, paper {paper_ms} ms"
+            );
         }
     }
 
@@ -541,7 +552,10 @@ mod tests {
             let fault = lone_fault(&TransferPlan::eager(page, Bytes::new(size)));
             let got = fault.completion_latency().as_millis_f64();
             let err = (got - paper_ms).abs() / paper_ms;
-            assert!(err < 0.10, "{size} B rest: got {got:.3} ms, paper {paper_ms} ms");
+            assert!(
+                err < 0.10,
+                "{size} B rest: got {got:.3} ms, paper {paper_ms} ms"
+            );
         }
     }
 
@@ -622,7 +636,11 @@ mod tests {
         }
         assert_eq!(
             f.page_complete_at,
-            f.arrivals.iter().map(|m| m.available_at).max().expect("non-empty")
+            f.arrivals
+                .iter()
+                .map(|m| m.available_at)
+                .max()
+                .expect("non-empty")
         );
         assert_eq!(f.stolen_cpu, Duration::ZERO, "zero-overhead follow-ons");
     }
@@ -687,7 +705,10 @@ mod tests {
         tl.send(SimTime::ZERO, Bytes::kib(8));
         let after_send = tl.busy_times();
         assert!(after_send.wire_out > Duration::ZERO);
-        assert_eq!(after_send.wire_in, after_fetch.wire_in, "sends are outbound");
+        assert_eq!(
+            after_send.wire_in, after_fetch.wire_in,
+            "sends are outbound"
+        );
         // An 8 KB page occupies the wire for ~0.47 ms.
         let util = after_send.wire_in_utilization(Duration::from_millis(1));
         assert!((0.4..0.55).contains(&util), "got {util}");
@@ -728,8 +749,7 @@ mod tests {
         // direction.
         let s2 = tl.send(s1.cpu_free_at, Bytes::kib(8));
         assert!(
-            s2.delivered_at.elapsed_since(s2.send_at)
-                > s1.delivered_at.elapsed_since(s1.send_at)
+            s2.delivered_at.elapsed_since(s2.send_at) > s1.delivered_at.elapsed_since(s1.send_at)
         );
         // But an inbound fetch is essentially unaffected: the link is
         // full duplex and the request message multiplexes between cells.

@@ -76,14 +76,20 @@ pub struct AppProfile {
 /// hot symbol table, then two global code-generation passes.
 #[must_use]
 pub fn modula3() -> AppProfile {
-    AppProfile { kind: AppKind::Modula3, scale: 1.0 }
+    AppProfile {
+        kind: AppKind::Modula3,
+        scale: 1.0,
+    }
 }
 
 /// The linker model: one long streaming pass over object files, a hot
 /// symbol table, a relocation re-scan, and a sequential output write.
 #[must_use]
 pub fn ld() -> AppProfile {
-    AppProfile { kind: AppKind::Ld, scale: 1.0 }
+    AppProfile {
+        kind: AppKind::Ld,
+        scale: 1.0,
+    }
 }
 
 /// The Atom instrumenter model: many uniform steps, each consuming a
@@ -91,21 +97,30 @@ pub fn ld() -> AppProfile {
 /// the paper's smoothest fault curve (Figure 10).
 #[must_use]
 pub fn atom() -> AppProfile {
-    AppProfile { kind: AppKind::Atom, scale: 1.0 }
+    AppProfile {
+        kind: AppKind::Atom,
+        scale: 1.0,
+    }
 }
 
 /// The Render model: a scene-database load followed by per-frame
 /// traversals of random database subsets plus framebuffer writes.
 #[must_use]
 pub fn render() -> AppProfile {
-    AppProfile { kind: AppKind::Render, scale: 1.0 }
+    AppProfile {
+        kind: AppKind::Render,
+        scale: 1.0,
+    }
 }
 
 /// The gdb-initialization model: repeated passes over symbol tables with
 /// pointer chasing — tiny trace, extreme fault clustering (Figure 10).
 #[must_use]
 pub fn gdb() -> AppProfile {
-    AppProfile { kind: AppKind::Gdb, scale: 1.0 }
+    AppProfile {
+        kind: AppKind::Gdb,
+        scale: 1.0,
+    }
 }
 
 /// All five application profiles, in the paper's order.
@@ -149,7 +164,10 @@ impl AppProfile {
     #[must_use]
     pub fn scaled(&self, factor: f64) -> AppProfile {
         assert!(factor > 0.0, "scale factor must be positive");
-        AppProfile { kind: self.kind, scale: self.scale * factor }
+        AppProfile {
+            kind: self.kind,
+            scale: self.scale * factor,
+        }
     }
 
     /// The paper's reference count for this trace (unscaled).
@@ -235,8 +253,9 @@ impl AppProfile {
     fn plan_modula3(&self) -> AppPlan {
         let mut layout = Layout::new();
         let symtab = layout.alloc_pages("symtab", self.pages(150));
-        let modules: Vec<Region> =
-            (0..8).map(|_| layout.alloc_pages("module", self.pages(70))).collect();
+        let modules: Vec<Region> = (0..8)
+            .map(|_| layout.alloc_pages("module", self.pages(70)))
+            .collect();
         let output = layout.alloc_pages("output", self.pages(63));
 
         let mut budget = RefBudget::new(self.refs(87_000_000));
@@ -272,7 +291,11 @@ impl AppProfile {
             // modules keep their declarations 1 KB into each page, so
             // the body scan's first touch lands on a *preceding* subpage
             // — Figure 7's negative distances.
-            let decl_offset = if i % 2 == 1 { Bytes::new(1024) } else { Bytes::ZERO };
+            let decl_offset = if i % 2 == 1 {
+                Bytes::new(1024)
+            } else {
+                Bytes::ZERO
+            };
             phases.push(header_phase_cfg(
                 &mut budget,
                 "parse-headers",
@@ -292,7 +315,11 @@ impl AppProfile {
             // most constrained configuration. The walk is node-at-a-time
             // (header bursts with symbol work between pages), then the
             // current module's bodies are re-read sequentially.
-            let group = if i == 0 { *module } else { join(modules[i - 1], *module) };
+            let group = if i == 0 {
+                *module
+            } else {
+                join(modules[i - 1], *module)
+            };
             // The walk inspects each page's inner nodes (2 KB in), so the
             // later body scan from the page base touches a *preceding*
             // subpage first: Figure 7's negative-distance population.
@@ -357,10 +384,17 @@ impl AppProfile {
         // Whatever is left becomes one final resident polish loop.
         phases.push(Phase::new(
             "final-touches",
-            WorkLoop::builder(output).refs(budget.rest()).seed(999).write_fraction(0.5).build(),
+            WorkLoop::builder(output)
+                .refs(budget.rest())
+                .seed(999)
+                .write_fraction(0.5)
+                .build(),
         ));
 
-        AppPlan { layout, program: PhaseProgram::new(phases) }
+        AppPlan {
+            layout,
+            program: PhaseProgram::new(phases),
+        }
     }
 
     /// ld: footprint 6807 pages = 4800 objects + 1400 symtab + 607
@@ -422,7 +456,12 @@ impl AppProfile {
         let (reloc_window, _) = objects.split_at(Bytes::new(objects.len().get() * 2 / 5));
         phases.push(Phase::new(
             "relocate",
-            SeqScan::new(reloc_window, 16, budget.scan(reloc_window, 16, 1), AccessKind::Read),
+            SeqScan::new(
+                reloc_window,
+                16,
+                budget.scan(reloc_window, 16, 1),
+                AccessKind::Read,
+            ),
         ));
 
         // Output write plus a final fix-up loop over the output.
@@ -432,10 +471,17 @@ impl AppProfile {
         ));
         phases.push(Phase::new(
             "fixups",
-            WorkLoop::builder(output).refs(budget.rest()).seed(77).write_fraction(0.4).build(),
+            WorkLoop::builder(output)
+                .refs(budget.rest())
+                .seed(77)
+                .write_fraction(0.4)
+                .build(),
         ));
 
-        AppPlan { layout, program: PhaseProgram::new(phases) }
+        AppPlan {
+            layout,
+            program: PhaseProgram::new(phases),
+        }
     }
 
     /// Atom: footprint 1175 pages = 600 input + 475 working + 100 tables.
@@ -500,15 +546,27 @@ impl AppProfile {
             ));
             phases.push(Phase::new(
                 "consult-tables",
-                PointerChase::new(tables, budget.fraction(1.0 / (n - i) as f64 * 0.04), 4, 600 + i as u64),
+                PointerChase::new(
+                    tables,
+                    budget.fraction(1.0 / (n - i) as f64 * 0.04),
+                    4,
+                    600 + i as u64,
+                ),
             ));
         }
         phases.push(Phase::new(
             "flush",
-            WorkLoop::builder(working).refs(budget.rest()).seed(888).write_fraction(0.5).build(),
+            WorkLoop::builder(working)
+                .refs(budget.rest())
+                .seed(888)
+                .write_fraction(0.5)
+                .build(),
         ));
 
-        AppPlan { layout, program: PhaseProgram::new(phases) }
+        AppPlan {
+            layout,
+            program: PhaseProgram::new(phases),
+        }
     }
 
     /// Render: footprint 1433 pages = 1300 scene database + 133
@@ -602,7 +660,10 @@ impl AppProfile {
             ));
         }
 
-        AppPlan { layout, program: PhaseProgram::new(phases) }
+        AppPlan {
+            layout,
+            program: PhaseProgram::new(phases),
+        }
     }
 
     /// gdb initialization: footprint 138 pages = 110 symbols + 28 state.
@@ -635,7 +696,10 @@ impl AppProfile {
         ));
         phases.push(Phase::new(
             "sort-psymtabs",
-            WorkLoop::builder(state).refs(budget.fraction(0.22)).seed(1).build(),
+            WorkLoop::builder(state)
+                .refs(budget.fraction(0.22))
+                .seed(1)
+                .build(),
         ));
         // One full ELF read pass (sequential, blocking faults), then two
         // more symbol-table construction passes as bursts.
@@ -645,7 +709,10 @@ impl AppProfile {
         ));
         phases.push(Phase::new(
             "bookkeeping",
-            WorkLoop::builder(state).refs(budget.fraction(0.3)).seed(2).build(),
+            WorkLoop::builder(state)
+                .refs(budget.fraction(0.3))
+                .seed(2)
+                .build(),
         ));
         phases.push(header_phase_cfg(
             &mut budget,
@@ -658,9 +725,18 @@ impl AppProfile {
         ));
         phases.push(Phase::new(
             "resolve-types",
-            WorkLoop::builder(state).refs(budget.fraction(0.3)).seed(3).build(),
+            WorkLoop::builder(state)
+                .refs(budget.fraction(0.3))
+                .seed(3)
+                .build(),
         ));
-        phases.push(header_phase(&mut budget, "index-symbols", symbols, Some((state, 60)), 1));
+        phases.push(header_phase(
+            &mut budget,
+            "index-symbols",
+            symbols,
+            Some((state, 60)),
+            1,
+        ));
         phases.push(Phase::new(
             "lookup",
             PointerChase::new(state, budget.fraction(0.25), 3, 900),
@@ -670,8 +746,7 @@ impl AppProfile {
         // symbol pages): together with the hot state they fit in half
         // memory but thrash quarter memory. Mostly symbol-at-a-time
         // bursts with one sequential expansion.
-        let (main_objfile, _) =
-            symbols.split_at(Bytes::new(symbols.len().get() * 4 / 11));
+        let (main_objfile, _) = symbols.split_at(Bytes::new(symbols.len().get() * 4 / 11));
         phases.push(header_phase_cfg(
             &mut budget,
             "expand-main-objfile",
@@ -685,14 +760,25 @@ impl AppProfile {
         // giving Figure 7's −1 distances.
         phases.push(Phase::new(
             "read-main-objfile",
-            SeqScan::new(main_objfile, -32, budget.scan(main_objfile, -32, 1), AccessKind::Read),
+            SeqScan::new(
+                main_objfile,
+                -32,
+                budget.scan(main_objfile, -32, 1),
+                AccessKind::Read,
+            ),
         ));
         phases.push(Phase::new(
             "prompt",
-            WorkLoop::builder(state).refs(budget.rest()).seed(42).build(),
+            WorkLoop::builder(state)
+                .refs(budget.rest())
+                .seed(42)
+                .build(),
         ));
 
-        AppPlan { layout, program: PhaseProgram::new(phases) }
+        AppPlan {
+            layout,
+            program: PhaseProgram::new(phases),
+        }
     }
 }
 
@@ -714,7 +800,15 @@ fn header_phase(
     hot: Option<(Region, u64)>,
     passes: u64,
 ) -> Phase {
-    header_phase_cfg(budget, name, region, hot, passes, Bytes::ZERO, Bytes::new(1024))
+    header_phase_cfg(
+        budget,
+        name,
+        region,
+        hot,
+        passes,
+        Bytes::ZERO,
+        Bytes::new(1024),
+    )
 }
 
 /// As [`header_phase`], with the cluster placed `offset` bytes into each
@@ -788,7 +882,10 @@ struct RefBudget {
 
 impl RefBudget {
     fn new(total: u64) -> Self {
-        RefBudget { left: total, reserved: 0 }
+        RefBudget {
+            left: total,
+            reserved: 0,
+        }
     }
 
     /// Takes exactly the references for `passes` scans of `region`,

@@ -115,7 +115,9 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<VecSource, ReadTraceError> {
         return Err(ReadTraceError::BadMagic);
     }
     let count = buf.get_u64_le();
-    let need = (count as usize).checked_mul(RECORD_LEN).ok_or(ReadTraceError::Truncated)?;
+    let need = (count as usize)
+        .checked_mul(RECORD_LEN)
+        .ok_or(ReadTraceError::Truncated)?;
     if buf.remaining() < need {
         return Err(ReadTraceError::Truncated);
     }
@@ -243,7 +245,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert_eq!(format!("{}", ReadTraceError::BadMagic), "not a gms trace file");
+        assert_eq!(
+            format!("{}", ReadTraceError::BadMagic),
+            "not a gms trace file"
+        );
         assert!(format!("{}", ReadTraceError::BadKind(7)).contains('7'));
     }
 }

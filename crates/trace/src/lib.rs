@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod materialize;
 mod record;
 mod run;
 mod stats;
@@ -38,6 +39,7 @@ pub mod apps;
 pub mod io;
 pub mod synth;
 
+pub use materialize::{MaterializedTrace, SharedTraceCursor, TraceCursor};
 pub use record::{Access, AccessKind};
 pub use run::{Run, RunIter};
 pub use stats::TraceStats;

@@ -58,13 +58,19 @@ impl Access {
     /// A read of `addr`.
     #[must_use]
     pub const fn read(addr: VirtAddr) -> Self {
-        Access { addr, kind: AccessKind::Read }
+        Access {
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A write of `addr`.
     #[must_use]
     pub const fn write(addr: VirtAddr) -> Self {
-        Access { addr, kind: AccessKind::Write }
+        Access {
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 }
 

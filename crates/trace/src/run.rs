@@ -54,7 +54,12 @@ impl Run {
             }
         });
         assert!(last.is_some(), "run walks outside the address space");
-        Run { start, stride, count, kind }
+        Run {
+            start,
+            stride,
+            count,
+            kind,
+        }
     }
 
     /// A run consisting of a single reference.

@@ -52,7 +52,10 @@ impl TraceStats {
     ///
     /// Panics if `page_size` is not a power of two.
     pub fn collect<S: TraceSource + ?Sized>(source: &mut S, page_size: Bytes) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let shift = page_size.get().trailing_zeros();
         let mut stats = TraceStats::default();
         let mut pages: HashSet<u64> = HashSet::new();

@@ -47,7 +47,9 @@ impl VecSource {
     /// Creates a source that yields `runs` in order.
     #[must_use]
     pub fn new(runs: Vec<Run>) -> Self {
-        VecSource { runs: runs.into_iter() }
+        VecSource {
+            runs: runs.into_iter(),
+        }
     }
 }
 
@@ -77,7 +79,10 @@ pub struct Chain<A, B> {
 
 /// Chains two sources end to end.
 pub fn chain<A: TraceSource, B: TraceSource>(first: A, second: B) -> Chain<A, B> {
-    Chain { first: Some(first), second }
+    Chain {
+        first: Some(first),
+        second,
+    }
 }
 
 impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
@@ -92,7 +97,10 @@ impl<A: TraceSource, B: TraceSource> TraceSource for Chain<A, B> {
     }
 
     fn refs_hint(&self) -> (u64, Option<u64>) {
-        let (alo, ahi) = self.first.as_ref().map_or((0, Some(0)), TraceSource::refs_hint);
+        let (alo, ahi) = self
+            .first
+            .as_ref()
+            .map_or((0, Some(0)), TraceSource::refs_hint);
         let (blo, bhi) = self.second.refs_hint();
         (alo + blo, ahi.zip(bhi).map(|(a, b)| a + b))
     }
@@ -108,7 +116,10 @@ pub struct TakeRefs<S> {
 
 /// Limits `source` to `limit` references.
 pub fn take_refs<S: TraceSource>(source: S, limit: u64) -> TakeRefs<S> {
-    TakeRefs { inner: source, left: limit }
+    TakeRefs {
+        inner: source,
+        left: limit,
+    }
 }
 
 impl<S: TraceSource> TraceSource for TakeRefs<S> {
@@ -131,7 +142,10 @@ impl<S: TraceSource> TraceSource for TakeRefs<S> {
 
     fn refs_hint(&self) -> (u64, Option<u64>) {
         let (lo, hi) = self.inner.refs_hint();
-        (lo.min(self.left), Some(hi.unwrap_or(self.left).min(self.left)))
+        (
+            lo.min(self.left),
+            Some(hi.unwrap_or(self.left).min(self.left)),
+        )
     }
 }
 
@@ -149,7 +163,11 @@ pub struct Interleave<A, B> {
 
 /// Interleaves two sources run by run, starting with `first`.
 pub fn interleave<A: TraceSource, B: TraceSource>(first: A, second: B) -> Interleave<A, B> {
-    Interleave { first, second, take_first: true }
+    Interleave {
+        first,
+        second,
+        take_first: true,
+    }
 }
 
 impl<A: TraceSource, B: TraceSource> TraceSource for Interleave<A, B> {
@@ -180,7 +198,10 @@ pub struct PerRef<S> {
 /// Iterates a source reference by reference (slow path; prefer consuming
 /// whole runs when performance matters).
 pub fn per_ref<S: TraceSource>(source: S) -> PerRef<S> {
-    PerRef { inner: source, current: None }
+    PerRef {
+        inner: source,
+        current: None,
+    }
 }
 
 impl<S: TraceSource> Iterator for PerRef<S> {

@@ -119,7 +119,11 @@ mod tests {
         let mut c = PointerChase::new(r, 4_000, 2, 3);
         let stats = TraceStats::collect(&mut c, Bytes::kib(8));
         // Random chasing over 16 pages should hit nearly all of them.
-        assert!(stats.distinct_pages >= 12, "only {} pages", stats.distinct_pages);
+        assert!(
+            stats.distinct_pages >= 12,
+            "only {} pages",
+            stats.distinct_pages
+        );
     }
 
     #[test]

@@ -187,9 +187,7 @@ impl HeaderTouchBuilder {
         );
         let n_pages = self.region.len().div_ceil(page);
         let budget = self.budget.unwrap_or_else(|| {
-            n_pages
-                * (cluster.get() / self.stride + self.hot_refs_per_page)
-                * self.passes
+            n_pages * (cluster.get() / self.stride + self.hot_refs_per_page) * self.passes
         });
         HeaderTouch {
             region: self.region,
@@ -238,7 +236,10 @@ impl TraceSource for HeaderTouch {
         let page_base = Bytes::new((self.page_idx % self.n_pages) * page.get());
         // The final page of a non-page-multiple region may be short.
         let avail = self.region.len() - page_base;
-        let base = page_base + self.offset.min(avail.saturating_sub(self.cluster.min(avail)));
+        let base = page_base
+            + self
+                .offset
+                .min(avail.saturating_sub(self.cluster.min(avail)));
         let cluster = self.cluster.min(self.region.len() - base);
         let count = (cluster.get() / self.stride).max(1).min(self.budget);
         self.budget -= count;
@@ -312,7 +313,10 @@ mod tests {
     #[test]
     fn budget_caps_exactly() {
         let (data, hot) = setup(100);
-        let mut burst = HeaderTouch::builder(data).hot(hot, 300).budget(1000).build();
+        let mut burst = HeaderTouch::builder(data)
+            .hot(hot, 300)
+            .budget(1000)
+            .build();
         let stats = TraceStats::collect(&mut burst, Bytes::kib(8));
         assert_eq!(stats.total_refs, 1000);
     }
@@ -357,6 +361,9 @@ mod tests {
     #[should_panic(expected = "exceeds cluster")]
     fn oversized_stride_panics() {
         let (data, _) = setup(1);
-        let _ = HeaderTouch::builder(data).stride(4096).cluster(Bytes::new(256)).build();
+        let _ = HeaderTouch::builder(data)
+            .stride(4096)
+            .cluster(Bytes::new(256))
+            .build();
     }
 }

@@ -17,7 +17,10 @@ pub struct Phase {
 impl Phase {
     /// Wraps `source` as the phase called `name`.
     pub fn new(name: &'static str, source: impl TraceSource + Send + 'static) -> Self {
-        Phase { name, source: Box::new(source) }
+        Phase {
+            name,
+            source: Box::new(source),
+        }
     }
 
     /// The phase's name.
@@ -65,7 +68,10 @@ impl PhaseProgram {
     /// Creates a program from phases played front to back.
     #[must_use]
     pub fn new(phases: Vec<Phase>) -> Self {
-        PhaseProgram { phases: phases.into(), current: None }
+        PhaseProgram {
+            phases: phases.into(),
+            current: None,
+        }
     }
 
     /// Appends a phase.

@@ -89,7 +89,11 @@ impl Region {
         assert!(!head.is_zero() && head < self.len, "split must be interior");
         (
             Region { len: head, ..self },
-            Region { start: self.start + head, len: self.len - head, ..self },
+            Region {
+                start: self.start + head,
+                len: self.len - head,
+                ..self
+            },
         )
     }
 
@@ -111,7 +115,11 @@ impl Region {
             } else {
                 base
             };
-            out.push(Region { name: self.name, start: cursor, len });
+            out.push(Region {
+                name: self.name,
+                start: cursor,
+                len,
+            });
             cursor = cursor + len;
         }
         out
@@ -143,7 +151,10 @@ impl Layout {
     /// A layout starting at [`LAYOUT_BASE`].
     #[must_use]
     pub fn new() -> Self {
-        Layout { cursor: LAYOUT_BASE, allocated: Bytes::ZERO }
+        Layout {
+            cursor: LAYOUT_BASE,
+            allocated: Bytes::ZERO,
+        }
     }
 
     /// Allocates a region of at least `len` bytes, rounded up to the 8 KB

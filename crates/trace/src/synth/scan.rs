@@ -59,7 +59,14 @@ impl SeqScan {
             mag <= region.len().get(),
             "scan stride {mag} exceeds region {region}"
         );
-        SeqScan { region, stride, element: mag, kind, budget, offset: 0 }
+        SeqScan {
+            region,
+            stride,
+            element: mag,
+            kind,
+            budget,
+            offset: 0,
+        }
     }
 
     /// References needed for one full pass of `region` at `stride` bytes

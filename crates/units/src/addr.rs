@@ -83,7 +83,11 @@ impl Sub<Bytes> for VirtAddr {
 impl Sub<VirtAddr> for VirtAddr {
     type Output = Bytes;
     fn sub(self, rhs: VirtAddr) -> Bytes {
-        Bytes::new(self.0.checked_sub(rhs.0).expect("address distance underflow"))
+        Bytes::new(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("address distance underflow"),
+        )
     }
 }
 

@@ -113,8 +113,7 @@ impl ClockRate {
     /// nanosecond.
     #[must_use]
     pub fn time_for(self, cycles: Cycles) -> Duration {
-        let ns = (cycles.get() as u128 * 1_000_000_000u128 + self.hz as u128 / 2)
-            / self.hz as u128;
+        let ns = (cycles.get() as u128 * 1_000_000_000u128 + self.hz as u128 / 2) / self.hz as u128;
         Duration::from_nanos(ns as u64)
     }
 }
@@ -134,14 +133,14 @@ mod tests {
     fn table1_cycle_to_time_conversions() {
         let alpha = ClockRate::from_mhz(266);
         let cases = [
-            (52u64, 195u64),  // fast load
-            (95, 357),        // slow load (paper rounds to 361)
-            (64, 241),        // fast store
-            (102, 383),       // slow store
-            (15, 56),         // null PAL call
-            (3, 11),          // L1 hit
-            (8, 30),          // L2 hit
-            (84, 316),        // L2 miss (paper rounds to 315)
+            (52u64, 195u64), // fast load
+            (95, 357),       // slow load (paper rounds to 361)
+            (64, 241),       // fast store
+            (102, 383),      // slow store
+            (15, 56),        // null PAL call
+            (3, 11),         // L1 hit
+            (8, 30),         // L2 hit
+            (84, 316),       // L2 miss (paper rounds to 315)
         ];
         for (cycles, ns) in cases {
             let got = alpha.time_for(Cycles::new(cycles)).as_nanos();

@@ -267,7 +267,11 @@ impl SimTime {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.as_nanos()).expect("sim clock overflow"))
+        SimTime(
+            self.0
+                .checked_add(rhs.as_nanos())
+                .expect("sim clock overflow"),
+        )
     }
 }
 
@@ -280,7 +284,11 @@ impl AddAssign<Duration> for SimTime {
 impl Sub<Duration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: Duration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.as_nanos()).expect("sim clock underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.as_nanos())
+                .expect("sim clock underflow"),
+        )
     }
 }
 
@@ -329,8 +337,14 @@ mod tests {
 
     #[test]
     fn duration_mul_f64_rounds() {
-        assert_eq!(Duration::from_nanos(10).mul_f64(0.25), Duration::from_nanos(3));
-        assert_eq!(Duration::from_nanos(100).mul_f64(1.5), Duration::from_nanos(150));
+        assert_eq!(
+            Duration::from_nanos(10).mul_f64(0.25),
+            Duration::from_nanos(3)
+        );
+        assert_eq!(
+            Duration::from_nanos(100).mul_f64(1.5),
+            Duration::from_nanos(150)
+        );
     }
 
     #[test]

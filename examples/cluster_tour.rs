@@ -23,7 +23,12 @@ fn main() {
     gms.warm_cache((0..1200).map(PageId::new));
     println!("after warm-up:");
     for node in gms.nodes() {
-        println!("  {}: {} / {} global frames", node.id(), node.len(), node.capacity());
+        println!(
+            "  {}: {} / {} global frames",
+            node.id(),
+            node.len(),
+            node.capacity()
+        );
     }
     println!("  directory entries: {}", gms.directory().len());
 

@@ -18,9 +18,11 @@ use gms_subpages::mem::SubpageSize;
 use gms_subpages::trace::apps;
 use gms_subpages::units::Duration;
 
-fn run(app: &gms_subpages::trace::apps::AppProfile, policy: FetchPolicy, memory: MemoryConfig)
-    -> gms_subpages::core::RunReport
-{
+fn run(
+    app: &gms_subpages::trace::apps::AppProfile,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+) -> gms_subpages::core::RunReport {
     Simulator::new(SimConfig::builder().policy(policy).memory(memory).build()).run(app)
 }
 
@@ -38,7 +40,11 @@ fn main() {
 
     // Figure 3: the memory-size sweep.
     println!("--- memory-size sweep (runtime normalized to p_8192) ---");
-    for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
+    for memory in [
+        MemoryConfig::Full,
+        MemoryConfig::Half,
+        MemoryConfig::Quarter,
+    ] {
         let base = run(&app, FetchPolicy::fullpage(), memory);
         print!("{:>9}:", memory.label());
         for policy in [
@@ -73,7 +79,11 @@ fn main() {
     }
 
     // Figure 5: best-case / worst-case fault split for 1K subpages.
-    let r = run(&app, FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half);
+    let r = run(
+        &app,
+        FetchPolicy::eager(SubpageSize::S1K),
+        MemoryConfig::Half,
+    );
     let curve = sorted_wait_curve(&r);
     let min = curve.last().copied().unwrap_or(Duration::ZERO);
     let best = curve

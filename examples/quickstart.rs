@@ -33,18 +33,23 @@ fn main() {
         FetchPolicy::pipelined(SubpageSize::S1K),
     ];
 
-    for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
+    for memory in [
+        MemoryConfig::Full,
+        MemoryConfig::Half,
+        MemoryConfig::Quarter,
+    ] {
         println!("=== {} ===", memory.label());
         let baseline = Simulator::new(
-            SimConfig::builder().policy(FetchPolicy::fullpage()).memory(memory).build(),
+            SimConfig::builder()
+                .policy(FetchPolicy::fullpage())
+                .memory(memory)
+                .build(),
         )
         .run(&app);
         for policy in policies {
             let t0 = std::time::Instant::now();
-            let report = Simulator::new(
-                SimConfig::builder().policy(policy).memory(memory).build(),
-            )
-            .run(&app);
+            let report = Simulator::new(SimConfig::builder().policy(policy).memory(memory).build())
+                .run(&app);
             println!(
                 "  {:10} {:>9.1} ms  faults {:>6}  evict {:>6}  sp {:>8.1} ms  wait {:>8.1} ms  speedup vs p_8192 {:>5.2}  [{:?} wall]",
                 report.policy,

@@ -32,7 +32,10 @@ fn main() {
 
     let memory = MemoryConfig::Half;
     let base = Simulator::new(
-        SimConfig::builder().policy(FetchPolicy::fullpage()).memory(memory).build(),
+        SimConfig::builder()
+            .policy(FetchPolicy::fullpage())
+            .memory(memory)
+            .build(),
     )
     .run(&app);
     println!(
@@ -69,7 +72,10 @@ fn main() {
     }
 
     println!("\n--- prototype (PALcode) vs TLB-supported subpage protection ---");
-    for (label, cost) in [("TLB-supported", AccessCost::TlbSupported), ("PAL-emulated", AccessCost::PalEmulated)] {
+    for (label, cost) in [
+        ("TLB-supported", AccessCost::TlbSupported),
+        ("PAL-emulated", AccessCost::PalEmulated),
+    ] {
         let report = Simulator::new(
             SimConfig::builder()
                 .policy(FetchPolicy::eager(SubpageSize::S2K))

@@ -40,7 +40,10 @@ fn table2_within_ten_percent() {
         .fault(SimTime::ZERO, &TransferPlan::fullpage(page))
         .restart_latency()
         .as_millis_f64();
-    assert!((full - 1.48).abs() / 1.48 < 0.10, "fullpage {full:.3} vs paper 1.48");
+    assert!(
+        (full - 1.48).abs() / 1.48 < 0.10,
+        "fullpage {full:.3} vs paper 1.48"
+    );
 }
 
 /// Every application's footprint equals its paper full-memory fault
@@ -55,10 +58,13 @@ fn gdb_fault_counts_match_paper_band() {
     let full = run(&app, FetchPolicy::fullpage(), MemoryConfig::Full);
     let half = run(&app, FetchPolicy::fullpage(), MemoryConfig::Half);
     let quarter = run(&app, FetchPolicy::fullpage(), MemoryConfig::Quarter);
-    assert_eq!(full.faults.total(), paper_full, "full-memory faults are first touches");
+    assert_eq!(
+        full.faults.total(),
+        paper_full,
+        "full-memory faults are first touches"
+    );
     assert!(
-        full.faults.total() < half.faults.total()
-            && half.faults.total() < quarter.faults.total(),
+        full.faults.total() < half.faults.total() && half.faults.total() < quarter.faults.total(),
         "fault counts grow as memory shrinks: {} {} {}",
         full.faults.total(),
         half.faults.total(),
@@ -77,7 +83,11 @@ fn gdb_fault_counts_match_paper_band() {
 fn figure3_ordering_holds_for_all_apps() {
     for app in apps::all() {
         let app = app.scaled(0.05);
-        for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
+        for memory in [
+            MemoryConfig::Full,
+            MemoryConfig::Half,
+            MemoryConfig::Quarter,
+        ] {
             let disk = run(&app, FetchPolicy::disk(), memory);
             let full = run(&app, FetchPolicy::fullpage(), memory);
             let eager = run(&app, FetchPolicy::eager(SubpageSize::S1K), memory);
@@ -103,8 +113,16 @@ fn figure3_ordering_holds_for_all_apps() {
 fn figure9_gdb_bands() {
     let app = apps::gdb();
     let base = run(&app, FetchPolicy::fullpage(), MemoryConfig::Half);
-    let eager = run(&app, FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half);
-    let piped = run(&app, FetchPolicy::pipelined(SubpageSize::S1K), MemoryConfig::Half);
+    let eager = run(
+        &app,
+        FetchPolicy::eager(SubpageSize::S1K),
+        MemoryConfig::Half,
+    );
+    let piped = run(
+        &app,
+        FetchPolicy::pipelined(SubpageSize::S1K),
+        MemoryConfig::Half,
+    );
     let e = eager.reduction_vs(&base);
     let p = piped.reduction_vs(&base);
     assert!((0.20..0.60).contains(&e), "eager reduction {e:.2}");
@@ -140,10 +158,7 @@ fn optimal_subpage_size_is_1k_or_2k() {
     let mut best = None;
     for size in SubpageSize::PAPER_SIZES {
         let report = run(&app, FetchPolicy::eager(size), MemoryConfig::Half);
-        if best
-            .as_ref()
-            .is_none_or(|(_, t)| report.total_time < *t)
-        {
+        if best.as_ref().is_none_or(|(_, t)| report.total_time < *t) {
             best = Some((size, report.total_time));
         }
     }
@@ -165,10 +180,18 @@ fn figure4_trends() {
         // Descending sizes: 4K, 2K, 1K, 512, 256.
         let report = run(&app, FetchPolicy::eager(size), MemoryConfig::Half);
         if let Some(last) = last_sp {
-            assert!(report.sp_latency <= last, "{}: sp_latency should fall", report.policy);
+            assert!(
+                report.sp_latency <= last,
+                "{}: sp_latency should fall",
+                report.policy
+            );
         }
         if let Some(last) = last_wait {
-            assert!(report.page_wait >= last, "{}: page_wait should rise", report.policy);
+            assert!(
+                report.page_wait >= last,
+                "{}: page_wait should rise",
+                report.policy
+            );
         }
         last_sp = Some(report.sp_latency);
         last_wait = Some(report.page_wait);
@@ -179,7 +202,11 @@ fn figure4_trends() {
 #[test]
 fn figure10_gdb_burstier_than_atom() {
     let gdb = run(&apps::gdb(), FetchPolicy::fullpage(), MemoryConfig::Half);
-    let atom = run(&apps::atom().scaled(0.1), FetchPolicy::fullpage(), MemoryConfig::Half);
+    let atom = run(
+        &apps::atom().scaled(0.1),
+        FetchPolicy::fullpage(),
+        MemoryConfig::Half,
+    );
     let b_gdb = gms_subpages::core::burstiness(&gdb, 0.1);
     let b_atom = gms_subpages::core::burstiness(&atom, 0.1);
     assert!(

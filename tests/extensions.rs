@@ -17,7 +17,11 @@ fn run_with_net(
     net: NetParams,
 ) -> RunReport {
     Simulator::new(
-        SimConfig::builder().policy(policy).memory(memory).net(net).build(),
+        SimConfig::builder()
+            .policy(policy)
+            .memory(memory)
+            .net(net)
+            .build(),
     )
     .run(app)
 }
@@ -31,8 +35,7 @@ fn faster_networks_shrink_the_optimal_subpage() {
         SubpageSize::PAPER_SIZES
             .into_iter()
             .min_by_key(|&size| {
-                run_with_net(&app, FetchPolicy::pipelined(size), MemoryConfig::Half, net)
-                    .total_time
+                run_with_net(&app, FetchPolicy::pipelined(size), MemoryConfig::Half, net).total_time
             })
             .expect("sizes swept")
     };
@@ -64,25 +67,41 @@ fn ethernet_inverts_the_lazy_eager_ordering() {
     );
     let seq_disk = Simulator::new(
         SimConfig::builder()
-            .policy(FetchPolicy::Disk { pattern: AccessPattern::Sequential })
+            .policy(FetchPolicy::Disk {
+                pattern: AccessPattern::Sequential,
+            })
             .memory(MemoryConfig::Half)
             .build(),
     )
     .run(&app);
     let rand_disk = Simulator::new(
         SimConfig::builder()
-            .policy(FetchPolicy::Disk { pattern: AccessPattern::Random })
+            .policy(FetchPolicy::Disk {
+                pattern: AccessPattern::Random,
+            })
             .memory(MemoryConfig::Half)
             .build(),
     )
     .run(&app);
 
     // On a slow wire, moving less data wins.
-    assert!(lazy.total_time < eager.total_time, "lazy beats eager on Ethernet");
-    assert!(eager.total_time < fullpage.total_time, "subpages still beat fullpage");
+    assert!(
+        lazy.total_time < eager.total_time,
+        "lazy beats eager on Ethernet"
+    );
+    assert!(
+        eager.total_time < fullpage.total_time,
+        "subpages still beat fullpage"
+    );
     // Figure 1's motivation, quantified.
-    assert!(fullpage.total_time > seq_disk.total_time, "fullpage Ethernet loses to a good disk");
-    assert!(lazy.total_time < rand_disk.total_time, "lazy Ethernet beats a random disk");
+    assert!(
+        fullpage.total_time > seq_disk.total_time,
+        "fullpage Ethernet loses to a good disk"
+    );
+    assert!(
+        lazy.total_time < rand_disk.total_time,
+        "lazy Ethernet beats a random disk"
+    );
 
     // And on the AN2, the ordering flips back: lazy is the worst.
     let an2_eager = run_with_net(
@@ -97,7 +116,10 @@ fn ethernet_inverts_the_lazy_eager_ordering() {
         MemoryConfig::Half,
         NetParams::paper(),
     );
-    assert!(an2_lazy.total_time > an2_eager.total_time, "lazy loses on the AN2");
+    assert!(
+        an2_lazy.total_time > an2_eager.total_time,
+        "lazy loses on the AN2"
+    );
 }
 
 /// §4.3: every pipelining scheme improves on plain eager fetch at a
@@ -147,7 +169,10 @@ fn all_pipelining_schemes_beat_eager_at_512() {
 fn wire_utilization_tracks_paging_intensity() {
     let app = apps::modula3().scaled(0.05);
     let disk = Simulator::new(
-        SimConfig::builder().policy(FetchPolicy::disk()).memory(MemoryConfig::Half).build(),
+        SimConfig::builder()
+            .policy(FetchPolicy::disk())
+            .memory(MemoryConfig::Half)
+            .build(),
     )
     .run(&app);
     assert_eq!(disk.wire_utilization(), 0.0);

@@ -2,8 +2,8 @@
 //! and the facade API working together.
 
 use gms_subpages::core::{
-    AccessCost, FetchPolicy, MemoryConfig, PipelineStrategy, ReplacementKind, RunReport,
-    SimConfig, Simulator,
+    AccessCost, FetchPolicy, MemoryConfig, PipelineStrategy, ReplacementKind, RunReport, SimConfig,
+    Simulator,
 };
 use gms_subpages::mem::SubpageSize;
 use gms_subpages::net::RecvOverhead;
@@ -34,7 +34,11 @@ fn all_policies_conserve_time_buckets() {
         },
     ];
     for policy in policies {
-        for memory in [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter] {
+        for memory in [
+            MemoryConfig::Full,
+            MemoryConfig::Half,
+            MemoryConfig::Quarter,
+        ] {
             let report = run(&app, policy, memory);
             report.assert_conserved();
             assert_eq!(report.total_refs, app.target_refs(), "{}", policy.label());
@@ -61,8 +65,16 @@ fn gms_traffic_matches_engine_counters() {
 #[test]
 fn lazy_trades_transfers_for_faults() {
     let app = apps::gdb().scaled(0.5);
-    let eager = run(&app, FetchPolicy::eager(SubpageSize::S1K), MemoryConfig::Half);
-    let lazy = run(&app, FetchPolicy::lazy(SubpageSize::S1K), MemoryConfig::Half);
+    let eager = run(
+        &app,
+        FetchPolicy::eager(SubpageSize::S1K),
+        MemoryConfig::Half,
+    );
+    let lazy = run(
+        &app,
+        FetchPolicy::lazy(SubpageSize::S1K),
+        MemoryConfig::Half,
+    );
     assert!(lazy.faults.total() > eager.faults.total());
     assert_eq!(eager.faults.lazy_subpage, 0);
     assert!(lazy.faults.lazy_subpage > 0);
@@ -123,8 +135,7 @@ fn pal_emulation_overhead_is_small() {
             .build(),
     )
     .run(&app);
-    let frac =
-        report.emulation_time.as_nanos() as f64 / report.total_time.as_nanos() as f64;
+    let frac = report.emulation_time.as_nanos() as f64 / report.total_time.as_nanos() as f64;
     assert!(frac < 0.05, "emulation is {:.1}% of runtime", frac * 100.0);
 }
 
@@ -145,7 +156,11 @@ fn trace_io_round_trip_preserves_simulation() {
             .memory(MemoryConfig::Half)
             .build(),
     );
-    let from_replay = sim.run_trace(&mut replay, app.footprint(), gms_subpages::trace::synth::LAYOUT_BASE);
+    let from_replay = sim.run_trace(
+        &mut replay,
+        app.footprint(),
+        gms_subpages::trace::synth::LAYOUT_BASE,
+    );
     let direct = sim.run(&app);
     assert_eq!(from_replay.faults.total(), direct.faults.total());
     assert_eq!(from_replay.total_time, direct.total_time);
@@ -174,7 +189,13 @@ fn hand_built_trace_faults_once_per_page() {
 #[test]
 fn simulation_is_deterministic() {
     let app = apps::atom().scaled(0.02);
-    let make = || run(&app, FetchPolicy::pipelined(SubpageSize::S1K), MemoryConfig::Quarter);
+    let make = || {
+        run(
+            &app,
+            FetchPolicy::pipelined(SubpageSize::S1K),
+            MemoryConfig::Quarter,
+        )
+    };
     let a = make();
     let b = make();
     assert_eq!(a.total_time, b.total_time);

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 
 use gms_subpages::core::{FetchPolicy, MemoryConfig, SimConfig, Simulator};
 use gms_subpages::mem::{
-    Geometry, Lru, PageId, PageSize, ReplacementPolicy, SubpageIndex, SubpageMask,
-    SubpageSize,
+    Geometry, Lru, PageId, PageSize, ReplacementPolicy, SubpageIndex, SubpageMask, SubpageSize,
 };
 use gms_subpages::net::{NetParams, RecvOverhead, Timeline, TransferPlan};
 use gms_subpages::trace::{io, AccessKind, Run, TraceSource, VecSource};
@@ -15,14 +14,25 @@ use gms_subpages::units::{Bytes, SimTime, VirtAddr};
 fn arb_run() -> impl Strategy<Value = Run> {
     (
         0u64..(1 << 30),
-        prop_oneof![Just(-64i64), -16i64..=-1, 1i64..=64, Just(128i64), Just(8192i64), Just(0i64)],
+        prop_oneof![
+            Just(-64i64),
+            -16i64..=-1,
+            1i64..=64,
+            Just(128i64),
+            Just(8192i64),
+            Just(0i64)
+        ],
         1u64..2000,
         prop::bool::ANY,
     )
         .prop_map(|(start, stride, count, write)| {
             // Anchor high enough that negative strides cannot underflow.
             let base = 0x1_0000_0000u64 + start;
-            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             Run::new(VirtAddr::new(base), stride, count, kind)
         })
 }

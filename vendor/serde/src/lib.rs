@@ -1,0 +1,10 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace declares `serde` as an *optional* dependency behind a
+//! `serde` cargo feature on `gms-units` / `gms-trace`. That feature is
+//! never enabled in this offline environment, so no code here is ever
+//! reached — this package only exists so dependency resolution succeeds
+//! without network access. Enabling the members' `serde` features
+//! requires replacing this placeholder with the real crate.
+
+#![forbid(unsafe_code)]
