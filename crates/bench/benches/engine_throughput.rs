@@ -1,10 +1,12 @@
 //! Engine and sweep-executor throughput.
 //!
 //! Measures the simulator's reference throughput (refs/sec) per fetch
-//! policy over a pre-materialized gdb trace, and the wall-clock of the
-//! paper-default sweep grid serially vs. on [`gms_bench::jobs`] workers.
-//! Results print as a table and are written to `BENCH_engine.json` at
-//! the repository root so regressions are diffable across commits.
+//! policy over a pre-materialized gdb trace, the wall-clock of the
+//! paper-default sweep grid serially vs. on [`gms_bench::jobs`] workers,
+//! and a multi-node cluster cell (four active nodes, eager 1K, shared
+//! network) with its aggregate wire utilization. Results print as a
+//! table and are written to `BENCH_engine.json` at the repository root
+//! so regressions are diffable across commits.
 //!
 //! `GMS_SCALE` shrinks the trace, `GMS_JOBS` pins the worker count.
 
@@ -12,7 +14,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gms_bench::{
-    apps, jobs, scale, FetchPolicy, MemoryConfig, SimConfig, Simulator, SubpageSize, Sweep, Table,
+    apps, jobs, scale, ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator, SubpageSize,
+    Sweep, Table,
 };
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::MaterializedTrace;
@@ -75,6 +78,26 @@ fn main() {
     let parallel_jobs = jobs();
     let parallel_secs = sweep_secs(parallel_jobs);
 
+    // Multi-node cluster cell: four active nodes replaying the same app
+    // over a shared 7-node network, eager 1K.
+    const CLUSTER_NODES: u32 = 7;
+    const CLUSTER_ACTIVE: usize = 4;
+    let cluster_sim = ClusterSim::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .cluster_nodes(CLUSTER_NODES)
+            .build(),
+    );
+    let cluster_apps = vec![app.clone(); CLUSTER_ACTIVE];
+    let cluster_warm = cluster_sim.run(&cluster_apps);
+    let start = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(cluster_sim.run(&cluster_apps));
+    }
+    let cluster_secs = start.elapsed().as_secs_f64() / f64::from(REPS);
+    let cluster_refs: u64 = cluster_warm.nodes.iter().map(|r| r.total_refs).sum();
+
     let mut table = Table::new(
         &format!("Engine throughput (gdb trace, 1/2-mem, scale {})", scale()),
         &["policy", "refs", "ms_per_run", "refs_per_sec"],
@@ -94,6 +117,14 @@ fn main() {
         parallel_jobs,
         parallel_secs,
         serial_secs / parallel_secs
+    );
+    println!(
+        "cluster cell ({CLUSTER_ACTIVE} active of {CLUSTER_NODES} nodes, sp_1024): \
+         {:.2} ms/run, {:.0} refs/sec aggregate, wire util {:.1}%, queue delay {:.2} ms",
+        cluster_secs * 1e3,
+        cluster_refs as f64 / cluster_secs,
+        cluster_warm.net.wire_utilization * 100.0,
+        cluster_warm.net.queue_delay.as_millis_f64()
     );
 
     let mut json = String::from("{\n");
@@ -119,6 +150,24 @@ fn main() {
     json.push_str(&format!(
         "    \"speedup\": {:.3}\n",
         serial_secs / parallel_secs
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"cluster\": {\n");
+    json.push_str(&format!("    \"nodes\": {CLUSTER_NODES},\n"));
+    json.push_str(&format!("    \"active\": {CLUSTER_ACTIVE},\n"));
+    json.push_str("    \"policy\": \"sp_1024\",\n");
+    json.push_str(&format!("    \"ms_per_run\": {:.3},\n", cluster_secs * 1e3));
+    json.push_str(&format!(
+        "    \"refs_per_sec\": {:.0},\n",
+        cluster_refs as f64 / cluster_secs
+    ));
+    json.push_str(&format!(
+        "    \"wire_utilization\": {:.4},\n",
+        cluster_warm.net.wire_utilization
+    ));
+    json.push_str(&format!(
+        "    \"queue_delay_ms\": {:.3}\n",
+        cluster_warm.net.queue_delay.as_millis_f64()
     ));
     json.push_str("  }\n}\n");
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");

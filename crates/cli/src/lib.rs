@@ -6,6 +6,8 @@
 //!             [--net atm|ethernet|fast4|fast16] [--replacement lru|fifo|clock|random2]
 //!             [--pal]
 //! gms-sim sweep --app gdb [--scale 1.0] [--jobs 4]
+//! gms-sim cluster --nodes 7 --active 4 --app modula3 [--policy sp_1024]
+//!                 [--memory half] [--scale 0.1] [--net atm]
 //! gms-sim latency [--subpage 1024]
 //! ```
 //!
@@ -18,7 +20,7 @@
 use std::fmt::Write as _;
 
 use gms_core::{
-    AccessCost, FetchPolicy, MemoryConfig, ReplacementKind, SimConfig, Simulator, Sweep,
+    AccessCost, ClusterSim, FetchPolicy, MemoryConfig, ReplacementKind, SimConfig, Simulator, Sweep,
 };
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{NetParams, Timeline, TransferPlan};
@@ -51,10 +53,18 @@ USAGE:
               [--scale <f>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2] [--pal]
   gms-sim sweep --app <name> [--scale <f>] [--jobs <n>]
+  gms-sim cluster --nodes <k> --active <a> --app <name> [--policy <label>]
+              [--memory full|half|quarter|<frames>] [--scale <f>]
+              [--net atm|ethernet|fast4|fast16]
+              [--replacement lru|fifo|clock|random2]
   gms-sim latency [--subpage <bytes>]
 
 Sweeps fan the grid's cells over `--jobs` worker threads (default: all
 available cores); the reports are identical to a serial run.
+
+Cluster runs replay the app on each of the <a> active nodes at once;
+the remaining nodes serve as idle memory hosts, and every transfer
+contends on the shared wires and serving-node CPU/DMA.
 
 POLICY LABELS:
   disk | p_8192 | sp_<bytes> (eager) | pl_<bytes> (pipelined)
@@ -269,6 +279,62 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             args.finish()?;
             Ok(sweep_command(&app.scaled(scale), jobs))
         }
+        "cluster" => {
+            let nodes: u32 = args
+                .take_value("--nodes")
+                .ok_or_else(|| err("--nodes is required"))?
+                .parse()
+                .map_err(|_| err("bad --nodes"))?;
+            let active: u32 = args
+                .take_value("--active")
+                .ok_or_else(|| err("--active is required"))?
+                .parse()
+                .map_err(|_| err("bad --active"))?;
+            if active == 0 {
+                return Err(err("--active must be at least 1"));
+            }
+            if active >= nodes {
+                return Err(err(format!(
+                    "--active {active} leaves no idle memory server in a \
+                     {nodes}-node cluster (need --active < --nodes)"
+                )));
+            }
+            let app = parse_app(
+                &args
+                    .take_value("--app")
+                    .ok_or_else(|| err("--app is required"))?,
+            )?;
+            let policy = match args.take_value("--policy") {
+                Some(p) => parse_policy(&p)?,
+                None => FetchPolicy::eager(SubpageSize::S1K),
+            };
+            let memory = match args.take_value("--memory") {
+                Some(m) => parse_memory(&m)?,
+                None => MemoryConfig::Half,
+            };
+            let scale: f64 = match args.take_value("--scale") {
+                Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
+                None => 1.0,
+            };
+            let net = match args.take_value("--net") {
+                Some(n) => parse_net(&n)?,
+                None => NetParams::paper(),
+            };
+            let replacement = match args.take_value("--replacement") {
+                Some(r) => parse_replacement(&r)?,
+                None => ReplacementKind::Lru,
+            };
+            args.finish()?;
+            Ok(cluster_command(
+                &app.scaled(scale),
+                nodes,
+                active,
+                policy,
+                memory,
+                net,
+                replacement,
+            ))
+        }
         "latency" => {
             let subpage = match args.take_value("--subpage") {
                 Some(s) => Bytes::new(s.parse().map_err(|_| err("bad --subpage"))?),
@@ -391,6 +457,34 @@ fn sweep_command(app: &AppProfile, jobs: usize) -> String {
     out
 }
 
+fn cluster_command(
+    app: &AppProfile,
+    nodes: u32,
+    active: u32,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+    net: NetParams,
+    replacement: ReplacementKind,
+) -> String {
+    let config = SimConfig::builder()
+        .policy(policy)
+        .memory(memory)
+        .net(net)
+        .replacement(replacement)
+        .cluster_nodes(nodes)
+        .build();
+    let apps = vec![app.clone(); active as usize];
+    let report = ClusterSim::new(config).run(&apps);
+    let mut out = String::new();
+    let _ = write!(out, "{}", report.summary());
+    let _ = writeln!(
+        out,
+        "mean page wait per node: {:.2} ms",
+        report.mean_page_wait().as_millis_f64()
+    );
+    out
+}
+
 fn latency_command(subpage: Bytes) -> String {
     let page = Bytes::kib(8);
     let mut out = String::new();
@@ -508,6 +602,24 @@ mod tests {
         let parallel = execute(&argv("sweep --app gdb --scale 0.1 --jobs 4")).unwrap();
         assert_eq!(serial, parallel);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn cluster_command_reports_every_active_node() {
+        let out = execute(&argv("cluster --nodes 4 --active 2 --app gdb --scale 0.1")).unwrap();
+        assert!(out.contains("2 active node(s)"), "{out}");
+        assert!(out.contains("node0:"), "{out}");
+        assert!(out.contains("node1:"), "{out}");
+        assert!(out.contains("wire util"), "{out}");
+        assert!(out.contains("mean page wait per node"), "{out}");
+    }
+
+    #[test]
+    fn cluster_command_validates_topology() {
+        assert!(execute(&argv("cluster --nodes 4 --active 4 --app gdb")).is_err());
+        assert!(execute(&argv("cluster --nodes 4 --active 0 --app gdb")).is_err());
+        assert!(execute(&argv("cluster --active 2 --app gdb")).is_err());
+        assert!(execute(&argv("cluster --nodes 4 --active 2")).is_err());
     }
 
     #[test]

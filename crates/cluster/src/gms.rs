@@ -57,9 +57,11 @@ impl GmsStats {
 
 /// A running global memory service over a set of nodes.
 ///
-/// Node 0 is the *active* node by convention; its local memory is managed
-/// by the caller (the simulator engine). All nodes' global caches are
-/// managed here.
+/// The first `n_active` nodes (node 0 alone, for [`Gms::new`]) are the
+/// *active* nodes: their local memories are managed by the caller (the
+/// simulator engine), they donate no global frames, and they never
+/// receive evictions. The remaining nodes are idle memory servers whose
+/// global caches are managed here.
 ///
 /// # Examples
 ///
@@ -79,6 +81,7 @@ impl GmsStats {
 #[derive(Debug, Clone)]
 pub struct Gms {
     nodes: Vec<Node>,
+    n_active: u32,
     directory: Directory,
     epochs: EpochManager,
     clock: u64,
@@ -89,9 +92,8 @@ impl Gms {
     /// Default epoch length (placements between weight recomputations).
     const EPOCH_LEN: u64 = 256;
 
-    /// A cluster of `n_nodes` nodes, each donating `frames_per_node`
-    /// global frames. The active node (node 0) donates none — its memory
-    /// is local.
+    /// A cluster of `n_nodes` nodes with one active node (the paper's
+    /// configuration): [`Gms::with_active`] at `n_active = 1`.
     ///
     /// # Panics
     ///
@@ -99,21 +101,46 @@ impl Gms {
     /// idle node) or `frames_per_node` is zero.
     #[must_use]
     pub fn new(n_nodes: u32, frames_per_node: u64) -> Self {
-        assert!(n_nodes >= 2, "GMS needs at least one idle node");
+        Gms::with_active(n_nodes, 1, frames_per_node)
+    }
+
+    /// A cluster of `n_nodes` nodes whose first `n_active` are active
+    /// (donating no global frames), with every idle node donating
+    /// `frames_per_node` global frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_active` is zero, if no idle node remains
+    /// (`n_active >= n_nodes`), or if `frames_per_node` is zero.
+    #[must_use]
+    pub fn with_active(n_nodes: u32, n_active: u32, frames_per_node: u64) -> Self {
+        assert!(n_active >= 1, "GMS needs at least one active node");
+        assert!(n_active < n_nodes, "GMS needs at least one idle node");
         assert!(frames_per_node > 0, "idle nodes must donate frames");
         let nodes = (0..n_nodes)
             .map(|i| {
-                let capacity = if i == 0 { 1 } else { frames_per_node };
+                // Active nodes donate no frames; zero capacity keeps them
+                // out of every placement decision (same machinery as a
+                // retired node).
+                let capacity = if i < n_active { 0 } else { frames_per_node };
                 Node::new(NodeId::new(i), capacity)
             })
             .collect();
         Gms {
             nodes,
+            n_active,
             directory: Directory::new(n_nodes),
             epochs: EpochManager::new(Self::EPOCH_LEN),
             clock: 0,
             stats: GmsStats::default(),
         }
+    }
+
+    /// How many leading nodes are active (faulting) rather than idle
+    /// memory servers.
+    #[must_use]
+    pub fn n_active(&self) -> u32 {
+        self.n_active
     }
 
     /// Pre-loads `pages` into the idle nodes' global caches, round-robin —
@@ -124,7 +151,10 @@ impl Gms {
     ///
     /// Panics if the idle nodes cannot hold all the pages.
     pub fn warm_cache(&mut self, pages: impl IntoIterator<Item = PageId>) {
-        let idle: Vec<NodeId> = self.nodes[1..].iter().map(Node::id).collect();
+        let idle: Vec<NodeId> = self.nodes[self.n_active as usize..]
+            .iter()
+            .map(Node::id)
+            .collect();
         let mut next = 0usize;
         for page in pages {
             // Find an idle node with room, starting from the round-robin
@@ -232,10 +262,13 @@ impl Gms {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is the active node (node 0), is already retired,
-    /// or is the last idle node.
+    /// Panics if `node` is an active node, is already retired, or is the
+    /// last idle node.
     pub fn retire_node(&mut self, node: NodeId) -> Vec<PageId> {
-        assert_ne!(node.index(), 0, "cannot retire the active node");
+        assert!(
+            node.index() >= self.n_active,
+            "cannot retire the active node"
+        );
         assert!(
             !self.nodes[node.as_usize()].is_retired(),
             "{node} is already retired"
@@ -243,7 +276,7 @@ impl Gms {
         assert!(
             self.nodes
                 .iter()
-                .filter(|n| n.id().index() != 0 && !n.is_retired())
+                .filter(|n| n.id().index() >= self.n_active && !n.is_retired())
                 .count()
                 > 1,
             "cannot retire the last idle node"
@@ -463,6 +496,43 @@ mod tests {
     #[should_panic(expected = "at least one idle node")]
     fn single_node_cluster_panics() {
         let _ = Gms::new(1, 10);
+    }
+
+    #[test]
+    fn multi_active_cluster_keeps_actives_out_of_placement() {
+        let mut gms = Gms::with_active(5, 2, 10);
+        assert_eq!(gms.n_active(), 2);
+        gms.warm_cache((0..30).map(PageId::new));
+        // Warming spreads over the three idle nodes only.
+        assert!(gms.nodes()[0].is_empty());
+        assert!(gms.nodes()[1].is_empty());
+        for node in &gms.nodes()[2..] {
+            assert_eq!(node.len(), 10, "{}", node.id());
+        }
+        // Evictions from either active node land on idle nodes only.
+        for i in 0..40u64 {
+            let from = NodeId::new((i % 2) as u32);
+            let got = gms.getpage(from, PageId::new(i % 30));
+            if matches!(got, GetPageOutcome::RemoteHit { .. }) {
+                let put = gms.putpage(from, PageId::new(i % 30), i % 2 == 0);
+                assert!(put.stored_at.index() >= 2, "stored on {}", put.stored_at);
+            }
+            assert!(gms.is_consistent(), "iteration {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot retire the active node")]
+    fn retiring_any_active_node_panics() {
+        let mut gms = Gms::with_active(5, 2, 10);
+        gms.warm_cache((0..4).map(PageId::new));
+        gms.retire_node(NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one idle node")]
+    fn all_active_cluster_panics() {
+        let _ = Gms::with_active(3, 3, 10);
     }
 
     #[test]

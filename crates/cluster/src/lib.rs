@@ -15,10 +15,14 @@
 //! * per-node **global page caches** ([`Node`]) with oldest-first local
 //!   replacement.
 //!
-//! The simulator drives one *active* node (node 0) through the [`Gms`]
-//! facade; the remaining nodes are idle memory servers, matching the
-//! paper's warm-cache experimental setup ("all pages are assumed to
-//! initially reside in remote memory", §4.1).
+//! The serial simulator drives one *active* node (node 0) through the
+//! [`Gms`] facade; the remaining nodes are idle memory servers, matching
+//! the paper's warm-cache experimental setup ("all pages are assumed to
+//! initially reside in remote memory", §4.1). [`Gms::with_active`]
+//! generalizes this to several active nodes — the first `active` node
+//! ids contribute no global frames and fault concurrently against the
+//! idle remainder, which is how the multi-node `ClusterSim` in
+//! `gms-core` resolves every getpage/putpage to a real custodian node.
 //!
 //! # Examples
 //!

@@ -1,0 +1,350 @@
+//! The multi-node cluster simulator.
+//!
+//! [`ClusterSim`] advances *A* active nodes — each replaying its own
+//! application trace against its own page table, frame pool and LRU —
+//! in deterministic lockstep over one shared [`ClusterNetwork`] and one
+//! shared GMS. Concurrent faults, follow-on pipelines and putpage
+//! write-backs from different nodes contend on the shared wires and on
+//! the serving nodes' CPU and DMA, so each node's page-wait grows with
+//! cluster load (the effect [`ClusterReport`] surfaces as queueing delay
+//! and wire utilization).
+//!
+//! `Simulator::run` is exactly the one-active-node case: both funnel
+//! into [`run_lockstep`], so a single-app cluster run and a serial run
+//! produce byte-identical reports.
+//!
+//! # Determinism
+//!
+//! The lockstep scheduler always resumes the unfinished node with the
+//! smallest `(clock, node id)` and lets it run until it passes every
+//! other unfinished node's clock. Shared-resource acquisitions therefore
+//! happen in a reproducible order that is independent of host threading
+//! or hashing: the same inputs give the same report, every time.
+//!
+//! [`ClusterNetwork`]: gms_net::ClusterNetwork
+
+use gms_cluster::Gms;
+use gms_mem::PageId;
+use gms_net::ClusterNetwork;
+use gms_trace::apps::AppProfile;
+use gms_trace::synth::LAYOUT_BASE;
+use gms_trace::TraceSource;
+use gms_units::{Bytes, Duration, NodeId, SimTime, VirtAddr};
+
+use crate::engine::{ClusterCtx, NodeDriver, PAGE_NAMESPACE_SHIFT};
+use crate::metrics::ClusterNetStats;
+use crate::{RunReport, SimConfig};
+
+/// One active node's workload: a trace, its footprint and base address.
+pub(crate) struct NodeInput<'a> {
+    /// The reference trace the node replays.
+    pub source: &'a mut dyn TraceSource,
+    /// Total touched span, for sizing memory and warming the cache.
+    pub footprint: Bytes,
+    /// Page-aligned base of the footprint.
+    pub base: VirtAddr,
+}
+
+/// Replays one trace per active node over a shared network and GMS,
+/// in deterministic lockstep. Returns one report per active node plus
+/// the aggregate network statistics.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, if the config has no idle node left to
+/// donate memory, or if any footprint is zero.
+pub(crate) fn run_lockstep(
+    cfg: &SimConfig,
+    inputs: &mut [NodeInput<'_>],
+) -> (Vec<RunReport>, ClusterNetStats) {
+    let active = u32::try_from(inputs.len()).expect("node count fits in u32");
+    assert!(active >= 1, "a cluster run needs at least one active node");
+    assert!(
+        active < cfg.cluster_nodes,
+        "a cluster of {} nodes cannot host {active} active nodes and an idle server",
+        cfg.cluster_nodes
+    );
+    let geom = cfg.policy.geometry(cfg.page_size);
+    let page_bytes = geom.page_size().bytes();
+    for input in inputs.iter() {
+        assert!(
+            !input.footprint.is_zero(),
+            "cannot size memory for an empty trace"
+        );
+    }
+
+    // The shared substrate: every node's wires/DMA/CPU, plus the global
+    // memory service holding every trace's pages in the idle nodes.
+    let gms = if cfg.policy.is_disk() {
+        None
+    } else {
+        let total_pages: u64 = inputs
+            .iter()
+            .map(|input| input.footprint.div_ceil(page_bytes))
+            .sum();
+        // Idle nodes need room for the combined footprint plus churn
+        // headroom.
+        let per_idle = total_pages
+            .div_ceil(u64::from(cfg.cluster_nodes - active))
+            .max(1)
+            * 2;
+        let mut gms = Gms::with_active(cfg.cluster_nodes, active, per_idle);
+        for (i, input) in inputs.iter().enumerate() {
+            let base_page = geom.page_of(input.base);
+            let pages = input.footprint.div_ceil(page_bytes);
+            let offset = (i as u64) << PAGE_NAMESPACE_SHIFT;
+            gms.warm_cache((0..pages).map(|k| PageId::new(base_page.get() + k + offset)));
+        }
+        Some(gms)
+    };
+    let mut ctx = ClusterCtx {
+        net: ClusterNetwork::new(cfg.net, cfg.cluster_nodes),
+        gms,
+        n_active: active,
+    };
+
+    let mut drivers: Vec<NodeDriver<'_>> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let frames = cfg.memory.frames(input.footprint.div_ceil(page_bytes));
+            NodeDriver::new(cfg, geom, frames, NodeId::new(i as u32))
+        })
+        .collect();
+
+    // Lockstep: resume the furthest-behind node (ties broken by id) and
+    // let it run until it passes every other unfinished node.
+    let n = drivers.len();
+    let mut finished = vec![false; n];
+    while let Some(i) = (0..n)
+        .filter(|&i| !finished[i])
+        .min_by_key(|&i| (drivers[i].clock(), i))
+    {
+        let deadline = (0..n)
+            .filter(|&j| !finished[j] && j != i)
+            .map(|j| drivers[j].clock())
+            .min()
+            .unwrap_or(SimTime::MAX);
+        finished[i] = drivers[i].run_until(&mut *inputs[i].source, deadline, &mut ctx);
+    }
+
+    let reports: Vec<RunReport> = drivers
+        .into_iter()
+        .map(|d| d.into_report(cfg, &ctx))
+        .collect();
+    let makespan = reports
+        .iter()
+        .map(|r| r.total_time)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let wire_in_busy = ctx.net.total_wire_in_busy();
+    let span = makespan.as_nanos() as f64 * f64::from(cfg.cluster_nodes);
+    let net = ClusterNetStats {
+        queue_delay: ctx.net.total_queue_delay(),
+        wire_in_busy,
+        wire_utilization: if span > 0.0 {
+            wire_in_busy.as_nanos() as f64 / span
+        } else {
+            0.0
+        },
+    };
+    (reports, net)
+}
+
+/// Runs several applications concurrently, one per active node, over a
+/// shared cluster.
+///
+/// # Examples
+///
+/// ```
+/// use gms_core::{ClusterSim, FetchPolicy, MemoryConfig, SimConfig};
+/// use gms_mem::SubpageSize;
+/// use gms_trace::apps;
+///
+/// let config = SimConfig::builder()
+///     .policy(FetchPolicy::eager(SubpageSize::S1K))
+///     .memory(MemoryConfig::Half)
+///     .cluster_nodes(4)
+///     .build();
+/// let app = apps::gdb().scaled(0.1);
+/// let report = ClusterSim::new(config).run(&[app.clone(), app]);
+/// assert_eq!(report.nodes.len(), 2);
+/// for node in &report.nodes {
+///     node.assert_conserved();
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    config: SimConfig,
+}
+
+impl ClusterSim {
+    /// A cluster simulator for the given configuration. The number of
+    /// active nodes is set by how many apps are passed to [`run`]; the
+    /// config's `cluster_nodes` is the cluster's *total* size.
+    ///
+    /// [`run`]: ClusterSim::run
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        ClusterSim { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one application per active node (node *i* runs `apps[i]`),
+    /// all contending on the shared network and global memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or leaves no idle node in the cluster
+    /// (`apps.len() >= cluster_nodes`).
+    pub fn run(&self, apps: &[AppProfile]) -> ClusterReport {
+        let mut sources: Vec<_> = apps.iter().map(AppProfile::source).collect();
+        let mut inputs: Vec<NodeInput<'_>> = sources
+            .iter_mut()
+            .zip(apps)
+            .map(|(source, app)| NodeInput {
+                source: &mut **source,
+                footprint: app.footprint(),
+                base: LAYOUT_BASE,
+            })
+            .collect();
+        let (nodes, net) = run_lockstep(&self.config, &mut inputs);
+        let makespan = nodes
+            .iter()
+            .map(|r| r.total_time)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        ClusterReport {
+            nodes,
+            makespan,
+            net,
+        }
+    }
+}
+
+/// The outcome of a [`ClusterSim`] run: one [`RunReport`] per active
+/// node plus cluster-wide network aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Per-active-node reports, in node order. Requester-side counters
+    /// are private to each node; the GMS statistics and serving-side
+    /// busy times are cluster-wide.
+    pub nodes: Vec<RunReport>,
+    /// The slowest node's total time.
+    pub makespan: Duration,
+    /// Aggregate contention metrics for the shared network.
+    pub net: ClusterNetStats,
+}
+
+impl ClusterReport {
+    /// Mean per-node time spent waiting for pages (initial subpage
+    /// latency plus rest-of-page waits). Grows with cluster load as
+    /// transfers queue on shared wires and serving nodes.
+    #[must_use]
+    pub fn mean_page_wait(&self) -> Duration {
+        if self.nodes.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.nodes.iter().map(|r| r.sp_latency + r.page_wait).sum();
+        total / self.nodes.len() as u64
+    }
+
+    /// A compact human-readable summary of the cluster run.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cluster: {} active node(s), makespan {}, wire util {:.1}%, queue delay {}\n",
+            self.nodes.len(),
+            self.makespan,
+            self.net.wire_utilization * 100.0,
+            self.net.queue_delay,
+        ));
+        for (i, node) in self.nodes.iter().enumerate() {
+            out.push_str(&format!(
+                "  node{i}: {} refs in {} ({} faults, page wait {})\n",
+                node.total_refs,
+                node.total_time,
+                node.faults.total(),
+                node.sp_latency + node.page_wait,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FetchPolicy, MemoryConfig, Simulator};
+    use gms_mem::SubpageSize;
+
+    fn config(nodes: u32) -> SimConfig {
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .cluster_nodes(nodes)
+            .build()
+    }
+
+    #[test]
+    fn one_active_node_matches_serial_simulator() {
+        let app = gms_trace::apps::gdb().scaled(0.2);
+        let serial = Simulator::new(config(4)).run(&app);
+        let cluster = ClusterSim::new(config(4)).run(std::slice::from_ref(&app));
+        assert_eq!(cluster.nodes.len(), 1);
+        assert_eq!(cluster.nodes[0], serial);
+        assert_eq!(cluster.makespan, serial.total_time);
+    }
+
+    #[test]
+    fn active_nodes_contend_and_slow_each_other() {
+        // The acceptance experiment: four actives sharing three idle
+        // servers wait strictly longer per node than a lone active at
+        // the same parameters, and the aggregate metrics show why.
+        let app = gms_trace::apps::modula3().scaled(0.05);
+        let alone = ClusterSim::new(config(7)).run(std::slice::from_ref(&app));
+        let crowd = ClusterSim::new(config(7)).run(&[app.clone(), app.clone(), app.clone(), app]);
+        assert!(
+            crowd.mean_page_wait() > alone.mean_page_wait(),
+            "crowded wait {} vs lone wait {}",
+            crowd.mean_page_wait(),
+            alone.mean_page_wait()
+        );
+        assert!(crowd.net.queue_delay > Duration::ZERO);
+        assert!(crowd.net.wire_utilization > 0.0);
+        for node in &crowd.nodes {
+            node.assert_conserved();
+            assert_eq!(node.total_refs, crowd.nodes[0].total_refs);
+        }
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let app = gms_trace::apps::ld().scaled(0.1);
+        let run = || ClusterSim::new(config(5)).run(&[app.clone(), app.clone()]);
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn cluster_needs_an_idle_server() {
+        let app = gms_trace::apps::gdb().scaled(0.1);
+        let _ = ClusterSim::new(config(2)).run(&[app.clone(), app]);
+    }
+
+    #[test]
+    fn summary_mentions_every_node() {
+        let app = gms_trace::apps::gdb().scaled(0.1);
+        let report = ClusterSim::new(config(4)).run(&[app.clone(), app]);
+        let summary = report.summary();
+        assert!(summary.contains("node0:"));
+        assert!(summary.contains("node1:"));
+        assert!(summary.contains("wire util"));
+    }
+}

@@ -2,18 +2,24 @@
 //!
 //! The engine replays a reference trace against a memory of configurable
 //! size, servicing faults through the fetch policy's transfer plans on the
-//! shared network timeline. It is the counterpart of the paper's §3.2
+//! shared cluster network. It is the counterpart of the paper's §3.2
 //! simulator:
 //!
 //! * the clock advances by a fixed cost per memory reference (12 ns —
 //!   "83,000 events correspond to one millisecond");
-//! * page faults schedule transfers on the five-resource pipeline, so
-//!   request/wire/receive components of concurrent transfers overlap and
-//!   contend exactly as described ("the simulator models congestion
-//!   delays in the network");
+//! * page faults schedule transfers on the five-resource pipeline of the
+//!   shared [`ClusterNetwork`], so request/wire/receive components of
+//!   concurrent transfers overlap and contend exactly as described ("the
+//!   simulator models congestion delays in the network");
 //! * follow-on arrivals are applied lazily: the program only stalls when
 //!   it touches a subpage whose data has not yet arrived (`page_wait`);
 //! * achieved overlap is attributed to I/O-on-I/O vs computation (§4.4).
+//!
+//! The per-node replay logic lives in [`NodeDriver`]; everything the
+//! drivers share — the network and the global memory service — lives in
+//! [`ClusterCtx`]. [`Simulator`] runs one driver to completion (the
+//! single-active-node case); `ClusterSim` interleaves several in
+//! deterministic lockstep over the same shared context.
 
 use std::collections::HashMap;
 
@@ -22,14 +28,22 @@ use gms_mem::{
     FramePool, Geometry, PageId, PageState, PageTable, PalEmulator, ReplacementPolicy,
     SubpageIndex, Tlb,
 };
-use gms_net::{DiskModel, LinkModel, Timeline, TransferPlan};
+use gms_net::{BusyTimes, ClusterNetwork, DiskModel, LinkModel, NetResource, TransferPlan};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::{AccessKind, Run, TraceSource};
-use gms_units::{Bytes, Duration, NodeId, SimTime, VirtAddr};
+use gms_units::{Duration, NodeId, SimTime, VirtAddr};
 
+use crate::cluster_sim::{run_lockstep, NodeInput};
+use crate::events::{Arrival, EventCore};
 use crate::metrics::{DistanceHistogram, FaultCounts, FaultKind, FaultRecord, OverlapStats};
 use crate::{AccessCost, FetchPolicy, RunReport, SimConfig};
+
+/// Active nodes place their pages in disjoint slices of the GMS page-id
+/// space: node *i*'s pages are offset by `i << PAGE_NAMESPACE_SHIFT`.
+/// Traces address at most a few dozen bits of page id, so slices never
+/// collide.
+pub(crate) const PAGE_NAMESPACE_SHIFT: u32 = 40;
 
 /// Runs traces under one [`SimConfig`].
 ///
@@ -81,36 +95,42 @@ impl Simulator {
     /// configuration's frame count and which pages pre-reside in the warm
     /// global cache.
     ///
+    /// This is the single-active-node case of the cluster runner: the
+    /// report is byte-identical to a `ClusterSim` run with one active
+    /// node because both drive the same lockstep loop.
+    ///
     /// # Panics
     ///
     /// Panics if `footprint` is zero.
     pub fn run_trace(
         &self,
         source: &mut dyn TraceSource,
-        footprint: Bytes,
+        footprint: gms_units::Bytes,
         base: VirtAddr,
     ) -> RunReport {
         assert!(
             !footprint.is_zero(),
             "cannot size memory for an empty trace"
         );
-        let geom = self.config.policy.geometry(self.config.page_size);
-        let footprint_pages = footprint.div_ceil(geom.page_size().bytes());
-        let frames = self.config.memory.frames(footprint_pages);
-
-        let mut engine = Engine::new(&self.config, geom, frames);
-        if !self.config.policy.is_disk() {
-            let base_page = geom.page_of(base);
-            engine.warm(
-                (0..footprint_pages).map(|i| PageId::new(base_page.get() + i)),
-                footprint_pages,
-            );
-        }
-        while let Some(run) = source.next_run() {
-            engine.process_run(run);
-        }
-        engine.into_report(&self.config)
+        let mut inputs = [NodeInput {
+            source,
+            footprint,
+            base,
+        }];
+        let (mut reports, _net) = run_lockstep(&self.config, &mut inputs);
+        reports.pop().expect("one active node yields one report")
     }
+}
+
+/// Everything the per-node drivers share: the contended network and the
+/// global memory service.
+pub(crate) struct ClusterCtx {
+    /// The shared wires, DMA rings and CPU shares of every node.
+    pub net: ClusterNetwork,
+    /// The global memory service (absent under the disk policy).
+    pub gms: Option<Gms>,
+    /// Nodes `0..n_active` run applications; the rest only serve pages.
+    pub n_active: u32,
 }
 
 /// Which accounting bucket a span of simulated time belongs to.
@@ -124,35 +144,17 @@ enum Bucket {
     Putpage,
 }
 
-/// One follow-on message still on its way to a resident page.
-#[derive(Debug)]
-struct Arrival {
-    available_at: SimTime,
-    subpages: Vec<SubpageIndex>,
-    /// CPU the receive interrupt steals *if* the program is running when
-    /// it fires (it is free while the program is stalled anyway — the
-    /// paper's Table 2 deducts this overhead from the overlap window,
-    /// not from stall time).
-    recv_cpu: Duration,
-}
-
-/// Follow-on data still on its way to a resident page.
-#[derive(Debug)]
-struct PendingPage {
-    /// In send order (monotone arrival times).
-    arrivals: Vec<Arrival>,
-    /// First unapplied arrival.
-    next: usize,
-    /// Index of the fault record waiting-time is attributed to.
-    fault_idx: usize,
-}
-
-struct Engine<'a> {
+/// Replays one node's reference trace against its local memory,
+/// servicing faults through the shared [`ClusterCtx`].
+pub(crate) struct NodeDriver<'a> {
     cfg: &'a SimConfig,
     geom: Geometry,
     policy: FetchPolicy,
     ref_cost: Duration,
-    active: NodeId,
+    node: NodeId,
+    /// Added to every page id at the GMS boundary so active nodes use
+    /// disjoint global pages (their address spaces are private).
+    page_offset: u64,
 
     clock: SimTime,
     refs_done: u64,
@@ -166,15 +168,15 @@ struct Engine<'a> {
     frames: FramePool,
     table: PageTable,
     lru: Box<dyn ReplacementPolicy + Send>,
-    pending: HashMap<PageId, PendingPage>,
+    events: EventCore,
     armed: HashMap<PageId, SubpageIndex>,
-    inflight: Vec<(SimTime, PageId)>,
+    /// Which node served each resident remotely-fetched page; lazy
+    /// refills go back to the same custodian.
+    served_by: HashMap<PageId, NodeId>,
     /// Recent stall intervals, for deciding whether a receive interrupt
     /// fired while the program was blocked (free) or running (charged).
     recent_stalls: std::collections::VecDeque<(SimTime, SimTime)>,
 
-    timeline: Timeline,
-    gms: Option<Gms>,
     disk: DiskModel,
     pal: PalEmulator,
     tlb: Tlb,
@@ -188,18 +190,19 @@ struct Engine<'a> {
     wasted_transfers: u64,
 }
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, geom: Geometry, frames: u64) -> Self {
+impl<'a> NodeDriver<'a> {
+    pub fn new(cfg: &'a SimConfig, geom: Geometry, frames: u64, node: NodeId) -> Self {
         let disk_pattern = match cfg.policy {
             FetchPolicy::Disk { pattern } => pattern,
             _ => gms_net::AccessPattern::Random,
         };
-        Engine {
+        NodeDriver {
             cfg,
             geom,
             policy: cfg.policy,
             ref_cost: Duration::from_nanos(cfg.ns_per_ref),
-            active: NodeId::new(0),
+            node,
+            page_offset: u64::from(node.index()) << PAGE_NAMESPACE_SHIFT,
             clock: SimTime::ZERO,
             refs_done: 0,
             exec: Duration::ZERO,
@@ -211,12 +214,10 @@ impl<'a> Engine<'a> {
             frames: FramePool::new(frames),
             table: PageTable::new(geom),
             lru: cfg.replacement.build(),
-            pending: HashMap::new(),
+            events: EventCore::new(),
             armed: HashMap::new(),
-            inflight: Vec::new(),
+            served_by: HashMap::new(),
             recent_stalls: std::collections::VecDeque::new(),
-            timeline: Timeline::new(cfg.net),
-            gms: None,
             disk: DiskModel::paper(disk_pattern),
             pal: PalEmulator::paper(),
             tlb: Tlb::alpha_dtlb(),
@@ -230,28 +231,39 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Sets up the warm global cache holding every page the trace will
-    /// touch.
-    fn warm(&mut self, pages: impl Iterator<Item = PageId>, footprint_pages: u64) {
-        // Idle nodes need room for the full footprint plus churn headroom.
-        let per_node = footprint_pages
-            .div_ceil(u64::from(self.cfg.cluster_nodes - 1))
-            .max(1)
-            * 2;
-        let mut gms = Gms::new(self.cfg.cluster_nodes, per_node);
-        gms.warm_cache(pages);
-        self.gms = Some(gms);
+    /// This node's simulated clock.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Consumes runs from `source` until the clock reaches `deadline` or
+    /// the trace ends; returns whether the trace is exhausted. At least
+    /// one run is processed per call, so a caller alternating between
+    /// equal-clock drivers always makes progress. (Runs are atomic: the
+    /// clock may overshoot the deadline by one run's worth of work.)
+    pub fn run_until(
+        &mut self,
+        source: &mut dyn TraceSource,
+        deadline: SimTime,
+        ctx: &mut ClusterCtx,
+    ) -> bool {
+        loop {
+            let Some(run) = source.next_run() else {
+                return true;
+            };
+            self.process_run(run, ctx);
+            if self.clock >= deadline {
+                return false;
+            }
+        }
+    }
+
+    /// The GMS-visible id of a local page.
+    fn global_page(&self, page: PageId) -> PageId {
+        PageId::new(page.get() + self.page_offset)
     }
 
     // -- time accounting -------------------------------------------------
-
-    /// Whether any fault's follow-on data (other than `exclude`'s) is
-    /// still in flight at the current clock.
-    fn other_inflight(&mut self, exclude: Option<PageId>) -> bool {
-        let now = self.clock;
-        self.inflight.retain(|(t, _)| *t > now);
-        self.inflight.iter().any(|(_, p)| Some(*p) != exclude)
-    }
 
     /// Advances the clock, attributing the span to `bucket` and to the
     /// overlap statistics. `wait_page` is the page being waited on (for
@@ -263,12 +275,12 @@ impl<'a> Engine<'a> {
         }
         match bucket {
             Bucket::Exec | Bucket::Emulation => {
-                if self.other_inflight(None) {
+                if self.events.other_inflight(self.clock, None) {
                     self.overlap.comp_overlap += d;
                 }
             }
             Bucket::SpLatency | Bucket::PageWait => {
-                if self.other_inflight(wait_page) {
+                if self.events.other_inflight(self.clock, wait_page) {
                     self.overlap.io_overlap += d;
                 }
                 self.recent_stalls.push_back((self.clock, self.clock + d));
@@ -291,11 +303,11 @@ impl<'a> Engine<'a> {
 
     // -- trace consumption ------------------------------------------------
 
-    fn process_run(&mut self, run: Run) {
+    fn process_run(&mut self, run: Run, ctx: &mut ClusterCtx) {
         let stride = run.stride();
         let kind = run.kind();
         if stride == 0 {
-            self.process_segment(run.start(), 0, run.count(), kind);
+            self.process_segment(run.start(), 0, run.count(), kind, ctx);
             return;
         }
         // Split into per-page segments (a sparse run — |stride| ≥ page
@@ -323,7 +335,7 @@ impl<'a> Engine<'a> {
                 batched += n;
             } else {
                 self.flush_exec_batch(&mut batched);
-                self.process_segment(addr, stride, n, kind);
+                self.process_segment(addr, stride, n, kind, ctx);
             }
             if n == rest.count() {
                 break;
@@ -339,9 +351,9 @@ impl<'a> Engine<'a> {
     /// that execution would overlap with.
     fn exec_quiescent(&mut self) -> bool {
         self.armed.is_empty()
-            && self.pending.is_empty()
+            && self.events.is_idle()
             && !matches!(self.policy, FetchPolicy::SmallPages { .. })
-            && !self.other_inflight(None)
+            && !self.events.other_inflight(self.clock, None)
     }
 
     /// Credits a batch of references executed on fully-resident pages
@@ -368,7 +380,14 @@ impl<'a> Engine<'a> {
     }
 
     /// Executes `n` references at `addr`, `stride` apart, all on one page.
-    fn process_segment(&mut self, addr: VirtAddr, stride: i64, n: u64, kind: AccessKind) {
+    fn process_segment(
+        &mut self,
+        addr: VirtAddr,
+        stride: i64,
+        n: u64,
+        kind: AccessKind,
+        ctx: &mut ClusterCtx,
+    ) {
         let page = self.geom.page_of(addr);
         if !self.armed.is_empty() {
             self.resolve_distance(page, addr, stride, n);
@@ -385,13 +404,13 @@ impl<'a> Engine<'a> {
             }
             Some(_) => {
                 self.lru.touch(page);
-                self.process_partial(page, addr, stride, n, kind);
+                self.process_partial(page, addr, stride, n, kind, ctx);
             }
             None => {
-                self.handle_page_fault(addr, kind);
+                self.handle_page_fault(addr, kind, ctx);
                 // The page is now resident (partially at least); execute
                 // the segment through the partial/complete paths.
-                self.process_segment(addr, stride, n, kind);
+                self.process_segment(addr, stride, n, kind, ctx);
             }
         }
     }
@@ -416,6 +435,7 @@ impl<'a> Engine<'a> {
         stride: i64,
         mut left: u64,
         kind: AccessKind,
+        ctx: &mut ClusterCtx,
     ) {
         self.charge_tlb(page);
         if kind.is_write() {
@@ -426,7 +446,7 @@ impl<'a> Engine<'a> {
         self.apply_arrivals(page, true);
         while left > 0 {
             let sub = self.geom.subpage_of(addr);
-            self.ensure_subpage(page, sub);
+            self.ensure_subpage(page, sub, ctx);
 
             // How many references stay inside this subpage?
             let chunk = if stride == 0 {
@@ -466,7 +486,7 @@ impl<'a> Engine<'a> {
 
     /// Blocks (if needed) until subpage `sub` of resident page `page` is
     /// valid.
-    fn ensure_subpage(&mut self, page: PageId, sub: SubpageIndex) {
+    fn ensure_subpage(&mut self, page: PageId, sub: SubpageIndex, ctx: &mut ClusterCtx) {
         if self.table.get(page).expect("resident").mask.contains(sub) {
             return;
         }
@@ -476,16 +496,10 @@ impl<'a> Engine<'a> {
         }
         // Not yet arrived: either wait for the in-flight message carrying
         // it, or (lazy policy) fault it in now.
-        let waiting_arrival = self.pending.get(&page).and_then(|p| {
-            p.arrivals[p.next..]
-                .iter()
-                .find(|a| a.subpages.contains(&sub))
-                .map(|a| a.available_at)
-        });
-        match waiting_arrival {
+        match self.events.waiting_arrival(page, sub) {
             Some(at) => {
                 let wait = at.saturating_since(self.clock);
-                let fault_idx = self.pending[&page].fault_idx;
+                let fault_idx = self.events.fault_idx(page);
                 self.advance(wait, Bucket::PageWait, Some(page));
                 self.fault_log[fault_idx].wait += wait;
                 // Arrivals applied here landed during the stall: their
@@ -501,7 +515,7 @@ impl<'a> Engine<'a> {
                     self.policy.is_lazy(),
                     "non-lazy incomplete page {page} has no arrival carrying {sub}"
                 );
-                self.lazy_subpage_fault(page, sub);
+                self.lazy_subpage_fault(page, sub, ctx);
             }
         }
     }
@@ -517,32 +531,23 @@ impl<'a> Engine<'a> {
     /// *running* is billed against the clock (arrivals landing inside a
     /// stall are free — the CPU was idle).
     fn apply_arrivals(&mut self, page: PageId, charge: bool) {
-        let Some(p) = self.pending.get_mut(&page) else {
+        let due = self.events.pop_due(page, self.clock);
+        if due.is_empty() {
             return;
-        };
-        let mut changed = false;
-        let mut billed = Duration::ZERO;
-        let mut fired_at = Vec::new();
-        while p.next < p.arrivals.len() && p.arrivals[p.next].available_at <= self.clock {
-            let arrival = &p.arrivals[p.next];
+        }
+        for arrival in &due {
             for &s in &arrival.subpages {
                 self.table.mark_valid(page, s);
             }
-            if charge && arrival.recv_cpu > Duration::ZERO {
-                fired_at.push((arrival.available_at, arrival.recv_cpu));
-            }
-            p.next += 1;
-            changed = true;
         }
-        if p.next == p.arrivals.len() {
-            self.pending.remove(&page);
+        self.pal.page_state_changed(page);
+        if !charge {
+            return;
         }
-        if changed {
-            self.pal.page_state_changed(page);
-        }
-        for (t, cost) in fired_at {
-            if !self.was_stalled_at(t) {
-                billed += cost;
+        let mut billed = Duration::ZERO;
+        for arrival in &due {
+            if arrival.recv_cpu > Duration::ZERO && !self.was_stalled_at(arrival.available_at) {
+                billed += arrival.recv_cpu;
             }
         }
         if billed > Duration::ZERO {
@@ -552,15 +557,15 @@ impl<'a> Engine<'a> {
 
     // -- faulting ----------------------------------------------------------
 
-    fn handle_page_fault(&mut self, addr: VirtAddr, kind: AccessKind) {
+    fn handle_page_fault(&mut self, addr: VirtAddr, kind: AccessKind, ctx: &mut ClusterCtx) {
         let (page, sub) = self.geom.decompose(addr);
         let _ = kind;
         if self.frames.is_full() {
-            self.evict_one();
+            self.evict_one(ctx);
         }
         assert!(self.frames.try_alloc(), "eviction freed no frame");
 
-        let fault_kind = self.fetch_page(page, sub, addr);
+        let fault_kind = self.fetch_page(page, sub, addr, ctx);
         self.lru.insert(page);
         if self.geom.subpages_per_page() > 1 {
             self.armed.insert(page, sub);
@@ -570,25 +575,31 @@ impl<'a> Engine<'a> {
 
     /// Performs the transfer for a whole-page fault and installs the page
     /// (fully or partially). Returns what serviced it.
-    fn fetch_page(&mut self, page: PageId, sub: SubpageIndex, addr: VirtAddr) -> FaultKind {
+    fn fetch_page(
+        &mut self,
+        page: PageId,
+        sub: SubpageIndex,
+        addr: VirtAddr,
+        ctx: &mut ClusterCtx,
+    ) -> FaultKind {
         let n_sub = self.geom.subpages_per_page();
 
         // Where is the page? (Disk policy never asks the cluster.)
-        let remote = if self.policy.is_disk() {
-            false
+        let server = if self.policy.is_disk() {
+            None
         } else {
-            match self
+            match ctx
                 .gms
                 .as_mut()
                 .expect("remote policies run with a cluster")
-                .getpage(self.active, page)
+                .getpage(self.node, self.global_page(page))
             {
-                GetPageOutcome::RemoteHit { .. } => true,
-                GetPageOutcome::Miss => false,
+                GetPageOutcome::RemoteHit { server } => Some(server),
+                GetPageOutcome::Miss => None,
             }
         };
 
-        if !remote {
+        let Some(server) = server else {
             // Disk service: position + full page transfer, synchronous.
             let latency = self.disk.transfer_time(self.geom.page_size().bytes());
             self.fault_log.push(FaultRecord {
@@ -601,15 +612,18 @@ impl<'a> Engine<'a> {
             self.advance(latency, Bucket::SpLatency, Some(page));
             self.table.insert(page, PageState::complete(n_sub));
             return FaultKind::Disk;
-        }
+        };
+        self.served_by.insert(page, server);
 
-        // Remote service through the shared timeline.
+        // Remote service through the shared network: the transfer
+        // occupies this node's inbound resources and the custodian's
+        // CPU/DMA, contending with every other node's traffic.
         let sp_bytes = self.geom.subpage_size().bytes().get() as f64;
         let offset_frac = addr.offset_in(self.geom.subpage_size().bytes()).get() as f64 / sp_bytes;
         let plan = self.policy.plan_fault(self.geom, sub, offset_frac);
         let sizes = plan.message_sizes(self.geom);
         let tplan = TransferPlan::new(sizes, self.policy.recv_overhead());
-        let ft = self.timeline.fault(self.clock, &tplan);
+        let ft = ctx.net.fault(self.clock, self.node, server, &tplan);
 
         let sp_wait = ft.resume_at.elapsed_since(self.clock);
         self.fault_log.push(FaultRecord {
@@ -642,23 +656,22 @@ impl<'a> Engine<'a> {
                     recv_cpu: arr.recv_cpu,
                 })
                 .collect();
-            self.inflight.push((ft.page_complete_at, page));
-            self.pending.insert(
-                page,
-                PendingPage {
-                    arrivals,
-                    next: 0,
-                    fault_idx,
-                },
-            );
+            self.events
+                .schedule(page, ft.page_complete_at, arrivals, fault_idx);
         }
         FaultKind::Remote
     }
 
-    /// Lazy policy: fetch one missing subpage of a resident page.
-    fn lazy_subpage_fault(&mut self, page: PageId, sub: SubpageIndex) {
+    /// Lazy policy: fetch one missing subpage of a resident page from the
+    /// custodian that served the original fault.
+    fn lazy_subpage_fault(&mut self, page: PageId, sub: SubpageIndex, ctx: &mut ClusterCtx) {
+        let server = self
+            .served_by
+            .get(&page)
+            .copied()
+            .expect("lazy refill on a page with no recorded custodian");
         let tplan = TransferPlan::lazy(self.geom.subpage_size().bytes());
-        let ft = self.timeline.fault(self.clock, &tplan);
+        let ft = ctx.net.fault(self.clock, self.node, server, &tplan);
         let wait = ft.resume_at.elapsed_since(self.clock);
         self.fault_log.push(FaultRecord {
             at_ref: self.refs_done,
@@ -673,15 +686,16 @@ impl<'a> Engine<'a> {
         self.faults.record(FaultKind::LazySubpage);
     }
 
-    fn evict_one(&mut self) {
+    fn evict_one(&mut self, ctx: &mut ClusterCtx) {
         let victim = self.lru.evict().expect("full memory implies a victim");
         let state = self.table.remove(victim).expect("victim was resident");
-        if self.pending.remove(&victim).is_some() {
+        if self.events.drop_page(victim) {
             // Follow-on data for this page is still in flight; it will be
             // discarded on arrival.
             self.wasted_transfers += 1;
         }
         self.armed.remove(&victim);
+        self.served_by.remove(&victim);
         self.pal.page_state_changed(victim);
         self.tlb.invalidate(victim);
         self.frames.release();
@@ -690,14 +704,18 @@ impl<'a> Engine<'a> {
             self.dirty_evictions += 1;
         }
 
-        if let Some(gms) = self.gms.as_mut() {
+        if let Some(gms) = ctx.gms.as_mut() {
             // GMS holds the only copy once a page is fetched: push every
             // eviction back to global memory (asynchronously — only the
-            // send setup stalls the CPU).
-            gms.putpage(self.active, victim, state.dirty);
-            let send = self
-                .timeline
-                .send(self.clock, self.geom.page_size().bytes());
+            // send setup stalls the CPU, but the transfer occupies the
+            // target custodian's wire, DMA ring and CPU).
+            let put = gms.putpage(self.node, self.global_page(victim), state.dirty);
+            let send = ctx.net.send(
+                self.clock,
+                self.node,
+                put.stored_at,
+                self.geom.page_size().bytes(),
+            );
             let setup = send.cpu_free_at.elapsed_since(self.clock);
             self.advance(setup, Bucket::Putpage, None);
         }
@@ -739,8 +757,28 @@ impl<'a> Engine<'a> {
 
     // -- reporting -----------------------------------------------------------
 
-    fn into_report(self, cfg: &SimConfig) -> RunReport {
-        let net_busy = self.timeline.busy_times();
+    /// Assembles this node's report. Requester-side busy times come from
+    /// this node's own network resources; serving-side busy times are
+    /// summed over the idle (serving) nodes, which are shared by every
+    /// active node in the cluster.
+    pub fn into_report(self, cfg: &SimConfig, ctx: &ClusterCtx) -> RunReport {
+        let own = ctx.net.node(self.node);
+        let mut srv_dma = Duration::ZERO;
+        let mut srv_cpu = Duration::ZERO;
+        for i in ctx.n_active..ctx.net.n_nodes() {
+            let idle = ctx.net.node(NodeId::new(i));
+            srv_dma += idle.busy(NetResource::DmaOut);
+            srv_cpu += idle.busy(NetResource::Cpu);
+        }
+        let net_busy = BusyTimes {
+            req_cpu: own.busy(NetResource::Cpu),
+            req_dma_in: own.busy(NetResource::DmaIn),
+            req_dma_out: own.busy(NetResource::DmaOut),
+            wire_in: own.busy(NetResource::WireIn),
+            wire_out: own.busy(NetResource::WireOut),
+            srv_dma,
+            srv_cpu,
+        };
         let report = RunReport {
             policy: cfg.policy.label(),
             memory: cfg.memory.label(),
@@ -760,7 +798,7 @@ impl<'a> Engine<'a> {
             fault_log: self.fault_log,
             distances: self.distances,
             overlap: self.overlap,
-            gms: self.gms.map(|g| g.stats()).unwrap_or_default(),
+            gms: ctx.gms.as_ref().map(Gms::stats).unwrap_or_default(),
             net_busy,
         };
         report.assert_conserved();
@@ -776,6 +814,7 @@ mod tests {
     use gms_net::RecvOverhead;
     use gms_trace::synth::{Layout, Phase, PhaseProgram, SeqScan};
     use gms_trace::VecSource;
+    use gms_units::Bytes;
 
     fn run_policy(policy: FetchPolicy, memory: MemoryConfig, app: &AppProfile) -> RunReport {
         Simulator::new(SimConfig::builder().policy(policy).memory(memory).build()).run(app)

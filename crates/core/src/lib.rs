@@ -20,6 +20,13 @@
 //! fault clustering (Figures 6/10), subpage distance distributions
 //! (Figure 7), and the eager-vs-pipelining comparisons (Figures 8/9).
 //!
+//! [`ClusterSim`] generalizes the same engine to several *active* nodes
+//! replaying traces concurrently over one shared network: transfers
+//! contend on wires and serving-node CPU/DMA, and the report surfaces
+//! the resulting queueing delay and wire utilization. `Simulator` is its
+//! single-active-node case — the two produce byte-identical reports for
+//! the same workload.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,8 +57,10 @@
 #![forbid(unsafe_code)]
 
 mod analysis;
+mod cluster_sim;
 mod config;
 mod engine;
+mod events;
 mod metrics;
 mod pipeline;
 mod policy;
@@ -59,9 +68,12 @@ mod report;
 mod sweep;
 
 pub use analysis::{burstiness, cumulative_fault_series, downsample, sorted_wait_curve, speedup};
+pub use cluster_sim::{ClusterReport, ClusterSim};
 pub use config::{AccessCost, MemoryConfig, ReplacementKind, SimConfig, SimConfigBuilder};
 pub use engine::Simulator;
-pub use metrics::{DistanceHistogram, FaultCounts, FaultKind, FaultRecord, OverlapStats};
+pub use metrics::{
+    ClusterNetStats, DistanceHistogram, FaultCounts, FaultKind, FaultRecord, OverlapStats,
+};
 pub use pipeline::{MessagePlan, PipelineStrategy};
 pub use policy::FetchPolicy;
 pub use report::RunReport;

@@ -5,6 +5,21 @@ use std::collections::BTreeMap;
 use gms_mem::{PageId, SubpageIndex};
 use gms_units::Duration;
 
+/// Aggregate contention metrics for the shared cluster network over one
+/// multi-node run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterNetStats {
+    /// Total time transfers spent queued behind busy resources, summed
+    /// over every `(node, resource)` pair. Zero means no transfer ever
+    /// waited — the cluster was effectively uncontended.
+    pub queue_delay: Duration,
+    /// Inbound-wire busy time summed over all nodes.
+    pub wire_in_busy: Duration,
+    /// Fraction of the cluster's aggregate inbound wire capacity in use:
+    /// `wire_in_busy / (nodes × makespan)`.
+    pub wire_utilization: f64,
+}
+
 /// What serviced a fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {

@@ -16,6 +16,11 @@
 //!   the component spans of Figure 2, and — because resource busy times
 //!   persist across faults — the congestion delays between overlapping
 //!   faults that the paper's simulator models.
+//! * [`ClusterNetwork`] — the same pipeline generalized to *K* nodes,
+//!   each with its own CPU share, DMA rings and switch-port directions,
+//!   so faults and write-backs from different nodes contend on shared
+//!   state. [`Timeline`] is its two-node (requester + lumped server)
+//!   view.
 //! * [`NetParams`] — the calibrated constants (fixed CPU costs, DMA and
 //!   copy rates) fitted to the paper's measurements.
 //!
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 mod atm;
+mod cluster_net;
 mod disk;
 mod ethernet;
 mod link;
@@ -46,6 +52,7 @@ mod resource;
 mod timeline;
 
 pub use atm::AtmLink;
+pub use cluster_net::{ClusterNetwork, NetResource, NodeNet, Occupancy};
 pub use disk::{AccessPattern, DiskModel};
 pub use ethernet::EthernetLink;
 pub use link::{FixedRateLink, LinkModel};

@@ -26,6 +26,7 @@ use gms_units::{Duration, SimTime};
 pub struct Resource {
     next_free: SimTime,
     busy: Duration,
+    waited: Duration,
 }
 
 impl Resource {
@@ -41,8 +42,30 @@ impl Resource {
     pub fn acquire(&mut self, ready: SimTime, duration: Duration) -> (SimTime, SimTime) {
         let start = ready.max(self.next_free);
         let end = start + duration;
+        self.waited += start.elapsed_since(ready);
         self.next_free = end;
         self.busy += duration;
+        (start, end)
+    }
+
+    /// Occupies *two* resources for the same interval — e.g. the
+    /// receiver's inbound wire segment and the sender's outbound segment
+    /// of one switched link. The transfer starts once both are free; the
+    /// queueing delay is attributed to `self` (the receiving side) only,
+    /// so aggregate waits are not double-counted.
+    pub fn acquire_pair(
+        &mut self,
+        other: &mut Resource,
+        ready: SimTime,
+        duration: Duration,
+    ) -> (SimTime, SimTime) {
+        let start = ready.max(self.next_free).max(other.next_free);
+        let end = start + duration;
+        self.waited += start.elapsed_since(ready);
+        self.next_free = end;
+        self.busy += duration;
+        other.next_free = end;
+        other.busy += duration;
         (start, end)
     }
 
@@ -56,6 +79,14 @@ impl Resource {
     #[must_use]
     pub fn total_busy(&self) -> Duration {
         self.busy
+    }
+
+    /// Cumulative time acquisitions spent queued behind earlier
+    /// occupancies (start − ready, summed) — the congestion delay this
+    /// resource has inflicted.
+    #[must_use]
+    pub fn total_waited(&self) -> Duration {
+        self.waited
     }
 }
 
@@ -96,5 +127,32 @@ mod tests {
         let (s, e) = r.acquire(SimTime::from_nanos(5), Duration::ZERO);
         assert_eq!(s, e);
         assert_eq!(r.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn queueing_delay_accumulates_only_when_waiting() {
+        let mut r = Resource::new();
+        r.acquire(SimTime::ZERO, Duration::from_nanos(1000));
+        assert_eq!(r.total_waited(), Duration::ZERO);
+        r.acquire(SimTime::from_nanos(400), Duration::from_nanos(10));
+        assert_eq!(r.total_waited(), Duration::from_nanos(600));
+        r.acquire(SimTime::from_nanos(5000), Duration::from_nanos(10));
+        assert_eq!(r.total_waited(), Duration::from_nanos(600));
+    }
+
+    #[test]
+    fn pair_acquire_waits_for_both_and_occupies_both() {
+        let mut rx = Resource::new();
+        let mut tx = Resource::new();
+        tx.acquire(SimTime::ZERO, Duration::from_nanos(300));
+        let (s, e) = rx.acquire_pair(&mut tx, SimTime::from_nanos(100), Duration::from_nanos(50));
+        assert_eq!(s, SimTime::from_nanos(300));
+        assert_eq!(e, SimTime::from_nanos(350));
+        assert_eq!(rx.next_free(), tx.next_free());
+        assert_eq!(rx.total_busy(), Duration::from_nanos(50));
+        assert_eq!(tx.total_busy(), Duration::from_nanos(350));
+        // The wait is charged to the receiving side only.
+        assert_eq!(rx.total_waited(), Duration::from_nanos(200));
+        assert_eq!(tx.total_waited(), Duration::ZERO);
     }
 }

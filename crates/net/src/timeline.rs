@@ -1,8 +1,9 @@
 //! The five-resource remote-fetch timeline of Figure 2.
 
-use gms_units::{Bytes, Duration, SimTime};
+use gms_units::{Bytes, Duration, NodeId, SimTime};
 
-use crate::{NetParams, Resource};
+use crate::cluster_net::ClusterNetwork;
+use crate::NetParams;
 
 /// One of the five components of a remote paging operation (§3.1.1,
 /// Figure 2).
@@ -225,41 +226,38 @@ impl FaultTimeline {
 ///   ATM multiplexes at cell granularity, so a 64-byte request never
 ///   waits behind a bulk transfer in any meaningful way. They are charged
 ///   their fixed transit latency only.
-/// * All remote servers share one `srv_dma`/`srv_cpu` pair — a slight
-///   over-serialization when consecutive faults hit different idle
-///   nodes; the requester's inbound link is the real bottleneck.
+/// * All remote servers are lumped into one serving node (one
+///   `srv_dma`/`srv_cpu` pair) — a slight over-serialization when
+///   consecutive faults hit different idle nodes; the requester's inbound
+///   link is the real bottleneck. For per-custodian service, use
+///   [`ClusterNetwork`] directly.
+///
+/// Internally this *is* a two-node [`ClusterNetwork`] — node 0 the
+/// requester, node 1 the lumped server — so the single-node engine and
+/// the cluster simulator share one scheduling implementation.
 #[derive(Debug, Clone)]
 pub struct Timeline {
-    params: NetParams,
-    req_cpu: Resource,
-    req_dma_in: Resource,
-    req_dma_out: Resource,
-    wire_in: Resource,
-    wire_out: Resource,
-    srv_dma: Resource,
-    srv_cpu: Resource,
+    net: ClusterNetwork,
 }
+
+/// The requesting side of the two-node view.
+const REQUESTER: NodeId = NodeId::new(0);
+/// The lumped serving side of the two-node view.
+const SERVER: NodeId = NodeId::new(1);
 
 impl Timeline {
     /// A timeline with all resources idle.
     #[must_use]
     pub fn new(params: NetParams) -> Self {
         Timeline {
-            params,
-            req_cpu: Resource::new(),
-            req_dma_in: Resource::new(),
-            req_dma_out: Resource::new(),
-            wire_in: Resource::new(),
-            wire_out: Resource::new(),
-            srv_dma: Resource::new(),
-            srv_cpu: Resource::new(),
+            net: ClusterNetwork::new(params, 2),
         }
     }
 
     /// The timing constants in use.
     #[must_use]
     pub fn params(&self) -> &NetParams {
-        &self.params
+        self.net.params()
     }
 
     /// Cumulative busy time per resource, for utilization analysis:
@@ -267,14 +265,17 @@ impl Timeline {
     /// srv_cpu)`.
     #[must_use]
     pub fn busy_times(&self) -> BusyTimes {
+        use crate::cluster_net::NetResource;
+        let req = self.net.node(REQUESTER);
+        let srv = self.net.node(SERVER);
         BusyTimes {
-            req_cpu: self.req_cpu.total_busy(),
-            req_dma_in: self.req_dma_in.total_busy(),
-            req_dma_out: self.req_dma_out.total_busy(),
-            wire_in: self.wire_in.total_busy(),
-            wire_out: self.wire_out.total_busy(),
-            srv_dma: self.srv_dma.total_busy(),
-            srv_cpu: self.srv_cpu.total_busy(),
+            req_cpu: req.busy(NetResource::Cpu),
+            req_dma_in: req.busy(NetResource::DmaIn),
+            req_dma_out: req.busy(NetResource::DmaOut),
+            wire_in: req.busy(NetResource::WireIn),
+            wire_out: req.busy(NetResource::WireOut),
+            srv_dma: srv.busy(NetResource::DmaOut),
+            srv_cpu: srv.busy(NetResource::Cpu),
         }
     }
 
@@ -287,146 +288,7 @@ impl Timeline {
     /// committed past and the clock would run backwards (callers should
     /// fault at monotonically non-decreasing times).
     pub fn fault(&mut self, at: SimTime, plan: &TransferPlan) -> FaultTimeline {
-        let p = self.params;
-        let mut segments = Vec::with_capacity(4 + plan.messages().len() * 5);
-
-        // 1. Requester CPU: handle the fault, look up the page's location,
-        //    send the request message.
-        let (fstart, fend) = self.req_cpu.acquire(at, p.fault_cpu);
-        segments.push(Segment {
-            resource: TimelineResource::ReqCpu,
-            what: "fault+request",
-            start: fstart,
-            end: fend,
-        });
-
-        // 2. The request message crosses the network. It is tiny, so it
-        //    rides between the cells of any bulk transfer: fixed transit
-        //    latency, no queueing.
-        let qend = fend + p.request_transit;
-        segments.push(Segment {
-            resource: TimelineResource::Wire,
-            what: "request",
-            start: fend,
-            end: qend,
-        });
-
-        // 3. Server CPU: interpret the request.
-        let (sstart, send_ready) = self.srv_cpu.acquire(qend, p.server_request_cpu);
-        segments.push(Segment {
-            resource: TimelineResource::SrvCpu,
-            what: "process-request",
-            start: sstart,
-            end: send_ready,
-        });
-
-        // 4. Each message flows through send-CPU -> server DMA -> wire ->
-        //    requester DMA -> receive CPU. Send setups are issued back to
-        //    back; the per-stage resources provide the pipelining (and the
-        //    contention) of Figure 2.
-        let mut arrivals = Vec::with_capacity(plan.messages().len());
-        let mut resume_at = SimTime::ZERO;
-        let mut stolen = Duration::ZERO;
-        let mut setup_ready = send_ready;
-
-        for (index, &size) in plan.messages().iter().enumerate() {
-            let (a, b) = self.srv_cpu.acquire(setup_ready, p.server_send_cpu);
-            segments.push(Segment {
-                resource: TimelineResource::SrvCpu,
-                what: "send-setup",
-                start: a,
-                end: b,
-            });
-            setup_ready = b;
-
-            let (a, b) = self.srv_dma.acquire(b, p.dma_startup + p.dma_time(size));
-            segments.push(Segment {
-                resource: TimelineResource::SrvDma,
-                what: "dma-out",
-                start: a,
-                end: b,
-            });
-
-            let (a, b) = self
-                .wire_in
-                .acquire(b, p.wire_startup + p.wire.wire_time(size));
-            segments.push(Segment {
-                resource: TimelineResource::Wire,
-                what: "data",
-                start: a,
-                end: b,
-            });
-
-            let (a, rdma_end) = self.req_dma_in.acquire(b, p.dma_startup + p.dma_time(size));
-            segments.push(Segment {
-                resource: TimelineResource::ReqDma,
-                what: "dma-in",
-                start: a,
-                end: rdma_end,
-            });
-
-            let first = index == 0;
-            let charged = first || plan.recv_overhead() == RecvOverhead::Measured;
-            let (available_at, recv_cpu) = if first {
-                // The faulting CPU is idle (blocked on this very data):
-                // it takes the interrupt and copies, then resumes.
-                let cost = p.recv_interrupt_cpu + p.copy_time(size);
-                let (a, b) = self.req_cpu.acquire(rdma_end, cost);
-                segments.push(Segment {
-                    resource: TimelineResource::ReqCpu,
-                    what: "receive+resume",
-                    start: a,
-                    end: b,
-                });
-                (b, cost)
-            } else if charged {
-                // Follow-on receives steal CPU from the (running)
-                // application. Their cost is reported via `stolen_cpu`
-                // and charged by the caller against the application's
-                // clock — not against this pipeline's CPU resource, which
-                // would double-bill it.
-                let cost = p.recv_interrupt_cpu + p.copy_time(size);
-                let b = rdma_end + cost;
-                segments.push(Segment {
-                    resource: TimelineResource::ReqCpu,
-                    what: "receive",
-                    start: rdma_end,
-                    end: b,
-                });
-                (b, cost)
-            } else {
-                // Idealized controller: data lands in place, valid bits
-                // update, no interrupt.
-                (rdma_end, Duration::ZERO)
-            };
-
-            if first {
-                resume_at = available_at;
-            } else {
-                stolen += recv_cpu;
-            }
-            arrivals.push(MessageArrival {
-                index,
-                size,
-                available_at,
-                recv_cpu,
-            });
-        }
-
-        let page_complete_at = arrivals
-            .iter()
-            .map(|m| m.available_at)
-            .max()
-            .expect("plans are non-empty");
-
-        FaultTimeline {
-            fault_at: at,
-            resume_at,
-            arrivals,
-            page_complete_at,
-            stolen_cpu: stolen,
-            segments,
-        }
+        self.net.fault(at, REQUESTER, SERVER, plan)
     }
 }
 
@@ -486,23 +348,9 @@ impl Timeline {
     /// Models the paper's asynchronous putpage: the sending CPU pays only
     /// the send setup; DMA and wire proceed in the background. The
     /// receiving node is an arbitrary idle server, modelled as
-    /// uncontended fixed latency.
+    /// uncontended fixed latency ([`ClusterNetwork::send_detached`]).
     pub fn send(&mut self, at: SimTime, size: Bytes) -> SendTimeline {
-        let p = self.params;
-        let (_, cpu_free_at) = self.req_cpu.acquire(at, p.server_send_cpu);
-        let (_, dma_end) = self
-            .req_dma_out
-            .acquire(cpu_free_at, p.dma_startup + p.dma_time(size));
-        let (_, wire_end) = self
-            .wire_out
-            .acquire(dma_end, p.wire_startup + p.wire.wire_time(size));
-        let delivered_at =
-            wire_end + p.dma_startup + p.dma_time(size) + p.recv_interrupt_cpu + p.copy_time(size);
-        SendTimeline {
-            send_at: at,
-            cpu_free_at,
-            delivered_at,
-        }
+        self.net.send_detached(at, REQUESTER, size)
     }
 }
 

@@ -213,6 +213,12 @@ impl SimTime {
     /// The start of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far future: later than every reachable instant. Useful as a
+    /// sentinel deadline ("no other node constrains this one"); adding
+    /// any non-zero [`Duration`] to it overflows, so treat it as a bound
+    /// for comparisons, not a real point on the clock.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates an instant `ns` nanoseconds after the start of the run.
     #[must_use]
     pub const fn from_nanos(ns: u64) -> Self {
@@ -382,6 +388,13 @@ mod tests {
     #[should_panic(expected = "in the future")]
     fn simtime_elapsed_since_future_panics() {
         let _ = SimTime::ZERO.elapsed_since(SimTime::from_nanos(1));
+    }
+
+    #[test]
+    fn simtime_max_bounds_every_instant() {
+        assert!(SimTime::MAX > SimTime::from_nanos(u64::MAX - 1));
+        assert_eq!(SimTime::MAX.max(SimTime::ZERO), SimTime::MAX);
+        assert_eq!(SimTime::MAX.min(SimTime::ZERO), SimTime::ZERO);
     }
 
     #[test]

@@ -2,13 +2,15 @@
 
 use proptest::prelude::*;
 
-use gms_subpages::core::{FetchPolicy, MemoryConfig, SimConfig, Simulator};
+use gms_subpages::core::{ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator};
 use gms_subpages::mem::{
     Geometry, Lru, PageId, PageSize, ReplacementPolicy, SubpageIndex, SubpageMask, SubpageSize,
 };
-use gms_subpages::net::{NetParams, RecvOverhead, Timeline, TransferPlan};
-use gms_subpages::trace::{io, AccessKind, Run, TraceSource, VecSource};
-use gms_subpages::units::{Bytes, SimTime, VirtAddr};
+use gms_subpages::net::{
+    ClusterNetwork, NetParams, NetResource, RecvOverhead, Timeline, TransferPlan,
+};
+use gms_subpages::trace::{apps, io, AccessKind, Run, TraceSource, VecSource};
+use gms_subpages::units::{Bytes, Duration, NodeId, SimTime, VirtAddr};
 
 /// Strategy: a valid run within a bounded address window.
 fn arb_run() -> impl Strategy<Value = Run> {
@@ -182,5 +184,122 @@ proptest! {
         prop_assert_eq!(report.total_refs, total_refs);
         prop_assert!(report.faults.total() > 0);
         prop_assert_eq!(report.fault_log.len() as u64, report.faults.total());
+    }
+
+    /// Multi-node network causality: no `(node, resource)` pair ever
+    /// serves two transfers at overlapping times, and every fault's
+    /// follow-on messages complete their DMA in send order, for
+    /// arbitrary interleavings of faults and putpage sends.
+    #[test]
+    fn cluster_network_causality(
+        n_nodes in 3u32..6,
+        ops in prop::collection::vec(
+            (
+                prop::bool::ANY,
+                0u32..6,
+                0u32..6,
+                0u64..3000,
+                prop::collection::vec(1u64..9000, 1..5),
+            ),
+            1..20,
+        ),
+    ) {
+        let mut net = ClusterNetwork::new(NetParams::paper(), n_nodes);
+        net.record_occupancies();
+        let mut now = SimTime::ZERO;
+        let mut faults = Vec::new();
+        for (is_fault, a, b, gap_us, sizes) in ops {
+            let from = NodeId::new(a % n_nodes);
+            let to = if b % n_nodes == a % n_nodes {
+                NodeId::new((b + 1) % n_nodes)
+            } else {
+                NodeId::new(b % n_nodes)
+            };
+            now += Duration::from_micros(gap_us);
+            if is_fault {
+                let plan = TransferPlan::new(
+                    sizes.into_iter().map(Bytes::new).collect(),
+                    RecvOverhead::Measured,
+                );
+                let f = net.fault(now, from, to, &plan);
+                prop_assert!(f.resume_at > now);
+                faults.push(f);
+            } else {
+                let s = net.send(now, from, to, Bytes::kib(8));
+                prop_assert!(s.delivered_at > now);
+            }
+        }
+        // Serially-reusable resources: per (node, resource), recorded
+        // occupancies never overlap.
+        for node in 0..n_nodes {
+            for res in NetResource::ALL {
+                let mut spans: Vec<(SimTime, SimTime)> = net
+                    .occupancies()
+                    .iter()
+                    .filter(|o| o.node == NodeId::new(node) && o.resource == res)
+                    .map(|o| (o.start, o.end))
+                    .collect();
+                spans.sort();
+                for w in spans.windows(2) {
+                    prop_assert!(
+                        w[0].1 <= w[1].0,
+                        "node{node} {} served two transfers at once: \
+                         [{}, {}] vs [{}, {}]",
+                        res.label(),
+                        w[0].0, w[0].1, w[1].0, w[1].1
+                    );
+                }
+            }
+        }
+        // Per-flow monotonicity: follow-on DMA completions in send order.
+        for f in &faults {
+            for w in f.arrivals[1..].windows(2) {
+                prop_assert!(
+                    w[0].available_at - w[0].recv_cpu <= w[1].available_at - w[1].recv_cpu
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case replays a full application twice, so keep the case count
+    // modest; the input grid is only policies × memories × sizes anyway.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A cluster with one active node is byte-identical to the serial
+    /// `Simulator` across fetch policies × memory configurations ×
+    /// cluster sizes: `Simulator::run` *is* the N=1 case.
+    #[test]
+    fn cluster_one_active_matches_serial(
+        policy_pick in 0usize..6,
+        memory_pick in 0usize..3,
+        nodes in 3u32..7,
+        app_pick in 0usize..2,
+    ) {
+        let policy = [
+            FetchPolicy::disk(),
+            FetchPolicy::fullpage(),
+            FetchPolicy::eager(SubpageSize::S1K),
+            FetchPolicy::eager(SubpageSize::S256),
+            FetchPolicy::pipelined(SubpageSize::S2K),
+            FetchPolicy::lazy(SubpageSize::S1K),
+        ][policy_pick];
+        let memory = [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter][memory_pick];
+        let app = if app_pick == 0 {
+            apps::gdb().scaled(0.05)
+        } else {
+            apps::ld().scaled(0.03)
+        };
+        let config = SimConfig::builder()
+            .policy(policy)
+            .memory(memory)
+            .cluster_nodes(nodes)
+            .build();
+        let serial = Simulator::new(config.clone()).run(&app);
+        let cluster = ClusterSim::new(config).run(std::slice::from_ref(&app));
+        prop_assert_eq!(cluster.nodes.len(), 1);
+        prop_assert_eq!(&cluster.nodes[0], &serial);
+        prop_assert_eq!(cluster.makespan, serial.total_time);
     }
 }
