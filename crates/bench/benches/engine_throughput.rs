@@ -17,6 +17,7 @@ use gms_bench::{
     apps, jobs, scale, ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator, SubpageSize,
     Sweep, Table,
 };
+use gms_obs::MemoryRecorder;
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::MaterializedTrace;
 
@@ -68,6 +69,37 @@ fn main() {
         });
     }
 
+    // Tracing overhead: the sp_1024 cell again, with a buffering
+    // `MemoryRecorder` attached. The per-policy cells above run through
+    // the `NoopRecorder` path (recording monomorphized away), so the
+    // delta is the full cost of structured event capture.
+    let run_traced = || {
+        let config = SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .build();
+        let mut rec = MemoryRecorder::new();
+        let report = Simulator::new(config).run_trace_recorded(
+            &mut trace.cursor(),
+            footprint,
+            LAYOUT_BASE,
+            &mut rec,
+        );
+        (report, rec)
+    };
+    let (traced_warm, traced_rec) = run_traced();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(run_traced());
+    }
+    let traced_secs = start.elapsed().as_secs_f64() / f64::from(REPS);
+    let untraced = samples
+        .iter()
+        .find(|s| s.label == "sp_1024")
+        .expect("sp_1024 cell present");
+    assert_eq!(traced_warm.total_refs, untraced.refs);
+    let tracing_overhead = traced_secs / untraced.secs - 1.0;
+
     // Paper-default sweep grid: serial executor vs. the parallel one.
     let sweep_secs = |jobs: usize| {
         let start = Instant::now();
@@ -112,6 +144,14 @@ fn main() {
     }
     table.emit("engine_throughput");
     println!(
+        "tracing overhead (sp_1024, MemoryRecorder): {:.2} ms/run vs {:.2} ms untraced \
+         ({:+.1}%, {} events/run)",
+        traced_secs * 1e3,
+        untraced.secs * 1e3,
+        tracing_overhead * 100.0,
+        traced_rec.len()
+    );
+    println!(
         "paper-default sweep (21 cells): serial {:.2} s, {} jobs {:.2} s ({:.2}x)",
         serial_secs,
         parallel_jobs,
@@ -141,6 +181,22 @@ fn main() {
             s.refs_per_sec()
         ));
     }
+    json.push_str("  },\n");
+    json.push_str("  \"tracing\": {\n");
+    json.push_str("    \"policy\": \"sp_1024\",\n");
+    json.push_str(&format!(
+        "    \"disabled_ms_per_run\": {:.3},\n",
+        untraced.secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"recording_ms_per_run\": {:.3},\n",
+        traced_secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"overhead_pct\": {:.1},\n",
+        tracing_overhead * 100.0
+    ));
+    json.push_str(&format!("    \"events_per_run\": {}\n", traced_rec.len()));
     json.push_str("  },\n");
     json.push_str("  \"sweep\": {\n");
     json.push_str("    \"cells\": 21,\n");

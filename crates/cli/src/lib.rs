@@ -18,12 +18,15 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 use gms_core::{
-    AccessCost, ClusterSim, FetchPolicy, MemoryConfig, ReplacementKind, SimConfig, Simulator, Sweep,
+    cluster_summary_json, run_summary_json, AccessCost, ClusterSim, FetchPolicy, MemoryConfig,
+    ReplacementKind, SimConfig, Simulator, Sweep, SUMMARY_SCHEMA,
 };
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{NetParams, Timeline, TransferPlan};
+use gms_obs::{perfetto_trace, JsonValue, MemoryRecorder};
 use gms_trace::apps::{self, AppProfile};
 use gms_units::{Bytes, SimTime};
 
@@ -52,19 +55,32 @@ USAGE:
   gms-sim run --app <name> --policy <label> [--memory full|half|quarter|<frames>]
               [--scale <f>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2] [--pal]
-  gms-sim sweep --app <name> [--scale <f>] [--jobs <n>]
-  gms-sim cluster --nodes <k> --active <a> --app <name> [--policy <label>]
+              [--trace-out <path>] [--summary-json <path>]
+  gms-sim sweep --app <name> [--scale <f>] [--jobs <n>] [--trace-dir <dir>]
+  gms-sim cluster --nodes <k> --active <a> [--app <name>] [--policy <label>]
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2]
+              [--trace-out <path>] [--summary-json <path>]
+  gms-sim check-trace [--trace <path>] [--summary <path>]
   gms-sim latency [--subpage <bytes>]
 
 Sweeps fan the grid's cells over `--jobs` worker threads (default: all
 available cores); the reports are identical to a serial run.
 
-Cluster runs replay the app on each of the <a> active nodes at once;
-the remaining nodes serve as idle memory hosts, and every transfer
-contends on the shared wires and serving-node CPU/DMA.
+Cluster runs replay the app (default: gdb, eager 1 KB, 1/2 memory) on
+each of the <a> active nodes at once; the remaining nodes serve as idle
+memory hosts, and every transfer contends on the shared wires and
+serving-node CPU/DMA.
+
+--trace-out writes a Chrome/Perfetto trace (load it at
+https://ui.perfetto.dev): one track per (node, resource) with spans for
+resource occupancies and instants for the fault lifecycle.
+--summary-json writes a machine-readable summary with log-bucketed
+page-wait percentiles (p50/p90/p99/max). --trace-dir gives every sweep
+cell its own trace + summary pair. Tracing never changes the simulated
+timing: reports are byte-identical with or without it.
+check-trace re-parses exported files and validates their schema.
 
 POLICY LABELS:
   disk | p_8192 | sp_<bytes> (eager) | pl_<bytes> (pipelined)
@@ -246,15 +262,19 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 None => ReplacementKind::Lru,
             };
             let pal = args.take_flag("--pal");
+            let trace_out = args.take_value("--trace-out").map(PathBuf::from);
+            let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             args.finish()?;
-            Ok(run_command(
+            run_command(
                 &app.scaled(scale),
                 policy,
                 memory,
                 net,
                 replacement,
                 pal,
-            ))
+                trace_out.as_deref(),
+                summary_json.as_deref(),
+            )
         }
         "sweep" => {
             let app = parse_app(
@@ -276,8 +296,9 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 }
                 None => default_jobs(),
             };
+            let trace_dir = args.take_value("--trace-dir").map(PathBuf::from);
             args.finish()?;
-            Ok(sweep_command(&app.scaled(scale), jobs))
+            Ok(sweep_command(&app.scaled(scale), jobs, trace_dir))
         }
         "cluster" => {
             let nodes: u32 = args
@@ -299,11 +320,10 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                      {nodes}-node cluster (need --active < --nodes)"
                 )));
             }
-            let app = parse_app(
-                &args
-                    .take_value("--app")
-                    .ok_or_else(|| err("--app is required"))?,
-            )?;
+            let app = match args.take_value("--app") {
+                Some(a) => parse_app(&a)?,
+                None => apps::gdb(),
+            };
             let policy = match args.take_value("--policy") {
                 Some(p) => parse_policy(&p)?,
                 None => FetchPolicy::eager(SubpageSize::S1K),
@@ -324,8 +344,10 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 Some(r) => parse_replacement(&r)?,
                 None => ReplacementKind::Lru,
             };
+            let trace_out = args.take_value("--trace-out").map(PathBuf::from);
+            let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             args.finish()?;
-            Ok(cluster_command(
+            cluster_command(
                 &app.scaled(scale),
                 nodes,
                 active,
@@ -333,7 +355,18 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 memory,
                 net,
                 replacement,
-            ))
+                trace_out.as_deref(),
+                summary_json.as_deref(),
+            )
+        }
+        "check-trace" => {
+            let trace = args.take_value("--trace").map(PathBuf::from);
+            let summary = args.take_value("--summary").map(PathBuf::from);
+            args.finish()?;
+            if trace.is_none() && summary.is_none() {
+                return Err(err("check-trace needs --trace and/or --summary"));
+            }
+            check_trace_command(trace.as_deref(), summary.as_deref())
         }
         "latency" => {
             let subpage = match args.take_value("--subpage") {
@@ -369,6 +402,12 @@ fn list_apps() -> String {
     out
 }
 
+/// Writes `content` to `path`, mapping IO failures into [`CliError`].
+fn write_file(path: &Path, content: &str) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|e| err(format!("cannot write {}: {e}", path.display())))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_command(
     app: &AppProfile,
     policy: FetchPolicy,
@@ -376,13 +415,15 @@ fn run_command(
     net: NetParams,
     replacement: ReplacementKind,
     pal: bool,
-) -> String {
+    trace_out: Option<&Path>,
+    summary_json: Option<&Path>,
+) -> Result<String, CliError> {
     let access_cost = if pal {
         AccessCost::PalEmulated
     } else {
         AccessCost::TlbSupported
     };
-    let report = Simulator::new(
+    let sim = Simulator::new(
         SimConfig::builder()
             .policy(policy)
             .memory(memory)
@@ -390,8 +431,23 @@ fn run_command(
             .replacement(replacement)
             .access_cost(access_cost)
             .build(),
-    )
-    .run(app);
+    );
+    // Record only when someone asked for the trace; a summary alone is
+    // computed from the report's fault log.
+    let (report, extra) = if let Some(path) = trace_out {
+        let mut rec = MemoryRecorder::new();
+        let report = sim.run_recorded(app, &mut rec);
+        write_file(path, &perfetto_trace(rec.events()))?;
+        let line = format!("trace: {} ({} events)\n", path.display(), rec.len());
+        (report, line)
+    } else {
+        (sim.run(app), String::new())
+    };
+    let mut extra = extra;
+    if let Some(path) = summary_json {
+        write_file(path, &run_summary_json(&report))?;
+        let _ = writeln!(extra, "summary: {}", path.display());
+    }
     let (exec, sp, wait) = report.decomposition();
     let mut out = String::new();
     let _ = writeln!(out, "{}", report.summary());
@@ -419,7 +475,20 @@ fn run_command(
         report.emulation_time.as_millis_f64(),
         report.putpage_overhead.as_millis_f64()
     );
-    out
+    let hist = report.wait_histogram();
+    if !hist.is_empty() {
+        let (p50, p90, p99, max) = hist.quartet();
+        let _ = writeln!(
+            out,
+            "page wait percentiles: p50 {:.0} us, p90 {:.0} us, p99 {:.0} us, max {:.0} us",
+            p50 as f64 / 1000.0,
+            p90 as f64 / 1000.0,
+            p99 as f64 / 1000.0,
+            max as f64 / 1000.0
+        );
+    }
+    out.push_str(&extra);
+    Ok(out)
 }
 
 /// The default sweep worker count: every available core.
@@ -428,8 +497,12 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-fn sweep_command(app: &AppProfile, jobs: usize) -> String {
-    let results = Sweep::new(app.clone()).run_parallel(jobs);
+fn sweep_command(app: &AppProfile, jobs: usize, trace_dir: Option<PathBuf>) -> String {
+    let mut sweep = Sweep::new(app.clone());
+    if let Some(dir) = &trace_dir {
+        sweep = sweep.trace_dir(dir.clone());
+    }
+    let results = sweep.run_parallel(jobs);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -454,9 +527,18 @@ fn sweep_command(app: &AppProfile, jobs: usize) -> String {
             best.memory.label()
         );
     }
+    if let Some(dir) = &trace_dir {
+        let _ = writeln!(
+            out,
+            "traces: {} cell trace/summary pairs in {}",
+            results.cells().len(),
+            dir.display()
+        );
+    }
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cluster_command(
     app: &AppProfile,
     nodes: u32,
@@ -465,7 +547,9 @@ fn cluster_command(
     memory: MemoryConfig,
     net: NetParams,
     replacement: ReplacementKind,
-) -> String {
+    trace_out: Option<&Path>,
+    summary_json: Option<&Path>,
+) -> Result<String, CliError> {
     let config = SimConfig::builder()
         .policy(policy)
         .memory(memory)
@@ -474,7 +558,16 @@ fn cluster_command(
         .cluster_nodes(nodes)
         .build();
     let apps = vec![app.clone(); active as usize];
-    let report = ClusterSim::new(config).run(&apps);
+    let sim = ClusterSim::new(config);
+    let (report, trace_line) = if let Some(path) = trace_out {
+        let mut rec = MemoryRecorder::new();
+        let report = sim.run_recorded(&apps, &mut rec);
+        write_file(path, &perfetto_trace(rec.events()))?;
+        let line = format!("trace: {} ({} events)\n", path.display(), rec.len());
+        (report, line)
+    } else {
+        (sim.run(&apps), String::new())
+    };
     let mut out = String::new();
     let _ = write!(out, "{}", report.summary());
     let _ = writeln!(
@@ -482,7 +575,87 @@ fn cluster_command(
         "mean page wait per node: {:.2} ms",
         report.mean_page_wait().as_millis_f64()
     );
-    out
+    let _ = writeln!(
+        out,
+        "node utilization: min {:.1}%, max {:.1}%",
+        report.net.min_node_utilization * 100.0,
+        report.net.max_node_utilization * 100.0
+    );
+    out.push_str(&trace_line);
+    if let Some(path) = summary_json {
+        write_file(path, &cluster_summary_json(&report))?;
+        let _ = writeln!(out, "summary: {}", path.display());
+    }
+    Ok(out)
+}
+
+/// Validates exported trace/summary files by re-parsing them, the same
+/// check CI's smoke step runs.
+fn check_trace_command(trace: Option<&Path>, summary: Option<&Path>) -> Result<String, CliError> {
+    let read = |path: &Path| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {}: {e}", path.display())))
+    };
+    let parse = |path: &Path, text: &str| -> Result<JsonValue, CliError> {
+        JsonValue::parse(text).map_err(|e| err(format!("{}: invalid JSON: {e}", path.display())))
+    };
+    let mut out = String::new();
+    if let Some(path) = trace {
+        let doc = parse(path, &read(path)?)?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no traceEvents array", path.display())))?;
+        for (i, e) in events.iter().enumerate() {
+            let ph = e.get("ph").and_then(JsonValue::as_str);
+            if !matches!(ph, Some("X" | "i" | "M")) {
+                return Err(err(format!(
+                    "{}: event {i} has unexpected phase {ph:?}",
+                    path.display()
+                )));
+            }
+            if e.get("pid").and_then(JsonValue::as_u64).is_none() {
+                return Err(err(format!("{}: event {i} has no pid", path.display())));
+            }
+        }
+        let spans = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .count();
+        let _ = writeln!(
+            out,
+            "trace OK: {} ({} events, {spans} spans)",
+            path.display(),
+            events.len()
+        );
+    }
+    if let Some(path) = summary {
+        let doc = parse(path, &read(path)?)?;
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(SUMMARY_SCHEMA) {
+            return Err(err(format!(
+                "{}: schema {schema:?}, expected {SUMMARY_SCHEMA:?}",
+                path.display()
+            )));
+        }
+        let wait = doc
+            .get("page_wait")
+            .ok_or_else(|| err(format!("{}: no page_wait histogram", path.display())))?;
+        for key in ["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            if wait.get(key).and_then(JsonValue::as_u64).is_none() {
+                return Err(err(format!(
+                    "{}: page_wait.{key} missing or not an integer",
+                    path.display()
+                )));
+            }
+        }
+        if doc.get("counters").and_then(JsonValue::as_object).is_none() {
+            return Err(err(format!("{}: no counters object", path.display())));
+        }
+        let kind = doc.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
+        let _ = writeln!(out, "summary OK: {} (kind {kind})", path.display());
+    }
+    Ok(out)
 }
 
 fn latency_command(subpage: Bytes) -> String {
@@ -619,12 +792,105 @@ mod tests {
         assert!(execute(&argv("cluster --nodes 4 --active 4 --app gdb")).is_err());
         assert!(execute(&argv("cluster --nodes 4 --active 0 --app gdb")).is_err());
         assert!(execute(&argv("cluster --active 2 --app gdb")).is_err());
-        assert!(execute(&argv("cluster --nodes 4 --active 2")).is_err());
+        assert!(execute(&argv("cluster --nodes 4 --active 2 --app no-such-app")).is_err());
+        // --app is optional: the default workload is gdb.
+        let out = execute(&argv("cluster --nodes 4 --active 2 --scale 0.05")).unwrap();
+        assert!(out.contains("2 active node(s)"), "{out}");
     }
 
     #[test]
     fn no_args_prints_usage() {
         let out = execute(&[]).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "gms-cli-{}-{:?}-{name}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn run_exports_trace_and_summary_that_check_trace_accepts() {
+        let trace = temp_path("run.trace.json");
+        let summary = temp_path("run.summary.json");
+        let out = execute(&argv(&format!(
+            "run --app gdb --policy sp_1024 --memory half --scale 0.2 \
+             --trace-out {} --summary-json {}",
+            trace.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("summary:"), "{out}");
+        assert!(out.contains("page wait percentiles"), "{out}");
+        let check = execute(&argv(&format!(
+            "check-trace --trace {} --summary {}",
+            trace.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(check.contains("trace OK"), "{check}");
+        assert!(check.contains("summary OK"), "{check}");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&summary);
+    }
+
+    #[test]
+    fn cluster_exports_summary_with_per_node_breakdown() {
+        let summary = temp_path("cluster.summary.json");
+        let out = execute(&argv(&format!(
+            "cluster --nodes 4 --active 2 --app gdb --scale 0.1 --summary-json {}",
+            summary.display()
+        )))
+        .unwrap();
+        assert!(out.contains("node utilization"), "{out}");
+        let text = std::fs::read_to_string(&summary).unwrap();
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("cluster"));
+        assert_eq!(doc.get("per_node").unwrap().as_array().unwrap().len(), 4);
+        let check = execute(&argv(&format!(
+            "check-trace --summary {}",
+            summary.display()
+        )));
+        assert!(check.is_ok(), "{check:?}");
+        let _ = std::fs::remove_file(&summary);
+    }
+
+    #[test]
+    fn check_trace_rejects_garbage_and_requires_input() {
+        assert!(execute(&argv("check-trace")).is_err());
+        let bad = temp_path("bad.json");
+        std::fs::write(&bad, "{not json").unwrap();
+        assert!(execute(&argv(&format!("check-trace --trace {}", bad.display()))).is_err());
+        std::fs::write(&bad, r#"{"schema":"other/v9"}"#).unwrap();
+        assert!(execute(&argv(&format!("check-trace --summary {}", bad.display()))).is_err());
+        let _ = std::fs::remove_file(&bad);
+        assert!(execute(&argv("check-trace --trace /nonexistent/x.json")).is_err());
+    }
+
+    #[test]
+    fn untraced_run_output_is_unchanged_by_tracing_flags() {
+        // The human-readable report must not depend on whether a trace
+        // was recorded alongside it.
+        let trace = temp_path("identical.trace.json");
+        let plain = execute(&argv("run --app gdb --policy sp_1024 --scale 0.2")).unwrap();
+        let traced = execute(&argv(&format!(
+            "run --app gdb --policy sp_1024 --scale 0.2 --trace-out {}",
+            trace.display()
+        )))
+        .unwrap();
+        let stripped: String = traced.lines().filter(|l| !l.starts_with("trace:")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        assert_eq!(plain, stripped);
+        let _ = std::fs::remove_file(&trace);
     }
 }

@@ -25,14 +25,15 @@
 
 use gms_cluster::Gms;
 use gms_mem::PageId;
-use gms_net::ClusterNetwork;
+use gms_net::{ClusterNetwork, NetResource};
+use gms_obs::{NoopRecorder, Recorder};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::TraceSource;
 use gms_units::{Bytes, Duration, NodeId, SimTime, VirtAddr};
 
 use crate::engine::{ClusterCtx, NodeDriver, PAGE_NAMESPACE_SHIFT};
-use crate::metrics::ClusterNetStats;
+use crate::metrics::{ClusterNetStats, NodeNetStats};
 use crate::{RunReport, SimConfig};
 
 /// One active node's workload: a trace, its footprint and base address.
@@ -46,17 +47,21 @@ pub(crate) struct NodeInput<'a> {
 }
 
 /// Replays one trace per active node over a shared network and GMS,
-/// in deterministic lockstep. Returns one report per active node plus
-/// the aggregate network statistics.
+/// in deterministic lockstep. Returns one report per active node, the
+/// aggregate network statistics, and the per-node network breakdown
+/// (one entry per cluster node, active and idle). Lifecycle and
+/// occupancy events stream into `rec`; with [`NoopRecorder`] every
+/// recording site compiles away.
 ///
 /// # Panics
 ///
 /// Panics if `inputs` is empty, if the config has no idle node left to
 /// donate memory, or if any footprint is zero.
-pub(crate) fn run_lockstep(
+pub(crate) fn run_lockstep<R: Recorder>(
     cfg: &SimConfig,
     inputs: &mut [NodeInput<'_>],
-) -> (Vec<RunReport>, ClusterNetStats) {
+    rec: &mut R,
+) -> (Vec<RunReport>, ClusterNetStats, Vec<NodeNetStats>) {
     let active = u32::try_from(inputs.len()).expect("node count fits in u32");
     assert!(active >= 1, "a cluster run needs at least one active node");
     assert!(
@@ -97,11 +102,12 @@ pub(crate) fn run_lockstep(
         }
         Some(gms)
     };
-    let mut ctx = ClusterCtx {
-        net: ClusterNetwork::new(cfg.net, cfg.cluster_nodes),
+    let mut ctx = ClusterCtx::new(
+        ClusterNetwork::new(cfg.net, cfg.cluster_nodes),
         gms,
-        n_active: active,
-    };
+        active,
+        rec,
+    );
 
     let mut drivers: Vec<NodeDriver<'_>> = inputs
         .iter()
@@ -139,16 +145,47 @@ pub(crate) fn run_lockstep(
         .unwrap_or(Duration::ZERO);
     let wire_in_busy = ctx.net.total_wire_in_busy();
     let span = makespan.as_nanos() as f64 * f64::from(cfg.cluster_nodes);
+
+    // Per-node breakdown. Utilization is measured against the network
+    // horizon (the latest any resource is booked), not the makespan:
+    // busy ≤ next_free ≤ horizon for every resource, so the figure is
+    // guaranteed to stay in [0, 1] even though transfers can be booked
+    // past the slowest application's finish time.
+    let horizon = ctx.net.horizon().elapsed_since(SimTime::ZERO);
+    let per_node: Vec<NodeNetStats> = (0..ctx.net.n_nodes())
+        .map(|i| {
+            let node = NodeId::new(i);
+            let nn = ctx.net.node(node);
+            let busy = NetResource::ALL.map(|r| nn.busy(r));
+            let waited = NetResource::ALL.map(|r| nn.waited(r));
+            let wire = nn.busy(NetResource::WireIn) + nn.busy(NetResource::WireOut);
+            let utilization = if horizon > Duration::ZERO {
+                wire.as_nanos() as f64 / (2.0 * horizon.as_nanos() as f64)
+            } else {
+                0.0
+            };
+            NodeNetStats {
+                node,
+                busy,
+                waited,
+                utilization,
+            }
+        })
+        .collect();
+    let utils = per_node.iter().map(|n| n.utilization);
     let net = ClusterNetStats {
         queue_delay: ctx.net.total_queue_delay(),
         wire_in_busy,
+        wire_out_busy: ctx.net.total_wire_out_busy(),
         wire_utilization: if span > 0.0 {
             wire_in_busy.as_nanos() as f64 / span
         } else {
             0.0
         },
+        min_node_utilization: utils.clone().fold(f64::INFINITY, f64::min).clamp(0.0, 1.0),
+        max_node_utilization: utils.fold(0.0, f64::max),
     };
-    (reports, net)
+    (reports, net, per_node)
 }
 
 /// Runs several applications concurrently, one per active node, over a
@@ -203,6 +240,18 @@ impl ClusterSim {
     /// Panics if `apps` is empty or leaves no idle node in the cluster
     /// (`apps.len() >= cluster_nodes`).
     pub fn run(&self, apps: &[AppProfile]) -> ClusterReport {
+        self.run_recorded(apps, &mut NoopRecorder)
+    }
+
+    /// Like [`run`](ClusterSim::run), but streams fault-lifecycle and
+    /// network-occupancy events from every node into `rec`. With
+    /// [`NoopRecorder`] the report is byte-identical to
+    /// [`run`](ClusterSim::run)'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty or leaves no idle node in the cluster.
+    pub fn run_recorded<R: Recorder>(&self, apps: &[AppProfile], rec: &mut R) -> ClusterReport {
         let mut sources: Vec<_> = apps.iter().map(AppProfile::source).collect();
         let mut inputs: Vec<NodeInput<'_>> = sources
             .iter_mut()
@@ -213,7 +262,7 @@ impl ClusterSim {
                 base: LAYOUT_BASE,
             })
             .collect();
-        let (nodes, net) = run_lockstep(&self.config, &mut inputs);
+        let (nodes, net, per_node) = run_lockstep(&self.config, &mut inputs, rec);
         let makespan = nodes
             .iter()
             .map(|r| r.total_time)
@@ -223,6 +272,7 @@ impl ClusterSim {
             nodes,
             makespan,
             net,
+            per_node,
         }
     }
 }
@@ -239,6 +289,10 @@ pub struct ClusterReport {
     pub makespan: Duration,
     /// Aggregate contention metrics for the shared network.
     pub net: ClusterNetStats,
+    /// Per-node network breakdown, indexed by node id: one entry per
+    /// cluster node, active *and* idle — idle custodians show up here
+    /// with serving-side CPU/DMA/wire busy time.
+    pub per_node: Vec<NodeNetStats>,
 }
 
 impl ClusterReport {

@@ -29,6 +29,7 @@ use gms_mem::{
     SubpageIndex, Tlb,
 };
 use gms_net::{BusyTimes, ClusterNetwork, DiskModel, LinkModel, NetResource, TransferPlan};
+use gms_obs::{Event, FaultClass, NoopRecorder, Recorder, ResourceKind};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::{AccessKind, Run, TraceSource};
@@ -86,8 +87,17 @@ impl Simulator {
     /// sizes memory from its footprint, warms the global cache with its
     /// pages, and replays it.
     pub fn run(&self, app: &AppProfile) -> RunReport {
+        self.run_recorded(app, &mut NoopRecorder)
+    }
+
+    /// Like [`run`](Simulator::run), but streams fault-lifecycle and
+    /// network-occupancy events into `rec`. With [`NoopRecorder`] every
+    /// recording call site compiles away and the report is byte-identical
+    /// to [`run`](Simulator::run)'s (the recorder is a write-only side
+    /// channel — it never feeds back into timing).
+    pub fn run_recorded<R: Recorder>(&self, app: &AppProfile, rec: &mut R) -> RunReport {
         let mut source = app.source();
-        self.run_trace(&mut *source, app.footprint(), LAYOUT_BASE)
+        self.run_trace_recorded(&mut *source, app.footprint(), LAYOUT_BASE, rec)
     }
 
     /// Runs an arbitrary trace. `footprint` is the trace's total touched
@@ -108,6 +118,22 @@ impl Simulator {
         footprint: gms_units::Bytes,
         base: VirtAddr,
     ) -> RunReport {
+        self.run_trace_recorded(source, footprint, base, &mut NoopRecorder)
+    }
+
+    /// [`run_trace`](Simulator::run_trace) with an event recorder
+    /// attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint` is zero.
+    pub fn run_trace_recorded<R: Recorder>(
+        &self,
+        source: &mut dyn TraceSource,
+        footprint: gms_units::Bytes,
+        base: VirtAddr,
+        rec: &mut R,
+    ) -> RunReport {
         assert!(
             !footprint.is_zero(),
             "cannot size memory for an empty trace"
@@ -117,20 +143,78 @@ impl Simulator {
             footprint,
             base,
         }];
-        let (mut reports, _net) = run_lockstep(&self.config, &mut inputs);
+        let (mut reports, _net, _per_node) = run_lockstep(&self.config, &mut inputs, rec);
         reports.pop().expect("one active node yields one report")
     }
 }
 
-/// Everything the per-node drivers share: the contended network and the
-/// global memory service.
-pub(crate) struct ClusterCtx {
+/// The observability-layer name of a network resource.
+pub(crate) fn resource_kind(r: NetResource) -> ResourceKind {
+    match r {
+        NetResource::Cpu => ResourceKind::Cpu,
+        NetResource::DmaIn => ResourceKind::DmaIn,
+        NetResource::DmaOut => ResourceKind::DmaOut,
+        NetResource::WireIn => ResourceKind::WireIn,
+        NetResource::WireOut => ResourceKind::WireOut,
+    }
+}
+
+/// Everything the per-node drivers share: the contended network, the
+/// global memory service, and the event recorder.
+pub(crate) struct ClusterCtx<'r, R: Recorder> {
     /// The shared wires, DMA rings and CPU shares of every node.
     pub net: ClusterNetwork,
     /// The global memory service (absent under the disk policy).
     pub gms: Option<Gms>,
     /// Nodes `0..n_active` run applications; the rest only serve pages.
     pub n_active: u32,
+    /// Where drivers stream lifecycle events. Write-only: nothing the
+    /// recorder does can feed back into timing, which is what keeps
+    /// no-op and recording runs byte-identical.
+    pub rec: &'r mut R,
+    /// How many of the network's logged occupancies have already been
+    /// forwarded to the recorder.
+    occ_seen: usize,
+}
+
+impl<'r, R: Recorder> ClusterCtx<'r, R> {
+    pub fn new(net: ClusterNetwork, gms: Option<Gms>, n_active: u32, rec: &'r mut R) -> Self {
+        let mut ctx = ClusterCtx {
+            net,
+            gms,
+            n_active,
+            rec,
+            occ_seen: 0,
+        };
+        if R::ENABLED {
+            // Occupancy logging is off by default (it allocates); turn it
+            // on only when someone is listening. The log is write-only,
+            // so enabling it cannot perturb timing.
+            ctx.net.record_occupancies();
+        }
+        ctx
+    }
+
+    /// Forwards any network occupancies logged since the last sync to
+    /// the recorder. Called after every operation that schedules on the
+    /// shared network, so occupancy events interleave with the
+    /// lifecycle events that caused them.
+    fn sync_net(&mut self) {
+        if !R::ENABLED {
+            return;
+        }
+        let (net, rec) = (&self.net, &mut self.rec);
+        for o in &net.occupancies()[self.occ_seen..] {
+            rec.record(Event::Occupancy {
+                node: o.node,
+                resource: resource_kind(o.resource),
+                what: o.what,
+                start: o.start,
+                end: o.end,
+            });
+        }
+        self.occ_seen = net.occupancies().len();
+    }
 }
 
 /// Which accounting bucket a span of simulated time belongs to.
@@ -241,11 +325,11 @@ impl<'a> NodeDriver<'a> {
     /// one run is processed per call, so a caller alternating between
     /// equal-clock drivers always makes progress. (Runs are atomic: the
     /// clock may overshoot the deadline by one run's worth of work.)
-    pub fn run_until(
+    pub fn run_until<R: Recorder>(
         &mut self,
         source: &mut dyn TraceSource,
         deadline: SimTime,
-        ctx: &mut ClusterCtx,
+        ctx: &mut ClusterCtx<'_, R>,
     ) -> bool {
         loop {
             let Some(run) = source.next_run() else {
@@ -303,7 +387,7 @@ impl<'a> NodeDriver<'a> {
 
     // -- trace consumption ------------------------------------------------
 
-    fn process_run(&mut self, run: Run, ctx: &mut ClusterCtx) {
+    fn process_run<R: Recorder>(&mut self, run: Run, ctx: &mut ClusterCtx<'_, R>) {
         let stride = run.stride();
         let kind = run.kind();
         if stride == 0 {
@@ -380,13 +464,13 @@ impl<'a> NodeDriver<'a> {
     }
 
     /// Executes `n` references at `addr`, `stride` apart, all on one page.
-    fn process_segment(
+    fn process_segment<R: Recorder>(
         &mut self,
         addr: VirtAddr,
         stride: i64,
         n: u64,
         kind: AccessKind,
-        ctx: &mut ClusterCtx,
+        ctx: &mut ClusterCtx<'_, R>,
     ) {
         let page = self.geom.page_of(addr);
         if !self.armed.is_empty() {
@@ -428,14 +512,14 @@ impl<'a> NodeDriver<'a> {
 
     /// Executes a segment on a partially-resident page, subpage chunk by
     /// subpage chunk, stalling where data has not arrived.
-    fn process_partial(
+    fn process_partial<R: Recorder>(
         &mut self,
         page: PageId,
         mut addr: VirtAddr,
         stride: i64,
         mut left: u64,
         kind: AccessKind,
-        ctx: &mut ClusterCtx,
+        ctx: &mut ClusterCtx<'_, R>,
     ) {
         self.charge_tlb(page);
         if kind.is_write() {
@@ -486,7 +570,12 @@ impl<'a> NodeDriver<'a> {
 
     /// Blocks (if needed) until subpage `sub` of resident page `page` is
     /// valid.
-    fn ensure_subpage(&mut self, page: PageId, sub: SubpageIndex, ctx: &mut ClusterCtx) {
+    fn ensure_subpage<R: Recorder>(
+        &mut self,
+        page: PageId,
+        sub: SubpageIndex,
+        ctx: &mut ClusterCtx<'_, R>,
+    ) {
         if self.table.get(page).expect("resident").mask.contains(sub) {
             return;
         }
@@ -500,6 +589,14 @@ impl<'a> NodeDriver<'a> {
             Some(at) => {
                 let wait = at.saturating_since(self.clock);
                 let fault_idx = self.events.fault_idx(page);
+                if R::ENABLED && wait > Duration::ZERO {
+                    ctx.rec.record(Event::Stall {
+                        node: self.node,
+                        page: page.get(),
+                        start: self.clock,
+                        end: self.clock + wait,
+                    });
+                }
                 self.advance(wait, Bucket::PageWait, Some(page));
                 self.fault_log[fault_idx].wait += wait;
                 // Arrivals applied here landed during the stall: their
@@ -557,7 +654,12 @@ impl<'a> NodeDriver<'a> {
 
     // -- faulting ----------------------------------------------------------
 
-    fn handle_page_fault(&mut self, addr: VirtAddr, kind: AccessKind, ctx: &mut ClusterCtx) {
+    fn handle_page_fault<R: Recorder>(
+        &mut self,
+        addr: VirtAddr,
+        kind: AccessKind,
+        ctx: &mut ClusterCtx<'_, R>,
+    ) {
         let (page, sub) = self.geom.decompose(addr);
         let _ = kind;
         if self.frames.is_full() {
@@ -575,12 +677,12 @@ impl<'a> NodeDriver<'a> {
 
     /// Performs the transfer for a whole-page fault and installs the page
     /// (fully or partially). Returns what serviced it.
-    fn fetch_page(
+    fn fetch_page<R: Recorder>(
         &mut self,
         page: PageId,
         sub: SubpageIndex,
         addr: VirtAddr,
-        ctx: &mut ClusterCtx,
+        ctx: &mut ClusterCtx<'_, R>,
     ) -> FaultKind {
         let n_sub = self.geom.subpages_per_page();
 
@@ -609,11 +711,45 @@ impl<'a> NodeDriver<'a> {
                 kind: FaultKind::Disk,
                 wait: latency,
             });
+            if R::ENABLED {
+                ctx.rec.record(Event::Fault {
+                    node: self.node,
+                    page: page.get(),
+                    subpage: sub.get(),
+                    class: FaultClass::Disk,
+                    at_ref: self.refs_done,
+                    at: self.clock,
+                });
+            }
             self.advance(latency, Bucket::SpLatency, Some(page));
+            if R::ENABLED {
+                ctx.rec.record(Event::Restart {
+                    node: self.node,
+                    page: page.get(),
+                    at: self.clock,
+                    wait: latency,
+                });
+            }
             self.table.insert(page, PageState::complete(n_sub));
             return FaultKind::Disk;
         };
         self.served_by.insert(page, server);
+        if R::ENABLED {
+            ctx.rec.record(Event::Fault {
+                node: self.node,
+                page: page.get(),
+                subpage: sub.get(),
+                class: FaultClass::Remote,
+                at_ref: self.refs_done,
+                at: self.clock,
+            });
+            ctx.rec.record(Event::GetPage {
+                node: self.node,
+                server,
+                page: page.get(),
+                at: self.clock,
+            });
+        }
 
         // Remote service through the shared network: the transfer
         // occupies this node's inbound resources and the custodian's
@@ -624,6 +760,7 @@ impl<'a> NodeDriver<'a> {
         let sizes = plan.message_sizes(self.geom);
         let tplan = TransferPlan::new(sizes, self.policy.recv_overhead());
         let ft = ctx.net.fault(self.clock, self.node, server, &tplan);
+        ctx.sync_net();
 
         let sp_wait = ft.resume_at.elapsed_since(self.clock);
         self.fault_log.push(FaultRecord {
@@ -636,6 +773,27 @@ impl<'a> NodeDriver<'a> {
         let fault_idx = self.fault_log.len() - 1;
 
         self.advance(sp_wait, Bucket::SpLatency, Some(page));
+        if R::ENABLED {
+            ctx.rec.record(Event::Restart {
+                node: self.node,
+                page: page.get(),
+                at: self.clock,
+                wait: sp_wait,
+            });
+            if ft.arrivals.len() > 1 {
+                ctx.rec.record(Event::Arrivals {
+                    node: self.node,
+                    page: page.get(),
+                    arrivals: plan.groups()[1..]
+                        .iter()
+                        .zip(&ft.arrivals[1..])
+                        .map(|(subs, arr)| {
+                            (arr.available_at, subs.iter().map(|s| s.get()).collect())
+                        })
+                        .collect(),
+                });
+            }
+        }
 
         // Install the initial message's subpages; queue the rest.
         let mut state = PageState::partial(n_sub, plan.groups()[0][0]);
@@ -664,14 +822,36 @@ impl<'a> NodeDriver<'a> {
 
     /// Lazy policy: fetch one missing subpage of a resident page from the
     /// custodian that served the original fault.
-    fn lazy_subpage_fault(&mut self, page: PageId, sub: SubpageIndex, ctx: &mut ClusterCtx) {
+    fn lazy_subpage_fault<R: Recorder>(
+        &mut self,
+        page: PageId,
+        sub: SubpageIndex,
+        ctx: &mut ClusterCtx<'_, R>,
+    ) {
         let server = self
             .served_by
             .get(&page)
             .copied()
             .expect("lazy refill on a page with no recorded custodian");
+        if R::ENABLED {
+            ctx.rec.record(Event::Fault {
+                node: self.node,
+                page: page.get(),
+                subpage: sub.get(),
+                class: FaultClass::LazySubpage,
+                at_ref: self.refs_done,
+                at: self.clock,
+            });
+            ctx.rec.record(Event::GetPage {
+                node: self.node,
+                server,
+                page: page.get(),
+                at: self.clock,
+            });
+        }
         let tplan = TransferPlan::lazy(self.geom.subpage_size().bytes());
         let ft = ctx.net.fault(self.clock, self.node, server, &tplan);
+        ctx.sync_net();
         let wait = ft.resume_at.elapsed_since(self.clock);
         self.fault_log.push(FaultRecord {
             at_ref: self.refs_done,
@@ -681,12 +861,20 @@ impl<'a> NodeDriver<'a> {
             wait,
         });
         self.advance(wait, Bucket::SpLatency, Some(page));
+        if R::ENABLED {
+            ctx.rec.record(Event::Restart {
+                node: self.node,
+                page: page.get(),
+                at: self.clock,
+                wait,
+            });
+        }
         self.table.mark_valid(page, sub);
         self.pal.page_state_changed(page);
         self.faults.record(FaultKind::LazySubpage);
     }
 
-    fn evict_one(&mut self, ctx: &mut ClusterCtx) {
+    fn evict_one<R: Recorder>(&mut self, ctx: &mut ClusterCtx<'_, R>) {
         let victim = self.lru.evict().expect("full memory implies a victim");
         let state = self.table.remove(victim).expect("victim was resident");
         if self.events.drop_page(victim) {
@@ -716,6 +904,16 @@ impl<'a> NodeDriver<'a> {
                 put.stored_at,
                 self.geom.page_size().bytes(),
             );
+            if R::ENABLED {
+                ctx.rec.record(Event::PutPage {
+                    node: self.node,
+                    custodian: put.stored_at,
+                    page: victim.get(),
+                    dirty: state.dirty,
+                    at: self.clock,
+                });
+            }
+            ctx.sync_net();
             let setup = send.cpu_free_at.elapsed_since(self.clock);
             self.advance(setup, Bucket::Putpage, None);
         }
@@ -761,7 +959,7 @@ impl<'a> NodeDriver<'a> {
     /// this node's own network resources; serving-side busy times are
     /// summed over the idle (serving) nodes, which are shared by every
     /// active node in the cluster.
-    pub fn into_report(self, cfg: &SimConfig, ctx: &ClusterCtx) -> RunReport {
+    pub fn into_report<R: Recorder>(self, cfg: &SimConfig, ctx: &ClusterCtx<'_, R>) -> RunReport {
         let own = ctx.net.node(self.node);
         let mut srv_dma = Duration::ZERO;
         let mut srv_cpu = Duration::ZERO;

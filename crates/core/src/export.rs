@@ -1,0 +1,203 @@
+//! Machine-readable run summaries.
+//!
+//! Hand-rolled JSON (the workspace's `serde` is an inert placeholder):
+//! [`run_summary_json`] and [`cluster_summary_json`] render
+//! [`RunReport`]/[`ClusterReport`] into a stable schema
+//! (`gms-summary/v1`) that the CLI's `--summary-json` flag writes and
+//! its `check-trace` command re-parses with [`gms_obs::JsonValue`].
+//!
+//! Scalar counters go through [`CounterRegistry`], so a counter added
+//! to a report shows up in the summary without touching the renderer.
+
+use gms_net::NetResource;
+use gms_obs::{escape_json, CounterRegistry, LogHistogram};
+
+use crate::cluster_sim::ClusterReport;
+use crate::RunReport;
+
+/// Schema tag stamped into every summary document.
+pub const SUMMARY_SCHEMA: &str = "gms-summary/v1";
+
+/// Renders a latency histogram as a JSON object with exact extremes,
+/// the standard percentile quartet, and the raw `[low, count]` buckets.
+#[must_use]
+pub fn histogram_json(h: &LogHistogram) -> String {
+    let (p50, p90, p99, max) = h.quartet();
+    let buckets: Vec<String> = h.buckets().map(|(low, c)| format!("[{low},{c}]")).collect();
+    format!(
+        "{{\"count\":{},\"min_ns\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+        h.count(),
+        h.min(),
+        h.mean(),
+        p50,
+        p90,
+        p99,
+        max,
+        buckets.join(",")
+    )
+}
+
+/// The scalar counters of one run, in a fixed, documented order.
+#[must_use]
+pub fn run_counters(report: &RunReport) -> CounterRegistry {
+    let mut reg = CounterRegistry::new();
+    reg.set("frames", report.frames);
+    reg.set("total_refs", report.total_refs);
+    reg.set("total_time_ns", report.total_time.as_nanos());
+    reg.set("exec_time_ns", report.exec_time.as_nanos());
+    reg.set("sp_latency_ns", report.sp_latency.as_nanos());
+    reg.set("page_wait_ns", report.page_wait.as_nanos());
+    reg.set("recv_overhead_ns", report.recv_overhead.as_nanos());
+    reg.set("emulation_time_ns", report.emulation_time.as_nanos());
+    reg.set("putpage_overhead_ns", report.putpage_overhead.as_nanos());
+    reg.set("faults_remote", report.faults.remote);
+    reg.set("faults_disk", report.faults.disk);
+    reg.set("faults_lazy_subpage", report.faults.lazy_subpage);
+    reg.set("evictions", report.evictions);
+    reg.set("dirty_evictions", report.dirty_evictions);
+    reg.set("wasted_transfers", report.wasted_transfers);
+    reg.set_f64("wire_utilization", report.wire_utilization());
+    reg.set_f64("overlap_io_fraction", report.overlap.io_fraction());
+    reg
+}
+
+/// One run's summary as a self-contained JSON object string.
+#[must_use]
+pub fn run_summary_json(report: &RunReport) -> String {
+    format!(
+        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"run\",\"policy\":\"{}\",\"memory\":\"{}\",\"counters\":{},\"page_wait\":{}}}",
+        escape_json(&report.policy),
+        escape_json(&report.memory),
+        run_counters(report).to_json(),
+        histogram_json(&report.wait_histogram()),
+    )
+}
+
+/// A cluster run's summary: aggregate network counters, the merged
+/// page-wait histogram, the per-node network breakdown, and one nested
+/// run summary per active node.
+#[must_use]
+pub fn cluster_summary_json(report: &ClusterReport) -> String {
+    let mut reg = CounterRegistry::new();
+    reg.set("active_nodes", report.nodes.len() as u64);
+    reg.set("cluster_nodes", report.per_node.len() as u64);
+    reg.set("makespan_ns", report.makespan.as_nanos());
+    reg.set("queue_delay_ns", report.net.queue_delay.as_nanos());
+    reg.set("wire_in_busy_ns", report.net.wire_in_busy.as_nanos());
+    reg.set("wire_out_busy_ns", report.net.wire_out_busy.as_nanos());
+    reg.set_f64("wire_utilization", report.net.wire_utilization);
+    reg.set_f64("min_node_utilization", report.net.min_node_utilization);
+    reg.set_f64("max_node_utilization", report.net.max_node_utilization);
+
+    let mut merged = LogHistogram::new();
+    for node in &report.nodes {
+        merged.merge(&node.wait_histogram());
+    }
+
+    let per_node: Vec<String> = report
+        .per_node
+        .iter()
+        .map(|n| {
+            let mut reg = CounterRegistry::new();
+            for (i, r) in NetResource::ALL.iter().enumerate() {
+                reg.set(&format!("busy_{}_ns", r.label()), n.busy[i].as_nanos());
+                reg.set(&format!("waited_{}_ns", r.label()), n.waited[i].as_nanos());
+            }
+            reg.set_f64("utilization", n.utilization);
+            format!(
+                "{{\"node\":{},\"counters\":{}}}",
+                n.node.index(),
+                reg.to_json()
+            )
+        })
+        .collect();
+
+    let nodes: Vec<String> = report.nodes.iter().map(run_summary_json).collect();
+
+    format!(
+        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"cluster\",\"counters\":{},\"page_wait\":{},\"per_node\":[{}],\"nodes\":[{}]}}",
+        reg.to_json(),
+        histogram_json(&merged),
+        per_node.join(","),
+        nodes.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator};
+    use gms_mem::SubpageSize;
+    use gms_obs::JsonValue;
+
+    fn config() -> SimConfig {
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .build()
+    }
+
+    #[test]
+    fn run_summary_parses_and_has_percentiles() {
+        let report = Simulator::new(config()).run(&gms_trace::apps::gdb().scaled(0.2));
+        let json = run_summary_json(&report);
+        let doc = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SUMMARY_SCHEMA));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("run"));
+        let wait = doc.get("page_wait").expect("page_wait object");
+        for key in ["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+            assert!(wait.get(key).is_some(), "missing {key}");
+        }
+        let hist = report.wait_histogram();
+        assert_eq!(
+            wait.get("count").unwrap().as_u64(),
+            Some(report.faults.total())
+        );
+        assert_eq!(
+            wait.get("p50_ns").unwrap().as_u64(),
+            Some(hist.percentile(0.5))
+        );
+        assert_eq!(wait.get("max_ns").unwrap().as_u64(), Some(hist.max()));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(
+            counters.get("total_refs").unwrap().as_u64(),
+            Some(report.total_refs)
+        );
+    }
+
+    #[test]
+    fn cluster_summary_covers_every_node() {
+        let app = gms_trace::apps::gdb().scaled(0.1);
+        let config = SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .cluster_nodes(4)
+            .build();
+        let report = ClusterSim::new(config).run(&[app.clone(), app]);
+        let json = cluster_summary_json(&report);
+        let doc = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("cluster"));
+        assert_eq!(doc.get("nodes").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("per_node").unwrap().as_array().unwrap().len(), 4);
+        let counters = doc.get("counters").unwrap();
+        let wire_util = counters.get("wire_utilization").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&wire_util));
+        let min_u = counters
+            .get("min_node_utilization")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let max_u = counters
+            .get("max_node_utilization")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(0.0 <= min_u && min_u <= max_u && max_u <= 1.0);
+        // The merged histogram counts every node's faults.
+        let total: u64 = report.nodes.iter().map(|n| n.faults.total()).sum();
+        assert_eq!(
+            doc.get("page_wait").unwrap().get("count").unwrap().as_u64(),
+            Some(total)
+        );
+    }
+}

@@ -61,6 +61,7 @@ mod cluster_sim;
 mod config;
 mod engine;
 mod events;
+mod export;
 mod metrics;
 mod pipeline;
 mod policy;
@@ -71,8 +72,12 @@ pub use analysis::{burstiness, cumulative_fault_series, downsample, sorted_wait_
 pub use cluster_sim::{ClusterReport, ClusterSim};
 pub use config::{AccessCost, MemoryConfig, ReplacementKind, SimConfig, SimConfigBuilder};
 pub use engine::Simulator;
+pub use export::{
+    cluster_summary_json, histogram_json, run_counters, run_summary_json, SUMMARY_SCHEMA,
+};
 pub use metrics::{
-    ClusterNetStats, DistanceHistogram, FaultCounts, FaultKind, FaultRecord, OverlapStats,
+    ClusterNetStats, DistanceHistogram, FaultCounts, FaultKind, FaultRecord, NodeNetStats,
+    OverlapStats,
 };
 pub use pipeline::{MessagePlan, PipelineStrategy};
 pub use policy::FetchPolicy;

@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 
 use gms_mem::{PageId, SubpageIndex};
-use gms_units::Duration;
+use gms_net::NetResource;
+use gms_units::{Duration, NodeId};
 
 /// Aggregate contention metrics for the shared cluster network over one
 /// multi-node run.
@@ -15,9 +16,63 @@ pub struct ClusterNetStats {
     pub queue_delay: Duration,
     /// Inbound-wire busy time summed over all nodes.
     pub wire_in_busy: Duration,
+    /// Outbound-wire busy time summed over all nodes. Equals
+    /// `wire_in_busy` when every transfer had both endpoints modelled;
+    /// detached sends add outbound-only time.
+    pub wire_out_busy: Duration,
     /// Fraction of the cluster's aggregate inbound wire capacity in use:
     /// `wire_in_busy / (nodes × makespan)`.
     pub wire_utilization: f64,
+    /// The least-loaded node's wire utilization (inbound + outbound busy
+    /// over twice the network horizon), in `[0, 1]`.
+    pub min_node_utilization: f64,
+    /// The most-loaded node's wire utilization, in `[0, 1]`. A wide
+    /// `max − min` gap means custodian load is asymmetric.
+    pub max_node_utilization: f64,
+}
+
+/// Per-node, per-resource busy and queue-delay breakdown for one
+/// cluster run — the attribution layer behind [`ClusterNetStats`]'s
+/// aggregates. One entry per node (active *and* idle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeNetStats {
+    /// The node these figures describe.
+    pub node: NodeId,
+    /// Busy time per resource, indexed like [`NetResource::ALL`].
+    pub busy: [Duration; 5],
+    /// Queue delay inflicted per resource, indexed like
+    /// [`NetResource::ALL`].
+    pub waited: [Duration; 5],
+    /// This node's wire utilization: inbound + outbound busy over twice
+    /// the network horizon, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl NodeNetStats {
+    /// Busy time of one resource.
+    #[must_use]
+    pub fn busy(&self, r: NetResource) -> Duration {
+        self.busy[Self::idx(r)]
+    }
+
+    /// Queue delay inflicted by one resource.
+    #[must_use]
+    pub fn waited(&self, r: NetResource) -> Duration {
+        self.waited[Self::idx(r)]
+    }
+
+    /// Queue delay summed over this node's five resources.
+    #[must_use]
+    pub fn total_waited(&self) -> Duration {
+        self.waited.iter().copied().sum()
+    }
+
+    fn idx(r: NetResource) -> usize {
+        NetResource::ALL
+            .iter()
+            .position(|&x| x == r)
+            .expect("ALL contains every resource")
+    }
 }
 
 /// What serviced a fault.
@@ -153,12 +208,16 @@ impl DistanceHistogram {
         self.counts.iter().map(|(d, c)| (*d, *c))
     }
 
-    /// The most common distance, if any observations exist.
+    /// The most common distance, if any observations exist. Ties are
+    /// broken toward the smaller absolute distance, and between `+d`
+    /// and `-d` toward the positive (forward) direction — forward
+    /// locality is the paper's common case, so a tie should not report
+    /// a spurious backward stride.
     #[must_use]
     pub fn mode(&self) -> Option<i8> {
         self.counts
             .iter()
-            .max_by_key(|(d, c)| (**c, std::cmp::Reverse(**d)))
+            .max_by_key(|(d, c)| (**c, std::cmp::Reverse(d.unsigned_abs()), **d))
             .map(|(d, _)| *d)
     }
 }
@@ -206,6 +265,31 @@ mod tests {
         assert_eq!(h.mode(), Some(1));
         let dists: Vec<i8> = h.iter().map(|(d, _)| d).collect();
         assert_eq!(dists, vec![-1, 1, 3]);
+    }
+
+    #[test]
+    fn mode_ties_prefer_small_positive_distances() {
+        // Equal counts at -3 and +1: the smaller |distance| wins, not
+        // the most negative distance.
+        let mut h = DistanceHistogram::new();
+        h.record(-3);
+        h.record(-3);
+        h.record(1);
+        h.record(1);
+        assert_eq!(h.mode(), Some(1));
+
+        // Equal counts at -2 and +2: the positive direction wins.
+        let mut h = DistanceHistogram::new();
+        h.record(-2);
+        h.record(2);
+        assert_eq!(h.mode(), Some(2));
+
+        // A strictly larger count still wins regardless of sign.
+        let mut h = DistanceHistogram::new();
+        h.record(-4);
+        h.record(-4);
+        h.record(1);
+        assert_eq!(h.mode(), Some(-4));
     }
 
     #[test]

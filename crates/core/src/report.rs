@@ -2,6 +2,7 @@
 
 use gms_cluster::GmsStats;
 use gms_net::BusyTimes;
+use gms_obs::LogHistogram;
 use gms_units::Duration;
 
 use crate::metrics::{DistanceHistogram, FaultCounts, FaultRecord, OverlapStats};
@@ -122,6 +123,19 @@ impl RunReport {
     #[must_use]
     pub fn wire_utilization(&self) -> f64 {
         self.net_busy.wire_in_utilization(self.total_time)
+    }
+
+    /// Log-bucketed histogram of per-fault waiting times (nanoseconds),
+    /// for p50/p90/p99/max reporting. Built on demand from the fault
+    /// log rather than stored, so a report stays byte-identical whether
+    /// or not anyone asks for percentiles.
+    #[must_use]
+    pub fn wait_histogram(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for f in &self.fault_log {
+            h.record(f.wait.as_nanos());
+        }
+        h
     }
 
     /// Mean waiting time per fault; zero for a fault-free run.

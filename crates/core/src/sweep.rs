@@ -12,13 +12,16 @@
 //! regardless of which worker finished first.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use gms_obs::{perfetto_trace, MemoryRecorder};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::MaterializedTrace;
 
+use crate::export::run_summary_json;
 use crate::{FetchPolicy, MemoryConfig, RunReport, SimConfig, SimConfigBuilder, Simulator};
 
 /// One cell of a sweep: its coordinates plus the full report.
@@ -53,6 +56,7 @@ pub struct Sweep {
     policies: Vec<FetchPolicy>,
     memories: Vec<MemoryConfig>,
     configure: Arc<dyn Fn(SimConfigBuilder) -> SimConfigBuilder + Send + Sync>,
+    trace_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Sweep {
@@ -84,6 +88,7 @@ impl Sweep {
                 MemoryConfig::Quarter,
             ],
             configure: Arc::new(|b| b),
+            trace_dir: None,
         }
     }
 
@@ -109,6 +114,18 @@ impl Sweep {
         f: impl Fn(SimConfigBuilder) -> SimConfigBuilder + Send + Sync + 'static,
     ) -> Self {
         self.configure = Arc::new(f);
+        self
+    }
+
+    /// Exports observability artifacts for every cell into `dir`
+    /// (created if missing): a Perfetto `<policy>__<memory>.trace.json`
+    /// and a `<policy>__<memory>.summary.json` per cell. Parallel
+    /// workers write distinct files, so tracing composes with
+    /// [`Sweep::run_parallel`]. `/` in labels (e.g. `1/2-mem`) is
+    /// replaced with `-`.
+    #[must_use]
+    pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -152,12 +169,43 @@ impl Sweep {
         let trace = Arc::new(MaterializedTrace::capture(&mut *self.app.source()));
         let footprint = self.app.footprint();
         let configure = &self.configure;
+        if let Some(dir) = &self.trace_dir {
+            std::fs::create_dir_all(dir).expect("sweep trace directory is creatable");
+        }
+        let trace_dir = &self.trace_dir;
 
         let run_cell = |policy: FetchPolicy, memory: MemoryConfig| -> SweepCell {
             let builder = SimConfig::builder().policy(policy).memory(memory);
             let config = configure(builder).build();
-            let report =
-                Simulator::new(config).run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE);
+            let sim = Simulator::new(config);
+            let report = match trace_dir {
+                Some(dir) => {
+                    let mut rec = MemoryRecorder::new();
+                    let report = sim.run_trace_recorded(
+                        &mut trace.cursor(),
+                        footprint,
+                        LAYOUT_BASE,
+                        &mut rec,
+                    );
+                    let stem = format!(
+                        "{}__{}",
+                        sanitize_label(&policy.label()),
+                        sanitize_label(&memory.label())
+                    );
+                    std::fs::write(
+                        dir.join(format!("{stem}.trace.json")),
+                        perfetto_trace(rec.events()),
+                    )
+                    .expect("sweep trace file is writable");
+                    std::fs::write(
+                        dir.join(format!("{stem}.summary.json")),
+                        run_summary_json(&report),
+                    )
+                    .expect("sweep summary file is writable");
+                    report
+                }
+                None => sim.run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE),
+            };
             SweepCell {
                 policy,
                 memory,
@@ -196,6 +244,11 @@ impl Sweep {
             .collect();
         SweepResults::new(cells)
     }
+}
+
+/// A label made filename-safe: `1/2-mem` → `1-2-mem`.
+fn sanitize_label(label: &str) -> String {
+    label.replace(['/', '\\'], "-")
 }
 
 /// The completed grid. Produced by [`Sweep::run`] /
@@ -331,5 +384,48 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_axis_panics() {
         let _ = Sweep::new(apps::gdb().scaled(0.1)).policies([]).run();
+    }
+
+    #[test]
+    fn trace_dir_emits_one_trace_and_summary_per_cell() {
+        let dir = std::env::temp_dir().join(format!(
+            "gms-sweep-trace-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let results = Sweep::new(apps::gdb().scaled(0.1))
+            .policies([
+                FetchPolicy::fullpage(),
+                FetchPolicy::eager(SubpageSize::S1K),
+            ])
+            .memories([MemoryConfig::Half])
+            .trace_dir(&dir)
+            .run_parallel(2);
+        assert_eq!(results.cells().len(), 2);
+        for stem in ["p_8192__1-2-mem", "sp_1024__1-2-mem"] {
+            let trace =
+                std::fs::read_to_string(dir.join(format!("{stem}.trace.json"))).expect(stem);
+            gms_obs::JsonValue::parse(&trace).expect("trace parses");
+            let summary =
+                std::fs::read_to_string(dir.join(format!("{stem}.summary.json"))).expect(stem);
+            let doc = gms_obs::JsonValue::parse(&summary).expect("summary parses");
+            assert_eq!(
+                doc.get("schema").unwrap().as_str(),
+                Some(crate::export::SUMMARY_SCHEMA)
+            );
+        }
+        // Tracing is a side channel: reports match the untraced sweep.
+        let plain = Sweep::new(apps::gdb().scaled(0.1))
+            .policies([
+                FetchPolicy::fullpage(),
+                FetchPolicy::eager(SubpageSize::S1K),
+            ])
+            .memories([MemoryConfig::Half])
+            .run();
+        for (a, b) in results.cells().iter().zip(plain.cells()) {
+            assert_eq!(a.report, b.report);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

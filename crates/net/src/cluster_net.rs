@@ -60,6 +60,9 @@ pub struct Occupancy {
     pub node: NodeId,
     /// Which of the node's resources.
     pub resource: NetResource,
+    /// What the occupancy was for (`"dma-out"`, `"request"`, …) —
+    /// mirrors the `what` labels of [`crate::timeline::Segment`].
+    pub what: &'static str,
     /// Occupancy start.
     pub start: SimTime,
     /// Occupancy end.
@@ -218,11 +221,46 @@ impl ClusterNetwork {
         self.nodes.iter().map(|n| n.busy(NetResource::WireIn)).sum()
     }
 
-    fn record(&mut self, node: NodeId, resource: NetResource, start: SimTime, end: SimTime) {
+    /// Outbound-wire busy time summed over all nodes. Equal to
+    /// [`ClusterNetwork::total_wire_in_busy`] whenever every transfer had
+    /// both endpoints modelled (each switched link occupies one inbound
+    /// and one outbound direction for the same interval); detached sends
+    /// add outbound-only time.
+    #[must_use]
+    pub fn total_wire_out_busy(&self) -> Duration {
+        self.nodes
+            .iter()
+            .map(|n| n.busy(NetResource::WireOut))
+            .sum()
+    }
+
+    /// The latest instant any resource of any node is committed to — an
+    /// upper bound on every recorded occupancy's end. Transfers can
+    /// outlive the last node's program (putpage tails, follow-on
+    /// arrivals), so this is the denominator that keeps per-node
+    /// utilizations within `[0, 1]`.
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.nodes
+            .iter()
+            .flat_map(|n| NetResource::ALL.iter().map(move |&r| n.res(r).next_free()))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn record(
+        &mut self,
+        node: NodeId,
+        resource: NetResource,
+        what: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
         if let Some(log) = &mut self.log {
             log.push(Occupancy {
                 node,
                 resource,
+                what,
                 start,
                 end,
             });
@@ -233,13 +271,14 @@ impl ClusterNetwork {
         &mut self,
         node: NodeId,
         resource: NetResource,
+        what: &'static str,
         ready: SimTime,
         duration: Duration,
     ) -> (SimTime, SimTime) {
         let (start, end) = self.nodes[node.as_usize()]
             .res_mut(resource)
             .acquire(ready, duration);
-        self.record(node, resource, start, end);
+        self.record(node, resource, what, start, end);
         (start, end)
     }
 
@@ -249,6 +288,7 @@ impl ClusterNetwork {
         &mut self,
         rx: NodeId,
         tx: NodeId,
+        what: &'static str,
         ready: SimTime,
         duration: Duration,
     ) -> (SimTime, SimTime) {
@@ -265,8 +305,8 @@ impl ClusterNetwork {
                 .wire_in
                 .acquire_pair(&mut lo[ti].wire_out, ready, duration)
         };
-        self.record(rx, NetResource::WireIn, start, end);
-        self.record(tx, NetResource::WireOut, start, end);
+        self.record(rx, NetResource::WireIn, what, start, end);
+        self.record(tx, NetResource::WireOut, what, start, end);
         (start, end)
     }
 
@@ -295,7 +335,13 @@ impl ClusterNetwork {
 
         // 1. Requester CPU: handle the fault, look up the page's location,
         //    send the request message.
-        let (fstart, fend) = self.acquire(requester, NetResource::Cpu, at, p.fault_cpu);
+        let (fstart, fend) = self.acquire(
+            requester,
+            NetResource::Cpu,
+            "fault+request",
+            at,
+            p.fault_cpu,
+        );
         segments.push(Segment {
             resource: TimelineResource::ReqCpu,
             what: "fault+request",
@@ -315,8 +361,13 @@ impl ClusterNetwork {
         });
 
         // 3. Server CPU: interpret the request.
-        let (sstart, send_ready) =
-            self.acquire(server, NetResource::Cpu, qend, p.server_request_cpu);
+        let (sstart, send_ready) = self.acquire(
+            server,
+            NetResource::Cpu,
+            "process-request",
+            qend,
+            p.server_request_cpu,
+        );
         segments.push(Segment {
             resource: TimelineResource::SrvCpu,
             what: "process-request",
@@ -334,7 +385,13 @@ impl ClusterNetwork {
         let mut setup_ready = send_ready;
 
         for (index, &size) in plan.messages().iter().enumerate() {
-            let (a, b) = self.acquire(server, NetResource::Cpu, setup_ready, p.server_send_cpu);
+            let (a, b) = self.acquire(
+                server,
+                NetResource::Cpu,
+                "send-setup",
+                setup_ready,
+                p.server_send_cpu,
+            );
             segments.push(Segment {
                 resource: TimelineResource::SrvCpu,
                 what: "send-setup",
@@ -346,6 +403,7 @@ impl ClusterNetwork {
             let (a, b) = self.acquire(
                 server,
                 NetResource::DmaOut,
+                "dma-out",
                 b,
                 p.dma_startup + p.dma_time(size),
             );
@@ -359,6 +417,7 @@ impl ClusterNetwork {
             let (a, b) = self.acquire_wire(
                 requester,
                 server,
+                "data",
                 b,
                 p.wire_startup + p.wire.wire_time(size),
             );
@@ -372,6 +431,7 @@ impl ClusterNetwork {
             let (a, rdma_end) = self.acquire(
                 requester,
                 NetResource::DmaIn,
+                "dma-in",
                 b,
                 p.dma_startup + p.dma_time(size),
             );
@@ -388,7 +448,13 @@ impl ClusterNetwork {
                 // The faulting CPU is idle (blocked on this very data):
                 // it takes the interrupt and copies, then resumes.
                 let cost = p.recv_interrupt_cpu + p.copy_time(size);
-                let (a, b) = self.acquire(requester, NetResource::Cpu, rdma_end, cost);
+                let (a, b) = self.acquire(
+                    requester,
+                    NetResource::Cpu,
+                    "receive+resume",
+                    rdma_end,
+                    cost,
+                );
                 segments.push(Segment {
                     resource: TimelineResource::ReqCpu,
                     what: "receive+resume",
@@ -471,24 +537,38 @@ impl ClusterNetwork {
     /// Panics if `from == to`.
     pub fn send(&mut self, at: SimTime, from: NodeId, to: NodeId, size: Bytes) -> SendTimeline {
         let p = self.params;
-        let (_, cpu_free_at) = self.acquire(from, NetResource::Cpu, at, p.server_send_cpu);
+        let (_, cpu_free_at) = self.acquire(
+            from,
+            NetResource::Cpu,
+            "putpage-send",
+            at,
+            p.server_send_cpu,
+        );
         let (_, recv_cpu_end) = self.acquire(
             to,
             NetResource::Cpu,
+            "putpage-receive",
             cpu_free_at + p.request_transit,
             p.recv_interrupt_cpu + p.copy_time(size),
         );
         let (_, dma_end) = self.acquire(
             from,
             NetResource::DmaOut,
+            "putpage-dma-out",
             cpu_free_at,
             p.dma_startup + p.dma_time(size),
         );
-        let (_, wire_end) =
-            self.acquire_wire(to, from, dma_end, p.wire_startup + p.wire.wire_time(size));
+        let (_, wire_end) = self.acquire_wire(
+            to,
+            from,
+            "putpage-data",
+            dma_end,
+            p.wire_startup + p.wire.wire_time(size),
+        );
         let (_, rdma_end) = self.acquire(
             to,
             NetResource::DmaIn,
+            "putpage-dma-in",
             wire_end,
             p.dma_startup + p.dma_time(size),
         );
@@ -508,16 +588,24 @@ impl ClusterNetwork {
     /// where the lumped server is not a real endpoint.
     pub fn send_detached(&mut self, at: SimTime, from: NodeId, size: Bytes) -> SendTimeline {
         let p = self.params;
-        let (_, cpu_free_at) = self.acquire(from, NetResource::Cpu, at, p.server_send_cpu);
+        let (_, cpu_free_at) = self.acquire(
+            from,
+            NetResource::Cpu,
+            "putpage-send",
+            at,
+            p.server_send_cpu,
+        );
         let (_, dma_end) = self.acquire(
             from,
             NetResource::DmaOut,
+            "putpage-dma-out",
             cpu_free_at,
             p.dma_startup + p.dma_time(size),
         );
         let (_, wire_end) = self.acquire(
             from,
             NetResource::WireOut,
+            "putpage-data",
             dma_end,
             p.wire_startup + p.wire.wire_time(size),
         );

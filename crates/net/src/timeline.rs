@@ -290,6 +290,22 @@ impl Timeline {
     pub fn fault(&mut self, at: SimTime, plan: &TransferPlan) -> FaultTimeline {
         self.net.fault(at, REQUESTER, SERVER, plan)
     }
+
+    /// Starts recording every resource occupancy on the underlying
+    /// two-node network (off by default), for tracing and Figure-2-style
+    /// rendering. Passthrough to
+    /// [`ClusterNetwork::record_occupancies`].
+    pub fn record_occupancies(&mut self) {
+        self.net.record_occupancies();
+    }
+
+    /// The recorded occupancies, in acquisition order (node 0 is the
+    /// requester, node 1 the lumped server). Empty unless
+    /// [`Timeline::record_occupancies`] was called.
+    #[must_use]
+    pub fn occupancies(&self) -> &[crate::cluster_net::Occupancy] {
+        self.net.occupancies()
+    }
 }
 
 /// Cumulative busy time per pipeline resource. Produced by

@@ -1,0 +1,235 @@
+//! The typed event taxonomy of the fault lifecycle.
+
+use gms_units::{Duration, NodeId, SimTime};
+
+/// One of a node's five serially-reusable network resources, as an
+/// observability key. This mirrors the cluster network's resource set
+/// (`gms-net` maps its `NetResource` onto this one-to-one) so events
+/// can carry `(node, resource, direction)` keys without the network
+/// crate depending on this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// The node CPU's share of message processing.
+    Cpu,
+    /// The inbound (receive) DMA ring.
+    DmaIn,
+    /// The outbound (transmit) DMA ring.
+    DmaOut,
+    /// The inbound wire direction of the node's switch port.
+    WireIn,
+    /// The outbound wire direction of the node's switch port.
+    WireOut,
+}
+
+impl ResourceKind {
+    /// All five resources, in a fixed order (the per-node track order
+    /// of the Perfetto export).
+    pub const ALL: [ResourceKind; 5] = [
+        ResourceKind::Cpu,
+        ResourceKind::DmaIn,
+        ResourceKind::DmaOut,
+        ResourceKind::WireIn,
+        ResourceKind::WireOut,
+    ];
+
+    /// A short human-readable label (`cpu`, `dma-in`, …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::DmaIn => "dma-in",
+            ResourceKind::DmaOut => "dma-out",
+            ResourceKind::WireIn => "wire-in",
+            ResourceKind::WireOut => "wire-out",
+        }
+    }
+
+    /// The position of this resource in [`ResourceKind::ALL`] — the
+    /// stable per-node track index used by exporters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::DmaIn => 1,
+            ResourceKind::DmaOut => 2,
+            ResourceKind::WireIn => 3,
+            ResourceKind::WireOut => 4,
+        }
+    }
+}
+
+/// What serviced a fault (the observability mirror of the engine's
+/// fault kinds, kept dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A whole-page fault served from another node's memory.
+    Remote,
+    /// A fault served from the local disk.
+    Disk,
+    /// A lazy-policy fault on a missing subpage of a resident page.
+    LazySubpage,
+}
+
+impl FaultClass {
+    /// A short label (`remote`, `disk`, `lazy`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Remote => "remote",
+            FaultClass::Disk => "disk",
+            FaultClass::LazySubpage => "lazy",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Events are emitted in simulation order by whichever node is being
+/// advanced; `node` is always the node the event belongs to. Page ids
+/// are the node-local ids (before GMS namespacing) so they match the
+/// per-node fault log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A page fault began: the program touched a non-resident page (or
+    /// missing subpage, for lazy refills).
+    Fault {
+        /// The faulting node.
+        node: NodeId,
+        /// The faulted page (node-local id).
+        page: u64,
+        /// The faulted subpage within the page.
+        subpage: u8,
+        /// What will service the fault.
+        class: FaultClass,
+        /// References executed when the fault occurred.
+        at_ref: u64,
+        /// The faulting node's clock at the fault.
+        at: SimTime,
+    },
+    /// The GMS located the page and a getpage request was sent to its
+    /// custodian.
+    GetPage {
+        /// The requesting node.
+        node: NodeId,
+        /// The custodian serving the page.
+        server: NodeId,
+        /// The requested page (node-local id).
+        page: u64,
+        /// Request time (the faulting node's clock).
+        at: SimTime,
+    },
+    /// The program restarted after receiving the initially-faulted
+    /// subpage (or the whole page / disk block for non-subpage
+    /// policies).
+    Restart {
+        /// The restarting node.
+        node: NodeId,
+        /// The page whose data arrived.
+        page: u64,
+        /// Restart time.
+        at: SimTime,
+        /// How long the program stalled for the initial data.
+        wait: Duration,
+    },
+    /// Follow-on messages were scheduled for a page: each entry of
+    /// `arrivals` is the instant one message's data becomes usable,
+    /// with the subpages it carries.
+    Arrivals {
+        /// The receiving node.
+        node: NodeId,
+        /// The page the data belongs to (node-local id).
+        page: u64,
+        /// `(available_at, subpages)` per follow-on message, in send
+        /// order.
+        arrivals: Vec<(SimTime, Vec<u8>)>,
+    },
+    /// The program stalled waiting for follow-on data on an incomplete
+    /// page (`page_wait` in the report's decomposition).
+    Stall {
+        /// The stalled node.
+        node: NodeId,
+        /// The page being waited on.
+        page: u64,
+        /// Stall start.
+        start: SimTime,
+        /// Stall end (the awaited arrival).
+        end: SimTime,
+    },
+    /// An evicted page was pushed back to its custodian.
+    PutPage {
+        /// The evicting node.
+        node: NodeId,
+        /// The custodian absorbing the write-back.
+        custodian: NodeId,
+        /// The evicted page (node-local id).
+        page: u64,
+        /// Whether the page was dirty.
+        dirty: bool,
+        /// Eviction time.
+        at: SimTime,
+    },
+    /// One occupancy of a `(node, resource)` pair on the shared
+    /// network, drained from the cluster network's occupancy log.
+    Occupancy {
+        /// The node whose resource was occupied.
+        node: NodeId,
+        /// Which of the node's five resources.
+        resource: ResourceKind,
+        /// What the occupancy was for (`"dma-out"`, `"request"`, …).
+        what: &'static str,
+        /// Occupancy start.
+        start: SimTime,
+        /// Occupancy end.
+        end: SimTime,
+    },
+}
+
+impl Event {
+    /// The node this event belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Event::Fault { node, .. }
+            | Event::GetPage { node, .. }
+            | Event::Restart { node, .. }
+            | Event::Arrivals { node, .. }
+            | Event::Stall { node, .. }
+            | Event::PutPage { node, .. }
+            | Event::Occupancy { node, .. } => node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_index_matches_all_order() {
+        for (i, r) in ResourceKind::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = ResourceKind::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn event_node_extraction() {
+        let e = Event::Fault {
+            node: NodeId::new(3),
+            page: 7,
+            subpage: 1,
+            class: FaultClass::Remote,
+            at_ref: 100,
+            at: SimTime::ZERO,
+        };
+        assert_eq!(e.node(), NodeId::new(3));
+        assert_eq!(FaultClass::LazySubpage.label(), "lazy");
+    }
+}

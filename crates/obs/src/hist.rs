@@ -1,0 +1,297 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Values are bucketed with 32 sub-buckets per power-of-two octave,
+//! bounding relative quantile error to ~3% while keeping the histogram
+//! a few hundred `u64`s regardless of sample range. Exact `min`, `max`
+//! and `sum` are tracked separately so the extreme statistics are not
+//! quantized.
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// A log-bucketed histogram of `u64` samples (nanoseconds, in this
+/// workspace, but the structure is unit-agnostic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// counts[i] = samples whose bucket index is i; grown on demand.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index of a value.
+fn index_of(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - SUB_BITS + 1;
+    let sub = (v >> (octave - 1)) - SUBS;
+    (u64::from(octave) * SUBS + sub) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn low_of(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBS {
+        return index;
+    }
+    let octave = index / SUBS;
+    let sub = index % SUBS;
+    (SUBS + sub) << (octave - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let i = index_of(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the samples, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact sum of the samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket holding the `ceil(q * count)`-th smallest sample
+    /// (clamped to the exact min/max, so `percentile(0.0)` and
+    /// `percentile(1.0)` are exact). Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        if rank >= self.total {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return low_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: `(p50, p90, p99, max)`.
+    #[must_use]
+    pub fn quartet(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max(),
+        )
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low, count)` pairs, in ascending order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (low_of(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..SUBS {
+            h.record(v);
+        }
+        for v in 0..SUBS {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(low_of(v as usize), v);
+        }
+        assert_eq!(h.count(), SUBS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUBS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_values() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = index_of(v);
+            let low = low_of(i);
+            assert!(low <= v, "low({i}) = {low} > {v}");
+            if i + 1 < usize::MAX {
+                let next = low_of(i + 1);
+                assert!(v < next || next < low, "{v} not below next bound {next}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        // ~3% relative error on log buckets.
+        assert!((p50 as f64 - 50_000.0).abs() / 50_000.0 < 0.04, "p50={p50}");
+        assert!((p99 as f64 - 99_000.0).abs() / 99_000.0 < 0.04, "p99={p99}");
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.percentile(1.0), 100_000);
+        assert_eq!(h.mean(), 50_500.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in [1u64, 50, 400, 9_000, 1_000_000] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [7u64, 77, 777_777] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    proptest! {
+        /// Every value lands in a bucket whose bounds bracket it, and
+        /// the relative quantization error is below 1/32.
+        #[test]
+        fn bucket_error_bounded(v in 1u64..u64::MAX / 2) {
+            let i = index_of(v);
+            let low = low_of(i);
+            prop_assert!(low <= v);
+            let err = (v - low) as f64 / v as f64;
+            prop_assert!(err < 1.0 / 16.0, "err {err} for {v} (low {low})");
+        }
+
+        /// Percentile is monotone in q and bounded by [min, max].
+        #[test]
+        fn percentile_monotone(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {
+            let mut h = LogHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut last = 0u64;
+            for step in 0..=20 {
+                let q = step as f64 / 20.0;
+                let p = h.percentile(q);
+                prop_assert!(p >= last, "percentile not monotone at q={q}");
+                prop_assert!(p >= h.min() && p <= h.max());
+                last = p;
+            }
+            let exact_max = *samples.iter().max().unwrap();
+            prop_assert_eq!(h.max(), exact_max);
+            prop_assert_eq!(h.percentile(1.0), exact_max);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Observability for the `gms-subpages` simulator: structured event
+//! tracing, log-bucketed latency histograms, and trace/summary
+//! exporters.
+//!
+//! The simulator's end-of-run aggregates answer *how much* time was
+//! spent waiting but not *where*: which node, which resource, which
+//! phase of the fault lifecycle. This crate provides the layer that
+//! turns aggregates into attribution:
+//!
+//! * [`Recorder`] — the event sink trait the engine is generic over.
+//!   [`NoopRecorder`] sets `ENABLED = false`, so every recording call
+//!   site compiles to nothing via monomorphization; reports of a
+//!   no-op run are byte-identical to a recording run's (the engine's
+//!   property tests verify this).
+//! * [`Event`] — typed span/instant events for the fault lifecycle
+//!   (fault → getpage → custodian occupancy → first-subpage restart →
+//!   follow-on arrivals → putpage write-back), stamped with sim time,
+//!   node ids and `(resource, direction)` keys taken straight from the
+//!   cluster network's occupancy log.
+//! * [`LogHistogram`] — HDR-style log-bucketed latency histogram with
+//!   ~3% relative error, for p50/p90/p99/max reporting without storing
+//!   every sample.
+//! * [`CounterRegistry`] — an ordered name → value registry that
+//!   exporters iterate instead of hand-listing scalar fields.
+//! * [`perfetto_trace`] — Chrome/Perfetto `trace.json` export: one
+//!   track per `(node, resource)`, spans for occupancies, instants for
+//!   fault-lifecycle events.
+//! * [`JsonValue`] — a minimal JSON parser used by tests and the CLI's
+//!   `check-trace` command to validate exported files offline (the
+//!   workspace's `serde` is an inert placeholder).
+//!
+//! # Examples
+//!
+//! ```
+//! use gms_obs::{Event, MemoryRecorder, Recorder, ResourceKind};
+//! use gms_units::{NodeId, SimTime};
+//!
+//! let mut rec = MemoryRecorder::new();
+//! rec.record(Event::Occupancy {
+//!     node: NodeId::new(2),
+//!     resource: ResourceKind::WireIn,
+//!     what: "data",
+//!     start: SimTime::ZERO,
+//!     end: SimTime::from_nanos(52_000),
+//! });
+//! let trace = gms_obs::perfetto_trace(rec.events());
+//! gms_obs::JsonValue::parse(&trace).expect("valid JSON");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod counters;
+mod event;
+mod hist;
+mod json;
+mod perfetto;
+mod recorder;
+
+pub use counters::CounterRegistry;
+pub use event::{Event, FaultClass, ResourceKind};
+pub use hist::LogHistogram;
+pub use json::{escape_json, JsonValue};
+pub use perfetto::{perfetto_trace, trace_nodes, APP_TRACK};
+pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};

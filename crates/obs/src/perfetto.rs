@@ -1,0 +1,321 @@
+//! Chrome/Perfetto trace event export.
+//!
+//! Produces the legacy Chrome trace-event JSON format (`{"traceEvents":
+//! [...]}`), which both `chrome://tracing` and [ui.perfetto.dev] load
+//! directly. The mapping:
+//!
+//! * process = simulated node (`pid` = node index, named `node<i>`),
+//! * thread = one of the node's five network resources (`tid` 0–4 in
+//!   [`ResourceKind::ALL`] order) plus an `app` track (`tid` 5) for
+//!   program-side events,
+//! * complete (`"ph":"X"`) spans for resource occupancies and program
+//!   stalls, instant (`"ph":"i"`) events for faults, getpage requests,
+//!   restarts and putpages.
+//!
+//! Timestamps are microseconds (the format's unit); sub-microsecond
+//! simulation times survive as fractional values.
+//!
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use std::collections::BTreeSet;
+
+use gms_units::NodeId;
+
+use crate::event::{Event, ResourceKind};
+use crate::json::escape_json;
+
+/// `tid` of the synthetic per-node application track.
+pub const APP_TRACK: usize = 5;
+
+fn us(nanos: u64) -> String {
+    // Emit as exact microsecond decimals: ns / 1000 with 3 fractional
+    // digits, no float rounding.
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+fn push_meta(out: &mut String, pid: u32, tid: usize, kind: &str, name: &str) {
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"name\":\"{kind}\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(name)
+    ));
+}
+
+fn push_span(
+    out: &mut String,
+    pid: u32,
+    tid: usize,
+    name: &str,
+    start_ns: u64,
+    end_ns: u64,
+    args: &str,
+) {
+    let dur = end_ns.saturating_sub(start_ns);
+    out.push_str(&format!(
+        "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{},\"dur\":{}{args}}}",
+        escape_json(name),
+        us(start_ns),
+        us(dur)
+    ));
+}
+
+fn push_instant(out: &mut String, pid: u32, tid: usize, name: &str, at_ns: u64, args: &str) {
+    out.push_str(&format!(
+        "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{}\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{}{args}}}",
+        escape_json(name),
+        us(at_ns)
+    ));
+}
+
+/// Render events as a Chrome/Perfetto trace JSON document.
+///
+/// One process per node that appears in `events`, one thread per
+/// `(node, resource)` plus an `app` thread per node. The output is a
+/// single-line JSON object; parse it back with
+/// [`crate::JsonValue::parse`] to inspect it programmatically.
+#[must_use]
+pub fn perfetto_trace(events: &[Event]) -> String {
+    let nodes: BTreeSet<u32> = events.iter().map(|e| e.node().index()).collect();
+
+    let mut parts: Vec<String> = Vec::new();
+
+    // Metadata: name every process and thread up front so the tracks
+    // are labelled even when empty.
+    let mut meta = String::new();
+    for (i, &node) in nodes.iter().enumerate() {
+        if i > 0 {
+            meta.push(',');
+        }
+        push_meta(&mut meta, node, 0, "process_name", &format!("node{node}"));
+        for r in ResourceKind::ALL {
+            meta.push(',');
+            push_meta(&mut meta, node, r.index(), "thread_name", r.label());
+        }
+        meta.push(',');
+        push_meta(&mut meta, node, APP_TRACK, "thread_name", "app");
+    }
+    if !meta.is_empty() {
+        parts.push(meta);
+    }
+
+    for e in events {
+        let pid = e.node().index();
+        let mut out = String::new();
+        match e {
+            Event::Occupancy {
+                resource,
+                what,
+                start,
+                end,
+                ..
+            } => {
+                push_span(
+                    &mut out,
+                    pid,
+                    resource.index(),
+                    what,
+                    start.as_nanos(),
+                    end.as_nanos(),
+                    "",
+                );
+            }
+            Event::Stall {
+                page, start, end, ..
+            } => {
+                let args = format!(",\"args\":{{\"page\":{page}}}");
+                push_span(
+                    &mut out,
+                    pid,
+                    APP_TRACK,
+                    "stall",
+                    start.as_nanos(),
+                    end.as_nanos(),
+                    &args,
+                );
+            }
+            Event::Fault {
+                page,
+                subpage,
+                class,
+                at_ref,
+                at,
+                ..
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"subpage\":{subpage},\
+                     \"class\":\"{}\",\"ref\":{at_ref}}}",
+                    class.label()
+                );
+                push_instant(&mut out, pid, APP_TRACK, "fault", at.as_nanos(), &args);
+            }
+            Event::GetPage {
+                server, page, at, ..
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"server\":{}}}",
+                    server.index()
+                );
+                push_instant(&mut out, pid, APP_TRACK, "getpage", at.as_nanos(), &args);
+            }
+            Event::Restart { page, at, wait, .. } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"wait_ns\":{}}}",
+                    wait.as_nanos()
+                );
+                push_instant(&mut out, pid, APP_TRACK, "restart", at.as_nanos(), &args);
+            }
+            Event::Arrivals { page, arrivals, .. } => {
+                for (i, (at, subs)) in arrivals.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let subs_json: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
+                    let args = format!(
+                        ",\"args\":{{\"page\":{page},\"msg\":{i},\"subpages\":[{}]}}",
+                        subs_json.join(",")
+                    );
+                    push_instant(&mut out, pid, APP_TRACK, "arrival", at.as_nanos(), &args);
+                }
+                if arrivals.is_empty() {
+                    continue;
+                }
+            }
+            Event::PutPage {
+                custodian,
+                page,
+                dirty,
+                at,
+                ..
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"custodian\":{},\"dirty\":{dirty}}}",
+                    custodian.index()
+                );
+                push_instant(&mut out, pid, APP_TRACK, "putpage", at.as_nanos(), &args);
+            }
+        }
+        parts.push(out);
+    }
+
+    let mut doc = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    doc.push_str(&parts.join(","));
+    doc.push_str("]}");
+    doc
+}
+
+/// The set of node indices appearing in a trace (exported for tests
+/// and the `check-trace` validator).
+#[must_use]
+pub fn trace_nodes(events: &[Event]) -> Vec<NodeId> {
+    let set: BTreeSet<u32> = events.iter().map(|e| e.node().index()).collect();
+    set.into_iter().map(NodeId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultClass;
+    use crate::json::JsonValue;
+    use gms_units::{Duration, SimTime};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn microsecond_rendering_is_exact() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1.000");
+        assert_eq!(us(52_345), "52.345");
+    }
+
+    #[test]
+    fn trace_parses_and_maps_tracks() {
+        let events = vec![
+            Event::Fault {
+                node: NodeId::new(0),
+                page: 3,
+                subpage: 2,
+                class: FaultClass::Remote,
+                at_ref: 77,
+                at: t(100),
+            },
+            Event::Occupancy {
+                node: NodeId::new(1),
+                resource: ResourceKind::Cpu,
+                what: "request",
+                start: t(150),
+                end: t(250),
+            },
+            Event::Occupancy {
+                node: NodeId::new(0),
+                resource: ResourceKind::WireIn,
+                what: "data",
+                start: t(300),
+                end: t(5_300),
+            },
+            Event::Restart {
+                node: NodeId::new(0),
+                page: 3,
+                at: t(5_300),
+                wait: Duration::from_nanos(5_200),
+            },
+            Event::Arrivals {
+                node: NodeId::new(0),
+                page: 3,
+                arrivals: vec![(t(6_000), vec![1, 2]), (t(7_000), vec![3])],
+            },
+        ];
+        let doc = perfetto_trace(&events);
+        let v = JsonValue::parse(&doc).expect("valid JSON");
+        let items = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+
+        // 2 nodes × (1 process_name + 5 resources + 1 app) metadata
+        // records, then 1 fault + 2 occupancy + 1 restart + 2 arrivals.
+        let metas = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M"))
+            .count();
+        assert_eq!(metas, 2 * 7);
+        let spans: Vec<_> = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // The wire-in occupancy lands on node 0's WireIn track.
+        let wire = spans
+            .iter()
+            .find(|s| s.get("name").and_then(JsonValue::as_str) == Some("data"))
+            .unwrap();
+        assert_eq!(wire.get("pid").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(
+            wire.get("tid").and_then(JsonValue::as_u64),
+            Some(ResourceKind::WireIn.index() as u64)
+        );
+        assert_eq!(wire.get("ts").and_then(JsonValue::as_f64), Some(0.3));
+        assert_eq!(wire.get("dur").and_then(JsonValue::as_f64), Some(5.0));
+
+        let instants = items
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("i"))
+            .count();
+        assert_eq!(instants, 4); // fault + restart + 2 arrivals
+
+        assert_eq!(trace_nodes(&events), vec![NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let doc = perfetto_trace(&[]);
+        let v = JsonValue::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            v.get("traceEvents")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(0)
+        );
+    }
+}

@@ -17,6 +17,8 @@
 //!   and the Table-1 PALcode emulation cost model.
 //! * [`cluster`] — the GMS global-memory substrate (nodes, directory,
 //!   getpage/putpage protocol, epoch replacement).
+//! * [`obs`] — observability: structured fault-lifecycle events,
+//!   log-bucketed latency histograms, and Perfetto/JSON exporters.
 //! * [`core`] — the paper's contribution: subpage fetch policies and the
 //!   trace-driven simulator that evaluates them.
 //!
@@ -42,5 +44,6 @@ pub use gms_cluster as cluster;
 pub use gms_core as core;
 pub use gms_mem as mem;
 pub use gms_net as net;
+pub use gms_obs as obs;
 pub use gms_trace as trace;
 pub use gms_units as units;

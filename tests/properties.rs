@@ -301,5 +301,19 @@ proptest! {
         prop_assert_eq!(cluster.nodes.len(), 1);
         prop_assert_eq!(&cluster.nodes[0], &serial);
         prop_assert_eq!(cluster.makespan, serial.total_time);
+        // Utilization figures are proper fractions, per node and in
+        // aggregate, for every policy × memory × cluster size.
+        let net = cluster.net;
+        prop_assert!((0.0..=1.0).contains(&net.wire_utilization), "wire {}", net.wire_utilization);
+        prop_assert!(
+            (0.0..=1.0).contains(&net.min_node_utilization),
+            "min {}", net.min_node_utilization
+        );
+        prop_assert!(
+            (0.0..=1.0).contains(&net.max_node_utilization),
+            "max {}", net.max_node_utilization
+        );
+        prop_assert!(net.min_node_utilization <= net.max_node_utilization);
+        prop_assert!(net.wire_out_busy >= net.wire_in_busy);
     }
 }
