@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gms_bench::{
-    apps, jobs, scale, ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator, SubpageSize,
-    Sweep, Table,
+    apps, jobs, scale, ClusterSim, FaultPlan, FetchPolicy, MemoryConfig, SimConfig, Simulator,
+    SubpageSize, Sweep, Table,
 };
 use gms_obs::MemoryRecorder;
 use gms_trace::synth::LAYOUT_BASE;
@@ -100,6 +100,33 @@ fn main() {
     assert_eq!(traced_warm.total_refs, untraced.refs);
     let tracing_overhead = traced_secs / untraced.secs - 1.0;
 
+    // Fault-machinery overhead: the sp_1024 cell with an *inert*
+    // non-empty plan installed (an idle-node crash scheduled an hour
+    // in, far past any run). The injector is consulted on every
+    // transfer but never fires, so the report is identical and the
+    // delta is the pure cost of having fault injection armed.
+    let inert_plan = FaultPlan::parse("crash=n1@3600s", None).expect("valid inert plan");
+    let run_faulted = || {
+        let mut config = SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .build();
+        config.fault_plan = Some(inert_plan.clone());
+        Simulator::new(config).run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE)
+    };
+    let faulted_warm = run_faulted();
+    assert_eq!(faulted_warm.total_refs, untraced.refs);
+    assert_eq!(
+        faulted_warm.retries, 0,
+        "the inert plan must never actually fire"
+    );
+    let start = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(run_faulted());
+    }
+    let faulted_secs = start.elapsed().as_secs_f64() / f64::from(REPS);
+    let fault_overhead = faulted_secs / untraced.secs - 1.0;
+
     // Paper-default sweep grid: serial executor vs. the parallel one.
     let sweep_secs = |jobs: usize| {
         let start = Instant::now();
@@ -152,6 +179,12 @@ fn main() {
         traced_rec.len()
     );
     println!(
+        "fault machinery armed but inert (sp_1024): {:.2} ms/run vs {:.2} ms disabled ({:+.1}%)",
+        faulted_secs * 1e3,
+        untraced.secs * 1e3,
+        fault_overhead * 100.0
+    );
+    println!(
         "paper-default sweep (21 cells): serial {:.2} s, {} jobs {:.2} s ({:.2}x)",
         serial_secs,
         parallel_jobs,
@@ -197,6 +230,22 @@ fn main() {
         tracing_overhead * 100.0
     ));
     json.push_str(&format!("    \"events_per_run\": {}\n", traced_rec.len()));
+    json.push_str("  },\n");
+    json.push_str("  \"faults\": {\n");
+    json.push_str("    \"policy\": \"sp_1024\",\n");
+    json.push_str("    \"plan\": \"crash=n1@3600s (inert)\",\n");
+    json.push_str(&format!(
+        "    \"disabled_ms_per_run\": {:.3},\n",
+        untraced.secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"armed_ms_per_run\": {:.3},\n",
+        faulted_secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"overhead_pct\": {:.1}\n",
+        fault_overhead * 100.0
+    ));
     json.push_str("  },\n");
     json.push_str("  \"sweep\": {\n");
     json.push_str("    \"cells\": 21,\n");

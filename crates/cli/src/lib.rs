@@ -21,8 +21,8 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use gms_core::{
-    cluster_summary_json, run_summary_json, AccessCost, ClusterSim, FetchPolicy, MemoryConfig,
-    ReplacementKind, SimConfig, Simulator, Sweep, SUMMARY_SCHEMA,
+    cluster_summary_json, run_summary_json, AccessCost, ClusterSim, FaultPlan, FetchPolicy,
+    MemoryConfig, ReplacementKind, SimConfig, Simulator, Sweep, SUMMARY_SCHEMA,
 };
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{NetParams, Timeline, TransferPlan};
@@ -55,12 +55,15 @@ USAGE:
   gms-sim run --app <name> --policy <label> [--memory full|half|quarter|<frames>]
               [--scale <f>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2] [--pal]
+              [--fault-plan <spec>]
               [--trace-out <path>] [--summary-json <path>]
   gms-sim sweep --app <name> [--scale <f>] [--jobs <n>] [--trace-dir <dir>]
+              [--fault-plan <spec>]
   gms-sim cluster --nodes <k> --active <a> [--app <name>] [--policy <label>]
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2]
+              [--fault-plan <spec>]
               [--trace-out <path>] [--summary-json <path>]
   gms-sim check-trace [--trace <path>] [--summary <path>]
   gms-sim latency [--subpage <bytes>]
@@ -80,7 +83,18 @@ resource occupancies and instants for the fault lifecycle.
 page-wait percentiles (p50/p90/p99/max). --trace-dir gives every sweep
 cell its own trace + summary pair. Tracing never changes the simulated
 timing: reports are byte-identical with or without it.
-check-trace re-parses exported files and validates their schema.
+check-trace re-parses exported files and validates their schema,
+including an allowlist of known instant-event kinds.
+
+--fault-plan injects deterministic faults: a comma-separated list of
+  loss=<p>        per-message loss probability (0..1)
+  seed=<n>        RNG seed for loss sampling (default 0)
+  crash=nK@<t>    idle node K crashes (loses its pages) at time t
+  recover=nK@<t>  node K comes back (empty) at time t
+  degrade=nK@<t0>..<t1>x<f>  node K's links are f x slower in [t0, t1)
+Times take ns/us/ms/s suffixes or <pct>%, a percentage of the app's
+pure-execution time. Example: loss=0.01,crash=n3@25%,seed=1. An empty
+or absent plan changes nothing, byte-for-byte.
 
 POLICY LABELS:
   disk | p_8192 | sp_<bytes> (eager) | pl_<bytes> (pipelined)
@@ -262,6 +276,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 None => ReplacementKind::Lru,
             };
             let pal = args.take_flag("--pal");
+            let fault_plan = args.take_value("--fault-plan");
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             args.finish()?;
@@ -272,6 +287,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 net,
                 replacement,
                 pal,
+                fault_plan.as_deref(),
                 trace_out.as_deref(),
                 summary_json.as_deref(),
             )
@@ -296,9 +312,10 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 }
                 None => default_jobs(),
             };
+            let fault_plan = args.take_value("--fault-plan");
             let trace_dir = args.take_value("--trace-dir").map(PathBuf::from);
             args.finish()?;
-            Ok(sweep_command(&app.scaled(scale), jobs, trace_dir))
+            sweep_command(&app.scaled(scale), jobs, fault_plan.as_deref(), trace_dir)
         }
         "cluster" => {
             let nodes: u32 = args
@@ -344,6 +361,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 Some(r) => parse_replacement(&r)?,
                 None => ReplacementKind::Lru,
             };
+            let fault_plan = args.take_value("--fault-plan");
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             args.finish()?;
@@ -355,6 +373,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 memory,
                 net,
                 replacement,
+                fault_plan.as_deref(),
                 trace_out.as_deref(),
                 summary_json.as_deref(),
             )
@@ -407,6 +426,33 @@ fn write_file(path: &Path, content: &str) -> Result<(), CliError> {
     std::fs::write(path, content).map_err(|e| err(format!("cannot write {}: {e}", path.display())))
 }
 
+/// Parses a `--fault-plan` spec. Percentage times are taken relative to
+/// the app's pure-execution time (references × ns/ref), a deterministic
+/// horizon that needs no pilot run.
+fn parse_fault_plan(
+    spec: &str,
+    config: &SimConfig,
+    app: &AppProfile,
+) -> Result<FaultPlan, CliError> {
+    let horizon = config.exec_time(app.target_refs());
+    FaultPlan::parse(spec, Some(horizon)).map_err(|e| err(format!("bad --fault-plan: {e}")))
+}
+
+/// The human-readable reliability line, printed only for fault-injected
+/// runs (a clean run has nothing to report).
+fn reliability_line(
+    timeouts: u64,
+    retries: u64,
+    failovers: u64,
+    fell_back_to_disk: u64,
+    pages_lost: u64,
+) -> String {
+    format!(
+        "reliability: {timeouts} timeouts, {retries} retries, {failovers} failovers, \
+         {fell_back_to_disk} disk fallbacks, {pages_lost} pages lost to crashes\n"
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_command(
     app: &AppProfile,
@@ -415,6 +461,7 @@ fn run_command(
     net: NetParams,
     replacement: ReplacementKind,
     pal: bool,
+    fault_plan: Option<&str>,
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
 ) -> Result<String, CliError> {
@@ -423,15 +470,18 @@ fn run_command(
     } else {
         AccessCost::TlbSupported
     };
-    let sim = Simulator::new(
-        SimConfig::builder()
-            .policy(policy)
-            .memory(memory)
-            .net(net)
-            .replacement(replacement)
-            .access_cost(access_cost)
-            .build(),
-    );
+    let mut config = SimConfig::builder()
+        .policy(policy)
+        .memory(memory)
+        .net(net)
+        .replacement(replacement)
+        .access_cost(access_cost)
+        .build();
+    let injecting = fault_plan.is_some();
+    if let Some(spec) = fault_plan {
+        config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
+    }
+    let sim = Simulator::new(config);
     // Record only when someone asked for the trace; a summary alone is
     // computed from the report's fault log.
     let (report, extra) = if let Some(path) = trace_out {
@@ -475,6 +525,15 @@ fn run_command(
         report.emulation_time.as_millis_f64(),
         report.putpage_overhead.as_millis_f64()
     );
+    if injecting {
+        out.push_str(&reliability_line(
+            report.timeouts,
+            report.retries,
+            report.failovers,
+            report.fell_back_to_disk,
+            report.gms.pages_lost_to_crash,
+        ));
+    }
     let hist = report.wait_histogram();
     if !hist.is_empty() {
         let (p50, p90, p99, max) = hist.quartet();
@@ -497,8 +556,17 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-fn sweep_command(app: &AppProfile, jobs: usize, trace_dir: Option<PathBuf>) -> String {
+fn sweep_command(
+    app: &AppProfile,
+    jobs: usize,
+    fault_plan: Option<&str>,
+    trace_dir: Option<PathBuf>,
+) -> Result<String, CliError> {
     let mut sweep = Sweep::new(app.clone());
+    if let Some(spec) = fault_plan {
+        let plan = parse_fault_plan(spec, &SimConfig::builder().build(), app)?;
+        sweep = sweep.configure(move |b| b.fault_plan(plan.clone()));
+    }
     if let Some(dir) = &trace_dir {
         sweep = sweep.trace_dir(dir.clone());
     }
@@ -535,7 +603,7 @@ fn sweep_command(app: &AppProfile, jobs: usize, trace_dir: Option<PathBuf>) -> S
             dir.display()
         );
     }
-    out
+    Ok(out)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -547,16 +615,21 @@ fn cluster_command(
     memory: MemoryConfig,
     net: NetParams,
     replacement: ReplacementKind,
+    fault_plan: Option<&str>,
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
 ) -> Result<String, CliError> {
-    let config = SimConfig::builder()
+    let mut config = SimConfig::builder()
         .policy(policy)
         .memory(memory)
         .net(net)
         .replacement(replacement)
         .cluster_nodes(nodes)
         .build();
+    let injecting = fault_plan.is_some();
+    if let Some(spec) = fault_plan {
+        config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
+    }
     let apps = vec![app.clone(); active as usize];
     let sim = ClusterSim::new(config);
     let (report, trace_line) = if let Some(path) = trace_out {
@@ -581,6 +654,18 @@ fn cluster_command(
         report.net.min_node_utilization * 100.0,
         report.net.max_node_utilization * 100.0
     );
+    if injecting {
+        out.push_str(&reliability_line(
+            report.nodes.iter().map(|n| n.timeouts).sum(),
+            report.nodes.iter().map(|n| n.retries).sum(),
+            report.nodes.iter().map(|n| n.failovers).sum(),
+            report.nodes.iter().map(|n| n.fell_back_to_disk).sum(),
+            report
+                .nodes
+                .first()
+                .map_or(0, |n| n.gms.pages_lost_to_crash),
+        ));
+    }
     out.push_str(&trace_line);
     if let Some(path) = summary_json {
         write_file(path, &cluster_summary_json(&report))?;
@@ -588,6 +673,23 @@ fn cluster_command(
     }
     Ok(out)
 }
+
+/// Every instant-event kind the simulator emits. `check-trace` rejects
+/// anything else, so a renamed or misspelled event breaks loudly here
+/// rather than silently vanishing from downstream tooling.
+pub const INSTANT_KINDS: [&str; 11] = [
+    "fault",
+    "getpage",
+    "restart",
+    "arrival",
+    "putpage",
+    "timeout",
+    "retry",
+    "failover",
+    "node-down",
+    "node-up",
+    "degraded-fetch",
+];
 
 /// Validates exported trace/summary files by re-parsing them, the same
 /// check CI's smoke step runs.
@@ -616,6 +718,15 @@ fn check_trace_command(trace: Option<&Path>, summary: Option<&Path>) -> Result<S
             }
             if e.get("pid").and_then(JsonValue::as_u64).is_none() {
                 return Err(err(format!("{}: event {i} has no pid", path.display())));
+            }
+            if ph == Some("i") {
+                let name = e.get("name").and_then(JsonValue::as_str);
+                if !name.is_some_and(|n| INSTANT_KINDS.contains(&n)) {
+                    return Err(err(format!(
+                        "{}: event {i} has unknown instant kind {name:?}",
+                        path.display()
+                    )));
+                }
             }
         }
         let spans = events
@@ -796,6 +907,78 @@ mod tests {
         // --app is optional: the default workload is gdb.
         let out = execute(&argv("cluster --nodes 4 --active 2 --scale 0.05")).unwrap();
         assert!(out.contains("2 active node(s)"), "{out}");
+    }
+
+    #[test]
+    fn fault_plan_flag_injects_and_reports_reliability() {
+        let out = execute(&argv(
+            "run --app gdb --policy sp_1024 --scale 0.2 --fault-plan loss=0.01,seed=7",
+        ))
+        .unwrap();
+        assert!(out.contains("reliability:"), "{out}");
+        assert!(!out.contains(" 0 retries"), "1% loss must retry: {out}");
+        // Without the flag the line is absent.
+        let clean = execute(&argv("run --app gdb --policy sp_1024 --scale 0.2")).unwrap();
+        assert!(!clean.contains("reliability:"), "{clean}");
+    }
+
+    #[test]
+    fn fault_plan_flag_rejects_bad_specs() {
+        assert!(execute(&argv(
+            "run --app gdb --policy sp_1024 --fault-plan loss=banana"
+        ))
+        .is_err());
+        assert!(execute(&argv(
+            "cluster --nodes 4 --active 2 --fault-plan frobnicate=1"
+        ))
+        .is_err());
+        assert!(execute(&argv("sweep --app gdb --fault-plan crash=n1")).is_err());
+    }
+
+    #[test]
+    fn cluster_fault_plan_accepts_percentage_times() {
+        // The ISSUE's chaos smoke invocation: percentage times resolve
+        // against the app's pure-execution horizon.
+        let out = execute(&argv(
+            "cluster --nodes 4 --active 2 --scale 0.1 \
+             --fault-plan loss=0.01,crash=n3@25%,seed=1",
+        ))
+        .unwrap();
+        assert!(out.contains("2 active node(s)"), "{out}");
+        assert!(out.contains("reliability:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_fault_plan_applies_to_every_cell() {
+        let lossy = execute(&argv(
+            "sweep --app gdb --scale 0.1 --fault-plan loss=0.02,seed=5",
+        ))
+        .unwrap();
+        let clean = execute(&argv("sweep --app gdb --scale 0.1")).unwrap();
+        assert_ne!(lossy, clean, "injected loss must change the grid");
+    }
+
+    #[test]
+    fn check_trace_rejects_unknown_instant_kinds() {
+        let bad = temp_path("unknown-kind.trace.json");
+        std::fs::write(
+            &bad,
+            r#"{"traceEvents":[{"ph":"i","s":"t","name":"frobnicate","pid":0,"tid":5,"ts":1.000}]}"#,
+        )
+        .unwrap();
+        let result = execute(&argv(&format!("check-trace --trace {}", bad.display())));
+        let msg = result
+            .expect_err("unknown kind must be rejected")
+            .to_string();
+        assert!(msg.contains("unknown instant kind"), "{msg}");
+        // Known kinds from the allowlist pass.
+        std::fs::write(
+            &bad,
+            r#"{"traceEvents":[{"ph":"i","s":"t","name":"degraded-fetch","pid":0,"tid":5,"ts":1.000}]}"#,
+        )
+        .unwrap();
+        assert!(execute(&argv(&format!("check-trace --trace {}", bad.display()))).is_ok());
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

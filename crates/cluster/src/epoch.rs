@@ -90,12 +90,12 @@ impl EpochManager {
             // nodes that still donate frames.
             self.weights = nodes
                 .iter()
-                .map(|n| if n.is_retired() { 0.0 } else { 1.0 })
+                .map(|n| if n.is_available() { 1.0 } else { 0.0 })
                 .collect();
         }
-        // Retired nodes never receive evictions.
+        // Retired and crashed nodes never receive evictions.
         for (w, n) in self.weights.iter_mut().zip(nodes) {
-            if n.is_retired() {
+            if !n.is_available() {
                 *w = 0.0;
             }
         }
@@ -112,7 +112,9 @@ impl EpochManager {
     /// Panics if the cluster has no node other than `requester`.
     pub fn pick_target(&mut self, nodes: &[Node], requester: NodeId) -> NodeId {
         assert!(
-            nodes.iter().any(|n| n.id() != requester && !n.is_retired()),
+            nodes
+                .iter()
+                .any(|n| n.id() != requester && n.is_available()),
             "no eviction target other than the requester"
         );
         if self.weights.len() != nodes.len() || self.ops_in_epoch >= self.epoch_len {
@@ -131,7 +133,7 @@ impl EpochManager {
             .sum();
         let mut best: Option<usize> = None;
         for (i, node) in nodes.iter().enumerate() {
-            if node.id() == requester || node.is_retired() {
+            if node.id() == requester || !node.is_available() {
                 continue;
             }
             self.credit[i] += self.weights[i];

@@ -40,6 +40,14 @@ pub struct GmsStats {
     pub misses: u64,
     /// Pages pushed out of the network entirely (global caches full).
     pub displaced_to_disk: u64,
+    /// getpages resolved by reading from disk instead of global memory:
+    /// `PageNotFound` replies plus custodian failovers. The first-class
+    /// degraded path — every one of these is a disk fault the network
+    /// could not avoid.
+    pub fell_back_to_disk: u64,
+    /// Global pages lost when their custodian crashed (their directory
+    /// entries were dropped; later fetches will miss to disk).
+    pub pages_lost_to_crash: u64,
 }
 
 impl GmsStats {
@@ -179,36 +187,123 @@ impl Gms {
     /// Handles a remote page fault from `requester`: looks the page up in
     /// the directory and, on a hit, consumes the global copy.
     pub fn getpage(&mut self, requester: NodeId, page: PageId) -> GetPageOutcome {
+        match self.locate(page) {
+            Some(server) => {
+                self.commit_getpage(requester, page, server);
+                GetPageOutcome::RemoteHit { server }
+            }
+            None => {
+                self.record_getpage_miss(requester, page);
+                GetPageOutcome::Miss
+            }
+        }
+    }
+
+    /// Looks `page` up in the directory without consuming anything — the
+    /// non-destructive half of [`Gms::getpage`], for callers that must
+    /// first attempt network delivery (which can fail under fault
+    /// injection) before committing the transfer.
+    #[must_use]
+    pub fn locate(&self, page: PageId) -> Option<NodeId> {
+        self.directory.lookup(page)
+    }
+
+    /// Commits a located getpage: consumes the global copy at `server`
+    /// and records the hit. The custodian retains the page until this
+    /// point, so a failed delivery attempt leaves global state untouched
+    /// and the requester can simply retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory does not map `page` to `server`.
+    pub fn commit_getpage(&mut self, requester: NodeId, page: PageId, server: NodeId) {
+        assert_eq!(
+            self.directory.lookup(page),
+            Some(server),
+            "commit for a page the directory does not place at {server}"
+        );
+        self.nodes[server.as_usize()]
+            .take(page)
+            .expect("directory says the page is here");
+        self.directory.clear(page);
+        self.stats.remote_hits += 1;
         let request = Request::GetPage {
             from: requester,
             page,
         };
-        let reply;
-        let outcome = match self.directory.lookup(page) {
-            Some(server) => {
-                let entry = self.nodes[server.as_usize()]
-                    .take(page)
-                    .expect("directory says the page is here");
-                let _ = entry;
-                self.directory.clear(page);
-                self.stats.remote_hits += 1;
-                reply = Reply::PageFound { server };
-                GetPageOutcome::RemoteHit { server }
-            }
-            None => {
-                self.stats.misses += 1;
-                reply = Reply::PageNotFound;
-                GetPageOutcome::Miss
-            }
+        self.stats
+            .traffic
+            .record(&request, &Reply::PageFound { server });
+    }
+
+    /// Records a getpage that found no global copy (`PageNotFound`) and
+    /// fell back to disk — the miss half of [`Gms::getpage`].
+    pub fn record_getpage_miss(&mut self, requester: NodeId, page: PageId) {
+        self.stats.misses += 1;
+        self.stats.fell_back_to_disk += 1;
+        let request = Request::GetPage {
+            from: requester,
+            page,
         };
-        self.stats.traffic.record(&request, &reply);
-        outcome
+        self.stats.traffic.record(&request, &Reply::PageNotFound);
+    }
+
+    /// Records a getpage that located a custodian but never got the data
+    /// (retries exhausted against a dead or lossy link) and fell back to
+    /// disk. The directory entry for `page`, if any survives, is dropped:
+    /// the copy is unreachable and a stale entry would send the next
+    /// fault into the same black hole.
+    pub fn record_failover(&mut self, requester: NodeId, page: PageId) {
+        if let Some(server) = self.directory.clear(page) {
+            self.nodes[server.as_usize()].take(page);
+        }
+        self.stats.fell_back_to_disk += 1;
+        let request = Request::GetPage {
+            from: requester,
+            page,
+        };
+        self.stats.traffic.record(&request, &Reply::PageNotFound);
     }
 
     /// Handles an eviction from `from`: picks a target via the epoch
     /// weights and stores the page there. If the target was full, the
     /// displaced (globally oldest) page leaves the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no live custodian exists (every idle node crashed or
+    /// retired) — use [`Gms::try_putpage`] when that can happen.
     pub fn putpage(&mut self, from: NodeId, page: PageId, dirty: bool) -> PutPageOutcome {
+        self.try_putpage(from, page, dirty)
+            .expect("no live custodian to store the page")
+    }
+
+    /// Like [`Gms::putpage`], but returns `None` when no live custodian
+    /// exists: the page leaves the network (it would be written to disk)
+    /// and is counted as displaced.
+    pub fn try_putpage(
+        &mut self,
+        from: NodeId,
+        page: PageId,
+        dirty: bool,
+    ) -> Option<PutPageOutcome> {
+        if !self
+            .nodes
+            .iter()
+            .any(|n| n.id() != from && n.is_available())
+        {
+            let request = Request::PutPage { from, page, dirty };
+            if let Some(stale) = self.directory.clear(page) {
+                self.nodes[stale.as_usize()].take(page);
+            }
+            self.stats.displaced_to_disk += 1;
+            self.stats.traffic.record(&request, &Reply::Ack);
+            return None;
+        }
+        Some(self.putpage_inner(from, page, dirty))
+    }
+
+    fn putpage_inner(&mut self, from: NodeId, page: PageId, dirty: bool) -> PutPageOutcome {
         let request = Request::PutPage { from, page, dirty };
         // A stale global copy (e.g. the owner re-pushed a page it never
         // fetched back) is superseded by this newer one.
@@ -296,6 +391,46 @@ impl Gms {
             self.directory.record(page, target);
         }
         displaced
+    }
+
+    /// Crashes an idle node: every page it cached is *lost* (unlike
+    /// [`Gms::retire_node`], which redistributes), the corresponding
+    /// directory entries are dropped — later fetches of those pages miss
+    /// to disk — and the node receives no evictions until
+    /// [`Gms::recover_node`]. Returns how many pages were lost.
+    /// Crashing an already-down node is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is an active node.
+    pub fn crash_node(&mut self, node: NodeId) -> u64 {
+        assert!(node.index() >= self.n_active, "cannot crash an active node");
+        if self.nodes[node.as_usize()].is_down() {
+            return 0;
+        }
+        let pages = self.nodes[node.as_usize()].crash();
+        let lost = pages.len() as u64;
+        for (page, _) in pages {
+            self.directory.clear(page);
+        }
+        self.stats.pages_lost_to_crash += lost;
+        lost
+    }
+
+    /// Brings a crashed node back, with all its frames free. It attracts
+    /// evictions again from the next epoch on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not down.
+    pub fn recover_node(&mut self, node: NodeId) {
+        self.nodes[node.as_usize()].recover();
+    }
+
+    /// Whether `node` is currently crashed.
+    #[must_use]
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.nodes[node.as_usize()].is_down()
     }
 
     /// The cluster's nodes.
@@ -540,5 +675,131 @@ mod tests {
     fn overfull_warm_cache_panics() {
         let mut gms = Gms::new(2, 2);
         gms.warm_cache((0..5).map(PageId::new));
+    }
+
+    #[test]
+    fn locate_commit_matches_getpage() {
+        let mut a = warm_gms(4, 100, 30);
+        let mut b = a.clone();
+        let active = NodeId::new(0);
+        for i in 0..30 {
+            let got = a.getpage(active, PageId::new(i));
+            let server = b.locate(PageId::new(i));
+            match (got, server) {
+                (GetPageOutcome::RemoteHit { server: s }, Some(located)) => {
+                    assert_eq!(s, located);
+                    b.commit_getpage(active, PageId::new(i), located);
+                }
+                (GetPageOutcome::Miss, None) => b.record_getpage_miss(active, PageId::new(i)),
+                (got, located) => panic!("diverged: {got:?} vs {located:?}"),
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(b.is_consistent());
+    }
+
+    #[test]
+    fn fell_back_to_disk_pins_not_found_count() {
+        let mut gms = warm_gms(3, 100, 10);
+        let active = NodeId::new(0);
+        // 10 warm hits: no fallback.
+        for i in 0..10 {
+            assert!(matches!(
+                gms.getpage(active, PageId::new(i)),
+                GetPageOutcome::RemoteHit { .. }
+            ));
+        }
+        assert_eq!(gms.stats().fell_back_to_disk, 0);
+        // 5 fetches of pages with no global copy: PageNotFound each time.
+        for i in 100..105 {
+            assert_eq!(gms.getpage(active, PageId::new(i)), GetPageOutcome::Miss);
+        }
+        assert_eq!(gms.stats().fell_back_to_disk, 5);
+        assert_eq!(gms.stats().misses, 5);
+        assert_eq!(gms.stats().traffic.not_found, 5);
+    }
+
+    #[test]
+    fn failover_drops_the_unreachable_entry() {
+        let mut gms = warm_gms(3, 100, 4);
+        let active = NodeId::new(0);
+        let page = PageId::new(2);
+        let server = gms.locate(page).expect("warm");
+        gms.record_failover(active, page);
+        assert_eq!(gms.locate(page), None);
+        assert!(!gms.nodes()[server.as_usize()].contains(page));
+        assert_eq!(gms.stats().fell_back_to_disk, 1);
+        assert_eq!(gms.stats().misses, 0, "a failover is not a directory miss");
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn crash_loses_pages_and_drops_directory_entries() {
+        let mut gms = warm_gms(4, 100, 90);
+        let crashed = NodeId::new(2);
+        let held = gms.nodes()[2].len() as u64;
+        assert!(held > 0);
+        let lost = gms.crash_node(crashed);
+        assert_eq!(lost, held);
+        assert_eq!(gms.stats().pages_lost_to_crash, held);
+        assert!(gms.node_is_down(crashed));
+        assert!(gms.nodes()[2].is_empty());
+        assert!(gms.is_consistent());
+        // Crashing again is a no-op.
+        assert_eq!(gms.crash_node(crashed), 0);
+        // Lost pages miss; pages on surviving nodes still hit.
+        let mut hits = 0;
+        let mut misses = 0;
+        for i in 0..90 {
+            match gms.getpage(NodeId::new(0), PageId::new(i)) {
+                GetPageOutcome::RemoteHit { server } => {
+                    assert_ne!(server, crashed);
+                    hits += 1;
+                }
+                GetPageOutcome::Miss => misses += 1,
+            }
+        }
+        assert_eq!(misses, held);
+        assert_eq!(hits, 90 - held);
+        // A down node never receives putpages.
+        for i in 0..40u64 {
+            let put = gms.putpage(NodeId::new(0), PageId::new(i), false);
+            assert_ne!(put.stored_at, crashed, "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn recovered_node_rejoins_empty_and_attracts_evictions() {
+        let mut gms = warm_gms(3, 4, 8); // two idle nodes, both full
+        gms.crash_node(NodeId::new(1));
+        gms.recover_node(NodeId::new(1));
+        assert!(!gms.node_is_down(NodeId::new(1)));
+        assert!(gms.nodes()[1].is_empty());
+        // Node 2 is still full, node 1 is empty: putpages flow to 1.
+        for i in 0..3u64 {
+            let put = gms.putpage(NodeId::new(0), PageId::new(1000 + i), false);
+            assert_eq!(put.stored_at, NodeId::new(1), "iteration {i}");
+        }
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    fn putpage_with_every_custodian_down_drops_to_disk() {
+        let mut gms = warm_gms(3, 4, 4);
+        gms.crash_node(NodeId::new(1));
+        gms.crash_node(NodeId::new(2));
+        let before = gms.stats().displaced_to_disk;
+        assert!(gms
+            .try_putpage(NodeId::new(0), PageId::new(50), true)
+            .is_none());
+        assert_eq!(gms.stats().displaced_to_disk, before + 1);
+        assert!(gms.is_consistent());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot crash an active node")]
+    fn crashing_active_node_panics() {
+        let mut gms = warm_gms(3, 10, 4);
+        gms.crash_node(NodeId::new(0));
     }
 }

@@ -41,6 +41,7 @@ pub struct GlobalEntry {
 pub struct Node {
     id: NodeId,
     capacity: u64,
+    down: bool,
     pages: HashMap<PageId, GlobalEntry>,
 }
 
@@ -51,6 +52,7 @@ impl Node {
         Node {
             id,
             capacity,
+            down: false,
             pages: HashMap::new(),
         }
     }
@@ -71,6 +73,39 @@ impl Node {
     #[must_use]
     pub fn is_retired(&self) -> bool {
         self.capacity == 0
+    }
+
+    /// Whether the node is crashed (its cache is lost and it receives
+    /// nothing until recovery).
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Whether the node can store and serve pages right now.
+    #[must_use]
+    pub fn is_available(&self) -> bool {
+        !self.is_retired() && !self.down
+    }
+
+    /// Crashes the node: every cached page is lost (returned so the
+    /// caller can repair the directory) and the node stops receiving
+    /// evictions until [`Node::recover`].
+    pub fn crash(&mut self) -> Vec<(PageId, GlobalEntry)> {
+        self.down = true;
+        self.pages.drain().collect()
+    }
+
+    /// Brings a crashed node back, empty: it re-joins placement with
+    /// all frames free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not down.
+    pub fn recover(&mut self) {
+        assert!(self.down, "{} is not down", self.id);
+        debug_assert!(self.pages.is_empty(), "crash drained the cache");
+        self.down = false;
     }
 
     /// Withdraws the node's frames. The cache must already be empty

@@ -100,6 +100,46 @@ proptest! {
         }
     }
 
+    /// Node departure by crash: after removing an arbitrary idle node,
+    /// every surviving directory entry names a live custodian, the loss
+    /// is accounted, and re-inserting the lost pages round-trips
+    /// through live custodians (whether or not the node recovered).
+    #[test]
+    fn crash_leaves_directory_live_and_reinsertion_round_trips(
+        pages in 1u64..60,
+        victim in 1u32..5,
+        recover in prop::bool::ANY,
+    ) {
+        let mut gms = Gms::new(5, 64);
+        gms.warm_cache((0..pages).map(PageId::new));
+        let victim = NodeId::new(victim);
+        let lost = gms.crash_node(victim);
+        prop_assert!(gms.is_consistent());
+        for (page, custodian) in gms.directory().iter() {
+            prop_assert!(custodian != victim, "{page} still maps to the crashed node");
+            prop_assert!(!gms.node_is_down(custodian), "{page} maps to a down node");
+        }
+        prop_assert_eq!(gms.stats().pages_lost_to_crash, lost);
+        if recover {
+            gms.recover_node(victim);
+            prop_assert!(!gms.node_is_down(victim));
+        }
+        // Re-insertion round-trips: putpage lands every lost page on a
+        // live custodian and the directory finds it again.
+        let active = NodeId::new(0);
+        for p in 0..pages {
+            let page = PageId::new(p);
+            if gms.locate(page).is_none() {
+                let out = gms
+                    .try_putpage(active, page, false)
+                    .expect("live custodians remain");
+                prop_assert!(!gms.node_is_down(out.stored_at));
+                prop_assert_eq!(gms.locate(page), Some(out.stored_at));
+            }
+        }
+        prop_assert!(gms.is_consistent());
+    }
+
     /// The retire bookkeeping: displaced counts match the stats delta.
     #[test]
     fn retire_displacement_accounting(pages in 1u64..40, frames in 1u64..30) {

@@ -25,7 +25,7 @@
 
 use gms_cluster::Gms;
 use gms_mem::PageId;
-use gms_net::{ClusterNetwork, NetResource};
+use gms_net::{ClusterNetwork, FaultInjector, NetResource};
 use gms_obs::{NoopRecorder, Recorder};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
@@ -102,12 +102,16 @@ pub(crate) fn run_lockstep<R: Recorder>(
         }
         Some(gms)
     };
-    let mut ctx = ClusterCtx::new(
-        ClusterNetwork::new(cfg.net, cfg.cluster_nodes),
-        gms,
-        active,
-        rec,
-    );
+    let mut net = ClusterNetwork::new(cfg.net, cfg.cluster_nodes);
+    if let Some(plan) = &cfg.fault_plan {
+        // An empty plan is never installed: no injector means no RNG is
+        // ever constructed or drawn, keeping `Some(empty)` byte-identical
+        // to `None`.
+        if !plan.is_empty() {
+            net.install_faults(FaultInjector::new(plan.clone()));
+        }
+    }
+    let mut ctx = ClusterCtx::new(net, gms, active, rec);
 
     let mut drivers: Vec<NodeDriver<'_>> = inputs
         .iter()

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use gms_mem::PageSize;
-use gms_net::NetParams;
+use gms_net::{FaultPlan, NetParams};
 use gms_units::Duration;
 
 use crate::FetchPolicy;
@@ -137,6 +137,10 @@ pub struct SimConfig {
     pub access_cost: AccessCost,
     /// Local page-replacement policy.
     pub replacement: ReplacementKind,
+    /// Deterministic fault-injection plan. `None` (the default) and
+    /// `Some(empty)` both leave the run byte-identical to a fault-free
+    /// one: an empty plan is never installed, so no RNG is ever drawn.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -169,6 +173,7 @@ impl Default for SimConfig {
             cluster_nodes: 4,
             access_cost: AccessCost::default(),
             replacement: ReplacementKind::default(),
+            fault_plan: None,
         }
     }
 }
@@ -243,6 +248,14 @@ impl SimConfigBuilder {
     #[must_use]
     pub fn replacement(mut self, replacement: ReplacementKind) -> Self {
         self.config.replacement = replacement;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan (message loss,
+    /// link degradation windows, node crash/recovery).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = Some(plan);
         self
     }
 

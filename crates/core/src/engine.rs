@@ -23,12 +23,15 @@
 
 use std::collections::HashMap;
 
-use gms_cluster::{GetPageOutcome, Gms};
+use gms_cluster::Gms;
 use gms_mem::{
     FramePool, Geometry, PageId, PageState, PageTable, PalEmulator, ReplacementPolicy,
     SubpageIndex, Tlb,
 };
-use gms_net::{BusyTimes, ClusterNetwork, DiskModel, LinkModel, NetResource, TransferPlan};
+use gms_net::{
+    BusyTimes, ClusterNetwork, DiskModel, FaultAttempt, FaultTimeline, LinkModel, NetResource,
+    NodeEvent, TransferPlan,
+};
 use gms_obs::{Event, FaultClass, NoopRecorder, Recorder, ResourceKind};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
@@ -45,6 +48,23 @@ use crate::{AccessCost, FetchPolicy, RunReport, SimConfig};
 /// Traces address at most a few dozen bits of page id, so slices never
 /// collide.
 pub(crate) const PAGE_NAMESPACE_SHIFT: u32 = 40;
+
+/// Remote-transfer attempts before giving up on the custodian: the
+/// initial request plus three retries.
+const MAX_FETCH_ATTEMPTS: u32 = 4;
+
+/// Putpage send attempts before the model assumes delivery. Putpage is
+/// positive-ACK with retransmit; this backstop bounds the retry loop so
+/// every run terminates even under adversarial loss rates (at 5% loss
+/// the backstop fires with probability 0.05⁸ ≈ 4e-11).
+const MAX_PUTPAGE_ATTEMPTS: u32 = 8;
+
+/// Backoff before retry `attempt + 1`: a quarter-timeout unit doubled
+/// per attempt, capped at two full timeouts.
+fn backoff_delay(timeout: Duration, attempt: u32) -> Duration {
+    let factor = 1u64 << attempt.min(3);
+    timeout / 4 * factor
+}
 
 /// Runs traces under one [`SimConfig`].
 ///
@@ -175,16 +195,27 @@ pub(crate) struct ClusterCtx<'r, R: Recorder> {
     /// How many of the network's logged occupancies have already been
     /// forwarded to the recorder.
     occ_seen: usize,
+    /// Node crash/recovery schedule from the installed fault plan,
+    /// sorted by time. Empty without a plan.
+    crashes: Vec<NodeEvent>,
+    /// How many of `crashes` have been applied to the GMS.
+    crash_cursor: usize,
 }
 
 impl<'r, R: Recorder> ClusterCtx<'r, R> {
     pub fn new(net: ClusterNetwork, gms: Option<Gms>, n_active: u32, rec: &'r mut R) -> Self {
+        let crashes = net
+            .fault_plan()
+            .map(|p| p.crashes.clone())
+            .unwrap_or_default();
         let mut ctx = ClusterCtx {
             net,
             gms,
             n_active,
             rec,
             occ_seen: 0,
+            crashes,
+            crash_cursor: 0,
         };
         if R::ENABLED {
             // Occupancy logging is off by default (it allocates); turn it
@@ -214,6 +245,47 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
             });
         }
         self.occ_seen = net.occupancies().len();
+    }
+
+    /// Applies every scheduled node crash/recovery at or before `now` to
+    /// the global memory service: a crash loses the node's cached pages
+    /// and drops their directory entries (later fetches of those pages
+    /// miss to disk); a recovery returns the node empty. Events naming
+    /// active nodes are ignored — active nodes host the applications
+    /// being measured and cannot crash in this model. Called at every
+    /// GMS interaction point so directory repair is visible before the
+    /// next lookup or placement.
+    pub fn apply_fault_schedule(&mut self, now: SimTime) {
+        while self.crash_cursor < self.crashes.len() && self.crashes[self.crash_cursor].at <= now {
+            let ev = self.crashes[self.crash_cursor];
+            self.crash_cursor += 1;
+            if ev.node.index() < self.n_active {
+                continue;
+            }
+            let Some(gms) = self.gms.as_mut() else {
+                continue;
+            };
+            if ev.up {
+                if gms.node_is_down(ev.node) {
+                    gms.recover_node(ev.node);
+                    if R::ENABLED {
+                        self.rec.record(Event::NodeUp {
+                            node: ev.node,
+                            at: ev.at,
+                        });
+                    }
+                }
+            } else if !gms.node_is_down(ev.node) {
+                let pages_lost = gms.crash_node(ev.node);
+                if R::ENABLED {
+                    self.rec.record(Event::NodeDown {
+                        node: ev.node,
+                        at: ev.at,
+                        pages_lost,
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -272,6 +344,14 @@ pub(crate) struct NodeDriver<'a> {
     evictions: u64,
     dirty_evictions: u64,
     wasted_transfers: u64,
+
+    timeouts: u64,
+    retries: u64,
+    failovers: u64,
+    fell_back_to_disk: u64,
+    /// Subpages whose carrier message was lost in flight, per resident
+    /// page: the hole is discovered and re-fetched at touch time.
+    lost_subs: HashMap<PageId, Vec<SubpageIndex>>,
 }
 
 impl<'a> NodeDriver<'a> {
@@ -312,6 +392,11 @@ impl<'a> NodeDriver<'a> {
             evictions: 0,
             dirty_evictions: 0,
             wasted_transfers: 0,
+            timeouts: 0,
+            retries: 0,
+            failovers: 0,
+            fell_back_to_disk: 0,
+            lost_subs: HashMap::new(),
         }
     }
 
@@ -608,11 +693,20 @@ impl<'a> NodeDriver<'a> {
                 );
             }
             None => {
-                assert!(
-                    self.policy.is_lazy(),
-                    "non-lazy incomplete page {page} has no arrival carrying {sub}"
-                );
-                self.lazy_subpage_fault(page, sub, ctx);
+                let lost = self.events.lost_pending(page, sub)
+                    || self.lost_subs.get(&page).is_some_and(|v| v.contains(&sub));
+                if lost {
+                    // The carrier message was dropped in flight: re-fetch
+                    // the subpage from the custodian, lazily, at the point
+                    // the program actually needs it.
+                    self.subpage_refill(page, sub, FaultKind::Degraded, ctx);
+                } else {
+                    assert!(
+                        self.policy.is_lazy(),
+                        "non-lazy incomplete page {page} has no arrival carrying {sub}"
+                    );
+                    self.subpage_refill(page, sub, FaultKind::LazySubpage, ctx);
+                }
             }
         }
     }
@@ -633,6 +727,23 @@ impl<'a> NodeDriver<'a> {
             return;
         }
         for arrival in &due {
+            if arrival.lost {
+                // The message never landed: remember the holes so a later
+                // touch re-fetches them instead of waiting forever. Holes
+                // already refilled (or carried by an earlier message) are
+                // not holes.
+                let state = self.table.get(page).expect("resident");
+                let holes: Vec<SubpageIndex> = arrival
+                    .subpages
+                    .iter()
+                    .copied()
+                    .filter(|&s| !state.mask.contains(s))
+                    .collect();
+                if !holes.is_empty() {
+                    self.lost_subs.entry(page).or_default().extend(holes);
+                }
+                continue;
+            }
             for &s in &arrival.subpages {
                 self.table.mark_valid(page, s);
             }
@@ -675,6 +786,52 @@ impl<'a> NodeDriver<'a> {
         self.faults.record(fault_kind);
     }
 
+    /// Services a whole-page fault from the local disk and installs the
+    /// page complete. `prior_wait` is stall time already spent on failed
+    /// remote attempts for the same fault (it joins the fault record);
+    /// `emit_fault` is false when a `Fault` event was already emitted for
+    /// the remote attempt this disk access is the fallback of.
+    fn disk_fault<R: Recorder>(
+        &mut self,
+        page: PageId,
+        sub: SubpageIndex,
+        prior_wait: Duration,
+        emit_fault: bool,
+        ctx: &mut ClusterCtx<'_, R>,
+    ) -> FaultKind {
+        // Disk service: position + full page transfer, synchronous.
+        let latency = self.disk.transfer_time(self.geom.page_size().bytes());
+        self.fault_log.push(FaultRecord {
+            at_ref: self.refs_done,
+            page,
+            subpage: sub,
+            kind: FaultKind::Disk,
+            wait: prior_wait + latency,
+        });
+        if R::ENABLED && emit_fault {
+            ctx.rec.record(Event::Fault {
+                node: self.node,
+                page: page.get(),
+                subpage: sub.get(),
+                class: FaultClass::Disk,
+                at_ref: self.refs_done,
+                at: self.clock,
+            });
+        }
+        self.advance(latency, Bucket::SpLatency, Some(page));
+        if R::ENABLED {
+            ctx.rec.record(Event::Restart {
+                node: self.node,
+                page: page.get(),
+                at: self.clock,
+                wait: prior_wait + latency,
+            });
+        }
+        self.table
+            .insert(page, PageState::complete(self.geom.subpages_per_page()));
+        FaultKind::Disk
+    }
+
     /// Performs the transfer for a whole-page fault and installs the page
     /// (fully or partially). Returns what serviced it.
     fn fetch_page<R: Recorder>(
@@ -687,51 +844,25 @@ impl<'a> NodeDriver<'a> {
         let n_sub = self.geom.subpages_per_page();
 
         // Where is the page? (Disk policy never asks the cluster.)
-        let server = if self.policy.is_disk() {
+        let gpage = self.global_page(page);
+        let located = if self.policy.is_disk() {
             None
         } else {
-            match ctx
+            ctx.apply_fault_schedule(self.clock);
+            let gms = ctx
                 .gms
                 .as_mut()
-                .expect("remote policies run with a cluster")
-                .getpage(self.node, self.global_page(page))
-            {
-                GetPageOutcome::RemoteHit { server } => Some(server),
-                GetPageOutcome::Miss => None,
+                .expect("remote policies run with a cluster");
+            let hit = gms.locate(gpage);
+            if hit.is_none() {
+                gms.record_getpage_miss(self.node, gpage);
+                self.fell_back_to_disk += 1;
             }
+            hit
         };
 
-        let Some(server) = server else {
-            // Disk service: position + full page transfer, synchronous.
-            let latency = self.disk.transfer_time(self.geom.page_size().bytes());
-            self.fault_log.push(FaultRecord {
-                at_ref: self.refs_done,
-                page,
-                subpage: sub,
-                kind: FaultKind::Disk,
-                wait: latency,
-            });
-            if R::ENABLED {
-                ctx.rec.record(Event::Fault {
-                    node: self.node,
-                    page: page.get(),
-                    subpage: sub.get(),
-                    class: FaultClass::Disk,
-                    at_ref: self.refs_done,
-                    at: self.clock,
-                });
-            }
-            self.advance(latency, Bucket::SpLatency, Some(page));
-            if R::ENABLED {
-                ctx.rec.record(Event::Restart {
-                    node: self.node,
-                    page: page.get(),
-                    at: self.clock,
-                    wait: latency,
-                });
-            }
-            self.table.insert(page, PageState::complete(n_sub));
-            return FaultKind::Disk;
+        let Some(mut server) = located else {
+            return self.disk_fault(page, sub, Duration::ZERO, true, ctx);
         };
         self.served_by.insert(page, server);
         if R::ENABLED {
@@ -759,7 +890,96 @@ impl<'a> NodeDriver<'a> {
         let plan = self.policy.plan_fault(self.geom, sub, offset_frac);
         let sizes = plan.message_sizes(self.geom);
         let tplan = TransferPlan::new(sizes, self.policy.recv_overhead());
-        let ft = ctx.net.fault(self.clock, self.node, server, &tplan);
+
+        // Request/retry loop. A lost request or first reply (or a dead
+        // custodian) expires the timeout; each retry re-locates the page
+        // — the custodian may have crashed during the backoff, in which
+        // case its copy is gone and the fault degrades to disk. The
+        // custodian commits (gives up its copy) only once data is
+        // delivered, so failed attempts leave global state untouched.
+        let timeout = ctx.net.params().getpage_timeout(tplan.messages()[0]);
+        let mut extra_wait = Duration::ZERO;
+        let mut attempt: u32 = 1;
+        let ft = loop {
+            ctx.apply_fault_schedule(self.clock);
+            match ctx
+                .gms
+                .as_ref()
+                .expect("remote fault needs a cluster")
+                .locate(gpage)
+            {
+                Some(s) => server = s,
+                None => {
+                    // The custodian crashed while we were backing off and
+                    // took the only copy with it.
+                    ctx.gms
+                        .as_mut()
+                        .expect("remote fault needs a cluster")
+                        .record_getpage_miss(self.node, gpage);
+                    self.fell_back_to_disk += 1;
+                    self.served_by.remove(&page);
+                    return self.disk_fault(page, sub, extra_wait, false, ctx);
+                }
+            }
+            match ctx.net.try_fault(self.clock, self.node, server, &tplan) {
+                FaultAttempt::Delivered(ft) => break ft,
+                FaultAttempt::Failed => {
+                    ctx.sync_net();
+                    self.timeouts += 1;
+                    self.advance(timeout, Bucket::SpLatency, Some(page));
+                    extra_wait += timeout;
+                    if R::ENABLED {
+                        ctx.rec.record(Event::Timeout {
+                            node: self.node,
+                            page: page.get(),
+                            attempt,
+                            at: self.clock,
+                        });
+                    }
+                    if attempt >= MAX_FETCH_ATTEMPTS {
+                        // Retries exhausted: repair the directory (the
+                        // entry names an unreachable custodian) and
+                        // degrade to disk.
+                        ctx.gms
+                            .as_mut()
+                            .expect("remote fault needs a cluster")
+                            .record_failover(self.node, gpage);
+                        self.failovers += 1;
+                        self.fell_back_to_disk += 1;
+                        self.served_by.remove(&page);
+                        if R::ENABLED {
+                            ctx.rec.record(Event::Failover {
+                                node: self.node,
+                                custodian: server,
+                                page: page.get(),
+                                at: self.clock,
+                            });
+                        }
+                        return self.disk_fault(page, sub, extra_wait, false, ctx);
+                    }
+                    let backoff = backoff_delay(timeout, attempt);
+                    self.advance(backoff, Bucket::SpLatency, Some(page));
+                    extra_wait += backoff;
+                    attempt += 1;
+                    self.retries += 1;
+                    if R::ENABLED {
+                        ctx.rec.record(Event::Retry {
+                            node: self.node,
+                            page: page.get(),
+                            attempt,
+                            at: self.clock,
+                        });
+                    }
+                }
+            }
+        };
+        ctx.gms
+            .as_mut()
+            .expect("remote fault needs a cluster")
+            .commit_getpage(self.node, gpage, server);
+        // Retries may have relocated the page to a different custodian;
+        // lazy refills must go back to whoever actually served it.
+        self.served_by.insert(page, server);
         ctx.sync_net();
 
         let sp_wait = ft.resume_at.elapsed_since(self.clock);
@@ -768,7 +988,7 @@ impl<'a> NodeDriver<'a> {
             page,
             subpage: sub,
             kind: FaultKind::Remote,
-            wait: sp_wait,
+            wait: extra_wait + sp_wait,
         });
         let fault_idx = self.fault_log.len() - 1;
 
@@ -778,20 +998,22 @@ impl<'a> NodeDriver<'a> {
                 node: self.node,
                 page: page.get(),
                 at: self.clock,
-                wait: sp_wait,
+                wait: extra_wait + sp_wait,
             });
             if ft.arrivals.len() > 1 {
-                ctx.rec.record(Event::Arrivals {
-                    node: self.node,
-                    page: page.get(),
-                    arrivals: plan.groups()[1..]
-                        .iter()
-                        .zip(&ft.arrivals[1..])
-                        .map(|(subs, arr)| {
-                            (arr.available_at, subs.iter().map(|s| s.get()).collect())
-                        })
-                        .collect(),
-                });
+                let arrivals: Vec<(SimTime, Vec<u8>)> = plan.groups()[1..]
+                    .iter()
+                    .zip(&ft.arrivals[1..])
+                    .filter(|(_, arr)| !arr.lost)
+                    .map(|(subs, arr)| (arr.available_at, subs.iter().map(|s| s.get()).collect()))
+                    .collect();
+                if !arrivals.is_empty() {
+                    ctx.rec.record(Event::Arrivals {
+                        node: self.node,
+                        page: page.get(),
+                        arrivals,
+                    });
+                }
             }
         }
 
@@ -812,6 +1034,7 @@ impl<'a> NodeDriver<'a> {
                     available_at: arr.available_at,
                     subpages: subs.clone(),
                     recv_cpu: arr.recv_cpu,
+                    lost: arr.lost,
                 })
                 .collect();
             self.events
@@ -820,28 +1043,46 @@ impl<'a> NodeDriver<'a> {
         FaultKind::Remote
     }
 
-    /// Lazy policy: fetch one missing subpage of a resident page from the
-    /// custodian that served the original fault.
-    fn lazy_subpage_fault<R: Recorder>(
+    /// Fetches one missing subpage of a resident page: a lazy-policy
+    /// refill, or a degraded re-fetch of a subpage whose carrier message
+    /// was lost in flight. Goes back to the custodian that served the
+    /// original fault (which retains the data for retransmission); if it
+    /// cannot deliver within the retry budget, the subpage is read from
+    /// disk instead.
+    fn subpage_refill<R: Recorder>(
         &mut self,
         page: PageId,
         sub: SubpageIndex,
+        kind: FaultKind,
         ctx: &mut ClusterCtx<'_, R>,
     ) {
+        let class = match kind {
+            FaultKind::LazySubpage => FaultClass::LazySubpage,
+            FaultKind::Degraded => FaultClass::Degraded,
+            _ => unreachable!("subpage refills are lazy or degraded"),
+        };
         let server = self
             .served_by
             .get(&page)
             .copied()
-            .expect("lazy refill on a page with no recorded custodian");
+            .expect("subpage refill on a page with no recorded custodian");
         if R::ENABLED {
             ctx.rec.record(Event::Fault {
                 node: self.node,
                 page: page.get(),
                 subpage: sub.get(),
-                class: FaultClass::LazySubpage,
+                class,
                 at_ref: self.refs_done,
                 at: self.clock,
             });
+            if kind == FaultKind::Degraded {
+                ctx.rec.record(Event::DegradedFetch {
+                    node: self.node,
+                    page: page.get(),
+                    subpage: sub.get(),
+                    at: self.clock,
+                });
+            }
             ctx.rec.record(Event::GetPage {
                 node: self.node,
                 server,
@@ -850,17 +1091,28 @@ impl<'a> NodeDriver<'a> {
             });
         }
         let tplan = TransferPlan::lazy(self.geom.subpage_size().bytes());
-        let ft = ctx.net.fault(self.clock, self.node, server, &tplan);
-        ctx.sync_net();
-        let wait = ft.resume_at.elapsed_since(self.clock);
+        let (ft, extra_wait) = self.transfer_with_retries(page, server, &tplan, ctx);
+        let wait = match ft {
+            Some(ft) => {
+                let sp_wait = ft.resume_at.elapsed_since(self.clock);
+                self.advance(sp_wait, Bucket::SpLatency, Some(page));
+                extra_wait + sp_wait
+            }
+            None => {
+                // Custodian unreachable: the subpage comes from disk.
+                self.fell_back_to_disk += 1;
+                let latency = self.disk.transfer_time(self.geom.subpage_size().bytes());
+                self.advance(latency, Bucket::SpLatency, Some(page));
+                extra_wait + latency
+            }
+        };
         self.fault_log.push(FaultRecord {
             at_ref: self.refs_done,
             page,
             subpage: sub,
-            kind: FaultKind::LazySubpage,
+            kind,
             wait,
         });
-        self.advance(wait, Bucket::SpLatency, Some(page));
         if R::ENABLED {
             ctx.rec.record(Event::Restart {
                 node: self.node,
@@ -870,8 +1122,63 @@ impl<'a> NodeDriver<'a> {
             });
         }
         self.table.mark_valid(page, sub);
+        if let Some(subs) = self.lost_subs.get_mut(&page) {
+            subs.retain(|&s| s != sub);
+        }
         self.pal.page_state_changed(page);
-        self.faults.record(FaultKind::LazySubpage);
+        self.faults.record(kind);
+    }
+
+    /// Runs one transfer toward `server`, retrying on loss with capped
+    /// exponential backoff. Returns the delivered timeline plus the stall
+    /// time spent on failed attempts (charged to `sp_latency` already),
+    /// or `None` after [`MAX_FETCH_ATTEMPTS`] expiries.
+    fn transfer_with_retries<R: Recorder>(
+        &mut self,
+        page: PageId,
+        server: NodeId,
+        tplan: &TransferPlan,
+        ctx: &mut ClusterCtx<'_, R>,
+    ) -> (Option<FaultTimeline>, Duration) {
+        let timeout = ctx.net.params().getpage_timeout(tplan.messages()[0]);
+        let mut extra = Duration::ZERO;
+        for attempt in 1..=MAX_FETCH_ATTEMPTS {
+            match ctx.net.try_fault(self.clock, self.node, server, tplan) {
+                FaultAttempt::Delivered(ft) => {
+                    ctx.sync_net();
+                    return (Some(ft), extra);
+                }
+                FaultAttempt::Failed => {
+                    ctx.sync_net();
+                    self.timeouts += 1;
+                    self.advance(timeout, Bucket::SpLatency, Some(page));
+                    extra += timeout;
+                    if R::ENABLED {
+                        ctx.rec.record(Event::Timeout {
+                            node: self.node,
+                            page: page.get(),
+                            attempt,
+                            at: self.clock,
+                        });
+                    }
+                    if attempt < MAX_FETCH_ATTEMPTS {
+                        let backoff = backoff_delay(timeout, attempt);
+                        self.advance(backoff, Bucket::SpLatency, Some(page));
+                        extra += backoff;
+                        self.retries += 1;
+                        if R::ENABLED {
+                            ctx.rec.record(Event::Retry {
+                                node: self.node,
+                                page: page.get(),
+                                attempt: attempt + 1,
+                                at: self.clock,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        (None, extra)
     }
 
     fn evict_one<R: Recorder>(&mut self, ctx: &mut ClusterCtx<'_, R>) {
@@ -884,6 +1191,7 @@ impl<'a> NodeDriver<'a> {
         }
         self.armed.remove(&victim);
         self.served_by.remove(&victim);
+        self.lost_subs.remove(&victim);
         self.pal.page_state_changed(victim);
         self.tlb.invalidate(victim);
         self.frames.release();
@@ -892,30 +1200,56 @@ impl<'a> NodeDriver<'a> {
             self.dirty_evictions += 1;
         }
 
+        if ctx.gms.is_some() {
+            ctx.apply_fault_schedule(self.clock);
+        }
         if let Some(gms) = ctx.gms.as_mut() {
             // GMS holds the only copy once a page is fetched: push every
             // eviction back to global memory (asynchronously — only the
             // send setup stalls the CPU, but the transfer occupies the
-            // target custodian's wire, DMA ring and CPU).
-            let put = gms.putpage(self.node, self.global_page(victim), state.dirty);
-            let send = ctx.net.send(
-                self.clock,
-                self.node,
-                put.stored_at,
-                self.geom.page_size().bytes(),
-            );
-            if R::ENABLED {
-                ctx.rec.record(Event::PutPage {
-                    node: self.node,
-                    custodian: put.stored_at,
-                    page: victim.get(),
-                    dirty: state.dirty,
-                    at: self.clock,
-                });
+            // target custodian's wire, DMA ring and CPU). Putpage is
+            // positive-ACK with retransmit: a lost transfer is re-sent —
+            // the ACK timeout runs off the critical path, so only the
+            // extra send setups charge the application.
+            if let Some(put) = gms.try_putpage(self.node, self.global_page(victim), state.dirty) {
+                let mut attempt: u32 = 0;
+                loop {
+                    let lost = ctx.net.roll_putpage_loss();
+                    let send = ctx.net.send(
+                        self.clock,
+                        self.node,
+                        put.stored_at,
+                        self.geom.page_size().bytes(),
+                    );
+                    if R::ENABLED && attempt == 0 {
+                        ctx.rec.record(Event::PutPage {
+                            node: self.node,
+                            custodian: put.stored_at,
+                            page: victim.get(),
+                            dirty: state.dirty,
+                            at: self.clock,
+                        });
+                    }
+                    ctx.sync_net();
+                    let setup = send.cpu_free_at.elapsed_since(self.clock);
+                    self.advance(setup, Bucket::Putpage, None);
+                    attempt += 1;
+                    if !lost || attempt >= MAX_PUTPAGE_ATTEMPTS {
+                        break;
+                    }
+                    self.retries += 1;
+                    if R::ENABLED {
+                        ctx.rec.record(Event::Retry {
+                            node: self.node,
+                            page: victim.get(),
+                            attempt: attempt + 1,
+                            at: self.clock,
+                        });
+                    }
+                }
             }
-            ctx.sync_net();
-            let setup = send.cpu_free_at.elapsed_since(self.clock);
-            self.advance(setup, Bucket::Putpage, None);
+            // else: every would-be custodian is down — the page leaves the
+            // network and a later fetch will miss to disk.
         }
         // Disk policy: clean pages are dropped; dirty pages are written
         // back asynchronously without stalling the application.
@@ -993,6 +1327,10 @@ impl<'a> NodeDriver<'a> {
             evictions: self.evictions,
             dirty_evictions: self.dirty_evictions,
             wasted_transfers: self.wasted_transfers,
+            timeouts: self.timeouts,
+            retries: self.retries,
+            failovers: self.failovers,
+            fell_back_to_disk: self.fell_back_to_disk,
             fault_log: self.fault_log,
             distances: self.distances,
             overlap: self.overlap,

@@ -25,6 +25,10 @@ pub(crate) struct Arrival {
     /// paper's Table 2 deducts this overhead from the overlap window,
     /// not from stall time).
     pub recv_cpu: Duration,
+    /// Whether the message was lost in flight (fault injection): its
+    /// subpages never become valid and the requester discovers the hole
+    /// lazily, at touch time. Always `false` without a fault plan.
+    pub lost: bool,
 }
 
 /// Follow-on data still on its way to a resident page.
@@ -84,13 +88,24 @@ impl EventCore {
         self.pending.is_empty()
     }
 
-    /// When the in-flight arrival carrying `sub` of `page` lands, if any.
+    /// When the in-flight arrival carrying `sub` of `page` lands, if
+    /// any. Lost messages never land, so they are not waited on.
     pub fn waiting_arrival(&self, page: PageId, sub: SubpageIndex) -> Option<SimTime> {
         self.pending.get(&page).and_then(|p| {
             p.arrivals[p.next..]
                 .iter()
-                .find(|a| a.subpages.contains(&sub))
+                .find(|a| !a.lost && a.subpages.contains(&sub))
                 .map(|a| a.available_at)
+        })
+    }
+
+    /// Whether a *lost* in-flight message was carrying `sub` of `page`:
+    /// the data will never arrive and the toucher must re-fetch it.
+    pub fn lost_pending(&self, page: PageId, sub: SubpageIndex) -> bool {
+        self.pending.get(&page).is_some_and(|p| {
+            p.arrivals[p.next..]
+                .iter()
+                .any(|a| a.lost && a.subpages.contains(&sub))
         })
     }
 
@@ -118,6 +133,7 @@ impl EventCore {
                     available_at: SimTime::ZERO,
                     subpages: Vec::new(),
                     recv_cpu: Duration::ZERO,
+                    lost: false,
                 },
             ));
             p.next += 1;
@@ -144,6 +160,7 @@ mod tests {
             available_at: SimTime::from_nanos(at_ns),
             subpages: vec![SubpageIndex::new(sub)],
             recv_cpu: Duration::ZERO,
+            lost: false,
         }
     }
 

@@ -3,8 +3,9 @@
 //! Hand-rolled JSON (the workspace's `serde` is an inert placeholder):
 //! [`run_summary_json`] and [`cluster_summary_json`] render
 //! [`RunReport`]/[`ClusterReport`] into a stable schema
-//! (`gms-summary/v1`) that the CLI's `--summary-json` flag writes and
-//! its `check-trace` command re-parses with [`gms_obs::JsonValue`].
+//! (`gms-summary/v2`, which added the `reliability` section) that the
+//! CLI's `--summary-json` flag writes and its `check-trace` command
+//! re-parses with [`gms_obs::JsonValue`].
 //!
 //! Scalar counters go through [`CounterRegistry`], so a counter added
 //! to a report shows up in the summary without touching the renderer.
@@ -15,8 +16,10 @@ use gms_obs::{escape_json, CounterRegistry, LogHistogram};
 use crate::cluster_sim::ClusterReport;
 use crate::RunReport;
 
-/// Schema tag stamped into every summary document.
-pub const SUMMARY_SCHEMA: &str = "gms-summary/v1";
+/// Schema tag stamped into every summary document. `v2` added the
+/// `reliability` object (timeouts, retries, failovers, degraded
+/// re-fetches, disk fallbacks, crash losses) to both summary kinds.
+pub const SUMMARY_SCHEMA: &str = "gms-summary/v2";
 
 /// Renders a latency histogram as a JSON object with exact extremes,
 /// the standard percentile quartet, and the raw `[low, count]` buckets.
@@ -53,6 +56,7 @@ pub fn run_counters(report: &RunReport) -> CounterRegistry {
     reg.set("faults_remote", report.faults.remote);
     reg.set("faults_disk", report.faults.disk);
     reg.set("faults_lazy_subpage", report.faults.lazy_subpage);
+    reg.set("faults_degraded", report.faults.degraded);
     reg.set("evictions", report.evictions);
     reg.set("dirty_evictions", report.dirty_evictions);
     reg.set("wasted_transfers", report.wasted_transfers);
@@ -61,14 +65,31 @@ pub fn run_counters(report: &RunReport) -> CounterRegistry {
     reg
 }
 
+/// The reliability counters of one run (the `v2` addition): timeout,
+/// retry and failover telemetry from the fault-injection machinery. All
+/// zero for a fault-free run. `pages_lost_to_crash` comes from the
+/// cluster-wide GMS statistics.
+#[must_use]
+pub fn reliability_counters(report: &RunReport) -> CounterRegistry {
+    let mut reg = CounterRegistry::new();
+    reg.set("timeouts", report.timeouts);
+    reg.set("retries", report.retries);
+    reg.set("failovers", report.failovers);
+    reg.set("degraded_fetches", report.faults.degraded);
+    reg.set("fell_back_to_disk", report.fell_back_to_disk);
+    reg.set("pages_lost_to_crash", report.gms.pages_lost_to_crash);
+    reg
+}
+
 /// One run's summary as a self-contained JSON object string.
 #[must_use]
 pub fn run_summary_json(report: &RunReport) -> String {
     format!(
-        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"run\",\"policy\":\"{}\",\"memory\":\"{}\",\"counters\":{},\"page_wait\":{}}}",
+        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"run\",\"policy\":\"{}\",\"memory\":\"{}\",\"counters\":{},\"reliability\":{},\"page_wait\":{}}}",
         escape_json(&report.policy),
         escape_json(&report.memory),
         run_counters(report).to_json(),
+        reliability_counters(report).to_json(),
         histogram_json(&report.wait_histogram()),
     )
 }
@@ -88,6 +109,42 @@ pub fn cluster_summary_json(report: &ClusterReport) -> String {
     reg.set_f64("wire_utilization", report.net.wire_utilization);
     reg.set_f64("min_node_utilization", report.net.min_node_utilization);
     reg.set_f64("max_node_utilization", report.net.max_node_utilization);
+
+    // Requester-side reliability counters sum over the active nodes;
+    // crash losses are cluster-wide (every node report carries the same
+    // shared-GMS statistics), so they are taken once.
+    let mut rel = CounterRegistry::new();
+    rel.set(
+        "timeouts",
+        report.nodes.iter().map(|n| n.timeouts).sum::<u64>(),
+    );
+    rel.set(
+        "retries",
+        report.nodes.iter().map(|n| n.retries).sum::<u64>(),
+    );
+    rel.set(
+        "failovers",
+        report.nodes.iter().map(|n| n.failovers).sum::<u64>(),
+    );
+    rel.set(
+        "degraded_fetches",
+        report.nodes.iter().map(|n| n.faults.degraded).sum::<u64>(),
+    );
+    rel.set(
+        "fell_back_to_disk",
+        report
+            .nodes
+            .iter()
+            .map(|n| n.fell_back_to_disk)
+            .sum::<u64>(),
+    );
+    rel.set(
+        "pages_lost_to_crash",
+        report
+            .nodes
+            .first()
+            .map_or(0, |n| n.gms.pages_lost_to_crash),
+    );
 
     let mut merged = LogHistogram::new();
     for node in &report.nodes {
@@ -115,8 +172,9 @@ pub fn cluster_summary_json(report: &ClusterReport) -> String {
     let nodes: Vec<String> = report.nodes.iter().map(run_summary_json).collect();
 
     format!(
-        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"cluster\",\"counters\":{},\"page_wait\":{},\"per_node\":[{}],\"nodes\":[{}]}}",
+        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"cluster\",\"counters\":{},\"reliability\":{},\"page_wait\":{},\"per_node\":[{}],\"nodes\":[{}]}}",
         reg.to_json(),
+        rel.to_json(),
         histogram_json(&merged),
         per_node.join(","),
         nodes.join(",")
@@ -163,6 +221,35 @@ mod tests {
             counters.get("total_refs").unwrap().as_u64(),
             Some(report.total_refs)
         );
+    }
+
+    #[test]
+    fn reliability_section_reflects_fault_injection() {
+        use gms_net::FaultPlan;
+        let plan = FaultPlan::parse("loss=0.02,seed=9", None).expect("valid spec");
+        let mut cfg = config();
+        cfg.fault_plan = Some(plan);
+        let report = Simulator::new(cfg).run(&gms_trace::apps::gdb().scaled(0.1));
+        let doc = JsonValue::parse(&run_summary_json(&report)).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("gms-summary/v2"));
+        let rel = doc.get("reliability").expect("reliability object");
+        assert_eq!(rel.get("retries").unwrap().as_u64(), Some(report.retries));
+        assert_eq!(rel.get("timeouts").unwrap().as_u64(), Some(report.timeouts));
+        assert!(report.retries > 0, "2% loss must retry");
+        // A fault-free run zeroes the whole section.
+        let clean = Simulator::new(config()).run(&gms_trace::apps::gdb().scaled(0.1));
+        let doc = JsonValue::parse(&run_summary_json(&clean)).expect("valid JSON");
+        let rel = doc.get("reliability").expect("reliability object");
+        for key in [
+            "timeouts",
+            "retries",
+            "failovers",
+            "degraded_fetches",
+            "fell_back_to_disk",
+            "pages_lost_to_crash",
+        ] {
+            assert_eq!(rel.get(key).unwrap().as_u64(), Some(0), "{key}");
+        }
     }
 
     #[test]

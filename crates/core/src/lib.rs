@@ -73,8 +73,10 @@ pub use cluster_sim::{ClusterReport, ClusterSim};
 pub use config::{AccessCost, MemoryConfig, ReplacementKind, SimConfig, SimConfigBuilder};
 pub use engine::Simulator;
 pub use export::{
-    cluster_summary_json, histogram_json, run_counters, run_summary_json, SUMMARY_SCHEMA,
+    cluster_summary_json, histogram_json, reliability_counters, run_counters, run_summary_json,
+    SUMMARY_SCHEMA,
 };
+pub use gms_net::{DegradeWindow, FaultPlan, NodeEvent};
 pub use metrics::{
     ClusterNetStats, DistanceHistogram, FaultCounts, FaultKind, FaultRecord, NodeNetStats,
     OverlapStats,

@@ -85,6 +85,9 @@ pub enum FaultKind {
     /// A lazy-policy fault on a missing subpage of an already-resident
     /// page.
     LazySubpage,
+    /// A degraded re-fetch of a subpage whose carrier message was lost
+    /// in flight (fault injection only).
+    Degraded,
 }
 
 /// One page fault, as recorded for Figures 5 and 6.
@@ -114,16 +117,19 @@ pub struct FaultCounts {
     pub disk: u64,
     /// Lazy subpage faults.
     pub lazy_subpage: u64,
+    /// Degraded re-fetches of lost subpages (fault injection only).
+    pub degraded: u64,
 }
 
 impl FaultCounts {
     /// All faults.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.remote + self.disk + self.lazy_subpage
+        self.remote + self.disk + self.lazy_subpage + self.degraded
     }
 
-    /// Page-granularity faults (excluding lazy subpage refills).
+    /// Page-granularity faults (excluding lazy subpage refills and
+    /// degraded re-fetches).
     #[must_use]
     pub fn page_faults(&self) -> u64 {
         self.remote + self.disk
@@ -135,6 +141,7 @@ impl FaultCounts {
             FaultKind::Remote => self.remote += 1,
             FaultKind::Disk => self.disk += 1,
             FaultKind::LazySubpage => self.lazy_subpage += 1,
+            FaultKind::Degraded => self.degraded += 1,
         }
     }
 }

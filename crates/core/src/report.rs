@@ -52,6 +52,20 @@ pub struct RunReport {
     /// the data arrived.
     pub wasted_transfers: u64,
 
+    /// Getpage attempts that expired without data (lost request or
+    /// reply, or a dead custodian). Zero without a fault plan.
+    pub timeouts: u64,
+    /// Re-issued requests after a timeout (getpage and putpage retries
+    /// combined). Zero without a fault plan.
+    pub retries: u64,
+    /// Faults that exhausted their retries against an unreachable
+    /// custodian, repaired the directory, and fell back to disk.
+    pub failovers: u64,
+    /// Remote-policy faults this node served from disk because no global
+    /// copy was reachable (directory misses plus failovers). Always zero
+    /// under the disk policy, where disk is the design, not a fallback.
+    pub fell_back_to_disk: u64,
+
     /// Per-fault records, in fault order (Figures 5 and 6).
     pub fault_log: Vec<FaultRecord>,
     /// Distance-to-next-subpage histogram (Figure 7).

@@ -16,11 +16,26 @@
 
 use gms_units::{Bytes, Duration, NodeId, SimTime};
 
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::timeline::{
     FaultTimeline, MessageArrival, RecvOverhead, Segment, SendTimeline, TimelineResource,
     TransferPlan,
 };
 use crate::{NetParams, Resource};
+
+/// The outcome of one getpage transfer attempt under fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAttempt {
+    /// The first (faulted-subpage) message was delivered and the program
+    /// can resume. Follow-on arrivals may still individually be marked
+    /// [`MessageArrival::lost`].
+    Delivered(FaultTimeline),
+    /// The request, or the first reply message, was lost — or the server
+    /// is down. Nothing arrives; the requester must time out and retry.
+    /// Resources spent before the loss (requester fault CPU, and the
+    /// server side if the request got through) stay occupied.
+    Failed,
+}
 
 /// One of a node's five serially-reusable network resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +169,7 @@ pub struct ClusterNetwork {
     params: NetParams,
     nodes: Vec<NodeNet>,
     log: Option<Vec<Occupancy>>,
+    faults: Option<FaultInjector>,
 }
 
 impl ClusterNetwork {
@@ -169,7 +185,35 @@ impl ClusterNetwork {
             params,
             nodes: (0..nodes).map(|_| NodeNet::default()).collect(),
             log: None,
+            faults: None,
         }
+    }
+
+    /// Installs a fault injector. Without one (the default), no fault
+    /// path is ever consulted and scheduling is byte-identical to a
+    /// fault-free network.
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Whether `node` is crashed at `at` per the installed plan.
+    #[must_use]
+    pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.faults.as_ref().is_some_and(|i| i.is_down(node, at))
+    }
+
+    /// Draws one loss decision for a putpage transfer (one draw per
+    /// call; `false` without an injector, consuming no randomness).
+    pub fn roll_putpage_loss(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(FaultInjector::lose_message)
     }
 
     /// The timing constants in use.
@@ -330,7 +374,56 @@ impl ClusterNetwork {
         server: NodeId,
         plan: &TransferPlan,
     ) -> FaultTimeline {
+        match self.fault_with(at, requester, server, plan, 1.0, false, &[]) {
+            FaultAttempt::Delivered(timeline) => timeline,
+            FaultAttempt::Failed => unreachable!("no losses were injected"),
+        }
+    }
+
+    /// Schedules a fault like [`ClusterNetwork::fault`], but consults the
+    /// installed [`FaultInjector`]: the server may be down, the request
+    /// or any reply message may be lost, and degradation windows scale
+    /// the data-movement costs. Without an injector this is exactly
+    /// [`ClusterNetwork::fault`].
+    ///
+    /// Loss draws are made up front — one for the request, one per data
+    /// message — so every attempt consumes a fixed amount of randomness
+    /// regardless of outcome, keeping plans comparable across runs.
+    pub fn try_fault(
+        &mut self,
+        at: SimTime,
+        requester: NodeId,
+        server: NodeId,
+        plan: &TransferPlan,
+    ) -> FaultAttempt {
+        let (factor, request_lost, lost) = match &mut self.faults {
+            None => (1.0, false, Vec::new()),
+            Some(inj) => {
+                let request_lost = inj.is_down(server, at) || inj.lose_message();
+                let lost: Vec<bool> = plan.messages().iter().map(|_| inj.lose_message()).collect();
+                (
+                    inj.degrade_factor(requester, server, at),
+                    request_lost,
+                    lost,
+                )
+            }
+        };
+        self.fault_with(at, requester, server, plan, factor, request_lost, &lost)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fault_with(
+        &mut self,
+        at: SimTime,
+        requester: NodeId,
+        server: NodeId,
+        plan: &TransferPlan,
+        factor: f64,
+        request_lost: bool,
+        lost: &[bool],
+    ) -> FaultAttempt {
         let p = self.params;
+        let scaled = |d: Duration| if factor == 1.0 { d } else { d.mul_f64(factor) };
         let mut segments = Vec::with_capacity(4 + plan.messages().len() * 5);
 
         // 1. Requester CPU: handle the fault, look up the page's location,
@@ -360,6 +453,12 @@ impl ClusterNetwork {
             end: qend,
         });
 
+        // A lost request (or a down server) goes no further: the
+        // requester's fault CPU is spent, nothing else happens.
+        if request_lost {
+            return FaultAttempt::Failed;
+        }
+
         // 3. Server CPU: interpret the request.
         let (sstart, send_ready) = self.acquire(
             server,
@@ -383,6 +482,7 @@ impl ClusterNetwork {
         let mut resume_at = SimTime::ZERO;
         let mut stolen = Duration::ZERO;
         let mut setup_ready = send_ready;
+        let mut aborted = false;
 
         for (index, &size) in plan.messages().iter().enumerate() {
             let (a, b) = self.acquire(
@@ -405,7 +505,7 @@ impl ClusterNetwork {
                 NetResource::DmaOut,
                 "dma-out",
                 b,
-                p.dma_startup + p.dma_time(size),
+                p.dma_startup + scaled(p.dma_time(size)),
             );
             segments.push(Segment {
                 resource: TimelineResource::SrvDma,
@@ -419,7 +519,7 @@ impl ClusterNetwork {
                 server,
                 "data",
                 b,
-                p.wire_startup + p.wire.wire_time(size),
+                p.wire_startup + scaled(p.wire.wire_time(size)),
             );
             segments.push(Segment {
                 resource: TimelineResource::Wire,
@@ -428,12 +528,34 @@ impl ClusterNetwork {
                 end: b,
             });
 
+            // A lost message left the server and crossed the wire, but
+            // never reached the application: no requester-side DMA or
+            // receive work. Losing the *first* message aborts the whole
+            // attempt — the requester will time out — while the server,
+            // unaware, still streams the remaining messages.
+            let is_lost = aborted || lost.get(index).copied().unwrap_or(false);
+            if index == 0 && is_lost {
+                aborted = true;
+            }
+            if is_lost {
+                if !aborted {
+                    arrivals.push(MessageArrival {
+                        index,
+                        size,
+                        available_at: b,
+                        recv_cpu: Duration::ZERO,
+                        lost: true,
+                    });
+                }
+                continue;
+            }
+
             let (a, rdma_end) = self.acquire(
                 requester,
                 NetResource::DmaIn,
                 "dma-in",
                 b,
-                p.dma_startup + p.dma_time(size),
+                p.dma_startup + scaled(p.dma_time(size)),
             );
             segments.push(Segment {
                 resource: TimelineResource::ReqDma,
@@ -493,7 +615,12 @@ impl ClusterNetwork {
                 size,
                 available_at,
                 recv_cpu,
+                lost: false,
             });
+        }
+
+        if aborted {
+            return FaultAttempt::Failed;
         }
 
         let page_complete_at = arrivals
@@ -502,14 +629,14 @@ impl ClusterNetwork {
             .max()
             .expect("plans are non-empty");
 
-        FaultTimeline {
+        FaultAttempt::Delivered(FaultTimeline {
             fault_at: at,
             resume_at,
             arrivals,
             page_complete_at,
             stolen_cpu: stolen,
             segments,
-        }
+        })
     }
 
     /// Schedules an outbound transfer of `size` bytes from `from` to
@@ -537,6 +664,11 @@ impl ClusterNetwork {
     /// Panics if `from == to`.
     pub fn send(&mut self, at: SimTime, from: NodeId, to: NodeId, size: Bytes) -> SendTimeline {
         let p = self.params;
+        let factor = self
+            .faults
+            .as_ref()
+            .map_or(1.0, |i| i.degrade_factor(from, to, at));
+        let scaled = |d: Duration| if factor == 1.0 { d } else { d.mul_f64(factor) };
         let (_, cpu_free_at) = self.acquire(
             from,
             NetResource::Cpu,
@@ -556,21 +688,21 @@ impl ClusterNetwork {
             NetResource::DmaOut,
             "putpage-dma-out",
             cpu_free_at,
-            p.dma_startup + p.dma_time(size),
+            p.dma_startup + scaled(p.dma_time(size)),
         );
         let (_, wire_end) = self.acquire_wire(
             to,
             from,
             "putpage-data",
             dma_end,
-            p.wire_startup + p.wire.wire_time(size),
+            p.wire_startup + scaled(p.wire.wire_time(size)),
         );
         let (_, rdma_end) = self.acquire(
             to,
             NetResource::DmaIn,
             "putpage-dma-in",
             wire_end,
-            p.dma_startup + p.dma_time(size),
+            p.dma_startup + scaled(p.dma_time(size)),
         );
         let delivered_at = rdma_end.max(recv_cpu_end);
         SendTimeline {

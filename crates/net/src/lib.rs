@@ -46,15 +46,17 @@ mod atm;
 mod cluster_net;
 mod disk;
 mod ethernet;
+mod faults;
 mod link;
 mod params;
 mod resource;
 mod timeline;
 
 pub use atm::AtmLink;
-pub use cluster_net::{ClusterNetwork, NetResource, NodeNet, Occupancy};
+pub use cluster_net::{ClusterNetwork, FaultAttempt, NetResource, NodeNet, Occupancy};
 pub use disk::{AccessPattern, DiskModel};
 pub use ethernet::EthernetLink;
+pub use faults::{DegradeWindow, FaultInjector, FaultPlan, NodeEvent};
 pub use link::{FixedRateLink, LinkModel};
 pub use params::NetParams;
 pub use resource::Resource;

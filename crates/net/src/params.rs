@@ -132,6 +132,22 @@ impl NetParams {
     pub fn copy_time(&self, bytes: gms_units::Bytes) -> Duration {
         Duration::from_nanos((bytes.get() as f64 * self.copy_ns_per_byte).round() as u64)
     }
+
+    /// How long a requester waits for the first message of a getpage
+    /// before declaring the request (or its reply) lost: the fixed
+    /// request cost plus the per-byte cost of delivering `bytes`
+    /// (DMA out, framed wire, DMA in, copy — an uncontended first
+    /// message), doubled as the margin for queueing behind other
+    /// transfers. Deterministic — derived entirely from the calibrated
+    /// constants, never measured.
+    #[must_use]
+    pub fn getpage_timeout(&self, bytes: gms_units::Bytes) -> Duration {
+        let transfer = self.dma_time(bytes)
+            + self.dma_time(bytes)
+            + self.wire.wire_time(bytes)
+            + self.copy_time(bytes);
+        (self.fixed_request_cost() + transfer) * 2
+    }
 }
 
 impl Default for NetParams {

@@ -160,10 +160,16 @@ pub struct MessageArrival {
     pub index: usize,
     /// Message size.
     pub size: Bytes,
-    /// Instant the data is usable by the application.
+    /// Instant the data is usable by the application — or, for a lost
+    /// message, when it *would* have reached the requester's NIC.
     pub available_at: SimTime,
-    /// Requester CPU consumed receiving this message.
+    /// Requester CPU consumed receiving this message (zero when lost).
     pub recv_cpu: Duration,
+    /// Whether fault injection dropped this message in flight. Lost
+    /// messages never mark their subpages valid; a touch re-fetches
+    /// them lazily. Always `false` without an installed
+    /// [`crate::FaultInjector`].
+    pub lost: bool,
 }
 
 /// The outcome of scheduling one fault through the pipeline.

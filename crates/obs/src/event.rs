@@ -68,16 +68,20 @@ pub enum FaultClass {
     Disk,
     /// A lazy-policy fault on a missing subpage of a resident page.
     LazySubpage,
+    /// A degraded re-fetch of a subpage whose original message was lost
+    /// in flight (fault injection).
+    Degraded,
 }
 
 impl FaultClass {
-    /// A short label (`remote`, `disk`, `lazy`).
+    /// A short label (`remote`, `disk`, `lazy`, `degraded`).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             FaultClass::Remote => "remote",
             FaultClass::Disk => "disk",
             FaultClass::LazySubpage => "lazy",
+            FaultClass::Degraded => "degraded",
         }
     }
 }
@@ -182,6 +186,69 @@ pub enum Event {
         /// Occupancy end.
         end: SimTime,
     },
+    /// A getpage attempt got no data back within the derived timeout
+    /// (lost request or reply, or a dead custodian).
+    Timeout {
+        /// The waiting node.
+        node: NodeId,
+        /// The page being fetched.
+        page: u64,
+        /// Which attempt timed out (1-based).
+        attempt: u32,
+        /// When the timeout expired.
+        at: SimTime,
+    },
+    /// A timed-out getpage is being retried after backoff.
+    Retry {
+        /// The retrying node.
+        node: NodeId,
+        /// The page being fetched.
+        page: u64,
+        /// Which attempt is starting (2-based: the first retry is 2).
+        attempt: u32,
+        /// When the retry was issued.
+        at: SimTime,
+    },
+    /// Retries were exhausted against an unreachable custodian; the
+    /// directory entry was dropped and the fault fell back to disk.
+    Failover {
+        /// The failing-over node.
+        node: NodeId,
+        /// The unreachable custodian.
+        custodian: NodeId,
+        /// The page whose entry was repaired.
+        page: u64,
+        /// Failover time.
+        at: SimTime,
+    },
+    /// A node crashed per the fault plan; its global cache is lost.
+    NodeDown {
+        /// The crashed node.
+        node: NodeId,
+        /// Crash time.
+        at: SimTime,
+        /// Global pages lost with it.
+        pages_lost: u64,
+    },
+    /// A crashed node recovered (empty) per the fault plan.
+    NodeUp {
+        /// The recovered node.
+        node: NodeId,
+        /// Recovery time.
+        at: SimTime,
+    },
+    /// A touch found a subpage whose carrier message was lost; it is
+    /// being re-fetched lazily (degraded mode).
+    DegradedFetch {
+        /// The touching node.
+        node: NodeId,
+        /// The page holding the lost subpage.
+        page: u64,
+        /// The lost subpage.
+        subpage: u8,
+        /// Re-fetch time.
+        at: SimTime,
+    },
 }
 
 impl Event {
@@ -195,7 +262,13 @@ impl Event {
             | Event::Arrivals { node, .. }
             | Event::Stall { node, .. }
             | Event::PutPage { node, .. }
-            | Event::Occupancy { node, .. } => node,
+            | Event::Occupancy { node, .. }
+            | Event::Timeout { node, .. }
+            | Event::Retry { node, .. }
+            | Event::Failover { node, .. }
+            | Event::NodeDown { node, .. }
+            | Event::NodeUp { node, .. }
+            | Event::DegradedFetch { node, .. } => node,
         }
     }
 }

@@ -195,6 +195,50 @@ pub fn perfetto_trace(events: &[Event]) -> String {
                 );
                 push_instant(&mut out, pid, APP_TRACK, "putpage", at.as_nanos(), &args);
             }
+            Event::Timeout {
+                page, attempt, at, ..
+            } => {
+                let args = format!(",\"args\":{{\"page\":{page},\"attempt\":{attempt}}}");
+                push_instant(&mut out, pid, APP_TRACK, "timeout", at.as_nanos(), &args);
+            }
+            Event::Retry {
+                page, attempt, at, ..
+            } => {
+                let args = format!(",\"args\":{{\"page\":{page},\"attempt\":{attempt}}}");
+                push_instant(&mut out, pid, APP_TRACK, "retry", at.as_nanos(), &args);
+            }
+            Event::Failover {
+                custodian,
+                page,
+                at,
+                ..
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"custodian\":{}}}",
+                    custodian.index()
+                );
+                push_instant(&mut out, pid, APP_TRACK, "failover", at.as_nanos(), &args);
+            }
+            Event::NodeDown { at, pages_lost, .. } => {
+                let args = format!(",\"args\":{{\"pages_lost\":{pages_lost}}}");
+                push_instant(&mut out, pid, APP_TRACK, "node-down", at.as_nanos(), &args);
+            }
+            Event::NodeUp { at, .. } => {
+                push_instant(&mut out, pid, APP_TRACK, "node-up", at.as_nanos(), "");
+            }
+            Event::DegradedFetch {
+                page, subpage, at, ..
+            } => {
+                let args = format!(",\"args\":{{\"page\":{page},\"subpage\":{subpage}}}");
+                push_instant(
+                    &mut out,
+                    pid,
+                    APP_TRACK,
+                    "degraded-fetch",
+                    at.as_nanos(),
+                    &args,
+                );
+            }
         }
         parts.push(out);
     }
