@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -26,9 +27,12 @@ use gms_core::{
 };
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{NetParams, Timeline, TransferPlan};
-use gms_obs::{perfetto_trace, JsonValue, MemoryRecorder};
+use gms_obs::{
+    attribute, attribution_json, metrics_json, perfetto_trace, AttributionReport, ComponentRow,
+    JsonValue, MemoryRecorder, ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA, METRICS_SCHEMA,
+};
 use gms_trace::apps::{self, AppProfile};
-use gms_units::{Bytes, SimTime};
+use gms_units::{Bytes, Duration, SimTime};
 
 /// A failure to understand or execute a command line.
 #[derive(Debug, PartialEq, Eq)]
@@ -57,6 +61,7 @@ USAGE:
               [--replacement lru|fifo|clock|random2] [--pal]
               [--fault-plan <spec>]
               [--trace-out <path>] [--summary-json <path>]
+              [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
   gms-sim sweep --app <name> [--scale <f>] [--jobs <n>] [--trace-dir <dir>]
               [--fault-plan <spec>]
   gms-sim cluster --nodes <k> --active <a> [--app <name>] [--policy <label>]
@@ -65,7 +70,15 @@ USAGE:
               [--replacement lru|fifo|clock|random2]
               [--fault-plan <spec>]
               [--trace-out <path>] [--summary-json <path>]
+              [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
+  gms-sim profile --app <name> --policy <label> [--by resource|class|node]
+              [--memory full|half|quarter|<frames>] [--scale <f>]
+              [--net ...] [--replacement ...] [--pal] [--fault-plan <spec>]
+              [--nodes <k> --active <a>] [--json <path>]
+  gms-sim diff-trace <a.summary.json> <b.summary.json> [--tolerance <pct>] [--full]
+  gms-sim diff-bench <a.json> <b.json> [--tolerance <pct>]
   gms-sim check-trace [--trace <path>] [--summary <path>]
+              [--metrics <path>] [--attrib <path>]
   gms-sim latency [--subpage <bytes>]
 
 Sweeps fan the grid's cells over `--jobs` worker threads (default: all
@@ -83,8 +96,32 @@ resource occupancies and instants for the fault lifecycle.
 page-wait percentiles (p50/p90/p99/max). --trace-dir gives every sweep
 cell its own trace + summary pair. Tracing never changes the simulated
 timing: reports are byte-identical with or without it.
+--metrics-out writes windowed time-series metrics (gms-metrics/v1 JSON:
+per-window fault/retry counts, per-resource utilization, wait p50/p99,
+mean in-flight fetches); --prom-out writes the cumulative counters in
+the Prometheus text format. --metrics-window sets the window length
+(ns/us/ms/s suffixes; default 1ms).
+
+profile replays a recorded run through the critical-path attribution
+pass: every fault's wait is split into queueing vs. service per
+(node, resource) hop, plus transit/retry/disk/stall pseudo-components,
+and the sums are checked against the report's latency buckets to the
+nanosecond. --by picks the aggregation (resource components, fault
+class, or node); --json writes the gms-attrib/v1 document.
+
+diff-trace compares two exported summary JSON files cell by cell
+(--full compares two raw Perfetto traces instead) and exits non-zero
+if any numeric cell moved by more than --tolerance percent (default 5).
+diff-bench does the same for bench result JSON (default tolerance 25),
+which is the CI perf gate; cells holding derived ratios or environment
+facts (overhead_pct, speedup, jobs) are reported but not gated, since
+they swing wildly in relative terms when the underlying — and gated —
+time cells wobble by a few percent.
+
 check-trace re-parses exported files and validates their schema,
-including an allowlist of known instant-event kinds.
+including an allowlist of known instant-event kinds; --metrics and
+--attrib validate gms-metrics/v1 and gms-attrib/v1 documents,
+including the attribution conservation invariant.
 
 --fault-plan injects deterministic faults: a comma-separated list of
   loss=<p>        per-message loss probability (0..1)
@@ -191,6 +228,33 @@ pub fn parse_replacement(text: &str) -> Result<ReplacementKind, CliError> {
     }
 }
 
+/// Parses a duration with an `ns`/`us`/`ms`/`s` suffix (bare numbers
+/// are nanoseconds).
+///
+/// # Errors
+///
+/// Non-numeric or non-positive values.
+pub fn parse_duration(text: &str) -> Result<Duration, CliError> {
+    let (num, scale) = if let Some(v) = text.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = text.strip_suffix("us") {
+        (v, 1e3)
+    } else if let Some(v) = text.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = text.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        (text, 1.0)
+    };
+    let n: f64 = num
+        .parse()
+        .map_err(|_| err(format!("bad duration '{text}'")))?;
+    if n.is_nan() || n <= 0.0 || !n.is_finite() {
+        return Err(err(format!("duration '{text}' must be positive")));
+    }
+    Ok(Duration::from_nanos((n * scale).round() as u64))
+}
+
 /// Flag-style argument extraction: `--key value` pairs plus bare flags.
 struct Args {
     rest: Vec<String>,
@@ -221,6 +285,12 @@ impl Args {
         } else {
             false
         }
+    }
+
+    /// Removes and returns the first non-flag argument (a positional).
+    fn take_positional(&mut self) -> Option<String> {
+        let pos = self.rest.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.rest.remove(pos))
     }
 
     fn finish(self) -> Result<(), CliError> {
@@ -279,6 +349,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             let fault_plan = args.take_value("--fault-plan");
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
+            let metrics = MetricsOpts::parse(&mut args)?;
             args.finish()?;
             run_command(
                 &app.scaled(scale),
@@ -290,6 +361,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 fault_plan.as_deref(),
                 trace_out.as_deref(),
                 summary_json.as_deref(),
+                &metrics,
             )
         }
         "sweep" => {
@@ -364,6 +436,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             let fault_plan = args.take_value("--fault-plan");
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
+            let metrics = MetricsOpts::parse(&mut args)?;
             args.finish()?;
             cluster_command(
                 &app.scaled(scale),
@@ -376,16 +449,119 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 fault_plan.as_deref(),
                 trace_out.as_deref(),
                 summary_json.as_deref(),
+                &metrics,
+            )
+        }
+        "profile" => {
+            let app = parse_app(
+                &args
+                    .take_value("--app")
+                    .ok_or_else(|| err("--app is required"))?,
+            )?;
+            let policy = parse_policy(
+                &args
+                    .take_value("--policy")
+                    .ok_or_else(|| err("--policy is required"))?,
+            )?;
+            let memory = match args.take_value("--memory") {
+                Some(m) => parse_memory(&m)?,
+                None => MemoryConfig::Half,
+            };
+            let scale: f64 = match args.take_value("--scale") {
+                Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
+                None => 1.0,
+            };
+            let net = match args.take_value("--net") {
+                Some(n) => parse_net(&n)?,
+                None => NetParams::paper(),
+            };
+            let replacement = match args.take_value("--replacement") {
+                Some(r) => parse_replacement(&r)?,
+                None => ReplacementKind::Lru,
+            };
+            let pal = args.take_flag("--pal");
+            let by = args
+                .take_value("--by")
+                .unwrap_or_else(|| "resource".to_owned());
+            if !matches!(by.as_str(), "resource" | "class" | "policy" | "node") {
+                return Err(err(format!(
+                    "bad --by '{by}' (expected resource, class or node)"
+                )));
+            }
+            let cluster = match (args.take_value("--nodes"), args.take_value("--active")) {
+                (None, None) => None,
+                (Some(n), Some(a)) => {
+                    let nodes: u32 = n.parse().map_err(|_| err("bad --nodes"))?;
+                    let active: u32 = a.parse().map_err(|_| err("bad --active"))?;
+                    if active == 0 || active >= nodes {
+                        return Err(err("need 0 < --active < --nodes"));
+                    }
+                    Some((nodes, active))
+                }
+                _ => return Err(err("--nodes and --active go together")),
+            };
+            let fault_plan = args.take_value("--fault-plan");
+            let json_out = args.take_value("--json").map(PathBuf::from);
+            args.finish()?;
+            profile_command(
+                &app.scaled(scale),
+                policy,
+                memory,
+                net,
+                replacement,
+                pal,
+                cluster,
+                &by,
+                fault_plan.as_deref(),
+                json_out.as_deref(),
+            )
+        }
+        "diff-trace" => {
+            let tolerance = parse_tolerance(&mut args, 5.0)?;
+            let full = args.take_flag("--full");
+            let a = args
+                .take_positional()
+                .ok_or_else(|| err("diff-trace needs two files"))?;
+            let b = args
+                .take_positional()
+                .ok_or_else(|| err("diff-trace needs two files"))?;
+            args.finish()?;
+            diff_command(Path::new(&a), Path::new(&b), tolerance, full, &[])
+        }
+        "diff-bench" => {
+            let tolerance = parse_tolerance(&mut args, 25.0)?;
+            let a = args
+                .take_positional()
+                .ok_or_else(|| err("diff-bench needs two files"))?;
+            let b = args
+                .take_positional()
+                .ok_or_else(|| err("diff-bench needs two files"))?;
+            args.finish()?;
+            diff_command(
+                Path::new(&a),
+                Path::new(&b),
+                tolerance,
+                false,
+                &INFORMATIONAL_CELLS,
             )
         }
         "check-trace" => {
             let trace = args.take_value("--trace").map(PathBuf::from);
             let summary = args.take_value("--summary").map(PathBuf::from);
+            let metrics = args.take_value("--metrics").map(PathBuf::from);
+            let attrib = args.take_value("--attrib").map(PathBuf::from);
             args.finish()?;
-            if trace.is_none() && summary.is_none() {
-                return Err(err("check-trace needs --trace and/or --summary"));
+            if trace.is_none() && summary.is_none() && metrics.is_none() && attrib.is_none() {
+                return Err(err(
+                    "check-trace needs --trace, --summary, --metrics and/or --attrib",
+                ));
             }
-            check_trace_command(trace.as_deref(), summary.as_deref())
+            check_trace_command(
+                trace.as_deref(),
+                summary.as_deref(),
+                metrics.as_deref(),
+                attrib.as_deref(),
+            )
         }
         "latency" => {
             let subpage = match args.take_value("--subpage") {
@@ -453,6 +629,59 @@ fn reliability_line(
     )
 }
 
+/// The time-series export flags shared by `run` and `cluster`.
+struct MetricsOpts {
+    json_out: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
+    window: Duration,
+}
+
+impl MetricsOpts {
+    /// Extracts `--metrics-out`, `--prom-out` and `--metrics-window`.
+    fn parse(args: &mut Args) -> Result<Self, CliError> {
+        let json_out = args.take_value("--metrics-out").map(PathBuf::from);
+        let prom_out = args.take_value("--prom-out").map(PathBuf::from);
+        let window = match args.take_value("--metrics-window") {
+            Some(w) => parse_duration(&w)?,
+            None => Duration::from_millis(1),
+        };
+        Ok(MetricsOpts {
+            json_out,
+            prom_out,
+            window,
+        })
+    }
+
+    /// Whether any export was requested (and so recording is needed).
+    fn wanted(&self) -> bool {
+        self.json_out.is_some() || self.prom_out.is_some()
+    }
+
+    /// Folds the recorded stream into windows and writes the requested
+    /// exports, appending one status line per file to `out`.
+    fn export(&self, rec: &MemoryRecorder, out: &mut String) -> Result<(), CliError> {
+        if !self.wanted() {
+            return Ok(());
+        }
+        let ts = TimeSeriesRecorder::replay(self.window, rec.iter());
+        if let Some(path) = &self.json_out {
+            write_file(path, &metrics_json(&ts))?;
+            let _ = writeln!(
+                out,
+                "metrics: {} ({} windows of {})",
+                path.display(),
+                ts.windows().len(),
+                self.window
+            );
+        }
+        if let Some(path) = &self.prom_out {
+            write_file(path, &ts.prometheus_text())?;
+            let _ = writeln!(out, "prometheus: {}", path.display());
+        }
+        Ok(())
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_command(
     app: &AppProfile,
@@ -464,6 +693,7 @@ fn run_command(
     fault_plan: Option<&str>,
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
+    metrics: &MetricsOpts,
 ) -> Result<String, CliError> {
     let access_cost = if pal {
         AccessCost::PalEmulated
@@ -482,13 +712,17 @@ fn run_command(
         config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
     }
     let sim = Simulator::new(config);
-    // Record only when someone asked for the trace; a summary alone is
-    // computed from the report's fault log.
-    let (report, extra) = if let Some(path) = trace_out {
+    // Record only when someone asked for a trace or metrics export; a
+    // summary alone is computed from the report's fault log.
+    let (report, extra) = if trace_out.is_some() || metrics.wanted() {
         let mut rec = MemoryRecorder::new();
         let report = sim.run_recorded(app, &mut rec);
-        write_file(path, &perfetto_trace(rec.events()))?;
-        let line = format!("trace: {} ({} events)\n", path.display(), rec.len());
+        let mut line = String::new();
+        if let Some(path) = trace_out {
+            write_file(path, &perfetto_trace(rec.iter()))?;
+            let _ = writeln!(line, "trace: {} ({} events)", path.display(), rec.len());
+        }
+        metrics.export(&rec, &mut line)?;
         (report, line)
     } else {
         (sim.run(app), String::new())
@@ -618,6 +852,7 @@ fn cluster_command(
     fault_plan: Option<&str>,
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
+    metrics: &MetricsOpts,
 ) -> Result<String, CliError> {
     let mut config = SimConfig::builder()
         .policy(policy)
@@ -632,11 +867,15 @@ fn cluster_command(
     }
     let apps = vec![app.clone(); active as usize];
     let sim = ClusterSim::new(config);
-    let (report, trace_line) = if let Some(path) = trace_out {
+    let (report, trace_line) = if trace_out.is_some() || metrics.wanted() {
         let mut rec = MemoryRecorder::new();
         let report = sim.run_recorded(&apps, &mut rec);
-        write_file(path, &perfetto_trace(rec.events()))?;
-        let line = format!("trace: {} ({} events)\n", path.display(), rec.len());
+        let mut line = String::new();
+        if let Some(path) = trace_out {
+            write_file(path, &perfetto_trace(rec.iter()))?;
+            let _ = writeln!(line, "trace: {} ({} events)", path.display(), rec.len());
+        }
+        metrics.export(&rec, &mut line)?;
         (report, line)
     } else {
         (sim.run(&apps), String::new())
@@ -674,6 +913,311 @@ fn cluster_command(
     Ok(out)
 }
 
+/// Renders aggregated attribution rows as an aligned table with a
+/// totals line.
+fn rows_table(rows: &[ComponentRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>7} {:>10} {:>11} {:>12} {:>10}",
+        "component", "faults", "queue_ms", "service_ms", "mean_svc_us", "total_ms"
+    );
+    let mut queue = Duration::ZERO;
+    let mut service = Duration::ZERO;
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>7} {:>10.3} {:>11.3} {:>12.1} {:>10.3}",
+            r.key,
+            r.count,
+            r.queue.as_millis_f64(),
+            r.service.as_millis_f64(),
+            r.mean_service().as_nanos() as f64 / 1000.0,
+            r.total().as_millis_f64()
+        );
+        queue += r.queue;
+        service += r.service;
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>7} {:>10.3} {:>11.3} {:>12} {:>10.3}",
+        "total",
+        "",
+        queue.as_millis_f64(),
+        service.as_millis_f64(),
+        "",
+        (queue + service).as_millis_f64()
+    );
+    out
+}
+
+/// `gms-sim profile`: records a run, attributes every fault's wait to
+/// critical-path components, checks conservation against the report's
+/// latency buckets, and prints the requested aggregation.
+#[allow(clippy::too_many_arguments)]
+fn profile_command(
+    app: &AppProfile,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+    net: NetParams,
+    replacement: ReplacementKind,
+    pal: bool,
+    cluster: Option<(u32, u32)>,
+    by: &str,
+    fault_plan: Option<&str>,
+    json_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let access_cost = if pal {
+        AccessCost::PalEmulated
+    } else {
+        AccessCost::TlbSupported
+    };
+    let mut builder = SimConfig::builder()
+        .policy(policy)
+        .memory(memory)
+        .net(net)
+        .replacement(replacement)
+        .access_cost(access_cost);
+    if let Some((nodes, _)) = cluster {
+        builder = builder.cluster_nodes(nodes);
+    }
+    let mut config = builder.build();
+    if let Some(spec) = fault_plan {
+        config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
+    }
+    let mut rec = MemoryRecorder::new();
+    let (what, reported) = match cluster {
+        Some((nodes, active)) => {
+            let apps = vec![app.clone(); active as usize];
+            let report = ClusterSim::new(config).run_recorded(&apps, &mut rec);
+            let wait: Duration = report
+                .nodes
+                .iter()
+                .map(|n| n.sp_latency + n.page_wait)
+                .sum();
+            (format!("{nodes}-node cluster, {active} active"), wait)
+        }
+        None => {
+            let report = Simulator::new(config).run_recorded(app, &mut rec);
+            (
+                "serial run".to_owned(),
+                report.sp_latency + report.page_wait,
+            )
+        }
+    };
+    let attrib: AttributionReport =
+        attribute(rec.iter()).map_err(|e| err(format!("attribution failed: {e}")))?;
+    let attributed = attrib.total_wait();
+    if attributed != reported {
+        return Err(err(format!(
+            "attributed wait {attributed} != reported sp_latency + page_wait {reported}"
+        )));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {} — {} ({what}), {} faults",
+        app.name(),
+        policy.label(),
+        attrib.faults.len()
+    );
+    let _ = writeln!(
+        out,
+        "attributed wait {:.3} ms == report sp_latency + page_wait (conserved)",
+        attributed.as_millis_f64()
+    );
+    match by {
+        "class" | "policy" => {
+            for class in attrib.classes() {
+                let wait: Duration = attrib
+                    .faults
+                    .iter()
+                    .filter(|f| f.class == class)
+                    .map(|f| f.total_wait())
+                    .sum();
+                let n = attrib.faults.iter().filter(|f| f.class == class).count();
+                let _ = writeln!(
+                    out,
+                    "\nclass {} ({n} faults, {:.3} ms):",
+                    class.label(),
+                    wait.as_millis_f64()
+                );
+                out.push_str(&rows_table(&attrib.by_component(Some(class))));
+            }
+        }
+        "node" => out.push_str(&rows_table(&attrib.by_node())),
+        _ => out.push_str(&rows_table(&attrib.by_component(None))),
+    }
+    let off_count: u64 = attrib.off_path.iter().map(|o| o.count).sum();
+    let off_busy: Duration = attrib.off_path.iter().map(|o| o.busy).sum();
+    if off_count > 0 {
+        let _ = writeln!(
+            out,
+            "off-path: {off_count} occupancies, {:.3} ms busy \
+             (failed attempts, follow-on pipelines, outbound wire twins)",
+            off_busy.as_millis_f64()
+        );
+    }
+    if let Some(path) = json_out {
+        write_file(path, &attribution_json(&attrib))?;
+        let _ = writeln!(out, "attribution: {}", path.display());
+    }
+    Ok(out)
+}
+
+/// Extracts `--tolerance` (a percentage) or uses the default.
+fn parse_tolerance(args: &mut Args, default: f64) -> Result<f64, CliError> {
+    match args.take_value("--tolerance") {
+        Some(t) => {
+            let v: f64 = t
+                .parse()
+                .map_err(|_| err(format!("bad --tolerance '{t}'")))?;
+            if v < 0.0 || !v.is_finite() {
+                return Err(err("--tolerance must be a non-negative percentage"));
+            }
+            Ok(v)
+        }
+        None => Ok(default),
+    }
+}
+
+/// Flattens a JSON document into dotted-path → number cells, skipping
+/// non-numeric leaves.
+fn flatten_cells(doc: &JsonValue) -> BTreeMap<String, f64> {
+    fn walk(v: &JsonValue, path: &str, out: &mut BTreeMap<String, f64>) {
+        if let Some(obj) = v.as_object() {
+            for (k, val) in obj {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(val, &p, out);
+            }
+        } else if let Some(arr) = v.as_array() {
+            for (i, val) in arr.iter().enumerate() {
+                walk(val, &format!("{path}[{i}]"), out);
+            }
+        } else if let Some(n) = v.as_f64() {
+            out.insert(path.to_owned(), n);
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(doc, "", &mut out);
+    out
+}
+
+/// Reduces a raw Perfetto trace to comparable cells: span count and
+/// busy time per `(node, track)`, and instant counts per kind.
+fn trace_cells(doc: &JsonValue) -> Result<BTreeMap<String, f64>, CliError> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| err("no traceEvents array (is this a Perfetto trace?)"))?;
+    let mut out = BTreeMap::new();
+    for e in events {
+        let pid = e.get("pid").and_then(JsonValue::as_u64).unwrap_or(0);
+        match e.get("ph").and_then(JsonValue::as_str) {
+            Some("X") => {
+                let tid = e.get("tid").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+                let track = ResourceKind::ALL.get(tid).map_or("app", |r| r.label());
+                let dur = e.get("dur").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                *out.entry(format!("span.n{pid}.{track}.count"))
+                    .or_insert(0.0) += 1.0;
+                *out.entry(format!("span.n{pid}.{track}.busy_us"))
+                    .or_insert(0.0) += dur;
+            }
+            Some("i") => {
+                let name = e.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+                *out.entry(format!("instant.{name}.count")).or_insert(0.0) += 1.0;
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// `gms-sim diff-trace` / `diff-bench`: compares the numeric cells of
+/// two JSON documents and fails (non-zero exit) when any moved by more
+/// than `tolerance_pct` percent.
+/// Cells `diff-bench` reports but never gates on: ratios derived from
+/// the gated time cells (they amplify small absolute wobbles into huge
+/// relative swings — a tracing overhead moving 5% -> 15% of runtime is
+/// a 67% relative delta on an absolute drift the ms cells bound at a
+/// few percent), and environment facts like the worker count that
+/// legitimately differ between a laptop baseline and a CI runner.
+const INFORMATIONAL_CELLS: [&str; 3] = ["overhead_pct", "speedup", "jobs"];
+
+fn diff_command(
+    a: &Path,
+    b: &Path,
+    tolerance_pct: f64,
+    full: bool,
+    informational: &[&str],
+) -> Result<String, CliError> {
+    let load = |path: &Path| -> Result<JsonValue, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+        JsonValue::parse(&text).map_err(|e| err(format!("{}: invalid JSON: {e}", path.display())))
+    };
+    let (doc_a, doc_b) = (load(a)?, load(b)?);
+    let (cells_a, cells_b) = if full {
+        (trace_cells(&doc_a)?, trace_cells(&doc_b)?)
+    } else {
+        (flatten_cells(&doc_a), flatten_cells(&doc_b))
+    };
+
+    let mut out = String::new();
+    let mut violations: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for (key, &va) in &cells_a {
+        // A cell absent from B counts as 0 — a 100% delta, so it fails
+        // any tolerance below 100 rather than unconditionally.
+        let vb = cells_b.get(key).copied();
+        let leaf = key.rsplit('.').next().unwrap_or(key);
+        if informational.contains(&leaf) {
+            let shown = vb.map_or_else(|| "missing".to_string(), |v| v.to_string());
+            let _ = writeln!(out, "info: {key}: {va} -> {shown} (not gated)");
+            continue;
+        }
+        compared += 1;
+        let vb_num = vb.unwrap_or(0.0);
+        let denom = va.abs().max(vb_num.abs());
+        if denom == 0.0 {
+            continue;
+        }
+        // Symmetric relative delta: robust when the baseline cell is
+        // (near) zero.
+        let delta = (vb_num - va).abs() / denom * 100.0;
+        if delta > tolerance_pct {
+            let shown = vb.map_or_else(|| format!("missing in {}", b.display()), |v| v.to_string());
+            violations.push(format!(
+                "{key}: {va} -> {shown} ({}{delta:.1}%)",
+                if vb_num >= va { "+" } else { "-" }
+            ));
+        }
+    }
+    for key in cells_b.keys().filter(|k| !cells_a.contains_key(*k)) {
+        let _ = writeln!(out, "note: {key} only in {}", b.display());
+    }
+    if violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "diff OK: {compared} cells within {tolerance_pct}% ({} vs {})",
+            a.display(),
+            b.display()
+        );
+        Ok(out)
+    } else {
+        Err(err(format!(
+            "{} of {compared} cells moved beyond {tolerance_pct}%:\n  {}",
+            violations.len(),
+            violations.join("\n  ")
+        )))
+    }
+}
+
 /// Every instant-event kind the simulator emits. `check-trace` rejects
 /// anything else, so a renamed or misspelled event breaks loudly here
 /// rather than silently vanishing from downstream tooling.
@@ -691,9 +1235,14 @@ pub const INSTANT_KINDS: [&str; 11] = [
     "degraded-fetch",
 ];
 
-/// Validates exported trace/summary files by re-parsing them, the same
-/// check CI's smoke step runs.
-fn check_trace_command(trace: Option<&Path>, summary: Option<&Path>) -> Result<String, CliError> {
+/// Validates exported trace/summary/metrics/attribution files by
+/// re-parsing them, the same check CI's smoke step runs.
+fn check_trace_command(
+    trace: Option<&Path>,
+    summary: Option<&Path>,
+    metrics: Option<&Path>,
+    attrib: Option<&Path>,
+) -> Result<String, CliError> {
     let read = |path: &Path| -> Result<String, CliError> {
         std::fs::read_to_string(path)
             .map_err(|e| err(format!("cannot read {}: {e}", path.display())))
@@ -765,6 +1314,106 @@ fn check_trace_command(trace: Option<&Path>, summary: Option<&Path>) -> Result<S
         }
         let kind = doc.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
         let _ = writeln!(out, "summary OK: {} (kind {kind})", path.display());
+    }
+    if let Some(path) = metrics {
+        let doc = parse(path, &read(path)?)?;
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(METRICS_SCHEMA) {
+            return Err(err(format!(
+                "{}: schema {schema:?}, expected {METRICS_SCHEMA:?}",
+                path.display()
+            )));
+        }
+        let window_ns = doc
+            .get("window_ns")
+            .and_then(JsonValue::as_u64)
+            .filter(|&w| w > 0)
+            .ok_or_else(|| err(format!("{}: bad window_ns", path.display())))?;
+        let windows = doc
+            .get("windows")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no windows array", path.display())))?;
+        for (i, w) in windows.iter().enumerate() {
+            for key in ["t_ns", "faults", "restarts", "retries", "wait_count"] {
+                if w.get(key).and_then(JsonValue::as_u64).is_none() {
+                    return Err(err(format!(
+                        "{}: window {i} missing integer {key}",
+                        path.display()
+                    )));
+                }
+            }
+            for r in ResourceKind::ALL {
+                let key = format!("util_{}", r.label().replace('-', "_"));
+                let u = w
+                    .get(&key)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| err(format!("{}: window {i} missing {key}", path.display())))?;
+                if !(0.0..=1.0 + 1e-9).contains(&u) {
+                    return Err(err(format!(
+                        "{}: window {i} {key} = {u} out of [0, 1]",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "metrics OK: {} ({} windows of {window_ns} ns)",
+            path.display(),
+            windows.len()
+        );
+    }
+    if let Some(path) = attrib {
+        let doc = parse(path, &read(path)?)?;
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(ATTRIB_SCHEMA) {
+            return Err(err(format!(
+                "{}: schema {schema:?}, expected {ATTRIB_SCHEMA:?}",
+                path.display()
+            )));
+        }
+        let totals = doc
+            .get("totals")
+            .ok_or_else(|| err(format!("{}: no totals object", path.display())))?;
+        let total_of = |key: &str| -> Result<u64, CliError> {
+            totals
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| err(format!("{}: totals.{key} missing", path.display())))
+        };
+        let faults = total_of("faults")?;
+        let total = total_of("total_wait_ns")?;
+        let queue = total_of("queue_ns")?;
+        let service = total_of("service_ns")?;
+        if queue + service != total {
+            return Err(err(format!(
+                "{}: queue_ns {queue} + service_ns {service} != total_wait_ns {total}",
+                path.display()
+            )));
+        }
+        let components = doc
+            .get("components")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no components array", path.display())))?;
+        let mut sum = 0u64;
+        for (i, c) in components.iter().enumerate() {
+            for key in ["queue_ns", "service_ns"] {
+                sum += c.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                    err(format!("{}: component {i} missing {key}", path.display()))
+                })?;
+            }
+        }
+        if sum != total {
+            return Err(err(format!(
+                "{}: components sum to {sum} ns, totals say {total} ns",
+                path.display()
+            )));
+        }
+        let _ = writeln!(
+            out,
+            "attrib OK: {} ({faults} faults, conserved)",
+            path.display()
+        );
     }
     Ok(out)
 }
@@ -979,6 +1628,289 @@ mod tests {
         .unwrap();
         assert!(execute(&argv(&format!("check-trace --trace {}", bad.display()))).is_ok());
         let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn parse_duration_accepts_suffixes() {
+        assert_eq!(parse_duration("250ns").unwrap(), Duration::from_nanos(250));
+        assert_eq!(parse_duration("500us").unwrap(), Duration::from_micros(500));
+        assert_eq!(parse_duration("2ms").unwrap(), Duration::from_millis(2));
+        assert_eq!(
+            parse_duration("1s").unwrap(),
+            Duration::from_nanos(1_000_000_000)
+        );
+        assert_eq!(parse_duration("42").unwrap(), Duration::from_nanos(42));
+        assert!(parse_duration("0ms").is_err());
+        assert!(parse_duration("-1ms").is_err());
+        assert!(parse_duration("soon").is_err());
+    }
+
+    /// The acceptance check: profiling a fullpage gdb run reproduces
+    /// the Table-2 restart-latency decomposition — per-component mean
+    /// service within 5% of the paper's constants, and the conserved
+    /// total within 5% of the 1.52 ms fullpage restart latency.
+    #[test]
+    fn profile_command_reproduces_table2_decomposition() {
+        let out = execute(&argv(
+            "profile --app gdb --policy p_8192 --memory full --scale 0.2",
+        ))
+        .unwrap();
+        assert!(out.contains("(conserved)"), "{out}");
+        // Mean service per component (µs): the Table-2 constants.
+        for (component, expect) in [
+            ("cpu/fault+request", 140.0),
+            ("cpu/process-request", 140.0),
+            ("cpu/send-setup", 25.0),
+            ("dma-out/dma-out", 184.0),
+            ("dma-in/dma-in", 184.0),
+            ("cpu/receive+resume", 359.9),
+            ("transit", 15.0),
+        ] {
+            let line = out
+                .lines()
+                .find(|l| l.starts_with(component))
+                .unwrap_or_else(|| panic!("no {component} row in {out}"));
+            let mean: f64 = line.split_whitespace().nth(4).unwrap().parse().unwrap();
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "{component}: mean {mean} vs paper {expect}\n{out}"
+            );
+        }
+        // Unqueued fullpage restarts sum to the 1.52 ms of Table 2.
+        let faults: f64 = out
+            .lines()
+            .find(|l| l.starts_with("profile:"))
+            .and_then(|l| l.split(", ").last())
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        let total: f64 = out
+            .lines()
+            .find(|l| l.starts_with("attributed wait"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let per_fault_ms = total / faults;
+        assert!(
+            (per_fault_ms - 1.52).abs() / 1.52 < 0.05,
+            "per-fault restart {per_fault_ms} ms vs Table 2's 1.52 ms\n{out}"
+        );
+    }
+
+    #[test]
+    fn profile_command_aggregations_and_validation() {
+        let by_class = execute(&argv(
+            "profile --app gdb --policy sp_1024 --scale 0.1 --by class",
+        ))
+        .unwrap();
+        assert!(by_class.contains("class remote"), "{by_class}");
+        let by_node = execute(&argv(
+            "profile --app gdb --policy sp_1024 --scale 0.1 --by node \
+             --nodes 4 --active 2",
+        ))
+        .unwrap();
+        assert!(by_node.contains("n0/cpu"), "{by_node}");
+        assert!(by_node.contains("(conserved)"), "{by_node}");
+        assert!(execute(&argv("profile --app gdb --policy sp_1024 --by banana")).is_err());
+        assert!(execute(&argv("profile --app gdb --policy sp_1024 --nodes 4")).is_err());
+        assert!(execute(&argv("profile --policy sp_1024")).is_err());
+    }
+
+    #[test]
+    fn profile_json_passes_check_trace_attrib() {
+        let path = temp_path("profile.attrib.json");
+        let out = execute(&argv(&format!(
+            "profile --app gdb --policy sp_1024 --scale 0.1 --json {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("attribution:"), "{out}");
+        let check = execute(&argv(&format!("check-trace --attrib {}", path.display()))).unwrap();
+        assert!(check.contains("attrib OK"), "{check}");
+        // A tampered total must fail the conservation check.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replacen("\"total_wait_ns\":", "\"total_wait_ns\":9", 1),
+        )
+        .unwrap();
+        assert!(execute(&argv(&format!("check-trace --attrib {}", path.display()))).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_flags_export_and_validate() {
+        let metrics = temp_path("run.metrics.json");
+        let prom = temp_path("run.prom.txt");
+        let out = execute(&argv(&format!(
+            "run --app gdb --policy sp_1024 --scale 0.1 \
+             --metrics-out {} --prom-out {} --metrics-window 500us",
+            metrics.display(),
+            prom.display()
+        )))
+        .unwrap();
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("prometheus:"), "{out}");
+        let check = execute(&argv(&format!(
+            "check-trace --metrics {}",
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(check.contains("metrics OK"), "{check}");
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_text.contains("# TYPE gms_faults_total counter"));
+        assert!(prom_text.contains("gms_wait_seconds_count"));
+        // Wrong-schema file is rejected.
+        std::fs::write(
+            &metrics,
+            r#"{"schema":"other/v1","window_ns":1,"windows":[]}"#,
+        )
+        .unwrap();
+        assert!(execute(&argv(&format!(
+            "check-trace --metrics {}",
+            metrics.display()
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&prom);
+    }
+
+    #[test]
+    fn cluster_metrics_flag_exports_too() {
+        let metrics = temp_path("cluster.metrics.json");
+        let out = execute(&argv(&format!(
+            "cluster --nodes 4 --active 2 --scale 0.05 --metrics-out {}",
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("metrics:"), "{out}");
+        let check = execute(&argv(&format!(
+            "check-trace --metrics {}",
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(check.contains("metrics OK"), "{check}");
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn diff_trace_passes_identical_and_fails_regressions() {
+        let a = temp_path("diff-a.summary.json");
+        let b = temp_path("diff-b.summary.json");
+        for path in [&a, &b] {
+            execute(&argv(&format!(
+                "run --app gdb --policy sp_1024 --scale 0.1 --summary-json {}",
+                path.display()
+            )))
+            .unwrap();
+        }
+        let ok = execute(&argv(&format!(
+            "diff-trace {} {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+        assert!(ok.contains("diff OK"), "{ok}");
+        // A different policy regresses far beyond any sane tolerance.
+        execute(&argv(&format!(
+            "run --app gdb --policy p_8192 --scale 0.1 --summary-json {}",
+            b.display()
+        )))
+        .unwrap();
+        let msg = execute(&argv(&format!(
+            "diff-trace {} {}",
+            a.display(),
+            b.display()
+        )))
+        .expect_err("regression must fail")
+        .to_string();
+        assert!(msg.contains("moved beyond"), "{msg}");
+        // ...unless the tolerance is absurdly wide.
+        assert!(execute(&argv(&format!(
+            "diff-trace {} {} --tolerance 10000",
+            a.display(),
+            b.display()
+        )))
+        .is_ok());
+        assert!(execute(&argv(&format!("diff-trace {}", a.display()))).is_err());
+        assert!(execute(&argv("diff-trace --tolerance nope a b")).is_err());
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn diff_trace_full_compares_raw_traces() {
+        let a = temp_path("diff-a.trace.json");
+        let b = temp_path("diff-b.trace.json");
+        for path in [&a, &b] {
+            execute(&argv(&format!(
+                "run --app gdb --policy sp_1024 --scale 0.1 --trace-out {}",
+                path.display()
+            )))
+            .unwrap();
+        }
+        let ok = execute(&argv(&format!(
+            "diff-trace {} {} --full",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+        assert!(ok.contains("diff OK"), "{ok}");
+        execute(&argv(&format!(
+            "run --app gdb --policy p_8192 --scale 0.1 --trace-out {}",
+            b.display()
+        )))
+        .unwrap();
+        assert!(execute(&argv(&format!(
+            "diff-trace {} {} --full",
+            a.display(),
+            b.display()
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn diff_bench_gates_on_tolerance() {
+        let a = temp_path("bench-a.json");
+        let b = temp_path("bench-b.json");
+        std::fs::write(
+            &a,
+            r#"{"tracing":{"ms":2.0,"overhead_pct":20.0},"sweep":{"jobs":1}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            r#"{"tracing":{"ms":2.2,"overhead_pct":80.0},"sweep":{"jobs":8}}"#,
+        )
+        .unwrap();
+        // 10% drift on the time cell passes the default 25% gate, and
+        // the wildly-moved derived/environment cells (overhead_pct,
+        // jobs) are reported but never gated.
+        let ok = execute(&argv(&format!(
+            "diff-bench {} {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+        assert!(ok.contains("diff OK"), "{ok}");
+        assert!(
+            ok.contains("info: tracing.overhead_pct: 20 -> 80 (not gated)"),
+            "{ok}"
+        );
+        assert!(ok.contains("info: sweep.jobs: 1 -> 8 (not gated)"), "{ok}");
+        // ...but fails a 5% gate.
+        assert!(execute(&argv(&format!(
+            "diff-bench {} {} --tolerance 5",
+            a.display(),
+            b.display()
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

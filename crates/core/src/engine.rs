@@ -240,6 +240,7 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
                 node: o.node,
                 resource: resource_kind(o.resource),
                 what: o.what,
+                ready: o.ready,
                 start: o.start,
                 end: o.end,
             });
@@ -1001,17 +1002,18 @@ impl<'a> NodeDriver<'a> {
                 wait: extra_wait + sp_wait,
             });
             if ft.arrivals.len() > 1 {
-                let arrivals: Vec<(SimTime, Vec<u8>)> = plan.groups()[1..]
+                let survivors = plan.groups()[1..]
                     .iter()
                     .zip(&ft.arrivals[1..])
-                    .filter(|(_, arr)| !arr.lost)
-                    .map(|(subs, arr)| (arr.available_at, subs.iter().map(|s| s.get()).collect()))
-                    .collect();
-                if !arrivals.is_empty() {
-                    ctx.rec.record(Event::Arrivals {
+                    .filter(|(_, arr)| !arr.lost);
+                for (msg, (subs, arr)) in survivors.enumerate() {
+                    let subpages = subs.iter().fold(0u32, |m, s| m | (1 << s.get()));
+                    ctx.rec.record(Event::Arrival {
                         node: self.node,
                         page: page.get(),
-                        arrivals,
+                        msg: msg as u8,
+                        at: arr.available_at,
+                        subpages,
                     });
                 }
             }

@@ -194,7 +194,7 @@ impl Sweep {
                     );
                     std::fs::write(
                         dir.join(format!("{stem}.trace.json")),
-                        perfetto_trace(rec.events()),
+                        perfetto_trace(rec.iter()),
                     )
                     .expect("sweep trace file is writable");
                     std::fs::write(

@@ -41,7 +41,7 @@ fn config(policy: FetchPolicy, memory: MemoryConfig, plan: Option<FaultPlan>) ->
 /// Asserts that no two occupancy spans of the same `(node, resource)`
 /// pair overlap: the five-resource pipeline stays a pipeline even when
 /// transfers are retried, degraded or dropped.
-fn assert_occupancies_disjoint(events: &[Event]) {
+fn assert_occupancies_disjoint<'a>(events: impl IntoIterator<Item = &'a Event>) {
     let mut spans: HashMap<(NodeId, ResourceKind), Vec<(SimTime, SimTime)>> = HashMap::new();
     for ev in events {
         if let Event::Occupancy {
@@ -126,7 +126,27 @@ proptest! {
                     app.target_refs(),
                     "{} {:?} lost references", policy.label(), memory
                 );
-                assert_occupancies_disjoint(rec.events());
+                assert_occupancies_disjoint(rec.iter());
+
+                // Attribution conservation under arbitrary chaos: the
+                // per-fault decomposition telescopes exactly, matches
+                // the engine's fault log fault-for-fault, and sums to
+                // the report's stall buckets to the nanosecond.
+                let attrib = gms_obs::attribute(rec.iter())
+                    .unwrap_or_else(|e| panic!("{} {:?}: {e}", policy.label(), memory));
+                prop_assert_eq!(attrib.faults.len(), report.fault_log.len());
+                for (a, r) in attrib.faults.iter().zip(&report.fault_log) {
+                    prop_assert_eq!(
+                        a.total_wait(),
+                        r.wait,
+                        "{} {:?} page {}", policy.label(), memory, r.page
+                    );
+                }
+                prop_assert_eq!(
+                    attrib.total_wait(),
+                    report.sp_latency + report.page_wait,
+                    "{} {:?}", policy.label(), memory
+                );
             }
         }
     }

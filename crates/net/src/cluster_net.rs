@@ -78,10 +78,29 @@ pub struct Occupancy {
     /// What the occupancy was for (`"dma-out"`, `"request"`, …) —
     /// mirrors the `what` labels of [`crate::timeline::Segment`].
     pub what: &'static str,
-    /// Occupancy start.
+    /// When the work *entered the queue* for this resource — the instant
+    /// its input was available. `start - ready` is the queueing delay
+    /// inflicted by earlier occupants; `end - start` is pure service.
+    pub ready: SimTime,
+    /// Occupancy start (grant).
     pub start: SimTime,
-    /// Occupancy end.
+    /// Occupancy end (release).
     pub end: SimTime,
+}
+
+impl Occupancy {
+    /// Queueing delay: time between entering the resource's queue and
+    /// being granted the resource.
+    #[must_use]
+    pub fn queue(&self) -> Duration {
+        self.start.elapsed_since(self.ready)
+    }
+
+    /// Service time: time the resource was actually held.
+    #[must_use]
+    pub fn service(&self) -> Duration {
+        self.end.elapsed_since(self.start)
+    }
 }
 
 /// The per-node slice of the shared network: CPU share, DMA rings, and
@@ -241,7 +260,10 @@ impl ClusterNetwork {
     /// Starts recording every resource occupancy (off by default; the
     /// log grows with every transfer, so tests enable it explicitly).
     pub fn record_occupancies(&mut self) {
-        self.log = Some(Vec::new());
+        // Occupancies dominate a traced run's event volume (~12k per
+        // bench run); start the log big enough that growth reallocs
+        // are rare instead of copying the whole history repeatedly.
+        self.log = Some(Vec::with_capacity(8192));
     }
 
     /// The recorded occupancies, in acquisition order. Empty unless
@@ -292,11 +314,13 @@ impl ClusterNetwork {
             .unwrap_or(SimTime::ZERO)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         node: NodeId,
         resource: NetResource,
         what: &'static str,
+        ready: SimTime,
         start: SimTime,
         end: SimTime,
     ) {
@@ -305,6 +329,7 @@ impl ClusterNetwork {
                 node,
                 resource,
                 what,
+                ready,
                 start,
                 end,
             });
@@ -322,7 +347,7 @@ impl ClusterNetwork {
         let (start, end) = self.nodes[node.as_usize()]
             .res_mut(resource)
             .acquire(ready, duration);
-        self.record(node, resource, what, start, end);
+        self.record(node, resource, what, ready, start, end);
         (start, end)
     }
 
@@ -349,8 +374,8 @@ impl ClusterNetwork {
                 .wire_in
                 .acquire_pair(&mut lo[ti].wire_out, ready, duration)
         };
-        self.record(rx, NetResource::WireIn, what, start, end);
-        self.record(tx, NetResource::WireOut, what, start, end);
+        self.record(rx, NetResource::WireIn, what, ready, start, end);
+        self.record(tx, NetResource::WireOut, what, ready, start, end);
         (start, end)
     }
 
@@ -841,6 +866,16 @@ mod tests {
         let mut horizon = std::collections::HashMap::new();
         for occ in log {
             assert!(occ.end >= occ.start);
+            assert!(
+                occ.ready <= occ.start,
+                "grant precedes queue entry: {} < {}",
+                occ.start,
+                occ.ready
+            );
+            assert_eq!(
+                occ.queue() + occ.service(),
+                occ.end.elapsed_since(occ.ready)
+            );
             let last = horizon
                 .entry((occ.node, occ.resource))
                 .or_insert(SimTime::ZERO);

@@ -92,7 +92,7 @@ impl FaultClass {
 /// advanced; `node` is always the node the event belongs to. Page ids
 /// are the node-local ids (before GMS namespacing) so they match the
 /// per-node fault log.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A page fault began: the program touched a non-resident page (or
     /// missing subpage, for lazy refills).
@@ -135,17 +135,25 @@ pub enum Event {
         /// How long the program stalled for the initial data.
         wait: Duration,
     },
-    /// Follow-on messages were scheduled for a page: each entry of
-    /// `arrivals` is the instant one message's data becomes usable,
-    /// with the subpages it carries.
-    Arrivals {
+    /// One follow-on message's data became usable. Emitted right after
+    /// the `Restart` of the fault that scheduled it, one event per
+    /// surviving message in send order. Keeping the event `Copy` (a
+    /// bitmask instead of a subpage list) is what lets the recorder
+    /// buffer the whole stream without a single side allocation.
+    Arrival {
         /// The receiving node.
         node: NodeId,
         /// The page the data belongs to (node-local id).
         page: u64,
-        /// `(available_at, subpages)` per follow-on message, in send
-        /// order.
-        arrivals: Vec<(SimTime, Vec<u8>)>,
+        /// Index of this message among the fault's surviving follow-on
+        /// messages, in send order (0-based).
+        msg: u8,
+        /// The instant the message's data becomes usable.
+        at: SimTime,
+        /// Bitmask of the subpages the message carries (bit `i` =
+        /// subpage `i`; a page has at most 32 subpages at the smallest
+        /// 256-byte subpage size).
+        subpages: u32,
     },
     /// The program stalled waiting for follow-on data on an incomplete
     /// page (`page_wait` in the report's decomposition).
@@ -181,9 +189,13 @@ pub enum Event {
         resource: ResourceKind,
         /// What the occupancy was for (`"dma-out"`, `"request"`, …).
         what: &'static str,
-        /// Occupancy start.
+        /// When the work entered the resource's queue (its input became
+        /// available). `start - ready` is queueing; `end - start` is
+        /// service.
+        ready: SimTime,
+        /// Occupancy start (grant).
         start: SimTime,
-        /// Occupancy end.
+        /// Occupancy end (release).
         end: SimTime,
     },
     /// A getpage attempt got no data back within the derived timeout
@@ -259,7 +271,7 @@ impl Event {
             Event::Fault { node, .. }
             | Event::GetPage { node, .. }
             | Event::Restart { node, .. }
-            | Event::Arrivals { node, .. }
+            | Event::Arrival { node, .. }
             | Event::Stall { node, .. }
             | Event::PutPage { node, .. }
             | Event::Occupancy { node, .. }

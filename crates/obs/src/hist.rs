@@ -274,6 +274,92 @@ mod tests {
             prop_assert!(err < 1.0 / 16.0, "err {err} for {v} (low {low})");
         }
 
+        /// Merge is commutative and associative: any grouping and order
+        /// of partial histograms yields the identical structure, so
+        /// per-window and per-node histograms can be rolled up freely.
+        #[test]
+        fn merge_commutative_and_associative(
+            xs in prop::collection::vec(0u64..u64::MAX / 4, 0..100),
+            ys in prop::collection::vec(0u64..u64::MAX / 4, 0..100),
+            zs in prop::collection::vec(0u64..u64::MAX / 4, 0..100),
+        ) {
+            let of = |vals: &[u64]| {
+                let mut h = LogHistogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            let (a, b, c) = (of(&xs), of(&ys), of(&zs));
+
+            // Commutativity: a ∪ b == b ∪ a.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+
+            // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            prop_assert_eq!(&ab_c, &a_bc);
+
+            // And both equal recording every sample into one histogram.
+            let mut all: Vec<u64> = xs.clone();
+            all.extend(&ys);
+            all.extend(&zs);
+            let direct = of(&all);
+            prop_assert_eq!(&ab_c, &direct);
+        }
+
+        /// A merged histogram's quantiles carry the same error bound as
+        /// a directly-recorded one: each reported percentile is a real
+        /// bucket lower bound within 1/16 relative error of some sample
+        /// at-or-above it, and the exact aggregates (count, sum, min,
+        /// max) survive merging untouched.
+        #[test]
+        fn merge_preserves_quantile_error_bounds(
+            xs in prop::collection::vec(1u64..100_000_000, 1..120),
+            ys in prop::collection::vec(1u64..100_000_000, 1..120),
+        ) {
+            let mut merged = LogHistogram::new();
+            for &v in &xs {
+                merged.record(v);
+            }
+            let mut other = LogHistogram::new();
+            for &v in &ys {
+                other.record(v);
+            }
+            merged.merge(&other);
+
+            let mut all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(merged.count(), all.len() as u64);
+            prop_assert_eq!(merged.sum(), all.iter().map(|&v| u128::from(v)).sum::<u128>());
+            prop_assert_eq!(merged.min(), all[0]);
+            prop_assert_eq!(merged.max(), *all.last().unwrap());
+
+            for step in 1..=10 {
+                let q = step as f64 / 10.0;
+                let p = merged.percentile(q);
+                // The exact order statistic percentile() targets.
+                let rank = ((q * all.len() as f64).ceil() as usize).max(1);
+                let exact = all[rank - 1];
+                // Reported value never exceeds the exact statistic and
+                // is within one bucket (1/16 relative) below it.
+                prop_assert!(p <= exact, "q={q}: p={p} > exact={exact}");
+                let err = (exact - p) as f64 / exact as f64;
+                prop_assert!(
+                    err < 1.0 / 16.0,
+                    "q={q}: p={p} vs exact={exact}, err={err}"
+                );
+            }
+        }
+
         /// Percentile is monotone in q and bounded by [min, max].
         #[test]
         fn percentile_monotone(samples in prop::collection::vec(0u64..10_000_000, 1..200)) {

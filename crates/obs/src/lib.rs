@@ -28,6 +28,14 @@
 //! * [`JsonValue`] — a minimal JSON parser used by tests and the CLI's
 //!   `check-trace` command to validate exported files offline (the
 //!   workspace's `serde` is an inert placeholder).
+//! * [`attribute`] — critical-path latency attribution: splits every
+//!   fault's wait into queueing vs. service per `(node, resource)` hop
+//!   using the occupancy log's queue-entry/grant/release timestamps,
+//!   with the decomposition provably conserved against the engine's
+//!   recorded waits.
+//! * [`TimeSeriesRecorder`] — a [`Recorder`] folding the stream into
+//!   fixed windows (utilization, in-flight fetches, wait percentiles,
+//!   retries), exported as `gms-metrics/v1` JSON or Prometheus text.
 //!
 //! # Examples
 //!
@@ -40,26 +48,34 @@
 //!     node: NodeId::new(2),
 //!     resource: ResourceKind::WireIn,
 //!     what: "data",
+//!     ready: SimTime::ZERO,
 //!     start: SimTime::ZERO,
 //!     end: SimTime::from_nanos(52_000),
 //! });
-//! let trace = gms_obs::perfetto_trace(rec.events());
+//! let trace = gms_obs::perfetto_trace(rec.iter());
 //! gms_obs::JsonValue::parse(&trace).expect("valid JSON");
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod attrib;
 mod counters;
 mod event;
 mod hist;
 mod json;
 mod perfetto;
 mod recorder;
+mod timeseries;
 
+pub use attrib::{
+    attribute, attribution_json, AttributionReport, ComponentRow, FaultAttribution, Hop,
+    OffPathUsage, ATTRIB_SCHEMA,
+};
 pub use counters::CounterRegistry;
 pub use event::{Event, FaultClass, ResourceKind};
 pub use hist::LogHistogram;
 pub use json::{escape_json, JsonValue};
 pub use perfetto::{perfetto_trace, trace_nodes, APP_TRACK};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use timeseries::{metrics_json, TimeSeriesRecorder, Window, METRICS_SCHEMA};

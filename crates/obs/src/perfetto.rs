@@ -76,8 +76,13 @@ fn push_instant(out: &mut String, pid: u32, tid: usize, name: &str, at_ns: u64, 
 /// single-line JSON object; parse it back with
 /// [`crate::JsonValue::parse`] to inspect it programmatically.
 #[must_use]
-pub fn perfetto_trace(events: &[Event]) -> String {
-    let nodes: BTreeSet<u32> = events.iter().map(|e| e.node().index()).collect();
+pub fn perfetto_trace<'a, I>(events: I) -> String
+where
+    I: IntoIterator<Item = &'a Event>,
+    I::IntoIter: Clone,
+{
+    let events = events.into_iter();
+    let nodes: BTreeSet<u32> = events.clone().map(|e| e.node().index()).collect();
 
     let mut parts: Vec<String> = Vec::new();
 
@@ -166,21 +171,22 @@ pub fn perfetto_trace(events: &[Event]) -> String {
                 );
                 push_instant(&mut out, pid, APP_TRACK, "restart", at.as_nanos(), &args);
             }
-            Event::Arrivals { page, arrivals, .. } => {
-                for (i, (at, subs)) in arrivals.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    let subs_json: Vec<String> = subs.iter().map(|s| s.to_string()).collect();
-                    let args = format!(
-                        ",\"args\":{{\"page\":{page},\"msg\":{i},\"subpages\":[{}]}}",
-                        subs_json.join(",")
-                    );
-                    push_instant(&mut out, pid, APP_TRACK, "arrival", at.as_nanos(), &args);
-                }
-                if arrivals.is_empty() {
-                    continue;
-                }
+            Event::Arrival {
+                page,
+                msg,
+                at,
+                subpages,
+                ..
+            } => {
+                let subs_json: Vec<String> = (0..32)
+                    .filter(|i| subpages & (1 << i) != 0)
+                    .map(|i: u32| i.to_string())
+                    .collect();
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"msg\":{msg},\"subpages\":[{}]}}",
+                    subs_json.join(",")
+                );
+                push_instant(&mut out, pid, APP_TRACK, "arrival", at.as_nanos(), &args);
             }
             Event::PutPage {
                 custodian,
@@ -291,6 +297,7 @@ mod tests {
                 node: NodeId::new(1),
                 resource: ResourceKind::Cpu,
                 what: "request",
+                ready: t(150),
                 start: t(150),
                 end: t(250),
             },
@@ -298,6 +305,7 @@ mod tests {
                 node: NodeId::new(0),
                 resource: ResourceKind::WireIn,
                 what: "data",
+                ready: t(250),
                 start: t(300),
                 end: t(5_300),
             },
@@ -307,10 +315,19 @@ mod tests {
                 at: t(5_300),
                 wait: Duration::from_nanos(5_200),
             },
-            Event::Arrivals {
+            Event::Arrival {
                 node: NodeId::new(0),
                 page: 3,
-                arrivals: vec![(t(6_000), vec![1, 2]), (t(7_000), vec![3])],
+                msg: 0,
+                at: t(6_000),
+                subpages: (1 << 1) | (1 << 2),
+            },
+            Event::Arrival {
+                node: NodeId::new(0),
+                page: 3,
+                msg: 1,
+                at: t(7_000),
+                subpages: 1 << 3,
             },
         ];
         let doc = perfetto_trace(&events);
@@ -353,7 +370,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_valid() {
-        let doc = perfetto_trace(&[]);
+        let doc = perfetto_trace(&[] as &[Event]);
         let v = JsonValue::parse(&doc).expect("valid JSON");
         assert_eq!(
             v.get("traceEvents")

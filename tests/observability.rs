@@ -11,9 +11,11 @@ use proptest::prelude::*;
 use gms_subpages::core::{ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator};
 use gms_subpages::mem::SubpageSize;
 use gms_subpages::obs::{
-    perfetto_trace, Event, JsonValue, MemoryRecorder, ResourceKind, APP_TRACK,
+    attribute, perfetto_trace, Event, JsonValue, MemoryRecorder, ResourceKind, TimeSeriesRecorder,
+    APP_TRACK,
 };
 use gms_subpages::trace::apps;
+use gms_subpages::units::Duration;
 
 fn policies() -> [FetchPolicy; 6] {
     [
@@ -67,7 +69,56 @@ proptest! {
         let plain = ClusterSim::new(config.clone()).run(&apps);
         let mut rec = MemoryRecorder::new();
         let traced = ClusterSim::new(config).run_recorded(&apps, &mut rec);
-        prop_assert_eq!(plain, traced);
+        prop_assert_eq!(&plain, &traced);
+    }
+
+    /// Critical-path attribution conserves the engine's recorded waits
+    /// on clean (no fault plan) runs: per fault against the fault log,
+    /// and in total against the report's `sp_latency + page_wait`
+    /// buckets — serially and in a cluster.
+    #[test]
+    fn attribution_conserves_report_buckets(
+        policy_pick in 0usize..6,
+        memory_pick in 0usize..3,
+    ) {
+        let policy = policies()[policy_pick];
+        let memory = [MemoryConfig::Full, MemoryConfig::Half, MemoryConfig::Quarter][memory_pick];
+        let app = apps::gdb().scaled(0.05);
+
+        let config = SimConfig::builder().policy(policy).memory(memory).build();
+        let mut rec = MemoryRecorder::new();
+        let report = Simulator::new(config).run_recorded(&app, &mut rec);
+        let attrib = attribute(rec.iter()).expect("serial stream attributes");
+        prop_assert_eq!(attrib.faults.len(), report.fault_log.len());
+        for (a, r) in attrib.faults.iter().zip(&report.fault_log) {
+            prop_assert_eq!(a.total_wait(), r.wait, "page {}", r.page);
+        }
+        prop_assert_eq!(attrib.total_wait(), report.sp_latency + report.page_wait);
+
+        let config = SimConfig::builder()
+            .policy(policy)
+            .memory(memory)
+            .cluster_nodes(4)
+            .build();
+        let apps = [app.clone(), apps::ld().scaled(0.03)];
+        let mut rec = MemoryRecorder::new();
+        let cluster = ClusterSim::new(config).run_recorded(&apps, &mut rec);
+        let attrib = attribute(rec.iter()).expect("cluster stream attributes");
+        let reported: Duration = cluster
+            .nodes
+            .iter()
+            .map(|n| n.sp_latency + n.page_wait)
+            .sum();
+        prop_assert_eq!(attrib.total_wait(), reported);
+        // And per node: each node's attributed faults sum to its own
+        // report buckets.
+        for (i, node) in cluster.nodes.iter().enumerate() {
+            let node_wait: Duration = attrib
+                .node_faults(gms_subpages::units::NodeId::new(i as u32))
+                .map(|f| f.total_wait())
+                .sum();
+            prop_assert_eq!(node_wait, node.sp_latency + node.page_wait, "node {i}");
+        }
     }
 }
 
@@ -93,7 +144,7 @@ fn recorded_occupancies_sum_to_reported_wire_busy() {
     let (rec, report) = traced_cluster();
     let mut wire_in = 0u64;
     let mut wire_out = 0u64;
-    for e in rec.events() {
+    for e in rec.iter() {
         if let Event::Occupancy {
             resource,
             start,
@@ -122,7 +173,7 @@ fn recorded_occupancies_sum_to_reported_wire_busy() {
 #[test]
 fn perfetto_spans_are_disjoint_and_account_for_the_wire() {
     let (rec, report) = traced_cluster();
-    let doc = perfetto_trace(rec.events());
+    let doc = perfetto_trace(rec.iter());
     let v = JsonValue::parse(&doc).expect("trace is valid JSON");
     let items = v
         .get("traceEvents")
@@ -189,4 +240,60 @@ fn perfetto_spans_are_disjoint_and_account_for_the_wire() {
         });
         assert!(has_app, "node{pid} has app-track instants");
     }
+}
+
+/// A `TimeSeriesRecorder` threads directly through `run_recorded` as
+/// the engine's recorder — no intermediate buffering — and its folded
+/// totals agree with both a buffered replay and the report: fault and
+/// restart counts match the fault log, busy time matches the network's
+/// wire busy, and the in-flight coverage integrates to the total wait.
+#[test]
+fn timeseries_threads_directly_through_cluster_runs() {
+    let config = SimConfig::builder()
+        .policy(FetchPolicy::eager(SubpageSize::S1K))
+        .memory(MemoryConfig::Half)
+        .cluster_nodes(5)
+        .build();
+    let apps = [apps::gdb().scaled(0.05), apps::ld().scaled(0.03)];
+    let window = Duration::from_micros(500);
+
+    // Direct: the time-series recorder IS the engine's event sink.
+    let mut direct = TimeSeriesRecorder::new(window);
+    let report = ClusterSim::new(config.clone()).run_recorded(&apps, &mut direct);
+
+    // Replayed: buffer first, fold afterwards. Identical folding.
+    let mut rec = MemoryRecorder::new();
+    let replay_report = ClusterSim::new(config).run_recorded(&apps, &mut rec);
+    assert_eq!(report, replay_report);
+    let replayed = TimeSeriesRecorder::replay(window, rec.iter());
+
+    assert_eq!(direct.windows().len(), replayed.windows().len());
+    let count = |ts: &TimeSeriesRecorder, f: fn(&gms_subpages::obs::Window) -> u64| -> u64 {
+        ts.windows().iter().map(f).sum()
+    };
+    for pick in [
+        |w: &gms_subpages::obs::Window| w.faults,
+        |w: &gms_subpages::obs::Window| w.restarts,
+        |w: &gms_subpages::obs::Window| w.retries,
+        |w: &gms_subpages::obs::Window| w.putpages,
+    ] {
+        assert_eq!(count(&direct, pick), count(&replayed, pick));
+    }
+
+    let total_faults: u64 = report.nodes.iter().map(|n| n.faults.total()).sum();
+    assert_eq!(count(&direct, |w| w.restarts), total_faults);
+    assert_eq!(direct.all_waits().count(), total_faults);
+
+    // Wire busy folded into windows equals the network report exactly.
+    let wire_in: Duration = direct
+        .windows()
+        .iter()
+        .map(|w| w.busy[ResourceKind::WireIn.index()])
+        .sum();
+    assert_eq!(wire_in, report.net.wire_in_busy);
+
+    // In-flight coverage integrates to the total restart wait.
+    let inflight: Duration = direct.windows().iter().map(|w| w.inflight).sum();
+    let restart_wait = Duration::from_nanos(direct.all_waits().sum() as u64);
+    assert_eq!(inflight, restart_wait);
 }
