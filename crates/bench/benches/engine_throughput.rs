@@ -3,12 +3,17 @@
 //! Measures the simulator's reference throughput (refs/sec) per fetch
 //! policy over a pre-materialized gdb trace, the wall-clock of the
 //! paper-default sweep grid serially vs. on [`gms_bench::jobs`] workers,
-//! and a multi-node cluster cell (four active nodes, eager 1K, shared
-//! network) with its aggregate wire utilization. Results print as a
-//! table and are written to `BENCH_engine.json` at the repository root
-//! so regressions are diffable across commits — CI's perf gate runs
-//! this bench and `gms-sim diff-bench`es the fresh file against the
-//! committed baseline.
+//! a multi-node cluster cell (four active nodes, eager 1K, shared
+//! network) with its aggregate wire utilization, and a 64-node
+//! thread-scaling cell (serial scheduler vs. `jobs()` worker threads).
+//! Every timed variant runs once per round in one fixed rotation
+//! (median of [`ROUNDS`]), so slow drift hits all cells equally.
+//! Results print as a table and are written to `BENCH_engine.json` at
+//! the repository root so regressions are diffable across commits —
+//! CI's perf gate runs this bench and `gms-sim diff-bench`es the fresh
+//! file against the committed baseline. Parallel wall-clock cells
+//! (`jobs*`, `threads*`, `speedup`) are informational: they track the
+//! host's core count, not the code.
 //!
 //! `GMS_SCALE` shrinks the trace, `GMS_JOBS` pins the worker count,
 //! and `GMS_BENCH_OUT` redirects the JSON output (so the CI gate can
@@ -137,21 +142,87 @@ fn main() {
         "the inert plan must never actually fire"
     );
 
+    // Paper-default sweep grid: serial executor vs. `jobs()` workers.
+    let sweep_once = |jobs: usize| {
+        let start = Instant::now();
+        std::hint::black_box(Sweep::new(app.clone()).run_parallel(jobs));
+        start.elapsed().as_secs_f64()
+    };
+    let parallel_jobs = jobs();
+
+    // Multi-node cluster cell: four active nodes replaying the same app
+    // over a shared 7-node network, eager 1K.
+    const CLUSTER_NODES: u32 = 7;
+    const CLUSTER_ACTIVE: usize = 4;
+    let cluster_config = |nodes: u32, threads: u32| {
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .cluster_nodes(nodes)
+            .threads(threads)
+            .build()
+    };
+    let cluster_sim = ClusterSim::new(cluster_config(CLUSTER_NODES, 1));
+    let cluster_apps = vec![app.clone(); CLUSTER_ACTIVE];
+    let cluster_warm = cluster_sim.run(&cluster_apps);
+    let cluster_refs: u64 = cluster_warm.nodes.iter().map(|r| r.total_refs).sum();
+
+    // Thread-scaling cell: a 64-node cluster with 16 active nodes,
+    // serial reference scheduler vs. `jobs()` worker threads. The
+    // threaded wall-clock is an environment fact (it tracks the host's
+    // core count), so only the serial cell is gated; the threaded cell
+    // and its speedup ride along informationally.
+    const BIG_NODES: u32 = 64;
+    const BIG_ACTIVE: usize = 16;
+    let threads = u32::try_from(parallel_jobs).unwrap_or(1).max(1);
+    let big_serial_sim = ClusterSim::new(cluster_config(BIG_NODES, 1));
+    let big_threaded_sim = ClusterSim::new(cluster_config(BIG_NODES, threads));
+    let big_apps = vec![app.clone(); BIG_ACTIVE];
+    // Warm both variants and pin the tentpole property where the perf
+    // numbers are made: thread count never changes the report.
+    let big_warm = big_serial_sim.run(&big_apps);
+    assert_eq!(
+        big_warm,
+        big_threaded_sim.run(&big_apps),
+        "parallel scheduler diverged from the serial reference"
+    );
+
     let mut policy_times = vec![Vec::with_capacity(ROUNDS); policies.len()];
     let mut traced_times = Vec::with_capacity(ROUNDS);
     let mut faulted_times = Vec::with_capacity(ROUNDS);
+    let mut sweep_serial_times = Vec::with_capacity(ROUNDS);
+    let mut sweep_parallel_times = Vec::with_capacity(ROUNDS);
+    let mut cluster_times = Vec::with_capacity(ROUNDS);
+    let mut big_serial_times = Vec::with_capacity(ROUNDS);
+    let mut big_threaded_times = Vec::with_capacity(ROUNDS);
+    let time = |acc: &mut Vec<f64>, run: &mut dyn FnMut()| {
+        let start = Instant::now();
+        run();
+        acc.push(start.elapsed().as_secs_f64());
+    };
     for _ in 0..ROUNDS {
         for (i, &policy) in policies.iter().enumerate() {
-            let start = Instant::now();
-            std::hint::black_box(run_policy(policy));
-            policy_times[i].push(start.elapsed().as_secs_f64());
+            time(&mut policy_times[i], &mut || {
+                std::hint::black_box(run_policy(policy));
+            });
         }
-        let start = Instant::now();
-        std::hint::black_box(run_traced(&mut shared_rec));
-        traced_times.push(start.elapsed().as_secs_f64());
-        let start = Instant::now();
-        std::hint::black_box(run_faulted());
-        faulted_times.push(start.elapsed().as_secs_f64());
+        time(&mut traced_times, &mut || {
+            std::hint::black_box(run_traced(&mut shared_rec));
+        });
+        time(&mut faulted_times, &mut || {
+            std::hint::black_box(run_faulted());
+        });
+        sweep_serial_times.push(sweep_once(1));
+        sweep_parallel_times.push(sweep_once(parallel_jobs));
+        time(&mut cluster_times, &mut || {
+            std::hint::black_box(cluster_sim.run(&cluster_apps));
+        });
+        time(&mut big_serial_times, &mut || {
+            std::hint::black_box(big_serial_sim.run(&big_apps));
+        });
+        time(&mut big_threaded_times, &mut || {
+            std::hint::black_box(big_threaded_sim.run(&big_apps));
+        });
     }
     for (s, times) in samples.iter_mut().zip(&mut policy_times) {
         s.secs = median(times);
@@ -164,38 +235,11 @@ fn main() {
         .expect("sp_1024 cell present");
     let tracing_overhead = traced_secs / untraced.secs - 1.0;
     let fault_overhead = faulted_secs / untraced.secs - 1.0;
-
-    // Paper-default sweep grid: serial executor vs. the parallel one.
-    let sweep_secs = |jobs: usize| {
-        let start = Instant::now();
-        std::hint::black_box(Sweep::new(app.clone()).run_parallel(jobs));
-        start.elapsed().as_secs_f64()
-    };
-    let serial_secs = sweep_secs(1);
-    let parallel_jobs = jobs();
-    let parallel_secs = sweep_secs(parallel_jobs);
-
-    // Multi-node cluster cell: four active nodes replaying the same app
-    // over a shared 7-node network, eager 1K.
-    const CLUSTER_NODES: u32 = 7;
-    const CLUSTER_ACTIVE: usize = 4;
-    let cluster_sim = ClusterSim::new(
-        SimConfig::builder()
-            .policy(FetchPolicy::eager(SubpageSize::S1K))
-            .memory(MemoryConfig::Half)
-            .cluster_nodes(CLUSTER_NODES)
-            .build(),
-    );
-    let cluster_apps = vec![app.clone(); CLUSTER_ACTIVE];
-    let cluster_warm = cluster_sim.run(&cluster_apps);
-    let mut cluster_times = Vec::with_capacity(5);
-    for _ in 0..5 {
-        let start = Instant::now();
-        std::hint::black_box(cluster_sim.run(&cluster_apps));
-        cluster_times.push(start.elapsed().as_secs_f64());
-    }
+    let serial_secs = median(&mut sweep_serial_times);
+    let parallel_secs = median(&mut sweep_parallel_times);
     let cluster_secs = median(&mut cluster_times);
-    let cluster_refs: u64 = cluster_warm.nodes.iter().map(|r| r.total_refs).sum();
+    let big_serial_secs = median(&mut big_serial_times);
+    let big_threaded_secs = median(&mut big_threaded_times);
 
     let mut table = Table::new(
         &format!("Engine throughput (gdb trace, 1/2-mem, scale {})", scale()),
@@ -239,6 +283,15 @@ fn main() {
         cluster_warm.makespan.as_millis_f64(),
         cluster_warm.net.queue_delay.as_millis_f64(),
         cluster_warm.net.wire_utilization * 100.0
+    );
+    println!(
+        "cluster scaling ({BIG_ACTIVE} active of {BIG_NODES} nodes, sp_1024): \
+         serial {:.2} ms/run, {threads} thread(s) {:.2} ms/run ({:.2}x), \
+         wire util {:.1}%",
+        big_serial_secs * 1e3,
+        big_threaded_secs * 1e3,
+        big_serial_secs / big_threaded_secs,
+        big_warm.net.wire_utilization * 100.0
     );
 
     let mut json = String::from("{\n");
@@ -291,11 +344,15 @@ fn main() {
         fault_overhead * 100.0
     ));
     json.push_str("  },\n");
+    // Parallel wall-clocks are environment facts — they track the host
+    // core count — so `jobs`, `jobs_secs` and `speedup` are reported
+    // but not gated (see gms-cli's INFORMATIONAL_CELLS). Only the
+    // serial cell is comparable across hosts.
     json.push_str("  \"sweep\": {\n");
     json.push_str("    \"cells\": 21,\n");
     json.push_str(&format!("    \"serial_secs\": {serial_secs:.3},\n"));
     json.push_str(&format!("    \"jobs\": {parallel_jobs},\n"));
-    json.push_str(&format!("    \"parallel_secs\": {parallel_secs:.3},\n"));
+    json.push_str(&format!("    \"jobs_secs\": {parallel_secs:.3},\n"));
     json.push_str(&format!(
         "    \"speedup\": {:.3}\n",
         serial_secs / parallel_secs
@@ -325,6 +382,28 @@ fn main() {
     json.push_str(&format!(
         "    \"sim_queue_delay_ms\": {:.3}\n",
         cluster_warm.net.queue_delay.as_millis_f64()
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"cluster_scaling\": {\n");
+    json.push_str(&format!("    \"nodes\": {BIG_NODES},\n"));
+    json.push_str(&format!("    \"active\": {BIG_ACTIVE},\n"));
+    json.push_str("    \"policy\": \"sp_1024\",\n");
+    json.push_str(&format!(
+        "    \"serial_ms_per_run\": {:.3},\n",
+        big_serial_secs * 1e3
+    ));
+    json.push_str(&format!("    \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "    \"threads_ms_per_run\": {:.3},\n",
+        big_threaded_secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"speedup\": {:.3},\n",
+        big_serial_secs / big_threaded_secs
+    ));
+    json.push_str(&format!(
+        "    \"wire_utilization\": {:.4}\n",
+        big_warm.net.wire_utilization
     ));
     json.push_str("  }\n}\n");
     let path = std::env::var_os("GMS_BENCH_OUT").map_or_else(

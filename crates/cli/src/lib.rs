@@ -66,7 +66,7 @@ USAGE:
               [--fault-plan <spec>]
   gms-sim cluster --nodes <k> --active <a> [--app <name>] [--policy <label>]
               [--memory full|half|quarter|<frames>] [--scale <f>]
-              [--net atm|ethernet|fast4|fast16]
+              [--threads <n>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2]
               [--fault-plan <spec>]
               [--trace-out <path>] [--summary-json <path>]
@@ -87,7 +87,10 @@ available cores); the reports are identical to a serial run.
 Cluster runs replay the app (default: gdb, eager 1 KB, 1/2 memory) on
 each of the <a> active nodes at once; the remaining nodes serve as idle
 memory hosts, and every transfer contends on the shared wires and
-serving-node CPU/DMA.
+serving-node CPU/DMA. --threads <n> runs the node event loops on up to
+<n> worker threads under a conservative scheduler; the report is
+byte-identical whatever the thread count (default: 1, the serial
+reference).
 
 --trace-out writes a Chrome/Perfetto trace (load it at
 https://ui.perfetto.dev): one track per (node, resource) with spans for
@@ -425,6 +428,16 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
                 None => 1.0,
             };
+            let threads: u32 = match args.take_value("--threads") {
+                Some(t) => {
+                    let n: u32 = t.parse().map_err(|_| err("bad --threads"))?;
+                    if n == 0 {
+                        return Err(err("--threads must be at least 1"));
+                    }
+                    n
+                }
+                None => 1,
+            };
             let net = match args.take_value("--net") {
                 Some(n) => parse_net(&n)?,
                 None => NetParams::paper(),
@@ -442,6 +455,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 &app.scaled(scale),
                 nodes,
                 active,
+                threads,
                 policy,
                 memory,
                 net,
@@ -845,6 +859,7 @@ fn cluster_command(
     app: &AppProfile,
     nodes: u32,
     active: u32,
+    threads: u32,
     policy: FetchPolicy,
     memory: MemoryConfig,
     net: NetParams,
@@ -860,6 +875,7 @@ fn cluster_command(
         .net(net)
         .replacement(replacement)
         .cluster_nodes(nodes)
+        .threads(threads)
         .build();
     let injecting = fault_plan.is_some();
     if let Some(spec) = fault_plan {
@@ -1146,8 +1162,18 @@ fn trace_cells(doc: &JsonValue) -> Result<BTreeMap<String, f64>, CliError> {
 /// relative swings — a tracing overhead moving 5% -> 15% of runtime is
 /// a 67% relative delta on an absolute drift the ms cells bound at a
 /// few percent), and environment facts like the worker count that
-/// legitimately differ between a laptop baseline and a CI runner.
-const INFORMATIONAL_CELLS: [&str; 3] = ["overhead_pct", "speedup", "jobs"];
+/// legitimately differ between a laptop baseline and a CI runner
+/// (`jobs`, `threads` — and with them the thread-scaling wall-clock
+/// cells, whose values depend entirely on how many cores the host
+/// offers).
+const INFORMATIONAL_CELLS: [&str; 6] = [
+    "overhead_pct",
+    "speedup",
+    "jobs",
+    "jobs_secs",
+    "threads",
+    "threads_ms_per_run",
+];
 
 fn diff_command(
     a: &Path,
@@ -1556,6 +1582,33 @@ mod tests {
         // --app is optional: the default workload is gdb.
         let out = execute(&argv("cluster --nodes 4 --active 2 --scale 0.05")).unwrap();
         assert!(out.contains("2 active node(s)"), "{out}");
+    }
+
+    #[test]
+    fn cluster_threads_flag_is_output_invariant() {
+        // The tentpole's CLI face: the same cluster run under 1, 2 and
+        // 8 worker threads prints the identical report.
+        let serial = execute(&argv(
+            "cluster --nodes 6 --active 3 --app gdb --scale 0.05 --threads 1",
+        ))
+        .unwrap();
+        for threads in [2, 8] {
+            let parallel = execute(&argv(&format!(
+                "cluster --nodes 6 --active 3 --app gdb --scale 0.05 --threads {threads}"
+            )))
+            .unwrap();
+            assert_eq!(serial, parallel, "--threads {threads} diverged");
+        }
+        // Omitting the flag means the serial reference.
+        let default =
+            execute(&argv("cluster --nodes 6 --active 3 --app gdb --scale 0.05")).unwrap();
+        assert_eq!(serial, default);
+    }
+
+    #[test]
+    fn cluster_threads_flag_validates() {
+        assert!(execute(&argv("cluster --nodes 4 --active 2 --threads 0")).is_err());
+        assert!(execute(&argv("cluster --nodes 4 --active 2 --threads banana")).is_err());
     }
 
     #[test]

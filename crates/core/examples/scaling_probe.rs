@@ -1,0 +1,46 @@
+//! Cluster thread-scaling probe: wall-clock per run for 64- and
+//! 256-node clusters at 1/2/4/8 worker threads (median of 5 runs).
+//!
+//! Feeds the "Cluster scaling" table in EXPERIMENTS.md. Results are
+//! byte-identical across thread counts by construction — this probe
+//! only measures how the host's core count turns that freedom into
+//! wall-clock. On a single-core host, threads > 1 measures the
+//! scheduler's handoff overhead instead of speedup; see the
+//! EXPERIMENTS.md discussion.
+
+use std::time::Instant;
+
+use gms_core::{ClusterSim, FetchPolicy, MemoryConfig, SimConfig};
+use gms_mem::SubpageSize;
+use gms_trace::apps;
+
+fn main() {
+    for (nodes, active) in [(64u32, 16usize), (256, 32)] {
+        let app = apps::gdb().scaled(1.0);
+        let apps = vec![app; active];
+        for threads in [1u32, 2, 4, 8] {
+            let sim = ClusterSim::new(
+                SimConfig::builder()
+                    .policy(FetchPolicy::eager(SubpageSize::S1K))
+                    .memory(MemoryConfig::Half)
+                    .cluster_nodes(nodes)
+                    .threads(threads)
+                    .build(),
+            );
+            let warm = sim.run(&apps);
+            let mut times: Vec<f64> = (0..5)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(sim.run(&apps));
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            println!(
+                "nodes={nodes} active={active} threads={threads}: {:.2} ms/run, wire util {:.2}%",
+                times[2] * 1e3,
+                warm.net.wire_utilization * 100.0
+            );
+        }
+    }
+}

@@ -2,24 +2,31 @@
 //!
 //! [`ClusterSim`] advances *A* active nodes — each replaying its own
 //! application trace against its own page table, frame pool and LRU —
-//! in deterministic lockstep over one shared [`ClusterNetwork`] and one
-//! shared GMS. Concurrent faults, follow-on pipelines and putpage
+//! under deterministic conservative schedulers over one shared
+//! [`ClusterNetwork`] and one shared GMS. Concurrent faults, follow-on
+//! pipelines and putpage
 //! write-backs from different nodes contend on the shared wires and on
 //! the serving nodes' CPU and DMA, so each node's page-wait grows with
 //! cluster load (the effect [`ClusterReport`] surfaces as queueing delay
 //! and wire utilization).
 //!
 //! `Simulator::run` is exactly the one-active-node case: both funnel
-//! into [`run_lockstep`], so a single-app cluster run and a serial run
+//! into [`run_cluster`], so a single-app cluster run and a serial run
 //! produce byte-identical reports.
 //!
 //! # Determinism
 //!
-//! The lockstep scheduler always resumes the unfinished node with the
-//! smallest `(clock, node id)` and lets it run until it passes every
-//! other unfinished node's clock. Shared-resource acquisitions therefore
-//! happen in a reproducible order that is independent of host threading
-//! or hashing: the same inputs give the same report, every time.
+//! Each node alternates between a *local phase* (runs on fully-resident
+//! pages, touching only node-private state) and *shared sections* (the
+//! parked run that may fault, refill or evict through the shared
+//! network and GMS). Shared sections commit in exactly ascending
+//! `(park clock, node id)` order — the schedulers in [`crate::sched`]
+//! realize that order serially (a heap) or on a worker-thread pool (a
+//! conservative grant rule with lookahead-quantized progress bounds).
+//! Because the commit order is a pure function of the inputs, the same
+//! inputs give the same report every time, *independent of the
+//! configured thread count*: `SimConfig::threads` is purely a
+//! wall-clock knob.
 //!
 //! [`ClusterNetwork`]: gms_net::ClusterNetwork
 
@@ -32,14 +39,14 @@ use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::TraceSource;
 use gms_units::{Bytes, Duration, NodeId, SimTime, VirtAddr};
 
-use crate::engine::{ClusterCtx, NodeDriver, PAGE_NAMESPACE_SHIFT};
+use crate::engine::{namespace_base, namespace_page, ClusterCtx, NodeDriver};
 use crate::metrics::{ClusterNetStats, NodeNetStats};
 use crate::{RunReport, SimConfig};
 
 /// One active node's workload: a trace, its footprint and base address.
 pub(crate) struct NodeInput<'a> {
     /// The reference trace the node replays.
-    pub source: &'a mut dyn TraceSource,
+    pub source: &'a mut (dyn TraceSource + Send),
     /// Total touched span, for sizing memory and warming the cache.
     pub footprint: Bytes,
     /// Page-aligned base of the footprint.
@@ -47,17 +54,18 @@ pub(crate) struct NodeInput<'a> {
 }
 
 /// Replays one trace per active node over a shared network and GMS,
-/// in deterministic lockstep. Returns one report per active node, the
-/// aggregate network statistics, and the per-node network breakdown
-/// (one entry per cluster node, active and idle). Lifecycle and
-/// occupancy events stream into `rec`; with [`NoopRecorder`] every
-/// recording site compiles away.
+/// under the deterministic conservative schedulers of [`crate::sched`].
+/// Returns one report per active node, the aggregate network
+/// statistics, and the per-node network breakdown (one entry per
+/// cluster node, active and idle). Lifecycle and occupancy events
+/// stream into `rec`; with [`NoopRecorder`] every recording site
+/// compiles away.
 ///
 /// # Panics
 ///
 /// Panics if `inputs` is empty, if the config has no idle node left to
 /// donate memory, or if any footprint is zero.
-pub(crate) fn run_lockstep<R: Recorder>(
+pub(crate) fn run_cluster<R: Recorder + Send>(
     cfg: &SimConfig,
     inputs: &mut [NodeInput<'_>],
     rec: &mut R,
@@ -97,8 +105,10 @@ pub(crate) fn run_lockstep<R: Recorder>(
         for (i, input) in inputs.iter().enumerate() {
             let base_page = geom.page_of(input.base);
             let pages = input.footprint.div_ceil(page_bytes);
-            let offset = (i as u64) << PAGE_NAMESPACE_SHIFT;
-            gms.warm_cache((0..pages).map(|k| PageId::new(base_page.get() + k + offset)));
+            let base = namespace_base(i as u64);
+            gms.warm_cache(
+                (0..pages).map(|k| namespace_page(base, PageId::new(base_page.get() + k))),
+            );
         }
         Some(gms)
     };
@@ -122,20 +132,12 @@ pub(crate) fn run_lockstep<R: Recorder>(
         })
         .collect();
 
-    // Lockstep: resume the furthest-behind node (ties broken by id) and
-    // let it run until it passes every other unfinished node.
-    let n = drivers.len();
-    let mut finished = vec![false; n];
-    while let Some(i) = (0..n)
-        .filter(|&i| !finished[i])
-        .min_by_key(|&i| (drivers[i].clock(), i))
-    {
-        let deadline = (0..n)
-            .filter(|&j| !finished[j] && j != i)
-            .map(|j| drivers[j].clock())
-            .min()
-            .unwrap_or(SimTime::MAX);
-        finished[i] = drivers[i].run_until(&mut *inputs[i].source, deadline, &mut ctx);
+    // Drive every node to completion under the canonical commit order.
+    // Thread count never changes the results, only the wall clock.
+    if cfg.threads <= 1 || drivers.len() == 1 {
+        crate::sched::run_serial(&mut drivers, inputs, &mut ctx);
+    } else {
+        crate::sched::run_parallel(&mut drivers, inputs, &mut ctx, cfg.threads);
     }
 
     let reports: Vec<RunReport> = drivers
@@ -255,7 +257,11 @@ impl ClusterSim {
     /// # Panics
     ///
     /// Panics if `apps` is empty or leaves no idle node in the cluster.
-    pub fn run_recorded<R: Recorder>(&self, apps: &[AppProfile], rec: &mut R) -> ClusterReport {
+    pub fn run_recorded<R: Recorder + Send>(
+        &self,
+        apps: &[AppProfile],
+        rec: &mut R,
+    ) -> ClusterReport {
         let mut sources: Vec<_> = apps.iter().map(AppProfile::source).collect();
         let mut inputs: Vec<NodeInput<'_>> = sources
             .iter_mut()
@@ -266,7 +272,7 @@ impl ClusterSim {
                 base: LAYOUT_BASE,
             })
             .collect();
-        let (nodes, net, per_node) = run_lockstep(&self.config, &mut inputs, rec);
+        let (nodes, net, per_node) = run_cluster(&self.config, &mut inputs, rec);
         let makespan = nodes
             .iter()
             .map(|r| r.total_time)
@@ -387,6 +393,59 @@ mod tests {
         let app = gms_trace::apps::ld().scaled(0.1);
         let run = || ClusterSim::new(config(5)).run(&[app.clone(), app.clone()]);
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_scheduler_matches_serial() {
+        // The tentpole property in miniature: the same workload under
+        // 1, 2 and 8 worker threads produces the identical report.
+        let apps = [
+            gms_trace::apps::gdb().scaled(0.05),
+            gms_trace::apps::render().scaled(0.05),
+            gms_trace::apps::ld().scaled(0.05),
+        ];
+        let run = |threads: u32| {
+            let cfg = SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Half)
+                .cluster_nodes(7)
+                .threads(threads)
+                .build();
+            ClusterSim::new(cfg).run(&apps)
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            assert_eq!(serial, run(threads), "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn five_hundred_twelve_node_cluster_runs() {
+        // Guarded page-id namespacing at scale: 512 nodes' footprints
+        // coexist in one GMS without colliding, and the parallel
+        // scheduler agrees with the serial one on the result.
+        let apps = [
+            gms_trace::apps::gdb().scaled(0.02),
+            gms_trace::apps::ld().scaled(0.02),
+            gms_trace::apps::render().scaled(0.02),
+            gms_trace::apps::modula3().scaled(0.02),
+        ];
+        let run = |threads: u32| {
+            let cfg = SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Half)
+                .cluster_nodes(512)
+                .threads(threads)
+                .build();
+            ClusterSim::new(cfg).run(&apps)
+        };
+        let serial = run(1);
+        assert_eq!(serial.nodes.len(), 4);
+        assert_eq!(serial.per_node.len(), 512);
+        for node in &serial.nodes {
+            node.assert_conserved();
+        }
+        assert_eq!(serial, run(4));
     }
 
     #[test]

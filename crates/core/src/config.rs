@@ -141,6 +141,12 @@ pub struct SimConfig {
     /// `Some(empty)` both leave the run byte-identical to a fault-free
     /// one: an empty plan is never installed, so no RNG is ever drawn.
     pub fault_plan: Option<FaultPlan>,
+    /// Worker threads for cluster runs. `1` (the default) uses the
+    /// single-threaded reference scheduler; larger values run node
+    /// event loops on up to that many OS threads under the conservative
+    /// parallel scheduler. Reports are byte-identical for every value —
+    /// the thread count is purely a wall-clock knob.
+    pub threads: u32,
 }
 
 impl SimConfig {
@@ -174,6 +180,7 @@ impl Default for SimConfig {
             access_cost: AccessCost::default(),
             replacement: ReplacementKind::default(),
             fault_plan: None,
+            threads: 1,
         }
     }
 }
@@ -259,6 +266,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the worker-thread count for cluster runs. `1` selects the
+    /// single-threaded reference scheduler; reports are byte-identical
+    /// for every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn threads(mut self, threads: u32) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        self.config.threads = threads;
+        self
+    }
+
     /// Finalizes the configuration.
     #[must_use]
     pub fn build(self) -> SimConfig {
@@ -316,5 +337,17 @@ mod tests {
     #[should_panic(expected = "non-zero time")]
     fn zero_ref_cost_panics() {
         let _ = SimConfig::builder().ns_per_ref(0);
+    }
+
+    #[test]
+    fn threads_default_to_serial() {
+        assert_eq!(SimConfig::default().threads, 1);
+        assert_eq!(SimConfig::builder().threads(8).build().threads, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_panics() {
+        let _ = SimConfig::builder().threads(0);
     }
 }

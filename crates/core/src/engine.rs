@@ -18,8 +18,10 @@
 //! The per-node replay logic lives in [`NodeDriver`]; everything the
 //! drivers share — the network and the global memory service — lives in
 //! [`ClusterCtx`]. [`Simulator`] runs one driver to completion (the
-//! single-active-node case); `ClusterSim` interleaves several in
-//! deterministic lockstep over the same shared context.
+//! single-active-node case); `ClusterSim` drives several over the same
+//! shared context under the conservative schedulers of [`crate::sched`],
+//! serially or on a worker-thread pool, with byte-identical results
+//! either way.
 
 use std::collections::HashMap;
 
@@ -38,16 +40,49 @@ use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::{AccessKind, Run, TraceSource};
 use gms_units::{Duration, NodeId, SimTime, VirtAddr};
 
-use crate::cluster_sim::{run_lockstep, NodeInput};
+use crate::cluster_sim::{run_cluster, NodeInput};
 use crate::events::{Arrival, EventCore};
 use crate::metrics::{DistanceHistogram, FaultCounts, FaultKind, FaultRecord, OverlapStats};
 use crate::{AccessCost, FetchPolicy, RunReport, SimConfig};
 
 /// Active nodes place their pages in disjoint slices of the GMS page-id
 /// space: node *i*'s pages are offset by `i << PAGE_NAMESPACE_SHIFT`.
-/// Traces address at most a few dozen bits of page id, so slices never
-/// collide.
 pub(crate) const PAGE_NAMESPACE_SHIFT: u32 = 40;
+
+/// The checked per-node namespace base: `node << PAGE_NAMESPACE_SHIFT`,
+/// verified not to overflow the id space. Every page id entering the
+/// GMS must also stay below `1 << PAGE_NAMESPACE_SHIFT` (see
+/// [`namespace_page`]); together the two checks make a silent collision
+/// between two nodes' pages impossible at any cluster size.
+///
+/// # Panics
+///
+/// Panics if `node` does not fit in the bits above the shift.
+pub(crate) fn namespace_base(node: u64) -> u64 {
+    assert!(
+        node < 1u64 << (u64::BITS - PAGE_NAMESPACE_SHIFT),
+        "node index {node} overflows the page-id namespace \
+         ({} bits above the {PAGE_NAMESPACE_SHIFT}-bit page field)",
+        u64::BITS - PAGE_NAMESPACE_SHIFT
+    );
+    node << PAGE_NAMESPACE_SHIFT
+}
+
+/// The GMS-visible id of node-local page `page` under namespace `base`
+/// (a [`namespace_base`] result), rejecting local ids wide enough to
+/// spill into another node's slice.
+///
+/// # Panics
+///
+/// Panics if `page` needs more than `PAGE_NAMESPACE_SHIFT` bits.
+pub(crate) fn namespace_page(base: u64, page: PageId) -> PageId {
+    assert!(
+        page.get() < 1u64 << PAGE_NAMESPACE_SHIFT,
+        "page id {:#x} overflows the {PAGE_NAMESPACE_SHIFT}-bit per-node namespace",
+        page.get()
+    );
+    PageId::new(base + page.get())
+}
 
 /// Remote-transfer attempts before giving up on the custodian: the
 /// initial request plus three retries.
@@ -115,7 +150,7 @@ impl Simulator {
     /// recording call site compiles away and the report is byte-identical
     /// to [`run`](Simulator::run)'s (the recorder is a write-only side
     /// channel — it never feeds back into timing).
-    pub fn run_recorded<R: Recorder>(&self, app: &AppProfile, rec: &mut R) -> RunReport {
+    pub fn run_recorded<R: Recorder + Send>(&self, app: &AppProfile, rec: &mut R) -> RunReport {
         let mut source = app.source();
         self.run_trace_recorded(&mut *source, app.footprint(), LAYOUT_BASE, rec)
     }
@@ -127,14 +162,14 @@ impl Simulator {
     ///
     /// This is the single-active-node case of the cluster runner: the
     /// report is byte-identical to a `ClusterSim` run with one active
-    /// node because both drive the same lockstep loop.
+    /// node because both drive the same scheduler.
     ///
     /// # Panics
     ///
     /// Panics if `footprint` is zero.
     pub fn run_trace(
         &self,
-        source: &mut dyn TraceSource,
+        source: &mut (dyn TraceSource + Send),
         footprint: gms_units::Bytes,
         base: VirtAddr,
     ) -> RunReport {
@@ -147,9 +182,9 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `footprint` is zero.
-    pub fn run_trace_recorded<R: Recorder>(
+    pub fn run_trace_recorded<R: Recorder + Send>(
         &self,
-        source: &mut dyn TraceSource,
+        source: &mut (dyn TraceSource + Send),
         footprint: gms_units::Bytes,
         base: VirtAddr,
         rec: &mut R,
@@ -163,7 +198,7 @@ impl Simulator {
             footprint,
             base,
         }];
-        let (mut reports, _net, _per_node) = run_lockstep(&self.config, &mut inputs, rec);
+        let (mut reports, _net, _per_node) = run_cluster(&self.config, &mut inputs, rec);
         reports.pop().expect("one active node yields one report")
     }
 }
@@ -322,6 +357,11 @@ pub(crate) struct NodeDriver<'a> {
     emulation: Duration,
     putpage_overhead: Duration,
 
+    /// A run taken off the trace but not yet guaranteed local: the node
+    /// is *parked* at its current clock until the scheduler grants it a
+    /// shared section. `Run` is `Copy`, so stashing it is free.
+    pending_run: Option<Run>,
+
     frames: FramePool,
     table: PageTable,
     lru: Box<dyn ReplacementPolicy + Send>,
@@ -367,7 +407,7 @@ impl<'a> NodeDriver<'a> {
             policy: cfg.policy,
             ref_cost: Duration::from_nanos(cfg.ns_per_ref),
             node,
-            page_offset: u64::from(node.index()) << PAGE_NAMESPACE_SHIFT,
+            page_offset: namespace_base(u64::from(node.index())),
             clock: SimTime::ZERO,
             refs_done: 0,
             exec: Duration::ZERO,
@@ -376,6 +416,7 @@ impl<'a> NodeDriver<'a> {
             recv_overhead: Duration::ZERO,
             emulation: Duration::ZERO,
             putpage_overhead: Duration::ZERO,
+            pending_run: None,
             frames: FramePool::new(frames),
             table: PageTable::new(geom),
             lru: cfg.replacement.build(),
@@ -406,31 +447,133 @@ impl<'a> NodeDriver<'a> {
         self.clock
     }
 
-    /// Consumes runs from `source` until the clock reaches `deadline` or
-    /// the trace ends; returns whether the trace is exhausted. At least
-    /// one run is processed per call, so a caller alternating between
-    /// equal-clock drivers always makes progress. (Runs are atomic: the
-    /// clock may overshoot the deadline by one run's worth of work.)
-    pub fn run_until<R: Recorder>(
+    /// Consumes runs from `source` for as long as they are *local*:
+    /// every page a run touches is fully resident, so processing it
+    /// reads and writes only this node's private state — never the
+    /// shared network, GMS or recorder. Stops at the first run that may
+    /// interact with the cluster, stashing it in `pending_run` ("parking"
+    /// at the current clock), or when the trace ends. Returns whether
+    /// the trace is exhausted.
+    ///
+    /// `progress` is invoked with the clock after each processed run so
+    /// a parallel scheduler can publish a conservative lower bound on
+    /// this node's next shared-section commit (the clock never runs
+    /// backwards, and the parked commit happens at the park clock).
+    pub fn advance_local(
         &mut self,
-        source: &mut dyn TraceSource,
-        deadline: SimTime,
-        ctx: &mut ClusterCtx<'_, R>,
+        source: &mut (dyn TraceSource + Send),
+        progress: &mut dyn FnMut(SimTime),
     ) -> bool {
         loop {
-            let Some(run) = source.next_run() else {
-                return true;
+            let run = match self.pending_run.take() {
+                Some(run) => run,
+                None => match source.next_run() {
+                    Some(run) => run,
+                    None => return true,
+                },
             };
-            self.process_run(run, ctx);
-            if self.clock >= deadline {
+            if self.run_is_local(run) {
+                self.process_run_local(run);
+                progress(self.clock);
+            } else {
+                self.pending_run = Some(run);
                 return false;
             }
         }
     }
 
+    /// Executes the parked run against the shared context. Only the
+    /// scheduler that granted this node the global minimum
+    /// `(park clock, node id)` may call this: shared-section commits
+    /// must happen in exactly that order for reports to be independent
+    /// of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not parked.
+    pub fn process_pending_shared<R: Recorder>(&mut self, ctx: &mut ClusterCtx<'_, R>) {
+        let run = self
+            .pending_run
+            .take()
+            .expect("only a parked node can enter a shared section");
+        self.process_run(run, ctx);
+    }
+
+    /// Whether every reference of `run` lands on a fully-resident page,
+    /// guaranteeing that processing it cannot touch shared state.
+    /// Processing complete-resident segments never changes any page's
+    /// residency, so a check up front holds for the whole run.
+    fn run_is_local(&self, run: Run) -> bool {
+        let stride = run.stride();
+        let complete = |page| self.table.get(page).is_some_and(PageState::is_complete);
+        if stride == 0 {
+            return complete(self.geom.page_of(run.start()));
+        }
+        let mut rest = run;
+        loop {
+            let addr = rest.start();
+            if !complete(self.geom.page_of(addr)) {
+                return false;
+            }
+            let n = self.refs_in_page(addr, stride).min(rest.count());
+            if n == rest.count() {
+                return true;
+            }
+            (_, rest) = rest.split_at(n);
+        }
+    }
+
+    /// [`process_run`](Self::process_run) for a run [`run_is_local`]
+    /// vouched for: the same arithmetic in the same order, with the
+    /// absent/partial branches unreachable, so a local run computes
+    /// byte-identical state whichever path processes it.
+    fn process_run_local(&mut self, run: Run) {
+        let stride = run.stride();
+        let kind = run.kind();
+        if stride == 0 {
+            self.segment_complete(run.start(), 0, run.count(), kind);
+            return;
+        }
+        let mut rest = run;
+        let mut batched: u64 = 0;
+        loop {
+            let addr = rest.start();
+            let n = self.refs_in_page(addr, stride).min(rest.count());
+            let page = self.geom.page_of(addr);
+            if batched > 0 || self.exec_quiescent() {
+                self.lru.touch(page);
+                if kind.is_write() {
+                    self.table.mark_dirty(page);
+                }
+                batched += n;
+            } else {
+                self.segment_complete(addr, stride, n, kind);
+            }
+            if n == rest.count() {
+                break;
+            }
+            (_, rest) = rest.split_at(n);
+        }
+        self.flush_exec_batch(&mut batched);
+    }
+
+    /// One complete-resident segment off the batch fast path: mirrors
+    /// [`process_segment`](Self::process_segment)'s complete arm.
+    fn segment_complete(&mut self, addr: VirtAddr, stride: i64, n: u64, kind: AccessKind) {
+        let page = self.geom.page_of(addr);
+        if !self.armed.is_empty() {
+            self.resolve_distance(page, addr, stride, n);
+        }
+        debug_assert!(
+            self.table.get(page).is_some_and(PageState::is_complete),
+            "segment_complete on a non-resident page"
+        );
+        self.finish_complete_segment(page, n, kind);
+    }
+
     /// The GMS-visible id of a local page.
     fn global_page(&self, page: PageId) -> PageId {
-        PageId::new(page.get() + self.page_offset)
+        namespace_page(self.page_offset, page)
     }
 
     // -- time accounting -------------------------------------------------
@@ -564,13 +707,7 @@ impl<'a> NodeDriver<'a> {
         }
         match self.table.get(page) {
             Some(state) if state.is_complete() => {
-                self.lru.touch(page);
-                if kind.is_write() {
-                    self.table.mark_dirty(page);
-                }
-                self.charge_tlb(page);
-                self.refs_done += n;
-                self.advance(self.ref_cost * n, Bucket::Exec, None);
+                self.finish_complete_segment(page, n, kind);
             }
             Some(_) => {
                 self.lru.touch(page);
@@ -583,6 +720,20 @@ impl<'a> NodeDriver<'a> {
                 self.process_segment(addr, stride, n, kind, ctx);
             }
         }
+    }
+
+    /// The node-private tail of a complete-resident segment: recency
+    /// touch, dirty bit, TLB charge, and execution time. Shared by
+    /// [`process_segment`](Self::process_segment) and the local fast
+    /// path — both must charge exactly this, in this order.
+    fn finish_complete_segment(&mut self, page: PageId, n: u64, kind: AccessKind) {
+        self.lru.touch(page);
+        if kind.is_write() {
+            self.table.mark_dirty(page);
+        }
+        self.charge_tlb(page);
+        self.refs_done += n;
+        self.advance(self.ref_cost * n, Bucket::Exec, None);
     }
 
     /// Small-pages ablation: charge a TLB refill per page transition.
@@ -1360,6 +1511,35 @@ mod tests {
 
     fn tiny_app() -> AppProfile {
         gms_trace::apps::gdb().scaled(0.3)
+    }
+
+    #[test]
+    fn page_namespacing_is_checked() {
+        // 512 nodes fit comfortably: node 511's namespace starts at
+        // 511 << 40 and holds every page id below 2^40.
+        let base = namespace_base(511);
+        assert_eq!(base, 511 << PAGE_NAMESPACE_SHIFT);
+        let top = namespace_page(base, PageId::new((1 << PAGE_NAMESPACE_SHIFT) - 1));
+        assert_eq!(top.get(), (512 << PAGE_NAMESPACE_SHIFT) - 1);
+        // Namespaces of distinct nodes never intersect.
+        assert!(
+            namespace_page(
+                namespace_base(0),
+                PageId::new((1 << PAGE_NAMESPACE_SHIFT) - 1)
+            ) < namespace_page(namespace_base(1), PageId::new(0))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the page-id namespace")]
+    fn node_index_overflow_panics() {
+        let _ = namespace_base(1 << (u64::BITS - PAGE_NAMESPACE_SHIFT));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 40-bit per-node namespace")]
+    fn page_id_overflow_panics() {
+        let _ = namespace_page(namespace_base(1), PageId::new(1 << PAGE_NAMESPACE_SHIFT));
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! contend on wires and serving-node CPU/DMA, and the report surfaces
 //! the resulting queueing delay and wire utilization. `Simulator` is its
 //! single-active-node case — the two produce byte-identical reports for
-//! the same workload.
+//! the same workload. Cluster runs scale across host cores with
+//! [`SimConfigBuilder::threads`]: a conservative parallel scheduler
+//! keeps reports byte-identical at every thread count.
 //!
 //! # Examples
 //!
@@ -66,6 +68,7 @@ mod metrics;
 mod pipeline;
 mod policy;
 mod report;
+mod sched;
 mod sweep;
 
 pub use analysis::{burstiness, cumulative_fault_series, downsample, sorted_wait_curve, speedup};

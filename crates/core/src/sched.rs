@@ -1,0 +1,265 @@
+//! Conservative schedulers for the multi-node cluster simulator.
+//!
+//! Both schedulers in this module drive the same per-node split
+//! implemented by `NodeDriver`:
+//!
+//! * **local phase** — `advance_local` processes runs whose every page
+//!   is fully resident. Such runs touch only node-private state (page
+//!   table, LRU, clocks, TLB), so any number of nodes may execute them
+//!   concurrently. The phase ends when the node *parks*: it holds a run
+//!   that may interact with the cluster and waits at its current clock.
+//! * **shared section** — `process_pending_shared` executes the parked
+//!   run against the shared network/GMS/recorder. Shared sections are
+//!   the only cross-node interaction points, and both schedulers commit
+//!   them in exactly ascending `(park clock, node id)` order.
+//!
+//! That single canonical commit order is what makes reports, exported
+//! summaries and traces byte-identical whatever the thread count: the
+//! serial scheduler realizes it with a binary heap, the parallel one
+//! with a conservative grant rule — a parked node may commit only when
+//! its `(park clock, id)` is provably below every other unfinished
+//! node's *bound*, a published monotone lower bound on that node's next
+//! commit time. A node's clock never runs backwards and its next commit
+//! happens at its next park, so its current clock is always a valid
+//! bound; conservatism can delay a commit, never reorder one.
+//!
+//! Advancing nodes publish their bound every [`NetParams::lookahead`]
+//! of simulated time (the minimum cross-node message latency), which
+//! bounds how stale a peer's view of their progress can get without
+//! putting a lock in the local fast path.
+//!
+//! [`NetParams::lookahead`]: gms_net::NetParams::lookahead
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use gms_obs::Recorder;
+use gms_units::SimTime;
+
+use crate::cluster_sim::NodeInput;
+use crate::engine::{ClusterCtx, NodeDriver};
+
+/// The single-threaded reference scheduler: advance every node to its
+/// park, then repeatedly commit the globally minimal `(park clock, id)`
+/// node's shared section and re-advance it. Coalescing of consecutive
+/// commits by one node falls out of the heap order naturally.
+pub(crate) fn run_serial<R: Recorder>(
+    drivers: &mut [NodeDriver<'_>],
+    inputs: &mut [NodeInput<'_>],
+    ctx: &mut ClusterCtx<'_, R>,
+) {
+    let mut parked: BinaryHeap<Reverse<(SimTime, usize)>> =
+        BinaryHeap::with_capacity(drivers.len());
+    let mut quiet = |_: SimTime| {};
+    for (i, (driver, input)) in drivers.iter_mut().zip(inputs.iter_mut()).enumerate() {
+        if !driver.advance_local(&mut *input.source, &mut quiet) {
+            parked.push(Reverse((driver.clock(), i)));
+        }
+    }
+    while let Some(Reverse((_, i))) = parked.pop() {
+        drivers[i].process_pending_shared(ctx);
+        if !drivers[i].advance_local(&mut *inputs[i].source, &mut quiet) {
+            parked.push(Reverse((drivers[i].clock(), i)));
+        }
+    }
+}
+
+/// Coordination state shared by the node worker threads.
+struct Coord {
+    /// Per-node bound: a monotone lower bound, in nanoseconds, on the
+    /// node's next shared-section commit time (`u64::MAX` once its
+    /// trace is exhausted). Parked nodes hold their park clock here.
+    keys: Vec<AtomicU64>,
+    /// Wake threshold: the smallest parked key currently blocked in a
+    /// grant wait. Advancing nodes only pay for a notification when
+    /// their published bound passes it. Sloppily maintained — the grant
+    /// wait re-checks on a timeout, so a stale value can delay a wake
+    /// but never lose one.
+    wanted: AtomicU64,
+    /// Admission count: node loops currently executing (local phase or
+    /// shared section). Bounded by the configured thread count.
+    gate: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Coord {
+    /// Stores node `i`'s bound and wakes anyone whose grant it decides.
+    /// Call sites that already hold the gate skip the re-lock by using
+    /// the raw store instead.
+    fn publish(&self, i: usize, nanos: u64) {
+        self.keys[i].store(nanos, Ordering::SeqCst);
+        if nanos > self.wanted.load(Ordering::SeqCst) {
+            let _gate = self.gate.lock().unwrap();
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Whether `(my, i)` is lexicographically below every other node's
+/// published bound — the grant condition.
+fn is_global_min(keys: &[AtomicU64], i: usize, my: u64) -> bool {
+    keys.iter().enumerate().all(|(j, k)| {
+        if j == i {
+            return true;
+        }
+        let kj = k.load(Ordering::SeqCst);
+        kj > my || (kj == my && j > i)
+    })
+}
+
+/// The smallest `(bound, id)` among the other nodes: a granted node may
+/// keep committing shared sections while its `(clock, id)` stays below
+/// this (bounds are monotone, so the snapshot stays valid).
+fn min_other_key(keys: &[AtomicU64], i: usize) -> (u64, usize) {
+    keys.iter()
+        .enumerate()
+        .filter(|&(j, _)| j != i)
+        .map(|(j, k)| (k.load(Ordering::SeqCst), j))
+        .min()
+        .unwrap_or((u64::MAX, usize::MAX))
+}
+
+/// The parallel conservative scheduler: one scoped worker thread per
+/// active node (node event loops hold deep call stacks, so each needs
+/// its own stack), at most `threads` of them executing at once. Commits
+/// happen in exactly the serial scheduler's order, so the resulting
+/// reports — and anything recorded along the way — are byte-identical
+/// to `run_serial`'s.
+pub(crate) fn run_parallel<R: Recorder + Send>(
+    drivers: &mut [NodeDriver<'_>],
+    inputs: &mut [NodeInput<'_>],
+    ctx: &mut ClusterCtx<'_, R>,
+    threads: u32,
+) {
+    let n = drivers.len();
+    let cap = (threads as usize).min(n).max(1);
+    let quantum = ctx.net.lookahead().as_nanos().max(1);
+    let coord = Coord {
+        keys: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        wanted: AtomicU64::new(u64::MAX),
+        gate: Mutex::new(0),
+        cv: Condvar::new(),
+    };
+    let shared = Mutex::new(ctx);
+    std::thread::scope(|scope| {
+        for (i, (driver, input)) in drivers.iter_mut().zip(inputs.iter_mut()).enumerate() {
+            let (coord, shared) = (&coord, &shared);
+            scope.spawn(move || node_loop(i, driver, input, coord, shared, cap, quantum));
+        }
+    });
+}
+
+/// How long a grant waiter sleeps before re-checking the bounds even
+/// without a notification. This is the backstop that makes the sloppy
+/// `wanted` threshold safe: a lost wake-up costs at most one period.
+const GRANT_RECHECK: std::time::Duration = std::time::Duration::from_micros(500);
+
+fn node_loop<R: Recorder + Send>(
+    i: usize,
+    driver: &mut NodeDriver<'_>,
+    input: &mut NodeInput<'_>,
+    coord: &Coord,
+    shared: &Mutex<&mut ClusterCtx<'_, R>>,
+    cap: usize,
+    quantum: u64,
+) {
+    // Publish at most once per lookahead window of simulated progress.
+    let mut last_pub = 0u64;
+    loop {
+        // Admission for the local phase.
+        {
+            let mut running = coord.gate.lock().unwrap();
+            while *running >= cap {
+                running = coord.cv.wait(running).unwrap();
+            }
+            *running += 1;
+        }
+        let finished = {
+            let mut progress = |t: SimTime| {
+                let nanos = t.as_nanos();
+                if nanos.saturating_sub(last_pub) >= quantum {
+                    last_pub = nanos;
+                    coord.publish(i, nanos);
+                }
+            };
+            driver.advance_local(&mut *input.source, &mut progress)
+        };
+        // Park (or finish): record the bound under the gate and wake
+        // everyone — grant waiters re-check, admission waiters retry.
+        let park = {
+            let mut running = coord.gate.lock().unwrap();
+            *running -= 1;
+            let key = if finished {
+                u64::MAX
+            } else {
+                driver.clock().as_nanos()
+            };
+            coord.keys[i].store(key, Ordering::SeqCst);
+            coord.cv.notify_all();
+            key
+        };
+        if finished {
+            return;
+        }
+
+        // Grant wait: proceed once (park, i) is the global minimum,
+        // then take an admission slot for the shared section. The grant
+        // cannot be revoked — bounds only grow — so waiting for the
+        // slot afterwards is safe.
+        {
+            let mut running = coord.gate.lock().unwrap();
+            while !is_global_min(&coord.keys, i, park) {
+                coord.wanted.fetch_min(park, Ordering::SeqCst);
+                running = coord.cv.wait_timeout(running, GRANT_RECHECK).unwrap().0;
+            }
+            while *running >= cap {
+                running = coord.cv.wait(running).unwrap();
+            }
+            *running += 1;
+            // Retire the wake threshold; any other waiter re-arms it on
+            // its next (timeout-guaranteed) re-check.
+            coord.wanted.store(u64::MAX, Ordering::SeqCst);
+        }
+
+        // Shared section, coalesced: commit the parked run, then keep
+        // going while provably below every other node's next commit.
+        // The context lock is held across the whole turn, so the
+        // commits of a turn are contiguous in the canonical order even
+        // when a later-keyed node gets granted meanwhile.
+        let limit = min_other_key(&coord.keys, i);
+        let mut guard = shared.lock().unwrap();
+        let finished = loop {
+            driver.process_pending_shared(&mut **guard);
+            let mut progress = |t: SimTime| {
+                let nanos = t.as_nanos();
+                if nanos.saturating_sub(last_pub) >= quantum {
+                    last_pub = nanos;
+                    coord.publish(i, nanos);
+                }
+            };
+            if driver.advance_local(&mut *input.source, &mut progress) {
+                break true;
+            }
+            if (driver.clock().as_nanos(), i) >= limit {
+                break false;
+            }
+        };
+        drop(guard);
+        {
+            let mut running = coord.gate.lock().unwrap();
+            *running -= 1;
+            let key = if finished {
+                u64::MAX
+            } else {
+                driver.clock().as_nanos()
+            };
+            coord.keys[i].store(key, Ordering::SeqCst);
+            coord.cv.notify_all();
+        }
+        if finished {
+            return;
+        }
+    }
+}

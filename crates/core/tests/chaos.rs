@@ -151,6 +151,61 @@ proptest! {
         }
     }
 
+    /// The parallel scheduler's headline property: a recorded cluster
+    /// run is byte-identical across thread counts — the
+    /// [`gms_core::ClusterReport`], the exported summary JSON *string*
+    /// and the Perfetto trace *string* all match the serial reference
+    /// exactly, across policies × memories, with and without an
+    /// arbitrary fault plan, with recording enabled throughout.
+    #[test]
+    fn thread_count_never_changes_cluster_artifacts(plan in arb_plan()) {
+        let apps = [apps::gdb().scaled(0.03), apps::ld().scaled(0.03)];
+        for policy in [
+            FetchPolicy::eager(SubpageSize::S1K),
+            FetchPolicy::pipelined(SubpageSize::S2K),
+        ] {
+            for memory in [MemoryConfig::Half, MemoryConfig::Quarter] {
+                for plan in [None, Some(plan.clone())] {
+                    let run = |threads: u32| {
+                        let builder = SimConfig::builder()
+                            .policy(policy)
+                            .memory(memory)
+                            .cluster_nodes(5)
+                            .threads(threads);
+                        let cfg = match &plan {
+                            Some(plan) => builder.fault_plan(plan.clone()).build(),
+                            None => builder.build(),
+                        };
+                        let mut rec = MemoryRecorder::new();
+                        let report = ClusterSim::new(cfg).run_recorded(&apps, &mut rec);
+                        let summary = gms_core::cluster_summary_json(&report);
+                        let trace = gms_obs::perfetto_trace(rec.iter());
+                        (report, summary, trace)
+                    };
+                    let (report, summary, trace) = run(1);
+                    for threads in [2, 8] {
+                        let (r, s, t) = run(threads);
+                        prop_assert_eq!(
+                            &report, &r,
+                            "{} {:?} plan={} threads={}: report diverged",
+                            policy.label(), memory, plan.is_some(), threads
+                        );
+                        prop_assert_eq!(
+                            &summary, &s,
+                            "{} {:?} plan={} threads={}: summary JSON diverged",
+                            policy.label(), memory, plan.is_some(), threads
+                        );
+                        prop_assert_eq!(
+                            &trace, &t,
+                            "{} {:?} plan={} threads={}: Perfetto trace diverged",
+                            policy.label(), memory, plan.is_some(), threads
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// The same non-empty plan replayed twice gives byte-identical
     /// reports: fault injection is deterministic, not merely bounded.
     #[test]

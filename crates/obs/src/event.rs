@@ -264,6 +264,30 @@ pub enum Event {
 }
 
 impl Event {
+    /// The instant the event takes effect — for span events (`Stall`,
+    /// `Occupancy`) the span start. This is the timestamp key
+    /// [`MemoryRecorder::merge`] orders by when combining arenas.
+    ///
+    /// [`MemoryRecorder::merge`]: crate::MemoryRecorder::merge
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Event::Fault { at, .. }
+            | Event::GetPage { at, .. }
+            | Event::Restart { at, .. }
+            | Event::Arrival { at, .. }
+            | Event::PutPage { at, .. }
+            | Event::Timeout { at, .. }
+            | Event::Retry { at, .. }
+            | Event::Failover { at, .. }
+            | Event::NodeDown { at, .. }
+            | Event::NodeUp { at, .. }
+            | Event::DegradedFetch { at, .. } => at,
+            Event::Stall { start, .. } => start,
+            Event::Occupancy { start, .. } => start,
+        }
+    }
+
     /// The node this event belongs to.
     #[must_use]
     pub fn node(&self) -> NodeId {
