@@ -77,6 +77,13 @@ fn main() {
         FetchPolicy::pipelined(SubpageSize::S1K),
         FetchPolicy::lazy(SubpageSize::S1K),
     ];
+    // The history-observing engines ride along in their own JSON
+    // section: their cells are informational in the perf gate until a
+    // few CI rounds establish their variance.
+    let adaptive_policies = [
+        FetchPolicy::leap(SubpageSize::S1K),
+        FetchPolicy::indigo(SubpageSize::S1K),
+    ];
     let run_policy = |policy: FetchPolicy| {
         let config = SimConfig::builder()
             .policy(policy)
@@ -120,6 +127,14 @@ fn main() {
     // Warm every variant once (and pin the invariants the timed loop
     // relies on), then time them interleaved.
     let mut samples: Vec<Sample> = policies
+        .iter()
+        .map(|&policy| Sample {
+            label: policy.label(),
+            refs: run_policy(policy).total_refs,
+            secs: 0.0,
+        })
+        .collect();
+    let mut adaptive_samples: Vec<Sample> = adaptive_policies
         .iter()
         .map(|&policy| Sample {
             label: policy.label(),
@@ -188,6 +203,7 @@ fn main() {
     );
 
     let mut policy_times = vec![Vec::with_capacity(ROUNDS); policies.len()];
+    let mut adaptive_times = vec![Vec::with_capacity(ROUNDS); adaptive_policies.len()];
     let mut traced_times = Vec::with_capacity(ROUNDS);
     let mut faulted_times = Vec::with_capacity(ROUNDS);
     let mut sweep_serial_times = Vec::with_capacity(ROUNDS);
@@ -203,6 +219,11 @@ fn main() {
     for _ in 0..ROUNDS {
         for (i, &policy) in policies.iter().enumerate() {
             time(&mut policy_times[i], &mut || {
+                std::hint::black_box(run_policy(policy));
+            });
+        }
+        for (i, &policy) in adaptive_policies.iter().enumerate() {
+            time(&mut adaptive_times[i], &mut || {
                 std::hint::black_box(run_policy(policy));
             });
         }
@@ -227,6 +248,9 @@ fn main() {
     for (s, times) in samples.iter_mut().zip(&mut policy_times) {
         s.secs = median(times);
     }
+    for (s, times) in adaptive_samples.iter_mut().zip(&mut adaptive_times) {
+        s.secs = median(times);
+    }
     let traced_secs = median(&mut traced_times);
     let faulted_secs = median(&mut faulted_times);
     let untraced = samples
@@ -245,7 +269,7 @@ fn main() {
         &format!("Engine throughput (gdb trace, 1/2-mem, scale {})", scale()),
         &["policy", "refs", "ms_per_run", "refs_per_sec"],
     );
-    for s in &samples {
+    for s in samples.iter().chain(&adaptive_samples) {
         table.row(vec![
             s.label.clone(),
             s.refs.to_string(),
@@ -306,6 +330,20 @@ fn main() {
             s.label,
             s.secs * 1e3,
             s.refs_per_sec()
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"adaptive\": {\n");
+    for (i, s) in adaptive_samples.iter().enumerate() {
+        let comma = if i + 1 == adaptive_samples.len() {
+            ""
+        } else {
+            ","
+        };
+        json.push_str(&format!(
+            "    \"{}_ms_per_run\": {:.3}{comma}\n",
+            s.label,
+            s.secs * 1e3
         ));
     }
     json.push_str("  },\n");

@@ -23,13 +23,14 @@ use std::path::{Path, PathBuf};
 
 use gms_core::{
     cluster_summary_json, run_summary_json, AccessCost, ClusterSim, FaultPlan, FetchPolicy,
-    MemoryConfig, ReplacementKind, SimConfig, Simulator, Sweep, SUMMARY_SCHEMA,
+    MemoryConfig, PipelineStrategy, ReplacementKind, SimConfig, Simulator, Sweep, SUMMARY_SCHEMA,
 };
 use gms_mem::{PageSize, SubpageSize};
-use gms_net::{NetParams, Timeline, TransferPlan};
+use gms_net::{AccessPattern, NetParams, RecvOverhead, Timeline, TransferPlan};
 use gms_obs::{
-    attribute, attribution_json, metrics_json, perfetto_trace, AttributionReport, ComponentRow,
-    JsonValue, MemoryRecorder, ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA, METRICS_SCHEMA,
+    attribute, attribution_json, metrics_json, perfetto_trace, prefetch_stats, AttributionReport,
+    ComponentRow, JsonValue, MemoryRecorder, ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA,
+    METRICS_SCHEMA,
 };
 use gms_trace::apps::{self, AppProfile};
 use gms_units::{Bytes, Duration, SimTime};
@@ -63,6 +64,7 @@ USAGE:
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
   gms-sim sweep --app <name> [--scale <f>] [--jobs <n>] [--trace-dir <dir>]
+                [--policies <label>,<label>,...]
               [--fault-plan <spec>]
   gms-sim cluster --nodes <k> --active <a> [--app <name>] [--policy <label>]
               [--memory full|half|quarter|<frames>] [--scale <f>]
@@ -137,8 +139,13 @@ pure-execution time. Example: loss=0.01,crash=n3@25%,seed=1. An empty
 or absent plan changes nothing, byte-for-byte.
 
 POLICY LABELS:
-  disk | p_8192 | sp_<bytes> (eager) | pl_<bytes> (pipelined)
+  disk | disk_8192_seq | p_8192 | sp_<bytes> (eager)
+  | pl_<bytes>[_asc|_dbl|_half][_mrecv] (pipelined; suffixes pick the
+    follow-on order and measured receive overhead)
   | lazy_<bytes> | small_<bytes>
+  | leap_<bytes> (stride-predicting follow-on order)
+  | indigo_<bytes> (hotness-adaptive: hot pages migrate whole, cold
+    pages demand-fetch subpages)
 ";
 
 /// Looks an application profile up by name.
@@ -153,30 +160,70 @@ pub fn parse_app(name: &str) -> Result<AppProfile, CliError> {
         .ok_or_else(|| err(format!("unknown app '{name}' (try `gms-sim apps`)")))
 }
 
-/// Parses a policy label as printed in the paper's figures.
+/// Parses a policy label as printed in the paper's figures and by
+/// [`FetchPolicy::label`] — the two round-trip: every label the
+/// simulator prints parses back to the same policy.
 ///
 /// # Errors
 ///
-/// Unknown labels or invalid sizes.
+/// Unknown labels or invalid sizes (sizes are validated here rather
+/// than passed through to the panicking constructors).
 pub fn parse_policy(label: &str) -> Result<FetchPolicy, CliError> {
-    let size = |s: &str| -> Result<Bytes, CliError> {
+    let subpage = |s: &str| -> Result<SubpageSize, CliError> {
         let n: u64 = s.parse().map_err(|_| err(format!("bad size '{s}'")))?;
-        Ok(Bytes::new(n))
+        if n.is_power_of_two() && (64..=8192).contains(&n) {
+            Ok(SubpageSize::new(Bytes::new(n)))
+        } else {
+            Err(err(format!(
+                "bad subpage size '{s}' (power of two in 64..=8192)"
+            )))
+        }
     };
     match label {
         "disk" | "disk_8192" => Ok(FetchPolicy::disk()),
+        "disk_8192_seq" => Ok(FetchPolicy::Disk {
+            pattern: AccessPattern::Sequential,
+        }),
         "fullpage" | "p_8192" => Ok(FetchPolicy::fullpage()),
         _ => {
             if let Some(s) = label.strip_prefix("sp_") {
-                Ok(FetchPolicy::eager(SubpageSize::new(size(s)?)))
-            } else if let Some(s) = label.strip_prefix("pl_") {
-                Ok(FetchPolicy::pipelined(SubpageSize::new(size(s)?)))
-            } else if let Some(s) = label.strip_prefix("lazy_") {
-                Ok(FetchPolicy::lazy(SubpageSize::new(size(s)?)))
-            } else if let Some(s) = label.strip_prefix("small_") {
-                Ok(FetchPolicy::SmallPages {
-                    page: PageSize::new(size(s)?),
+                Ok(FetchPolicy::eager(subpage(s)?))
+            } else if let Some(rest) = label.strip_prefix("pl_") {
+                let (rest, recv_overhead) = match rest.strip_suffix("_mrecv") {
+                    Some(r) => (r, RecvOverhead::Measured),
+                    None => (rest, RecvOverhead::Zero),
+                };
+                let (rest, strategy) = if let Some(r) = rest.strip_suffix("_asc") {
+                    (r, PipelineStrategy::Ascending)
+                } else if let Some(r) = rest.strip_suffix("_dbl") {
+                    (r, PipelineStrategy::DoubledFollowOn)
+                } else if let Some(r) = rest.strip_suffix("_half") {
+                    (r, PipelineStrategy::AdaptiveHalf)
+                } else {
+                    (rest, PipelineStrategy::NeighborsFirst)
+                };
+                Ok(FetchPolicy::PipelinedSubpage {
+                    subpage: subpage(rest)?,
+                    strategy,
+                    recv_overhead,
                 })
+            } else if let Some(s) = label.strip_prefix("lazy_") {
+                Ok(FetchPolicy::lazy(subpage(s)?))
+            } else if let Some(s) = label.strip_prefix("leap_") {
+                Ok(FetchPolicy::leap(subpage(s)?))
+            } else if let Some(s) = label.strip_prefix("indigo_") {
+                Ok(FetchPolicy::indigo(subpage(s)?))
+            } else if let Some(s) = label.strip_prefix("small_") {
+                let n: u64 = s.parse().map_err(|_| err(format!("bad size '{s}'")))?;
+                if n.is_power_of_two() && (512..=64 * 1024 * 1024).contains(&n) {
+                    Ok(FetchPolicy::SmallPages {
+                        page: PageSize::new(Bytes::new(n)),
+                    })
+                } else {
+                    Err(err(format!(
+                        "bad page size '{s}' (power of two in 512..=64M)"
+                    )))
+                }
             } else {
                 Err(err(format!("unknown policy '{label}'")))
             }
@@ -389,8 +436,22 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             };
             let fault_plan = args.take_value("--fault-plan");
             let trace_dir = args.take_value("--trace-dir").map(PathBuf::from);
+            let policies = match args.take_value("--policies") {
+                Some(list) => Some(
+                    list.split(',')
+                        .map(parse_policy)
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+                None => None,
+            };
             args.finish()?;
-            sweep_command(&app.scaled(scale), jobs, fault_plan.as_deref(), trace_dir)
+            sweep_command(
+                &app.scaled(scale),
+                jobs,
+                fault_plan.as_deref(),
+                trace_dir,
+                policies,
+            )
         }
         "cluster" => {
             let nodes: u32 = args
@@ -809,8 +870,12 @@ fn sweep_command(
     jobs: usize,
     fault_plan: Option<&str>,
     trace_dir: Option<PathBuf>,
+    policies: Option<Vec<FetchPolicy>>,
 ) -> Result<String, CliError> {
     let mut sweep = Sweep::new(app.clone());
+    if let Some(policies) = policies {
+        sweep = sweep.policies(policies);
+    }
     if let Some(spec) = fault_plan {
         let plan = parse_fault_plan(spec, &SimConfig::builder().build(), app)?;
         sweep = sweep.configure(move |b| b.fault_plan(plan.clone()));
@@ -1065,6 +1130,22 @@ fn profile_command(
         "node" => out.push_str(&rows_table(&attrib.by_node())),
         _ => out.push_str(&rows_table(&attrib.by_component(None))),
     }
+    if policy.is_adaptive() {
+        let stats = prefetch_stats(rec.iter());
+        let _ = writeln!(
+            out,
+            "policy engine: {} decisions (stride {}, fallback {}, migrate {}, demand {}); \
+             {} subpages prefetched, {} unused ({} bytes mispredicted)",
+            stats.decisions,
+            stats.stride,
+            stats.fallback,
+            stats.migrate,
+            stats.demand,
+            stats.predicted_subpages,
+            stats.unused_subpages,
+            stats.mispredicted_bytes,
+        );
+    }
     let off_count: u64 = attrib.off_path.iter().map(|o| o.count).sum();
     let off_busy: Duration = attrib.off_path.iter().map(|o| o.busy).sum();
     if off_count > 0 {
@@ -1076,7 +1157,16 @@ fn profile_command(
         );
     }
     if let Some(path) = json_out {
-        write_file(path, &attribution_json(&attrib))?;
+        let mut doc = attribution_json(&attrib);
+        if policy.is_adaptive() {
+            // Splice the prefetch telemetry in as a sibling object; the
+            // gms-attrib/v1 shape (schema, totals, components) is
+            // untouched, so existing consumers are unaffected.
+            let stats = prefetch_stats(rec.iter());
+            doc.truncate(doc.len() - 1);
+            let _ = write!(doc, ",\"prefetch\":{}}}", stats.to_json());
+        }
+        write_file(path, &doc)?;
         let _ = writeln!(out, "attribution: {}", path.display());
     }
     Ok(out)
@@ -1166,13 +1256,17 @@ fn trace_cells(doc: &JsonValue) -> Result<BTreeMap<String, f64>, CliError> {
 /// (`jobs`, `threads` — and with them the thread-scaling wall-clock
 /// cells, whose values depend entirely on how many cores the host
 /// offers).
-const INFORMATIONAL_CELLS: [&str; 6] = [
+const INFORMATIONAL_CELLS: [&str; 8] = [
     "overhead_pct",
     "speedup",
     "jobs",
     "jobs_secs",
     "threads",
     "threads_ms_per_run",
+    // The adaptive-policy cells are new: informational until a few CI
+    // rounds establish how much they wobble, then they join the gate.
+    "leap_1024_ms_per_run",
+    "indigo_1024_ms_per_run",
 ];
 
 fn diff_command(
@@ -1247,7 +1341,7 @@ fn diff_command(
 /// Every instant-event kind the simulator emits. `check-trace` rejects
 /// anything else, so a renamed or misspelled event breaks loudly here
 /// rather than silently vanishing from downstream tooling.
-pub const INSTANT_KINDS: [&str; 11] = [
+pub const INSTANT_KINDS: [&str; 13] = [
     "fault",
     "getpage",
     "restart",
@@ -1259,6 +1353,8 @@ pub const INSTANT_KINDS: [&str; 11] = [
     "node-down",
     "node-up",
     "degraded-fetch",
+    "policy-decision",
+    "prefetch",
 ];
 
 /// Validates exported trace/summary/metrics/attribution files by
@@ -1498,6 +1594,115 @@ mod tests {
     }
 
     #[test]
+    fn parses_adaptive_and_suffixed_policies() {
+        assert_eq!(
+            parse_policy("leap_1024").unwrap(),
+            FetchPolicy::leap(SubpageSize::S1K)
+        );
+        assert_eq!(
+            parse_policy("indigo_2048").unwrap(),
+            FetchPolicy::indigo(SubpageSize::S2K)
+        );
+        assert_eq!(
+            parse_policy("disk_8192_seq").unwrap(),
+            FetchPolicy::Disk {
+                pattern: AccessPattern::Sequential
+            }
+        );
+        assert_eq!(
+            parse_policy("pl_1024_asc").unwrap(),
+            FetchPolicy::PipelinedSubpage {
+                subpage: SubpageSize::S1K,
+                strategy: PipelineStrategy::Ascending,
+                recv_overhead: RecvOverhead::Zero,
+            }
+        );
+        assert_eq!(
+            parse_policy("pl_1024_half_mrecv").unwrap(),
+            FetchPolicy::PipelinedSubpage {
+                subpage: SubpageSize::S1K,
+                strategy: PipelineStrategy::AdaptiveHalf,
+                recv_overhead: RecvOverhead::Measured,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_sizes_error_instead_of_panicking() {
+        // Sizes the typed constructors would panic on come back as
+        // errors from the parser.
+        for label in [
+            "sp_1000",
+            "sp_0",
+            "sp_32",
+            "pl_999_asc",
+            "lazy_16384",
+            "leap_63",
+            "indigo_100",
+            "small_100",
+            "small_256",
+            "small_999999999999",
+        ] {
+            assert!(parse_policy(label).is_err(), "{label} must not parse");
+        }
+    }
+
+    #[test]
+    fn policy_labels_round_trip_over_the_full_axis() {
+        // Satellite: every label() the simulator can print parses back
+        // to the same policy — the whole policy axis, not just the
+        // paper's five.
+        let sizes = [
+            SubpageSize::S256,
+            SubpageSize::S512,
+            SubpageSize::S1K,
+            SubpageSize::S2K,
+            SubpageSize::S4K,
+        ];
+        let mut policies = vec![
+            FetchPolicy::disk(),
+            FetchPolicy::Disk {
+                pattern: AccessPattern::Sequential,
+            },
+            FetchPolicy::fullpage(),
+            FetchPolicy::SmallPages {
+                page: PageSize::new(Bytes::new(4096)),
+            },
+            FetchPolicy::SmallPages {
+                page: PageSize::new(Bytes::new(512)),
+            },
+        ];
+        for size in sizes {
+            policies.push(FetchPolicy::eager(size));
+            policies.push(FetchPolicy::lazy(size));
+            policies.push(FetchPolicy::leap(size));
+            policies.push(FetchPolicy::indigo(size));
+            for strategy in [
+                PipelineStrategy::NeighborsFirst,
+                PipelineStrategy::Ascending,
+                PipelineStrategy::DoubledFollowOn,
+                PipelineStrategy::AdaptiveHalf,
+            ] {
+                for recv_overhead in [RecvOverhead::Zero, RecvOverhead::Measured] {
+                    policies.push(FetchPolicy::PipelinedSubpage {
+                        subpage: size,
+                        strategy,
+                        recv_overhead,
+                    });
+                }
+            }
+        }
+        for policy in policies {
+            let label = policy.label();
+            assert_eq!(
+                parse_policy(&label).unwrap(),
+                policy,
+                "label '{label}' did not round-trip"
+            );
+        }
+    }
+
+    #[test]
     fn parses_memory_and_net() {
         assert_eq!(parse_memory("half").unwrap(), MemoryConfig::Half);
         assert_eq!(parse_memory("37").unwrap(), MemoryConfig::Frames(37));
@@ -1680,7 +1885,77 @@ mod tests {
         )
         .unwrap();
         assert!(execute(&argv(&format!("check-trace --trace {}", bad.display()))).is_ok());
+        // The adaptive-engine kinds are on the allowlist; a near-miss
+        // spelling is not.
+        for kind in ["policy-decision", "prefetch"] {
+            std::fs::write(
+                &bad,
+                format!(
+                    r#"{{"traceEvents":[{{"ph":"i","s":"t","name":"{kind}","pid":0,"tid":5,"ts":1.000}}]}}"#
+                ),
+            )
+            .unwrap();
+            assert!(
+                execute(&argv(&format!("check-trace --trace {}", bad.display()))).is_ok(),
+                "{kind} must be allowed"
+            );
+        }
+        std::fs::write(
+            &bad,
+            r#"{"traceEvents":[{"ph":"i","s":"t","name":"policy-decisions","pid":0,"tid":5,"ts":1.000}]}"#,
+        )
+        .unwrap();
+        assert!(execute(&argv(&format!("check-trace --trace {}", bad.display()))).is_err());
         let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn sweep_policies_flag_selects_the_axis() {
+        let out = execute(&argv(
+            "sweep --app gdb --scale 0.1 --policies leap_1024,indigo_1024,pl_1024",
+        ))
+        .unwrap();
+        for label in ["leap_1024", "indigo_1024", "pl_1024"] {
+            assert!(out.contains(label), "{out}");
+        }
+        assert!(!out.contains("sp_1024"), "{out}");
+        assert!(execute(&argv("sweep --app gdb --policies leap_banana")).is_err());
+    }
+
+    #[test]
+    fn adaptive_run_exports_validated_trace_and_profile() {
+        // End to end: an adaptive run's trace passes check-trace (its
+        // policy-decision/prefetch instants are on the allowlist), and
+        // profile reports the engine's decision mix.
+        let trace = temp_path("leap.trace.json");
+        let summary = temp_path("leap.summary.json");
+        let out = execute(&argv(&format!(
+            "run --app gdb --policy leap_1024 --memory half --scale 0.2 --trace-out {} --summary-json {}",
+            trace.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(out.contains("leap_1024"), "{out}");
+        let checked = execute(&argv(&format!(
+            "check-trace --trace {} --summary {}",
+            trace.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(checked.contains("OK"), "{checked}");
+        let summary_text = std::fs::read_to_string(&summary).unwrap();
+        assert!(
+            summary_text.contains("prefetched_subpages"),
+            "{summary_text}"
+        );
+        let profiled = execute(&argv(
+            "profile --app gdb --policy indigo_1024 --memory half --scale 0.2",
+        ))
+        .unwrap();
+        assert!(profiled.contains("policy engine:"), "{profiled}");
+        assert!(profiled.contains("demand"), "{profiled}");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&summary);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Adaptive-policy probe: generates the two tables in the
+//! EXPERIMENTS.md "Adaptive policies" section.
+//!
+//! * **Strided scan** — 64 pages read at a 2 KB stride (every other
+//!   1 KB subpage first), four passes, 1/4 memory. Neighbors-first
+//!   pipelining ships subpage f+2 in its third follow-on message;
+//!   leap's majority-vote stride detector ships it first, so the
+//!   program waits less on follow-on data.
+//! * **Degraded link** — gdb at paper scale under 1% message loss
+//!   (seed 7, matching the robustness table). Indigo's cold path
+//!   fetches only the demanded subpage, so the loss has fewer
+//!   follow-on messages to hit and less speculative traffic to waste.
+
+use gms_core::{FaultPlan, FetchPolicy, MemoryConfig, SimConfig, Simulator};
+use gms_mem::SubpageSize;
+use gms_trace::apps;
+use gms_trace::synth::{Layout, Phase, PhaseProgram, SeqScan};
+use gms_trace::AccessKind;
+
+fn policies() -> [FetchPolicy; 3] {
+    [
+        FetchPolicy::pipelined(SubpageSize::S1K),
+        FetchPolicy::leap(SubpageSize::S1K),
+        FetchPolicy::indigo(SubpageSize::S1K),
+    ]
+}
+
+fn main() {
+    println!("strided scan: 64 pages, stride 2048 B, 4 passes, 1/4 memory");
+    for policy in policies() {
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("strided", 64);
+        let mut source = PhaseProgram::new(vec![Phase::new(
+            "scan",
+            SeqScan::passes(region, 2048, 4, AccessKind::Read),
+        )]);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(policy)
+                .memory(MemoryConfig::Quarter)
+                .build(),
+        );
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        report.assert_conserved();
+        println!(
+            "  {:>11}: total {:>8.3} ms | page wait {:>8.3} ms | sp latency {:>7.3} ms | \
+             faults {:>4} | prefetched subs {:>4} | mispredicted {:>6} B",
+            report.policy,
+            report.total_time.as_millis_f64(),
+            report.page_wait.as_millis_f64(),
+            report.sp_latency.as_millis_f64(),
+            report.faults.total(),
+            report.prefetched_subpages,
+            report.mispredicted_prefetch_bytes,
+        );
+    }
+
+    println!();
+    println!("sparse touch: 256 pages, one 32 B read per page, 2 passes, 1/4 memory");
+    for policy in policies() {
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("sparse", 256);
+        let mut source = PhaseProgram::new(vec![Phase::new(
+            "touch",
+            SeqScan::passes(region, 8192, 2, AccessKind::Read),
+        )]);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(policy)
+                .memory(MemoryConfig::Quarter)
+                .build(),
+        );
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        report.assert_conserved();
+        println!(
+            "  {:>11}: total {:>8.3} ms | page wait {:>8.3} ms | sp latency {:>7.3} ms | \
+             faults {:>4} | wasted transfers {:>4} | wire util {:>5.2}%",
+            report.policy,
+            report.total_time.as_millis_f64(),
+            report.page_wait.as_millis_f64(),
+            report.sp_latency.as_millis_f64(),
+            report.faults.total(),
+            report.wasted_transfers,
+            report.wire_utilization() * 100.0,
+        );
+    }
+
+    println!();
+    println!("degraded link: gdb, paper scale, 1/2 memory, 1% loss, seed 7");
+    for policy in policies() {
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(policy)
+                .memory(MemoryConfig::Half)
+                .fault_plan(FaultPlan {
+                    loss: 0.01,
+                    seed: 7,
+                    degrades: vec![],
+                    crashes: vec![],
+                })
+                .build(),
+        );
+        let report = sim.run(&apps::gdb());
+        report.assert_conserved();
+        println!(
+            "  {:>11}: total {:>8.3} ms | mean wait {:>7.1} us | faults {:>4} | \
+             timeouts {:>3} | retries {:>3} | prefetched subs {:>4} | mispredicted {:>6} B",
+            report.policy,
+            report.total_time.as_millis_f64(),
+            report.mean_fault_wait().as_micros_f64(),
+            report.faults.total(),
+            report.timeouts,
+            report.retries,
+            report.prefetched_subpages,
+            report.mispredicted_prefetch_bytes,
+        );
+    }
+}

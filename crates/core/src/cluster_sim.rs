@@ -420,6 +420,45 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_policies_match_serial_across_thread_counts() {
+        // The policy-engine determinism rule, end to end: each node's
+        // engine is fed only that node's stream in replay order, so the
+        // history-dependent plans — and therefore the whole report —
+        // are independent of the worker thread count.
+        let apps = [
+            gms_trace::apps::gdb().scaled(0.05),
+            gms_trace::apps::render().scaled(0.05),
+            gms_trace::apps::ld().scaled(0.05),
+        ];
+        for policy in [
+            FetchPolicy::leap(SubpageSize::S1K),
+            FetchPolicy::indigo(SubpageSize::S1K),
+        ] {
+            let run = |threads: u32| {
+                let cfg = SimConfig::builder()
+                    .policy(policy)
+                    .memory(MemoryConfig::Half)
+                    .cluster_nodes(7)
+                    .threads(threads)
+                    .build();
+                ClusterSim::new(cfg).run(&apps)
+            };
+            let serial = run(1);
+            for node in &serial.nodes {
+                node.assert_conserved();
+            }
+            for threads in [2, 8] {
+                assert_eq!(
+                    serial,
+                    run(threads),
+                    "{} threads={threads} diverged",
+                    policy.label()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn five_hundred_twelve_node_cluster_runs() {
         // Guarded page-id namespacing at scale: 512 nodes' footprints
         // coexist in one GMS without colliding, and the parallel

@@ -122,7 +122,11 @@ pub enum AccessCost {
 pub struct SimConfig {
     /// The machine's base page size (8 KB on the paper's Alphas).
     pub page_size: PageSize,
-    /// The fetch policy under evaluation.
+    /// The fetch policy under evaluation. This is the static
+    /// description only; each node of a run instantiates its own
+    /// [`PolicyEngine`](crate::PolicyEngine) from it (via
+    /// [`FetchPolicy::engine`]), so adaptive policies never share
+    /// history across nodes or runs.
     pub policy: FetchPolicy,
     /// Local memory available to the program.
     pub memory: MemoryConfig,

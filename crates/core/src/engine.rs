@@ -367,6 +367,21 @@ pub(crate) struct NodeDriver<'a> {
     lru: Box<dyn ReplacementPolicy + Send>,
     events: EventCore,
     armed: HashMap<PageId, SubpageIndex>,
+    /// The per-run policy engine planning whole-page faults. Static
+    /// policies carry a history-blind engine whose plans are
+    /// byte-identical to [`FetchPolicy::plan_fault`].
+    engine: Box<dyn crate::PolicyEngine>,
+    /// Whether the engine is history-observing
+    /// ([`FetchPolicy::is_adaptive`]): gates every observation hook so
+    /// static-policy runs skip them (and the exec batch fast path stays
+    /// available to them).
+    adaptive: bool,
+    /// Outstanding prefetch predictions per page: bitmask of subpages
+    /// fetched beyond the demanded one and not yet touched. The window
+    /// closes at eviction; whatever is still set was moved for nothing.
+    predicted: HashMap<PageId, u32>,
+    prefetched_subpages: u64,
+    mispredicted_prefetch_bytes: u64,
     /// Which node served each resident remotely-fetched page; lazy
     /// refills go back to the same custodian.
     served_by: HashMap<PageId, NodeId>,
@@ -422,6 +437,11 @@ impl<'a> NodeDriver<'a> {
             lru: cfg.replacement.build(),
             events: EventCore::new(),
             armed: HashMap::new(),
+            engine: cfg.policy.engine(),
+            adaptive: cfg.policy.is_adaptive(),
+            predicted: HashMap::new(),
+            prefetched_subpages: 0,
+            mispredicted_prefetch_bytes: 0,
             served_by: HashMap::new(),
             recent_stalls: std::collections::VecDeque::new(),
             disk: DiskModel::paper(disk_pattern),
@@ -568,7 +588,59 @@ impl<'a> NodeDriver<'a> {
             self.table.get(page).is_some_and(PageState::is_complete),
             "segment_complete on a non-resident page"
         );
+        self.note_touches(page, addr, stride, n);
         self.finish_complete_segment(page, n, kind);
+    }
+
+    /// Feeds the policy engine the subpage footprint of a
+    /// complete-resident segment, retiring prefetch predictions along
+    /// the way. Partial pages observe through
+    /// [`ensure_subpage`](Self::ensure_subpage); complete pages bypass
+    /// it, so the engine would otherwise go blind the moment its own
+    /// prefetching succeeds.
+    fn note_touches(&mut self, page: PageId, addr: VirtAddr, stride: i64, n: u64) {
+        if !self.adaptive {
+            return;
+        }
+        let mut a = addr;
+        let mut left = n;
+        while left > 0 {
+            let sub = self.geom.subpage_of(a);
+            self.engine.observe(crate::PolicyEvent::Touch {
+                page: page.get(),
+                subpage: sub,
+                at: self.clock,
+            });
+            self.retire_prediction(page, sub);
+            let chunk = if stride == 0 {
+                left
+            } else {
+                let sp = self.geom.subpage_size().bytes();
+                let offset = a.offset_in(sp).get();
+                let in_sub = if stride > 0 {
+                    (sp.get() - 1 - offset) / stride as u64 + 1
+                } else {
+                    offset / stride.unsigned_abs() + 1
+                };
+                in_sub.min(left)
+            };
+            left -= chunk;
+            if left > 0 {
+                a = VirtAddr::new((a.get() as i64 + stride * chunk as i64) as u64);
+            }
+        }
+    }
+
+    /// Marks a predicted subpage as actually touched: it leaves the
+    /// page's outstanding-prediction mask and will not be billed as
+    /// mispredicted when the window closes.
+    fn retire_prediction(&mut self, page: PageId, sub: SubpageIndex) {
+        if let Some(mask) = self.predicted.get_mut(&page) {
+            *mask &= !(1u32 << sub.get());
+            if *mask == 0 {
+                self.predicted.remove(&page);
+            }
+        }
     }
 
     /// The GMS-visible id of a local page.
@@ -663,7 +735,8 @@ impl<'a> NodeDriver<'a> {
     /// arrivals, no TLB model in play, and no follow-on data in flight
     /// that execution would overlap with.
     fn exec_quiescent(&mut self) -> bool {
-        self.armed.is_empty()
+        !self.adaptive
+            && self.armed.is_empty()
             && self.events.is_idle()
             && !matches!(self.policy, FetchPolicy::SmallPages { .. })
             && !self.events.other_inflight(self.clock, None)
@@ -707,6 +780,7 @@ impl<'a> NodeDriver<'a> {
         }
         match self.table.get(page) {
             Some(state) if state.is_complete() => {
+                self.note_touches(page, addr, stride, n);
                 self.finish_complete_segment(page, n, kind);
             }
             Some(_) => {
@@ -813,6 +887,14 @@ impl<'a> NodeDriver<'a> {
         sub: SubpageIndex,
         ctx: &mut ClusterCtx<'_, R>,
     ) {
+        if self.adaptive {
+            self.engine.observe(crate::PolicyEvent::Touch {
+                page: page.get(),
+                subpage: sub,
+                at: self.clock,
+            });
+            self.retire_prediction(page, sub);
+        }
         if self.table.get(page).expect("resident").mask.contains(sub) {
             return;
         }
@@ -854,8 +936,8 @@ impl<'a> NodeDriver<'a> {
                     self.subpage_refill(page, sub, FaultKind::Degraded, ctx);
                 } else {
                     assert!(
-                        self.policy.is_lazy(),
-                        "non-lazy incomplete page {page} has no arrival carrying {sub}"
+                        self.policy.demand_fills(),
+                        "non-demand-fill incomplete page {page} has no arrival carrying {sub}"
                     );
                     self.subpage_refill(page, sub, FaultKind::LazySubpage, ctx);
                 }
@@ -994,6 +1076,15 @@ impl<'a> NodeDriver<'a> {
         ctx: &mut ClusterCtx<'_, R>,
     ) -> FaultKind {
         let n_sub = self.geom.subpages_per_page();
+        if self.adaptive {
+            // The engine sees every whole-page fault, including ones that
+            // end up degrading to disk: the demand itself is history.
+            self.engine.observe(crate::PolicyEvent::Fault {
+                page: page.get(),
+                subpage: sub,
+                at: self.clock,
+            });
+        }
 
         // Where is the page? (Disk policy never asks the cluster.)
         let gpage = self.global_page(page);
@@ -1039,7 +1130,19 @@ impl<'a> NodeDriver<'a> {
         // CPU/DMA, contending with every other node's traffic.
         let sp_bytes = self.geom.subpage_size().bytes().get() as f64;
         let offset_frac = addr.offset_in(self.geom.subpage_size().bytes()).get() as f64 / sp_bytes;
-        let plan = self.policy.plan_fault(self.geom, sub, offset_frac);
+        let planned = self.engine.plan_fault(self.geom, sub, offset_frac);
+        if R::ENABLED {
+            if let Some((choice, delta)) = planned.decision {
+                ctx.rec.record(Event::PolicyDecision {
+                    node: self.node,
+                    page: page.get(),
+                    choice,
+                    delta,
+                    at: self.clock,
+                });
+            }
+        }
+        let plan = planned.plan;
         let sizes = plan.message_sizes(self.geom);
         let tplan = TransferPlan::new(sizes, self.policy.recv_overhead());
 
@@ -1193,6 +1296,30 @@ impl<'a> NodeDriver<'a> {
             self.events
                 .schedule(page, ft.page_complete_at, arrivals, fault_idx);
         }
+        if self.adaptive {
+            // Everything beyond the demanded subpage was the engine's
+            // prediction; track it until touched or evicted.
+            let mask = plan
+                .groups()
+                .iter()
+                .flatten()
+                .fold(0u32, |m, s| m | (1u32 << s.get()))
+                & !(1u32 << sub.get());
+            if mask != 0 {
+                self.prefetched_subpages += u64::from(mask.count_ones());
+                self.predicted.insert(page, mask);
+                if R::ENABLED {
+                    ctx.rec.record(Event::Prefetch {
+                        node: self.node,
+                        page: page.get(),
+                        subpages: mask,
+                        sub_bytes: self.geom.subpage_size().bytes().get() as u32,
+                        unused: false,
+                        at: self.clock,
+                    });
+                }
+            }
+        }
         FaultKind::Remote
     }
 
@@ -1214,6 +1341,15 @@ impl<'a> NodeDriver<'a> {
             FaultKind::Degraded => FaultClass::Degraded,
             _ => unreachable!("subpage refills are lazy or degraded"),
         };
+        if self.adaptive {
+            // Demand refills are faults too: indigo's hotness feedback
+            // runs on exactly this refill frequency.
+            self.engine.observe(crate::PolicyEvent::Fault {
+                page: page.get(),
+                subpage: sub,
+                at: self.clock,
+            });
+        }
         let server = self
             .served_by
             .get(&page)
@@ -1345,6 +1481,22 @@ impl<'a> NodeDriver<'a> {
         self.armed.remove(&victim);
         self.served_by.remove(&victim);
         self.lost_subs.remove(&victim);
+        if let Some(mask) = self.predicted.remove(&victim) {
+            // The prefetch window closes with the page: whatever the
+            // program never touched was moved for nothing.
+            let sub_bytes = self.geom.subpage_size().bytes().get() as u32;
+            self.mispredicted_prefetch_bytes += u64::from(mask.count_ones()) * u64::from(sub_bytes);
+            if R::ENABLED {
+                ctx.rec.record(Event::Prefetch {
+                    node: self.node,
+                    page: victim.get(),
+                    subpages: mask,
+                    sub_bytes,
+                    unused: true,
+                    at: self.clock,
+                });
+            }
+        }
         self.pal.page_state_changed(victim);
         self.tlb.invalidate(victim);
         self.frames.release();
@@ -1480,6 +1632,8 @@ impl<'a> NodeDriver<'a> {
             evictions: self.evictions,
             dirty_evictions: self.dirty_evictions,
             wasted_transfers: self.wasted_transfers,
+            prefetched_subpages: self.prefetched_subpages,
+            mispredicted_prefetch_bytes: self.mispredicted_prefetch_bytes,
             timeouts: self.timeouts,
             retries: self.retries,
             failovers: self.failovers,
@@ -1877,6 +2031,115 @@ mod tests {
             );
             report.assert_conserved();
             assert!(report.faults.total() > 0, "{}", strategy.name());
+        }
+    }
+
+    /// A strided scan: one read every `stride_bytes` across `pages`
+    /// pages, `passes` passes over the region.
+    fn strided_app(pages: u64, stride_bytes: i64, passes: u64) -> (PhaseProgram, Bytes, VirtAddr) {
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("strided", pages);
+        let source = PhaseProgram::new(vec![Phase::new(
+            "scan",
+            SeqScan::passes(region, stride_bytes, passes, AccessKind::Read),
+        )]);
+        (source, region.len(), region.start())
+    }
+
+    #[test]
+    fn adaptive_policies_run_conserved() {
+        let app = tiny_app();
+        for policy in [
+            FetchPolicy::leap(SubpageSize::S1K),
+            FetchPolicy::indigo(SubpageSize::S1K),
+        ] {
+            let report = run_policy(policy, MemoryConfig::Half, &app);
+            report.assert_conserved();
+            assert!(report.faults.total() > 0, "{}", policy.label());
+            assert_eq!(report.total_refs, app.target_refs(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn static_policies_report_no_prefetch_counters() {
+        let app = tiny_app();
+        for policy in [
+            FetchPolicy::fullpage(),
+            FetchPolicy::pipelined(SubpageSize::S1K),
+            FetchPolicy::lazy(SubpageSize::S1K),
+        ] {
+            let report = run_policy(policy, MemoryConfig::Half, &app);
+            assert_eq!(report.prefetched_subpages, 0, "{}", policy.label());
+            assert_eq!(report.mispredicted_prefetch_bytes, 0, "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn leap_beats_pl1024_on_strided_scan() {
+        // The EXPERIMENTS.md acceptance cell: a stride-2048B scan (every
+        // other 1 KB subpage first, in stride order) under constrained
+        // memory. Neighbors-first pipelining ships subpage f+2 in the
+        // third follow-on message; leap's detected stride ships it in
+        // the first, so the program waits less on follow-on data.
+        let (mut leap_src, len, start) = strided_app(64, 2048, 4);
+        let leap_sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::leap(SubpageSize::S1K))
+                .memory(MemoryConfig::Quarter)
+                .build(),
+        );
+        let leap = leap_sim.run_trace(&mut leap_src, len, start);
+
+        let (mut pl_src, len, start) = strided_app(64, 2048, 4);
+        let pl_sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::pipelined(SubpageSize::S1K))
+                .memory(MemoryConfig::Quarter)
+                .build(),
+        );
+        let pl = pl_sim.run_trace(&mut pl_src, len, start);
+
+        leap.assert_conserved();
+        pl.assert_conserved();
+        assert!(
+            leap.page_wait < pl.page_wait,
+            "leap page_wait {} vs pl_1024 {}",
+            leap.page_wait,
+            pl.page_wait
+        );
+        assert!(leap.prefetched_subpages > 0);
+    }
+
+    #[test]
+    fn indigo_cold_scan_moves_fewer_bytes_than_pipelined() {
+        // One touch per page: indigo's cold path fetches only the
+        // demanded subpage, so GMS traffic is a fraction of a
+        // whole-page pipeline's.
+        let mut layout = Layout::new();
+        let region = layout.alloc_pages("sparse", 32);
+        let run = Run::new(region.start(), 8192, 32, AccessKind::Read);
+        let sim = Simulator::new(
+            SimConfig::builder()
+                .policy(FetchPolicy::indigo(SubpageSize::S1K))
+                .build(),
+        );
+        let mut source = VecSource::new(vec![run]);
+        let report = sim.run_trace(&mut source, region.len(), region.start());
+        assert_eq!(report.faults.remote, 32);
+        assert_eq!(report.faults.lazy_subpage, 0, "one touch per page");
+        assert_eq!(report.prefetched_subpages, 0, "cold pages predict nothing");
+    }
+
+    #[test]
+    fn adaptive_runs_are_reproducible() {
+        for policy in [
+            FetchPolicy::leap(SubpageSize::S1K),
+            FetchPolicy::indigo(SubpageSize::S1K),
+        ] {
+            let app = tiny_app();
+            let a = run_policy(policy, MemoryConfig::Quarter, &app);
+            let b = run_policy(policy, MemoryConfig::Quarter, &app);
+            assert_eq!(a, b, "{}", policy.label());
         }
     }
 }

@@ -60,9 +60,25 @@ pub fn run_counters(report: &RunReport) -> CounterRegistry {
     reg.set("evictions", report.evictions);
     reg.set("dirty_evictions", report.dirty_evictions);
     reg.set("wasted_transfers", report.wasted_transfers);
+    // Prefetch telemetry exists only for the adaptive engines; static
+    // summaries keep their exact v2 shape (the golden-digest regression
+    // pins them byte-for-byte).
+    if is_adaptive_label(&report.policy) {
+        reg.set("prefetched_subpages", report.prefetched_subpages);
+        reg.set(
+            "mispredicted_prefetch_bytes",
+            report.mispredicted_prefetch_bytes,
+        );
+    }
     reg.set_f64("wire_utilization", report.wire_utilization());
     reg.set_f64("overlap_io_fraction", report.overlap.io_fraction());
     reg
+}
+
+/// Whether a policy label names a history-observing engine (the only
+/// runs whose summaries carry prefetch counters).
+fn is_adaptive_label(label: &str) -> bool {
+    label.starts_with("leap_") || label.starts_with("indigo_")
 }
 
 /// The reliability counters of one run (the `v2` addition): timeout,
@@ -109,6 +125,28 @@ pub fn cluster_summary_json(report: &ClusterReport) -> String {
     reg.set_f64("wire_utilization", report.net.wire_utilization);
     reg.set_f64("min_node_utilization", report.net.min_node_utilization);
     reg.set_f64("max_node_utilization", report.net.max_node_utilization);
+    if report
+        .nodes
+        .first()
+        .is_some_and(|n| is_adaptive_label(&n.policy))
+    {
+        reg.set(
+            "prefetched_subpages",
+            report
+                .nodes
+                .iter()
+                .map(|n| n.prefetched_subpages)
+                .sum::<u64>(),
+        );
+        reg.set(
+            "mispredicted_prefetch_bytes",
+            report
+                .nodes
+                .iter()
+                .map(|n| n.mispredicted_prefetch_bytes)
+                .sum::<u64>(),
+        );
+    }
 
     // Requester-side reliability counters sum over the active nodes;
     // crash losses are cluster-wide (every node report carries the same

@@ -67,6 +67,7 @@ mod export;
 mod metrics;
 mod pipeline;
 mod policy;
+mod policy_engine;
 mod report;
 mod sched;
 mod sweep;
@@ -86,5 +87,8 @@ pub use metrics::{
 };
 pub use pipeline::{MessagePlan, PipelineStrategy};
 pub use policy::FetchPolicy;
+pub use policy_engine::{
+    IndigoEngine, LeapEngine, PlannedFault, PolicyEngine, PolicyEvent, StaticEngine,
+};
 pub use report::RunReport;
 pub use sweep::{Sweep, SweepCell, SweepResults};

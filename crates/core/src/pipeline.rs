@@ -1,4 +1,11 @@
 //! Follow-on sequencing strategies for subpage pipelining.
+//!
+//! [`MessagePlan`] is the common currency of the policy layer: the
+//! static [`FetchPolicy`](crate::FetchPolicy) planner builds one per
+//! fault from geometry alone, and the adaptive
+//! [`PolicyEngine`](crate::PolicyEngine)s (leap, indigo) build theirs
+//! from observed fault history — the engine downstream of the plan
+//! never knows or cares which produced it.
 
 use gms_mem::{Geometry, SubpageIndex};
 use gms_units::Bytes;

@@ -59,6 +59,24 @@ pub enum FetchPolicy {
         /// The reduced page size.
         page: PageSize,
     },
+    /// Leap-style adaptive pipelining: a per-region majority-vote stride
+    /// detector over the recent fault/touch history orders the follow-on
+    /// subpages along the predicted stride, falling back to
+    /// neighbours-first when confidence is low. The static description
+    /// here only fixes the geometry; the per-run state lives in a
+    /// [`LeapEngine`](crate::LeapEngine).
+    Leap {
+        /// The transfer granularity.
+        subpage: SubpageSize,
+    },
+    /// INDIGO-style hotness feedback: pages refaulting within a short
+    /// window are migrated whole in one message, cold pages demand-fetch
+    /// subpages lazily. Per-run state lives in an
+    /// [`IndigoEngine`](crate::IndigoEngine).
+    Indigo {
+        /// The transfer granularity.
+        subpage: SubpageSize,
+    },
 }
 
 impl FetchPolicy {
@@ -99,6 +117,18 @@ impl FetchPolicy {
         FetchPolicy::LazySubpage { subpage }
     }
 
+    /// Leap-style adaptive stride pipelining at the given subpage size.
+    #[must_use]
+    pub fn leap(subpage: SubpageSize) -> Self {
+        FetchPolicy::Leap { subpage }
+    }
+
+    /// INDIGO-style hotness-adaptive fetch at the given subpage size.
+    #[must_use]
+    pub fn indigo(subpage: SubpageSize) -> Self {
+        FetchPolicy::Indigo { subpage }
+    }
+
     /// The transfer geometry this policy imposes on `base_page`-sized
     /// pages.
     ///
@@ -114,7 +144,9 @@ impl FetchPolicy {
             }
             FetchPolicy::EagerSubpage { subpage }
             | FetchPolicy::PipelinedSubpage { subpage, .. }
-            | FetchPolicy::LazySubpage { subpage } => Geometry::new(base_page, subpage),
+            | FetchPolicy::LazySubpage { subpage }
+            | FetchPolicy::Leap { subpage }
+            | FetchPolicy::Indigo { subpage } => Geometry::new(base_page, subpage),
             FetchPolicy::SmallPages { page } => Geometry::new(page, SubpageSize::new(page.bytes())),
         }
     }
@@ -148,15 +180,26 @@ impl FetchPolicy {
             FetchPolicy::PipelinedSubpage { strategy, .. } => {
                 strategy.plan(geom, faulted, offset_in_subpage)
             }
-            FetchPolicy::LazySubpage { .. } => MessagePlan::new(vec![vec![faulted]]),
+            FetchPolicy::LazySubpage { .. } | FetchPolicy::Indigo { .. } => {
+                MessagePlan::new(vec![vec![faulted]])
+            }
+            // History-free default for the adaptive stride policy; a
+            // run's `LeapEngine` refines this from the observed history.
+            FetchPolicy::Leap { .. } => {
+                PipelineStrategy::NeighborsFirst.plan(geom, faulted, offset_in_subpage)
+            }
         }
     }
 
-    /// Receiver-side CPU model for follow-on messages.
+    /// Receiver-side CPU model for follow-on messages. The adaptive
+    /// policies pipeline like `pl_*` and inherit its idealized
+    /// zero-overhead receives, so comparisons against `pl_*` isolate the
+    /// ordering decision.
     #[must_use]
     pub fn recv_overhead(&self) -> RecvOverhead {
         match *self {
             FetchPolicy::PipelinedSubpage { recv_overhead, .. } => recv_overhead,
+            FetchPolicy::Leap { .. } | FetchPolicy::Indigo { .. } => RecvOverhead::Zero,
             _ => RecvOverhead::Measured,
         }
     }
@@ -168,6 +211,24 @@ impl FetchPolicy {
         matches!(self, FetchPolicy::LazySubpage { .. })
     }
 
+    /// Whether this policy's plans may leave subpages with no follow-on
+    /// message in flight, to be demand-fetched at touch time: the lazy
+    /// policy always, INDIGO for the pages it classifies cold.
+    #[must_use]
+    pub fn demand_fills(&self) -> bool {
+        matches!(
+            self,
+            FetchPolicy::LazySubpage { .. } | FetchPolicy::Indigo { .. }
+        )
+    }
+
+    /// Whether this policy's plans depend on per-run fault history (the
+    /// engine then feeds it observations and may bill prefetches).
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, FetchPolicy::Leap { .. } | FetchPolicy::Indigo { .. })
+    }
+
     /// Whether this policy pages to disk rather than remote memory.
     #[must_use]
     pub fn is_disk(&self) -> bool {
@@ -175,17 +236,40 @@ impl FetchPolicy {
     }
 
     /// The label used in the paper's figures (`disk_8192`, `p_8192`,
-    /// `sp_1024`, …).
+    /// `sp_1024`, …). Every label round-trips through the CLI's
+    /// `parse_policy` back to the same policy: non-default disk patterns
+    /// and pipelining variants carry suffixes (`disk_8192_seq`,
+    /// `pl_1024_asc`, `pl_1024_mrecv`, …) rather than collapsing onto
+    /// the default's label.
     #[must_use]
     pub fn label(&self) -> String {
         match *self {
-            FetchPolicy::Disk { .. } => "disk_8192".to_owned(),
+            FetchPolicy::Disk {
+                pattern: AccessPattern::Random,
+            } => "disk_8192".to_owned(),
+            FetchPolicy::Disk {
+                pattern: AccessPattern::Sequential,
+            } => "disk_8192_seq".to_owned(),
             FetchPolicy::RemoteFullPage => "p_8192".to_owned(),
             FetchPolicy::EagerSubpage { subpage } => {
                 format!("sp_{}", subpage.bytes().get())
             }
-            FetchPolicy::PipelinedSubpage { subpage, .. } => {
-                format!("pl_{}", subpage.bytes().get())
+            FetchPolicy::PipelinedSubpage {
+                subpage,
+                strategy,
+                recv_overhead,
+            } => {
+                let mut label = format!("pl_{}", subpage.bytes().get());
+                match strategy {
+                    PipelineStrategy::NeighborsFirst => {}
+                    PipelineStrategy::Ascending => label.push_str("_asc"),
+                    PipelineStrategy::DoubledFollowOn => label.push_str("_dbl"),
+                    PipelineStrategy::AdaptiveHalf => label.push_str("_half"),
+                }
+                if recv_overhead == RecvOverhead::Measured {
+                    label.push_str("_mrecv");
+                }
+                label
             }
             FetchPolicy::LazySubpage { subpage } => {
                 format!("lazy_{}", subpage.bytes().get())
@@ -193,17 +277,37 @@ impl FetchPolicy {
             FetchPolicy::SmallPages { page } => {
                 format!("small_{}", page.bytes().get())
             }
+            FetchPolicy::Leap { subpage } => {
+                format!("leap_{}", subpage.bytes().get())
+            }
+            FetchPolicy::Indigo { subpage } => {
+                format!("indigo_{}", subpage.bytes().get())
+            }
         }
     }
 
     /// Transfer bytes a fault moves in total under this policy, for a
-    /// page of `geom` (lazy policies move one subpage per fault).
+    /// page of `geom` (demand-filling policies move one subpage per
+    /// fault).
     #[must_use]
     pub fn bytes_per_fault(&self, geom: Geometry) -> Bytes {
-        if self.is_lazy() {
+        if self.demand_fills() {
             geom.subpage_size().bytes()
         } else {
             geom.page_size().bytes()
+        }
+    }
+
+    /// Builds the per-run stateful engine realizing this policy: the
+    /// static policies get the history-blind delegator, the adaptive
+    /// ones their observing engines. One engine per node per run — see
+    /// the `PolicyEngine` determinism rules.
+    #[must_use]
+    pub fn engine(&self) -> Box<dyn crate::PolicyEngine> {
+        match *self {
+            FetchPolicy::Leap { .. } => Box::new(crate::LeapEngine::new(*self)),
+            FetchPolicy::Indigo { .. } => Box::new(crate::IndigoEngine::new(*self)),
+            _ => Box::new(crate::policy_engine::StaticEngine::new(*self)),
         }
     }
 }

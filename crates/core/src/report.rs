@@ -51,6 +51,13 @@ pub struct RunReport {
     /// In-flight transfers dropped because their page was evicted before
     /// the data arrived.
     pub wasted_transfers: u64,
+    /// Subpages an adaptive policy engine moved beyond the demanded one
+    /// (prefetch predictions issued). Always zero for static policies.
+    pub prefetched_subpages: u64,
+    /// Bytes of those predictions the program never touched before the
+    /// page's eviction closed its prefetch window. Always zero for
+    /// static policies.
+    pub mispredicted_prefetch_bytes: u64,
 
     /// Getpage attempts that expired without data (lost request or
     /// reply, or a dead custodian). Zero without a fault plan.

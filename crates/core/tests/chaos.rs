@@ -206,6 +206,54 @@ proptest! {
         }
     }
 
+    /// The adaptive engines survive the same chaos the static policies
+    /// do: under an arbitrary plan, `leap` and `indigo` cells terminate,
+    /// conserve their buckets, keep attribution telescoping, keep the
+    /// pipeline overlap-free — and, because the fault stream each engine
+    /// observes is itself deterministic, replaying the identical plan
+    /// reproduces the run byte for byte even though the engines' plans
+    /// depend on history.
+    #[test]
+    fn adaptive_cells_survive_and_reproduce_arbitrary_plans(plan in arb_plan()) {
+        let app = apps::gdb().scaled(0.05);
+        for policy in [
+            FetchPolicy::leap(SubpageSize::S1K),
+            FetchPolicy::indigo(SubpageSize::S1K),
+        ] {
+            for memory in [MemoryConfig::Half, MemoryConfig::Quarter] {
+                let run = || {
+                    let mut rec = MemoryRecorder::new();
+                    let sim = Simulator::new(config(policy, memory, Some(plan.clone())));
+                    let report = sim.run_recorded(&app, &mut rec);
+                    (report, rec)
+                };
+                let (report, rec) = run();
+                report.assert_conserved();
+                prop_assert_eq!(
+                    report.total_refs,
+                    app.target_refs(),
+                    "{} {:?} lost references", policy.label(), memory
+                );
+                assert_occupancies_disjoint(rec.iter());
+
+                let attrib = gms_obs::attribute(rec.iter())
+                    .unwrap_or_else(|e| panic!("{} {:?}: {e}", policy.label(), memory));
+                prop_assert_eq!(attrib.faults.len(), report.fault_log.len());
+                prop_assert_eq!(
+                    attrib.total_wait(),
+                    report.sp_latency + report.page_wait,
+                    "{} {:?}", policy.label(), memory
+                );
+
+                let (again, _) = run();
+                prop_assert_eq!(
+                    &report, &again,
+                    "{} {:?}: replayed plan diverged", policy.label(), memory
+                );
+            }
+        }
+    }
+
     /// The same non-empty plan replayed twice gives byte-identical
     /// reports: fault injection is deterministic, not merely bounded.
     #[test]

@@ -1,0 +1,114 @@
+//! Golden-digest regression: the five paper policies are pinned
+//! byte-for-byte — human-readable summary, exported summary JSON and
+//! the full Perfetto trace — for a fixed serial workload and a fixed
+//! four-node cluster workload. Any engine or policy-layer change that
+//! perturbs their output by even one byte fails here.
+//!
+//! The digests were generated from the pre-refactor policy layer (the
+//! stateless `FetchPolicy::plan_fault` path) and must survive the
+//! `PolicyEngine` refactor unchanged. To regenerate after an
+//! *intentional* output change, run the test and copy the table it
+//! prints on failure.
+
+use gms_core::{
+    cluster_summary_json, run_summary_json, ClusterSim, FetchPolicy, MemoryConfig, SimConfig,
+    Simulator,
+};
+use gms_mem::SubpageSize;
+use gms_obs::{perfetto_trace, MemoryRecorder};
+use gms_trace::apps;
+
+/// FNV-1a 64: dependency-free, stable across platforms.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn static_policies() -> Vec<FetchPolicy> {
+    vec![
+        FetchPolicy::disk(),
+        FetchPolicy::fullpage(),
+        FetchPolicy::eager(SubpageSize::S1K),
+        FetchPolicy::pipelined(SubpageSize::S1K),
+        FetchPolicy::lazy(SubpageSize::S1K),
+    ]
+}
+
+/// Serial digest: summary text + summary JSON + Perfetto trace of one
+/// recorded `gdb` run at half memory.
+fn serial_digest(policy: FetchPolicy) -> u64 {
+    let cfg = SimConfig::builder()
+        .policy(policy)
+        .memory(MemoryConfig::Half)
+        .build();
+    let mut rec = MemoryRecorder::new();
+    let report = Simulator::new(cfg).run_recorded(&apps::gdb().scaled(0.1), &mut rec);
+    let events = rec.into_events();
+    let text = format!(
+        "{}\n{}\n{}",
+        report.summary(),
+        run_summary_json(&report),
+        perfetto_trace(events.iter())
+    );
+    fnv1a(&text)
+}
+
+/// Cluster digest: summary text + cluster summary JSON + Perfetto trace
+/// of a recorded two-app run on a four-node cluster.
+fn cluster_digest(policy: FetchPolicy) -> u64 {
+    let cfg = SimConfig::builder()
+        .policy(policy)
+        .memory(MemoryConfig::Half)
+        .cluster_nodes(4)
+        .build();
+    let app = apps::gdb().scaled(0.1);
+    let mut rec = MemoryRecorder::new();
+    let report = ClusterSim::new(cfg).run_recorded(&[app.clone(), app], &mut rec);
+    let events = rec.into_events();
+    let text = format!(
+        "{}\n{}\n{}",
+        report.summary(),
+        cluster_summary_json(&report),
+        perfetto_trace(events.iter())
+    );
+    fnv1a(&text)
+}
+
+/// `(label, serial digest, cluster digest)` — generated pre-refactor.
+const GOLDEN: &[(&str, u64, u64)] = &[
+    ("disk_8192", 0x1c00_9572_d0d0_366f, 0x3874_aa7f_4a21_61bf),
+    ("p_8192", 0x6682_3e5d_3b82_4755, 0x01f4_aa13_5f09_10c1),
+    ("sp_1024", 0x20b5_47c0_d600_d59a, 0x48cc_d50a_65d8_21c9),
+    ("pl_1024", 0x7eb0_97eb_b9a6_e9f1, 0x9179_4c78_6f31_c3b6),
+    ("lazy_1024", 0x0568_1044_b8d1_48e2, 0x2f8d_5d59_06f0_2d34),
+];
+
+#[test]
+fn static_policies_match_golden_digests() {
+    let mut mismatches = Vec::new();
+    let mut actual = Vec::new();
+    for policy in static_policies() {
+        let label = policy.label();
+        let (serial, cluster) = (serial_digest(policy), cluster_digest(policy));
+        actual.push(format!(
+            "    (\"{label}\", {serial:#018x}, {cluster:#018x}),"
+        ));
+        let golden = GOLDEN
+            .iter()
+            .find(|(l, _, _)| *l == label)
+            .unwrap_or_else(|| panic!("no golden entry for {label}"));
+        if (golden.1, golden.2) != (serial, cluster) {
+            mismatches.push(label);
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "digest mismatch for {mismatches:?}; if the output change is intentional, \
+         replace GOLDEN with:\n{}",
+        actual.join("\n")
+    );
+}

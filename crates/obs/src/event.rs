@@ -86,6 +86,38 @@ impl FaultClass {
     }
 }
 
+/// Why an adaptive policy engine shaped a fault's transfer the way it
+/// did (the observability mirror of the engine's decision, kept
+/// dependency-free like [`FaultClass`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyChoice {
+    /// A stride predictor was confident: follow-ons ride in predicted
+    /// stride order.
+    Stride,
+    /// Prediction confidence was too low: the engine fell back to the
+    /// static neighbours-first order.
+    Fallback,
+    /// A hotness tracker classified the page hot: it migrates whole in
+    /// one message.
+    Migrate,
+    /// A hotness tracker classified the page cold: only the demanded
+    /// subpage is fetched.
+    Demand,
+}
+
+impl PolicyChoice {
+    /// A short label (`stride`, `fallback`, `migrate`, `demand`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyChoice::Stride => "stride",
+            PolicyChoice::Fallback => "fallback",
+            PolicyChoice::Migrate => "migrate",
+            PolicyChoice::Demand => "demand",
+        }
+    }
+}
+
 /// One structured trace event.
 ///
 /// Events are emitted in simulation order by whichever node is being
@@ -261,6 +293,42 @@ pub enum Event {
         /// Re-fetch time.
         at: SimTime,
     },
+    /// An adaptive policy engine planned a whole-page fault. Static
+    /// policies never emit this: their plans are fixed functions of the
+    /// faulted subpage.
+    PolicyDecision {
+        /// The faulting node.
+        node: NodeId,
+        /// The faulted page (node-local id).
+        page: u64,
+        /// What the engine decided.
+        choice: PolicyChoice,
+        /// The predicted subpage stride backing a [`PolicyChoice::Stride`]
+        /// decision (zero for the other choices).
+        delta: i8,
+        /// Decision time (the faulting node's clock).
+        at: SimTime,
+    },
+    /// Subpages an adaptive engine moved beyond the demanded one. With
+    /// `unused: false` this marks the prediction at issue time; with
+    /// `unused: true` it reports, when the page's prefetch window closes
+    /// (eviction), the predicted subpages the program never touched.
+    Prefetch {
+        /// The predicting node.
+        node: NodeId,
+        /// The page the prediction covers (node-local id).
+        page: u64,
+        /// Bitmask of the predicted subpages (bit `i` = subpage `i`).
+        subpages: u32,
+        /// Bytes per subpage in the mask, so misprediction cost is
+        /// computable from the event alone.
+        sub_bytes: u32,
+        /// Whether this closes the window (unused remainder) rather than
+        /// opening it (issued prediction).
+        unused: bool,
+        /// Issue / close time.
+        at: SimTime,
+    },
 }
 
 impl Event {
@@ -282,7 +350,9 @@ impl Event {
             | Event::Failover { at, .. }
             | Event::NodeDown { at, .. }
             | Event::NodeUp { at, .. }
-            | Event::DegradedFetch { at, .. } => at,
+            | Event::DegradedFetch { at, .. }
+            | Event::PolicyDecision { at, .. }
+            | Event::Prefetch { at, .. } => at,
             Event::Stall { start, .. } => start,
             Event::Occupancy { start, .. } => start,
         }
@@ -304,7 +374,9 @@ impl Event {
             | Event::Failover { node, .. }
             | Event::NodeDown { node, .. }
             | Event::NodeUp { node, .. }
-            | Event::DegradedFetch { node, .. } => node,
+            | Event::DegradedFetch { node, .. }
+            | Event::PolicyDecision { node, .. }
+            | Event::Prefetch { node, .. } => node,
         }
     }
 }
@@ -340,5 +412,43 @@ mod tests {
         };
         assert_eq!(e.node(), NodeId::new(3));
         assert_eq!(FaultClass::LazySubpage.label(), "lazy");
+    }
+
+    #[test]
+    fn policy_choice_labels_are_distinct() {
+        let mut labels = [
+            PolicyChoice::Stride,
+            PolicyChoice::Fallback,
+            PolicyChoice::Migrate,
+            PolicyChoice::Demand,
+        ]
+        .map(PolicyChoice::label);
+        labels.sort_unstable();
+        let mut deduped = labels.to_vec();
+        deduped.dedup();
+        assert_eq!(deduped.len(), 4);
+    }
+
+    #[test]
+    fn adaptive_events_carry_node_and_time() {
+        let d = Event::PolicyDecision {
+            node: NodeId::new(2),
+            page: 9,
+            choice: PolicyChoice::Stride,
+            delta: 2,
+            at: SimTime::from_nanos(5),
+        };
+        assert_eq!(d.node(), NodeId::new(2));
+        assert_eq!(d.at(), SimTime::from_nanos(5));
+        let p = Event::Prefetch {
+            node: NodeId::new(1),
+            page: 4,
+            subpages: 0b1010,
+            sub_bytes: 1024,
+            unused: true,
+            at: SimTime::from_nanos(7),
+        };
+        assert_eq!(p.node(), NodeId::new(1));
+        assert_eq!(p.at(), SimTime::from_nanos(7));
     }
 }

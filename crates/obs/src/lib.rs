@@ -69,11 +69,11 @@ mod recorder;
 mod timeseries;
 
 pub use attrib::{
-    attribute, attribution_json, AttributionReport, ComponentRow, FaultAttribution, Hop,
-    OffPathUsage, ATTRIB_SCHEMA,
+    attribute, attribution_json, prefetch_stats, AttributionReport, ComponentRow, FaultAttribution,
+    Hop, OffPathUsage, PrefetchStats, ATTRIB_SCHEMA,
 };
 pub use counters::CounterRegistry;
-pub use event::{Event, FaultClass, ResourceKind};
+pub use event::{Event, FaultClass, PolicyChoice, ResourceKind};
 pub use hist::LogHistogram;
 pub use json::{escape_json, JsonValue};
 pub use perfetto::{perfetto_trace, trace_nodes, APP_TRACK};

@@ -245,6 +245,45 @@ where
                     &args,
                 );
             }
+            Event::PolicyDecision {
+                page,
+                choice,
+                delta,
+                at,
+                ..
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"choice\":\"{}\",\"delta\":{delta}}}",
+                    choice.label()
+                );
+                push_instant(
+                    &mut out,
+                    pid,
+                    APP_TRACK,
+                    "policy-decision",
+                    at.as_nanos(),
+                    &args,
+                );
+            }
+            Event::Prefetch {
+                page,
+                subpages,
+                sub_bytes,
+                unused,
+                at,
+                ..
+            } => {
+                let subs_json: Vec<String> = (0..32)
+                    .filter(|i| subpages & (1 << i) != 0)
+                    .map(|i: u32| i.to_string())
+                    .collect();
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"subpages\":[{}],\
+                     \"sub_bytes\":{sub_bytes},\"unused\":{unused}}}",
+                    subs_json.join(",")
+                );
+                push_instant(&mut out, pid, APP_TRACK, "prefetch", at.as_nanos(), &args);
+            }
         }
         parts.push(out);
     }

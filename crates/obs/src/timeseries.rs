@@ -192,7 +192,11 @@ impl Recorder for TimeSeriesRecorder {
                 let i = resource.index();
                 self.clip(start, end, |w, d| w.busy[i] += d);
             }
-            Event::GetPage { .. } | Event::Arrival { .. } | Event::Failover { .. } => {}
+            Event::GetPage { .. }
+            | Event::Arrival { .. }
+            | Event::Failover { .. }
+            | Event::PolicyDecision { .. }
+            | Event::Prefetch { .. } => {}
         }
     }
 }
