@@ -22,14 +22,17 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use gms_core::{
-    cluster_summary_json, run_summary_json, AccessCost, ClusterSim, FaultPlan, FetchPolicy,
-    MemoryConfig, PipelineStrategy, ReplacementKind, SimConfig, Simulator, Sweep, SUMMARY_SCHEMA,
+    cluster_summary_json, cluster_summary_json_v3, run_summary_json, run_summary_json_v3,
+    tail_json, AccessCost, ClusterReport, ClusterSim, FaultKind, FaultPlan, FetchPolicy,
+    MemoryConfig, PipelineStrategy, ReplacementKind, RunReport, SimConfig, Simulator, Sweep,
+    SUMMARY_SCHEMA, SUMMARY_SCHEMA_V3, TAIL_PERCENTILES, WAIT_PERCENTILES,
 };
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{AccessPattern, NetParams, RecvOverhead, Timeline, TransferPlan};
 use gms_obs::{
-    attribute, attribution_json, metrics_json, perfetto_trace, prefetch_stats, AttributionReport,
-    ComponentRow, JsonValue, MemoryRecorder, ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA,
+    attribute, attribution_json, escape_json, metrics_json, perfetto_trace, prefetch_stats,
+    AttributionReport, ComponentRow, Exemplar, FaultAttribution, FlightRecorder, JsonValue,
+    MemoryRecorder, QuantileSketch, ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA,
     METRICS_SCHEMA,
 };
 use gms_trace::apps::{self, AppProfile};
@@ -60,7 +63,7 @@ USAGE:
   gms-sim run --app <name> --policy <label> [--memory full|half|quarter|<frames>]
               [--scale <f>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2] [--pal]
-              [--fault-plan <spec>]
+              [--fault-plan <spec>] [--slo <dur>]
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
   gms-sim sweep --app <name> [--scale <f>] [--jobs <n>] [--trace-dir <dir>]
@@ -70,17 +73,22 @@ USAGE:
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--threads <n>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2]
-              [--fault-plan <spec>]
+              [--fault-plan <spec>] [--slo <dur>]
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
   gms-sim profile --app <name> --policy <label> [--by resource|class|node]
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--net ...] [--replacement ...] [--pal] [--fault-plan <spec>]
               [--nodes <k> --active <a>] [--json <path>]
+  gms-sim explain --app <name> --policy <label> [--worst <k>] [--slo <dur>]
+              [--window <dur>] [--memory full|half|quarter|<frames>] [--scale <f>]
+              [--net ...] [--replacement ...] [--pal] [--fault-plan <spec>]
+              [--nodes <k> --active <a> [--threads <n>]]
+              [--json <path>] [--trace-out <path>]
   gms-sim diff-trace <a.summary.json> <b.summary.json> [--tolerance <pct>] [--full]
   gms-sim diff-bench <a.json> <b.json> [--tolerance <pct>]
   gms-sim check-trace [--trace <path>] [--summary <path>]
-              [--metrics <path>] [--attrib <path>]
+              [--metrics <path>] [--attrib <path>] [--exemplars <path>]
   gms-sim latency [--subpage <bytes>]
 
 Sweeps fan the grid's cells over `--jobs` worker threads (default: all
@@ -106,6 +114,12 @@ per-window fault/retry counts, per-resource utilization, wait p50/p99,
 mean in-flight fetches); --prom-out writes the cumulative counters in
 the Prometheus text format. --metrics-window sets the window length
 (ns/us/ms/s suffixes; default 1ms).
+--slo <dur> scores every fault against a page-wait threshold: the run
+prints an attainment line (faults under the threshold, plus the
+sketch-estimated p99.9), and --summary-json upgrades to gms-summary/v3
+— the v2 document plus a `tail` object (p99.9/p99.99 from a mergeable
+quantile sketch with a 1/256 relative-error bound) and an `slo`
+attainment object. Without --slo the summary stays v2, byte-for-byte.
 
 profile replays a recorded run through the critical-path attribution
 pass: every fault's wait is split into queueing vs. service per
@@ -114,6 +128,18 @@ and the sums are checked against the report's latency buckets to the
 nanosecond. --by picks the aggregation (resource components, fault
 class, or node); --json writes the gms-attrib/v1 document.
 
+explain is the tail-latency counterpart of profile. It re-runs the
+workload under a bounded flight recorder that retains complete event
+chains only for the --worst <k> slowest faults per node (per --window
+of sim-time, when one is given; default k=4), replays exactly those
+exemplar chains through the critical-path attribution walk, and prints
+each one's Table-2 decomposition (queue/service/transit/retry/disk/
+stall — the components sum to the recorded wait to the nanosecond)
+alongside per-class and per-node SLO attainment tallied over *all*
+faults, not just the retained ones (--slo threshold, default 1ms).
+--json writes the gms-explain/v1 document; --trace-out writes a
+Perfetto trace holding only the exemplar chains.
+
 diff-trace compares two exported summary JSON files cell by cell
 (--full compares two raw Perfetto traces instead) and exits non-zero
 if any numeric cell moved by more than --tolerance percent (default 5).
@@ -121,12 +147,20 @@ diff-bench does the same for bench result JSON (default tolerance 25),
 which is the CI perf gate; cells holding derived ratios or environment
 facts (overhead_pct, speedup, jobs) are reported but not gated, since
 they swing wildly in relative terms when the underlying — and gated —
-time cells wobble by a few percent.
+time cells wobble by a few percent. Two cell families get their own
+gates instead of the default tolerance: `flight_overhead_pct` must stay
+under an absolute ceiling of 5 (bounded tracing must stay cheap no
+matter what the baseline measured), and the `p99_9_us` far-tail cells —
+deterministic simulated values, not wall-clock — are gated at a tight
+1%.
 
 check-trace re-parses exported files and validates their schema,
 including an allowlist of known instant-event kinds; --metrics and
 --attrib validate gms-metrics/v1 and gms-attrib/v1 documents,
-including the attribution conservation invariant.
+including the attribution conservation invariant. --summary accepts
+v2 and v3 summaries, checking the shared percentile key lists plus the
+v3 tail/slo objects; --exemplars validates a gms-explain/v1 document,
+re-checking that every exemplar's components sum to its recorded wait.
 
 --fault-plan injects deterministic faults: a comma-separated list of
   loss=<p>        per-message loss probability (0..1)
@@ -397,6 +431,10 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             };
             let pal = args.take_flag("--pal");
             let fault_plan = args.take_value("--fault-plan");
+            let slo = match args.take_value("--slo") {
+                Some(s) => Some(parse_duration(&s)?),
+                None => None,
+            };
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             let metrics = MetricsOpts::parse(&mut args)?;
@@ -409,6 +447,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 replacement,
                 pal,
                 fault_plan.as_deref(),
+                slo,
                 trace_out.as_deref(),
                 summary_json.as_deref(),
                 &metrics,
@@ -508,6 +547,10 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 None => ReplacementKind::Lru,
             };
             let fault_plan = args.take_value("--fault-plan");
+            let slo = match args.take_value("--slo") {
+                Some(s) => Some(parse_duration(&s)?),
+                None => None,
+            };
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             let metrics = MetricsOpts::parse(&mut args)?;
@@ -522,6 +565,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 net,
                 replacement,
                 fault_plan.as_deref(),
+                slo,
                 trace_out.as_deref(),
                 summary_json.as_deref(),
                 &metrics,
@@ -591,6 +635,99 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 json_out.as_deref(),
             )
         }
+        "explain" => {
+            let app = parse_app(
+                &args
+                    .take_value("--app")
+                    .ok_or_else(|| err("--app is required"))?,
+            )?;
+            let policy = parse_policy(
+                &args
+                    .take_value("--policy")
+                    .ok_or_else(|| err("--policy is required"))?,
+            )?;
+            let memory = match args.take_value("--memory") {
+                Some(m) => parse_memory(&m)?,
+                None => MemoryConfig::Half,
+            };
+            let scale: f64 = match args.take_value("--scale") {
+                Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
+                None => 1.0,
+            };
+            let net = match args.take_value("--net") {
+                Some(n) => parse_net(&n)?,
+                None => NetParams::paper(),
+            };
+            let replacement = match args.take_value("--replacement") {
+                Some(r) => parse_replacement(&r)?,
+                None => ReplacementKind::Lru,
+            };
+            let pal = args.take_flag("--pal");
+            let worst: usize = match args.take_value("--worst") {
+                Some(k) => {
+                    let n: usize = k.parse().map_err(|_| err("bad --worst"))?;
+                    if n == 0 {
+                        return Err(err("--worst must be at least 1"));
+                    }
+                    n
+                }
+                None => 4,
+            };
+            let window = match args.take_value("--window") {
+                Some(w) => Some(parse_duration(&w)?),
+                None => None,
+            };
+            let slo = match args.take_value("--slo") {
+                Some(s) => parse_duration(&s)?,
+                None => Duration::from_millis(1),
+            };
+            let threads: u32 = match args.take_value("--threads") {
+                Some(t) => {
+                    let n: u32 = t.parse().map_err(|_| err("bad --threads"))?;
+                    if n == 0 {
+                        return Err(err("--threads must be at least 1"));
+                    }
+                    n
+                }
+                None => 1,
+            };
+            let cluster = match (args.take_value("--nodes"), args.take_value("--active")) {
+                (None, None) => {
+                    if threads != 1 {
+                        return Err(err("--threads only applies to cluster runs (--nodes)"));
+                    }
+                    None
+                }
+                (Some(n), Some(a)) => {
+                    let nodes: u32 = n.parse().map_err(|_| err("bad --nodes"))?;
+                    let active: u32 = a.parse().map_err(|_| err("bad --active"))?;
+                    if active == 0 || active >= nodes {
+                        return Err(err("need 0 < --active < --nodes"));
+                    }
+                    Some((nodes, active, threads))
+                }
+                _ => return Err(err("--nodes and --active go together")),
+            };
+            let fault_plan = args.take_value("--fault-plan");
+            let json_out = args.take_value("--json").map(PathBuf::from);
+            let trace_out = args.take_value("--trace-out").map(PathBuf::from);
+            args.finish()?;
+            explain_command(
+                &app.scaled(scale),
+                policy,
+                memory,
+                net,
+                replacement,
+                pal,
+                cluster,
+                worst,
+                window,
+                slo,
+                fault_plan.as_deref(),
+                json_out.as_deref(),
+                trace_out.as_deref(),
+            )
+        }
         "diff-trace" => {
             let tolerance = parse_tolerance(&mut args, 5.0)?;
             let full = args.take_flag("--full");
@@ -601,7 +738,13 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 .take_positional()
                 .ok_or_else(|| err("diff-trace needs two files"))?;
             args.finish()?;
-            diff_command(Path::new(&a), Path::new(&b), tolerance, full, &[])
+            diff_command(
+                Path::new(&a),
+                Path::new(&b),
+                tolerance,
+                full,
+                &CellGates::NONE,
+            )
         }
         "diff-bench" => {
             let tolerance = parse_tolerance(&mut args, 25.0)?;
@@ -617,7 +760,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 Path::new(&b),
                 tolerance,
                 false,
-                &INFORMATIONAL_CELLS,
+                &CellGates::BENCH,
             )
         }
         "check-trace" => {
@@ -625,10 +768,16 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             let summary = args.take_value("--summary").map(PathBuf::from);
             let metrics = args.take_value("--metrics").map(PathBuf::from);
             let attrib = args.take_value("--attrib").map(PathBuf::from);
+            let exemplars = args.take_value("--exemplars").map(PathBuf::from);
             args.finish()?;
-            if trace.is_none() && summary.is_none() && metrics.is_none() && attrib.is_none() {
+            if trace.is_none()
+                && summary.is_none()
+                && metrics.is_none()
+                && attrib.is_none()
+                && exemplars.is_none()
+            {
                 return Err(err(
-                    "check-trace needs --trace, --summary, --metrics and/or --attrib",
+                    "check-trace needs --trace, --summary, --metrics, --attrib and/or --exemplars",
                 ));
             }
             check_trace_command(
@@ -636,6 +785,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 summary.as_deref(),
                 metrics.as_deref(),
                 attrib.as_deref(),
+                exemplars.as_deref(),
             )
         }
         "latency" => {
@@ -766,6 +916,7 @@ fn run_command(
     replacement: ReplacementKind,
     pal: bool,
     fault_plan: Option<&str>,
+    slo: Option<Duration>,
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
     metrics: &MetricsOpts,
@@ -804,8 +955,17 @@ fn run_command(
     };
     let mut extra = extra;
     if let Some(path) = summary_json {
-        write_file(path, &run_summary_json(&report))?;
+        // --slo upgrades the summary to gms-summary/v3 (tail + slo
+        // sections); the default stays byte-pinned v2.
+        let doc = match slo {
+            Some(slo) => run_summary_json_v3(&report, Some(slo)),
+            None => run_summary_json(&report),
+        };
+        write_file(path, &doc)?;
         let _ = writeln!(extra, "summary: {}", path.display());
+    }
+    if let Some(slo) = slo {
+        extra.push_str(&slo_line(slo, std::iter::once(&report)));
     }
     let (exec, sp, wait) = report.decomposition();
     let mut out = String::new();
@@ -930,6 +1090,7 @@ fn cluster_command(
     net: NetParams,
     replacement: ReplacementKind,
     fault_plan: Option<&str>,
+    slo: Option<Duration>,
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
     metrics: &MetricsOpts,
@@ -986,12 +1147,42 @@ fn cluster_command(
                 .map_or(0, |n| n.gms.pages_lost_to_crash),
         ));
     }
+    if let Some(slo) = slo {
+        out.push_str(&slo_line(slo, report.nodes.iter()));
+    }
     out.push_str(&trace_line);
     if let Some(path) = summary_json {
-        write_file(path, &cluster_summary_json(&report))?;
+        let doc = match slo {
+            Some(slo) => cluster_summary_json_v3(&report, Some(slo)),
+            None => cluster_summary_json(&report),
+        };
+        write_file(path, &doc)?;
         let _ = writeln!(out, "summary: {}", path.display());
     }
     Ok(out)
+}
+
+/// The human-readable SLO attainment line shared by `run` and
+/// `cluster`: attainment over every fault, plus the sketch-estimated
+/// p99.9 so the threshold can be judged against the tail it polices.
+fn slo_line<'a>(slo: Duration, reports: impl Iterator<Item = &'a RunReport>) -> String {
+    let mut sketch = QuantileSketch::new();
+    let (mut total, mut under) = (0u64, 0u64);
+    for r in reports {
+        sketch.merge(&r.wait_sketch());
+        total += r.fault_log.len() as u64;
+        under += r.fault_log.iter().filter(|f| f.wait <= slo).count() as u64;
+    }
+    let attainment = if total == 0 {
+        1.0
+    } else {
+        under as f64 / total as f64
+    };
+    format!(
+        "slo {slo}: {under}/{total} faults under threshold ({:.2}% attainment); p99.9 {:.0} us\n",
+        attainment * 100.0,
+        sketch.quantile(0.999) as f64 / 1000.0
+    )
 }
 
 /// Renders aggregated attribution rows as an aligned table with a
@@ -1172,6 +1363,441 @@ fn profile_command(
     Ok(out)
 }
 
+/// Schema tag of the document `explain --json` writes and
+/// `check-trace --exemplars` validates.
+pub const EXPLAIN_SCHEMA: &str = "gms-explain/v1";
+
+/// A fault-kind label matching [`FaultClass::label`], so the per-class
+/// attainment lines and the exemplar class tags read the same.
+fn kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Remote => "remote",
+        FaultKind::Disk => "disk",
+        FaultKind::LazySubpage => "lazy",
+        FaultKind::Degraded => "degraded",
+    }
+}
+
+/// `gms-sim explain`: re-runs the workload under a bounded flight
+/// recorder, replays the retained worst-fault exemplar chains through
+/// the critical-path attribution walk, and reports each one's Table-2
+/// decomposition next to SLO attainment tallied over *all* faults.
+#[allow(clippy::too_many_arguments)]
+fn explain_command(
+    app: &AppProfile,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+    net: NetParams,
+    replacement: ReplacementKind,
+    pal: bool,
+    cluster: Option<(u32, u32, u32)>,
+    worst: usize,
+    window: Option<Duration>,
+    slo: Duration,
+    fault_plan: Option<&str>,
+    json_out: Option<&Path>,
+    trace_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let access_cost = if pal {
+        AccessCost::PalEmulated
+    } else {
+        AccessCost::TlbSupported
+    };
+    let mut builder = SimConfig::builder()
+        .policy(policy)
+        .memory(memory)
+        .net(net)
+        .replacement(replacement)
+        .access_cost(access_cost);
+    if let Some((nodes, _, threads)) = cluster {
+        builder = builder.cluster_nodes(nodes).threads(threads);
+    }
+    let mut config = builder.build();
+    if let Some(spec) = fault_plan {
+        config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
+    }
+    let mut flight = FlightRecorder::new(worst).with_slo(slo);
+    if let Some(w) = window {
+        flight = flight.with_window(w);
+    }
+
+    enum Ran {
+        Serial(Box<RunReport>),
+        Cluster(ClusterReport),
+    }
+    let (what, ran) = match cluster {
+        Some((nodes, active, _)) => {
+            let apps = vec![app.clone(); active as usize];
+            let report = ClusterSim::new(config).run_recorded(&apps, &mut flight);
+            (
+                format!("{nodes}-node cluster, {active} active"),
+                Ran::Cluster(report),
+            )
+        }
+        None => {
+            let report = Simulator::new(config).run_recorded(app, &mut flight);
+            ("serial run".to_owned(), Ran::Serial(Box::new(report)))
+        }
+    };
+    flight.seal();
+    let node_reports: Vec<&RunReport> = match &ran {
+        Ran::Serial(r) => vec![r],
+        Ran::Cluster(c) => c.nodes.iter().collect(),
+    };
+
+    // Cross-check 1: the recorder's totals — tallied over every fault,
+    // retained or not — must reproduce the engine's own accounting.
+    let faults_total: u64 = node_reports.iter().map(|r| r.faults.total()).sum();
+    let reported: Duration = node_reports
+        .iter()
+        .map(|r| r.sp_latency + r.page_wait)
+        .sum();
+    if flight.total_faults() != faults_total {
+        return Err(err(format!(
+            "flight recorder saw {} faults, the report counted {faults_total}",
+            flight.total_faults()
+        )));
+    }
+    if flight.total_wait() != reported {
+        return Err(err(format!(
+            "flight-recorded wait {} != report sp_latency + page_wait {reported}",
+            flight.total_wait()
+        )));
+    }
+
+    // Cross-check 2: the exemplar chains replay through the attribution
+    // walk (which checks per-fault component conservation internally),
+    // and each decomposition reproduces the recorder's final wait.
+    let stream = flight.exemplar_events();
+    let attrib: AttributionReport =
+        attribute(&stream).map_err(|e| err(format!("exemplar attribution failed: {e}")))?;
+    let exemplars = flight.exemplars();
+    if attrib.faults.len() != exemplars.len() {
+        return Err(err(format!(
+            "attribution found {} faults in {} exemplar chains",
+            attrib.faults.len(),
+            exemplars.len()
+        )));
+    }
+    let by_key: BTreeMap<(u32, u64, u64), &FaultAttribution> = attrib
+        .faults
+        .iter()
+        .map(|f| ((f.node.index(), f.page, f.fault_at.as_nanos()), f))
+        .collect();
+    let mut decomposed: Vec<(&Exemplar<'_>, &FaultAttribution)> = Vec::new();
+    for ex in &exemplars {
+        let f = by_key
+            .get(&(ex.node.index(), ex.page, ex.fault_at.as_nanos()))
+            .ok_or_else(|| {
+                err(format!(
+                    "exemplar (node {}, page {}) has no attribution",
+                    ex.node.index(),
+                    ex.page
+                ))
+            })?;
+        if f.total_wait() != ex.wait {
+            return Err(err(format!(
+                "exemplar (node {}, page {}) decomposes to {} but recorded wait {}",
+                ex.node.index(),
+                ex.page,
+                f.total_wait(),
+                ex.wait
+            )));
+        }
+        decomposed.push((ex, f));
+    }
+
+    // SLO attainment per fault class, over the full fault log.
+    let mut classes: Vec<(&'static str, u64, u64)> = Vec::new();
+    for r in &node_reports {
+        for f in &r.fault_log {
+            let label = kind_label(f.kind);
+            let entry = match classes.iter_mut().find(|(l, _, _)| *l == label) {
+                Some(e) => e,
+                None => {
+                    classes.push((label, 0, 0));
+                    classes.last_mut().expect("just pushed")
+                }
+            };
+            entry.1 += 1;
+            entry.2 += u64::from(f.wait <= slo);
+        }
+    }
+    let under_total: u64 = classes.iter().map(|(_, _, u)| u).sum();
+
+    let mut sketch = QuantileSketch::new();
+    for r in &node_reports {
+        sketch.merge(&r.wait_sketch());
+    }
+
+    let (policy_label, memory_label) = {
+        let r = node_reports[0];
+        (r.policy.clone(), r.memory.clone())
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "explain: {} — {policy_label} ({what}): {faults_total} faults, {} exemplar chains \
+         retained ({} events, worst {worst} per node{}), {} candidates dropped",
+        app.name(),
+        flight.retained(),
+        flight.retained_events(),
+        match window {
+            Some(w) => format!(" per {w} window"),
+            None => String::new(),
+        },
+        flight.dropped()
+    );
+    let _ = writeln!(
+        out,
+        "flight wait {:.3} ms == report sp_latency + page_wait (conserved)",
+        reported.as_millis_f64()
+    );
+    let attainment = if faults_total == 0 {
+        1.0
+    } else {
+        under_total as f64 / faults_total as f64
+    };
+    let _ = writeln!(
+        out,
+        "slo {slo}: {under_total}/{faults_total} under threshold ({:.2}% attainment); \
+         p99.9 {:.0} us, p99.99 {:.0} us",
+        attainment * 100.0,
+        sketch.quantile(0.999) as f64 / 1000.0,
+        sketch.quantile(0.9999) as f64 / 1000.0
+    );
+    for &(label, total, under) in &classes {
+        let _ = writeln!(
+            out,
+            "  class {label}: {under}/{total} ({:.2}%)",
+            under as f64 / total as f64 * 100.0
+        );
+    }
+    // Per-node, per-window burn from the recorder's full-coverage
+    // tallies.
+    for (node, windows) in flight.windows() {
+        let faults: u64 = windows.iter().map(|w| w.faults).sum();
+        let violations: u64 = windows.iter().map(|w| w.violations).sum();
+        let node_attainment = if faults == 0 {
+            1.0
+        } else {
+            (faults - violations) as f64 / faults as f64
+        };
+        let worst_window = windows.iter().max_by_key(|w| w.violations);
+        let _ = write!(
+            out,
+            "node {}: {faults} faults, {violations} violations ({:.2}% attainment) \
+             over {} window{}",
+            node.index(),
+            node_attainment * 100.0,
+            windows.len(),
+            if windows.len() == 1 { "" } else { "s" }
+        );
+        match worst_window {
+            Some(w) if w.violations > 0 && windows.len() > 1 => {
+                let _ = writeln!(
+                    out,
+                    "; worst window #{} ({} violations)",
+                    w.window, w.violations
+                );
+            }
+            _ => out.push('\n'),
+        }
+    }
+    let _ = writeln!(out, "worst faults (Table-2 decomposition, us):");
+    for (rank, (ex, f)) in decomposed.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "#{} node {} page {}.{} {} @ref {} window {}: wait {:.1}",
+            rank + 1,
+            ex.node.index(),
+            ex.page,
+            ex.subpage,
+            ex.class.label(),
+            ex.at_ref,
+            ex.window,
+            ex.wait.as_nanos() as f64 / 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "    queue {:.1} + service {:.1} + transit {:.1} + retry {:.1} + disk {:.1} \
+             + stall {:.1} ({} hops)",
+            f.queue_total().as_nanos() as f64 / 1000.0,
+            f.service_total().as_nanos() as f64 / 1000.0,
+            f.transit.as_nanos() as f64 / 1000.0,
+            f.retry_wait.as_nanos() as f64 / 1000.0,
+            f.disk_service.as_nanos() as f64 / 1000.0,
+            f.stall_wait.as_nanos() as f64 / 1000.0,
+            f.hops.len()
+        );
+    }
+
+    if let Some(path) = json_out {
+        write_file(
+            path,
+            &explain_json(
+                &ExplainDoc {
+                    kind: match &ran {
+                        Ran::Serial(_) => "run",
+                        Ran::Cluster(_) => "cluster",
+                    },
+                    policy: &policy_label,
+                    memory: &memory_label,
+                    worst,
+                    window,
+                    slo,
+                    faults: faults_total,
+                    under: under_total,
+                    wait: reported,
+                    retained_events: flight.retained_events(),
+                    dropped: flight.dropped(),
+                    classes: &classes,
+                },
+                &decomposed,
+                &flight,
+                &sketch,
+            ),
+        )?;
+        let _ = writeln!(out, "exemplars: {}", path.display());
+    }
+    if let Some(path) = trace_out {
+        write_file(path, &perfetto_trace(&stream))?;
+        let _ = writeln!(
+            out,
+            "trace: {} ({} exemplar events)",
+            path.display(),
+            stream.len()
+        );
+    }
+    Ok(out)
+}
+
+/// The scalar header fields of a gms-explain/v1 document, bundled so
+/// [`explain_json`] stays a renderer rather than a 15-argument call.
+struct ExplainDoc<'a> {
+    kind: &'static str,
+    policy: &'a str,
+    memory: &'a str,
+    worst: usize,
+    window: Option<Duration>,
+    slo: Duration,
+    faults: u64,
+    under: u64,
+    wait: Duration,
+    retained_events: usize,
+    dropped: u64,
+    classes: &'a [(&'static str, u64, u64)],
+}
+
+/// Renders the gms-explain/v1 document: totals, far-tail percentiles,
+/// SLO attainment (overall, per class, per node/window), and one entry
+/// per exemplar whose `components` sum exactly to its `wait_ns` —
+/// the invariant `check-trace --exemplars` re-verifies.
+fn explain_json(
+    doc: &ExplainDoc<'_>,
+    decomposed: &[(&Exemplar<'_>, &FaultAttribution)],
+    flight: &FlightRecorder,
+    sketch: &QuantileSketch,
+) -> String {
+    let mut s = format!(
+        "{{\"schema\":\"{EXPLAIN_SCHEMA}\",\"kind\":\"{}\",\"policy\":\"{}\",\"memory\":\"{}\",\
+         \"worst\":{},\"window_ns\":{},\"totals\":{{\"faults\":{},\"wait_ns\":{},\
+         \"retained\":{},\"retained_events\":{},\"dropped\":{}}},\"tail\":{}",
+        doc.kind,
+        escape_json(doc.policy),
+        escape_json(doc.memory),
+        doc.worst,
+        match doc.window {
+            Some(w) => w.as_nanos().to_string(),
+            None => "null".to_owned(),
+        },
+        doc.faults,
+        doc.wait.as_nanos(),
+        decomposed.len(),
+        doc.retained_events,
+        doc.dropped,
+        tail_json(sketch),
+    );
+    let attainment = if doc.faults == 0 {
+        1.0
+    } else {
+        doc.under as f64 / doc.faults as f64
+    };
+    let _ = write!(
+        s,
+        ",\"slo\":{{\"threshold_ns\":{},\"faults\":{},\"under\":{},\"attainment\":{attainment:.6}}}",
+        doc.slo.as_nanos(),
+        doc.faults,
+        doc.under
+    );
+    let classes: Vec<String> = doc
+        .classes
+        .iter()
+        .map(|&(label, total, under)| {
+            format!("{{\"class\":\"{label}\",\"faults\":{total},\"under\":{under}}}")
+        })
+        .collect();
+    let _ = write!(s, ",\"classes\":[{}]", classes.join(","));
+    let nodes: Vec<String> = flight
+        .windows()
+        .map(|(node, windows)| {
+            let faults: u64 = windows.iter().map(|w| w.faults).sum();
+            let violations: u64 = windows.iter().map(|w| w.violations).sum();
+            let wait: Duration = windows.iter().map(|w| w.wait).sum();
+            let rendered: Vec<String> = windows
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{\"window\":{},\"faults\":{},\"violations\":{},\"wait_ns\":{}}}",
+                        w.window,
+                        w.faults,
+                        w.violations,
+                        w.wait.as_nanos()
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"node\":{},\"faults\":{faults},\"violations\":{violations},\
+                 \"wait_ns\":{},\"windows\":[{}]}}",
+                node.index(),
+                wait.as_nanos(),
+                rendered.join(",")
+            )
+        })
+        .collect();
+    let _ = write!(s, ",\"nodes\":[{}]", nodes.join(","));
+    let rendered: Vec<String> = decomposed
+        .iter()
+        .enumerate()
+        .map(|(rank, (ex, f))| {
+            format!(
+                "{{\"rank\":{},\"node\":{},\"page\":{},\"subpage\":{},\"class\":\"{}\",\
+                 \"at_ref\":{},\"fault_at_ns\":{},\"window\":{},\"wait_ns\":{},\"hops\":{},\
+                 \"components\":{{\"queue_ns\":{},\"service_ns\":{},\"transit_ns\":{},\
+                 \"retry_ns\":{},\"disk_ns\":{},\"stall_ns\":{}}}}}",
+                rank + 1,
+                ex.node.index(),
+                ex.page,
+                ex.subpage,
+                ex.class.label(),
+                ex.at_ref,
+                ex.fault_at.as_nanos(),
+                ex.window,
+                ex.wait.as_nanos(),
+                f.hops.len(),
+                f.queue_total().as_nanos(),
+                f.service_total().as_nanos(),
+                f.transit.as_nanos(),
+                f.retry_wait.as_nanos(),
+                f.disk_service.as_nanos(),
+                f.stall_wait.as_nanos()
+            )
+        })
+        .collect();
+    let _ = write!(s, ",\"exemplars\":[{}]}}", rendered.join(","));
+    s
+}
+
 /// Extracts `--tolerance` (a percentage) or uses the default.
 fn parse_tolerance(args: &mut Args, default: f64) -> Result<f64, CliError> {
     match args.take_value("--tolerance") {
@@ -1269,12 +1895,45 @@ const INFORMATIONAL_CELLS: [&str; 8] = [
     "indigo_1024_ms_per_run",
 ];
 
+/// Per-cell gating rules layered over a diff's default tolerance.
+struct CellGates<'a> {
+    /// Leaves reported but never gated (see [`INFORMATIONAL_CELLS`]).
+    informational: &'a [&'a str],
+    /// `(leaf, ceiling)` pairs gated on the *fresh* document's absolute
+    /// value instead of the relative delta. The full-recorder
+    /// `overhead_pct` swings too wildly to gate relatively, but the
+    /// bounded flight recorder makes a hard promise — stay cheap — that
+    /// an absolute ceiling can hold whatever the baseline measured.
+    ceilings: &'a [(&'a str, f64)],
+    /// `(suffix, pct)`: leaves ending in the suffix use this tolerance
+    /// instead of the default. The far-tail percentile cells are
+    /// deterministic simulated values, not wall-clock measurements, so
+    /// they get a much tighter gate than the timing cells.
+    suffix_tolerance: &'a [(&'a str, f64)],
+}
+
+impl CellGates<'_> {
+    /// `diff-trace` rules: every numeric cell gated at the default.
+    const NONE: CellGates<'static> = CellGates {
+        informational: &[],
+        ceilings: &[],
+        suffix_tolerance: &[],
+    };
+
+    /// `diff-bench` rules: the CI perf gate.
+    const BENCH: CellGates<'static> = CellGates {
+        informational: &INFORMATIONAL_CELLS,
+        ceilings: &[("flight_overhead_pct", 5.0)],
+        suffix_tolerance: &[("p99_9_us", 1.0), ("p99_99_us", 1.0)],
+    };
+}
+
 fn diff_command(
     a: &Path,
     b: &Path,
     tolerance_pct: f64,
     full: bool,
-    informational: &[&str],
+    gates: &CellGates<'_>,
 ) -> Result<String, CliError> {
     let load = |path: &Path| -> Result<JsonValue, CliError> {
         let text = std::fs::read_to_string(path)
@@ -1296,12 +1955,26 @@ fn diff_command(
         // any tolerance below 100 rather than unconditionally.
         let vb = cells_b.get(key).copied();
         let leaf = key.rsplit('.').next().unwrap_or(key);
-        if informational.contains(&leaf) {
+        if gates.informational.contains(&leaf) {
             let shown = vb.map_or_else(|| "missing".to_string(), |v| v.to_string());
             let _ = writeln!(out, "info: {key}: {va} -> {shown} (not gated)");
             continue;
         }
+        if gates.ceilings.iter().any(|(l, _)| *l == leaf) {
+            // Gated absolutely from the fresh document, below — but a
+            // ceiling cell the baseline had must not silently vanish.
+            if vb.is_none() {
+                compared += 1;
+                violations.push(format!("{key}: missing in {}", b.display()));
+            }
+            continue;
+        }
         compared += 1;
+        let cell_tolerance = gates
+            .suffix_tolerance
+            .iter()
+            .find(|(suffix, _)| leaf.ends_with(suffix))
+            .map_or(tolerance_pct, |&(_, pct)| pct);
         let vb_num = vb.unwrap_or(0.0);
         let denom = va.abs().max(vb_num.abs());
         if denom == 0.0 {
@@ -1310,15 +1983,35 @@ fn diff_command(
         // Symmetric relative delta: robust when the baseline cell is
         // (near) zero.
         let delta = (vb_num - va).abs() / denom * 100.0;
-        if delta > tolerance_pct {
+        if delta > cell_tolerance {
             let shown = vb.map_or_else(|| format!("missing in {}", b.display()), |v| v.to_string());
             violations.push(format!(
-                "{key}: {va} -> {shown} ({}{delta:.1}%)",
+                "{key}: {va} -> {shown} ({}{delta:.1}%, tolerance {cell_tolerance}%)",
                 if vb_num >= va { "+" } else { "-" }
             ));
         }
     }
+    // Absolute ceilings gate the *fresh* document alone: the promise
+    // ("this overhead stays under N") holds regardless of what — or
+    // whether — the baseline measured.
+    for (key, &vb) in &cells_b {
+        let leaf = key.rsplit('.').next().unwrap_or(key);
+        if let Some(&(_, ceiling)) = gates.ceilings.iter().find(|(l, _)| *l == leaf) {
+            compared += 1;
+            if vb > ceiling {
+                violations.push(format!(
+                    "{key}: {vb} exceeds the absolute ceiling {ceiling}"
+                ));
+            } else {
+                let _ = writeln!(out, "ok: {key}: {vb} under the absolute ceiling {ceiling}");
+            }
+        }
+    }
     for key in cells_b.keys().filter(|k| !cells_a.contains_key(*k)) {
+        let leaf = key.rsplit('.').next().unwrap_or(key);
+        if gates.ceilings.iter().any(|(l, _)| *l == leaf) {
+            continue;
+        }
         let _ = writeln!(out, "note: {key} only in {}", b.display());
     }
     if violations.is_empty() {
@@ -1364,6 +2057,7 @@ fn check_trace_command(
     summary: Option<&Path>,
     metrics: Option<&Path>,
     attrib: Option<&Path>,
+    exemplars: Option<&Path>,
 ) -> Result<String, CliError> {
     let read = |path: &Path| -> Result<String, CliError> {
         std::fs::read_to_string(path)
@@ -1414,16 +2108,21 @@ fn check_trace_command(
     if let Some(path) = summary {
         let doc = parse(path, &read(path)?)?;
         let schema = doc.get("schema").and_then(JsonValue::as_str);
-        if schema != Some(SUMMARY_SCHEMA) {
+        if !matches!(schema, Some(SUMMARY_SCHEMA | SUMMARY_SCHEMA_V3)) {
             return Err(err(format!(
-                "{}: schema {schema:?}, expected {SUMMARY_SCHEMA:?}",
+                "{}: schema {schema:?}, expected {SUMMARY_SCHEMA:?} or {SUMMARY_SCHEMA_V3:?}",
                 path.display()
             )));
         }
         let wait = doc
             .get("page_wait")
             .ok_or_else(|| err(format!("{}: no page_wait histogram", path.display())))?;
-        for key in ["count", "p50_ns", "p90_ns", "p99_ns", "max_ns"] {
+        // The percentile keys come from the same list the writer
+        // iterates, so neither side can drift from the other.
+        for key in std::iter::once("count")
+            .chain(WAIT_PERCENTILES.iter().map(|&(key, _)| key))
+            .chain(std::iter::once("max_ns"))
+        {
             if wait.get(key).and_then(JsonValue::as_u64).is_none() {
                 return Err(err(format!(
                     "{}: page_wait.{key} missing or not an integer",
@@ -1433,6 +2132,28 @@ fn check_trace_command(
         }
         if doc.get("counters").and_then(JsonValue::as_object).is_none() {
             return Err(err(format!("{}: no counters object", path.display())));
+        }
+        if schema == Some(SUMMARY_SCHEMA_V3) {
+            let tail = doc
+                .get("tail")
+                .ok_or_else(|| err(format!("{}: v3 summary has no tail object", path.display())))?;
+            for key in std::iter::once("count")
+                .chain(TAIL_PERCENTILES.iter().map(|&(key, _)| key))
+                .chain(std::iter::once("max_ns"))
+            {
+                if tail.get(key).and_then(JsonValue::as_u64).is_none() {
+                    return Err(err(format!(
+                        "{}: tail.{key} missing or not an integer",
+                        path.display()
+                    )));
+                }
+            }
+            if tail.get("rel_err").and_then(JsonValue::as_f64).is_none() {
+                return Err(err(format!("{}: tail.rel_err missing", path.display())));
+            }
+            if let Some(slo) = doc.get("slo") {
+                check_slo_object(path, slo, "slo")?;
+            }
         }
         let kind = doc.get("kind").and_then(JsonValue::as_str).unwrap_or("?");
         let _ = writeln!(out, "summary OK: {} (kind {kind})", path.display());
@@ -1537,7 +2258,163 @@ fn check_trace_command(
             path.display()
         );
     }
+    if let Some(path) = exemplars {
+        let doc = parse(path, &read(path)?)?;
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(EXPLAIN_SCHEMA) {
+            return Err(err(format!(
+                "{}: schema {schema:?}, expected {EXPLAIN_SCHEMA:?}",
+                path.display()
+            )));
+        }
+        let totals = doc
+            .get("totals")
+            .ok_or_else(|| err(format!("{}: no totals object", path.display())))?;
+        let total_of = |key: &str| -> Result<u64, CliError> {
+            totals
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| err(format!("{}: totals.{key} missing", path.display())))
+        };
+        let faults = total_of("faults")?;
+        let wait = total_of("wait_ns")?;
+        let retained = total_of("retained")?;
+        check_slo_object(
+            path,
+            doc.get("slo")
+                .ok_or_else(|| err(format!("{}: no slo object", path.display())))?,
+            "slo",
+        )?;
+        // Per-node tallies must partition the run's totals: the SLO
+        // accounting covers every fault, not just the retained ones.
+        let nodes = doc
+            .get("nodes")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no nodes array", path.display())))?;
+        let (mut node_faults, mut node_wait) = (0u64, 0u64);
+        for (i, n) in nodes.iter().enumerate() {
+            for key in ["faults", "violations", "wait_ns"] {
+                let v = n.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                    err(format!(
+                        "{}: node {i} missing integer {key}",
+                        path.display()
+                    ))
+                })?;
+                match key {
+                    "faults" => node_faults += v,
+                    "wait_ns" => node_wait += v,
+                    _ => {}
+                }
+            }
+            let windows = n
+                .get("windows")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err(format!("{}: node {i} has no windows", path.display())))?;
+            for (j, w) in windows.iter().enumerate() {
+                let wf = w.get("faults").and_then(JsonValue::as_u64);
+                let wv = w.get("violations").and_then(JsonValue::as_u64);
+                match (wf, wv) {
+                    (Some(wf), Some(wv)) if wv <= wf => {}
+                    _ => {
+                        return Err(err(format!(
+                            "{}: node {i} window {j} has malformed fault/violation counts",
+                            path.display()
+                        )))
+                    }
+                }
+            }
+        }
+        if node_faults != faults || node_wait != wait {
+            return Err(err(format!(
+                "{}: node tallies ({node_faults} faults, {node_wait} ns) do not partition \
+                 totals ({faults} faults, {wait} ns)",
+                path.display()
+            )));
+        }
+        // Each exemplar's Table-2 components must sum to its recorded
+        // wait — the conservation invariant `explain` promises.
+        let list = doc
+            .get("exemplars")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no exemplars array", path.display())))?;
+        if list.len() as u64 != retained {
+            return Err(err(format!(
+                "{}: {} exemplars but totals.retained = {retained}",
+                path.display(),
+                list.len()
+            )));
+        }
+        for (i, ex) in list.iter().enumerate() {
+            let wait = ex
+                .get("wait_ns")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| err(format!("{}: exemplar {i} has no wait_ns", path.display())))?;
+            let components = ex.get("components").ok_or_else(|| {
+                err(format!(
+                    "{}: exemplar {i} has no components",
+                    path.display()
+                ))
+            })?;
+            let mut sum = 0u64;
+            for key in [
+                "queue_ns",
+                "service_ns",
+                "transit_ns",
+                "retry_ns",
+                "disk_ns",
+                "stall_ns",
+            ] {
+                sum += components
+                    .get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| {
+                        err(format!("{}: exemplar {i} missing {key}", path.display()))
+                    })?;
+            }
+            if sum != wait {
+                return Err(err(format!(
+                    "{}: exemplar {i} components sum to {sum} ns but wait_ns is {wait}",
+                    path.display()
+                )));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "exemplars OK: {} ({retained} of {faults} faults retained, conserved)",
+            path.display()
+        );
+    }
     Ok(out)
+}
+
+/// Validates an SLO attainment object: integer threshold and counts
+/// with `under <= faults`, and an attainment fraction in `[0, 1]`.
+fn check_slo_object(path: &Path, slo: &JsonValue, what: &str) -> Result<(), CliError> {
+    let int_of = |key: &str| -> Result<u64, CliError> {
+        slo.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| err(format!("{}: {what}.{key} missing", path.display())))
+    };
+    int_of("threshold_ns")?;
+    let faults = int_of("faults")?;
+    let under = int_of("under")?;
+    if under > faults {
+        return Err(err(format!(
+            "{}: {what}.under {under} exceeds {what}.faults {faults}",
+            path.display()
+        )));
+    }
+    let attainment = slo
+        .get("attainment")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| err(format!("{}: {what}.attainment missing", path.display())))?;
+    if !(0.0..=1.0).contains(&attainment) {
+        return Err(err(format!(
+            "{}: {what}.attainment {attainment} out of [0, 1]",
+            path.display()
+        )));
+    }
+    Ok(())
 }
 
 fn latency_command(subpage: Bytes) -> String {
@@ -2335,5 +3212,221 @@ mod tests {
         );
         assert_eq!(plain, stripped);
         let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn explain_command_reproduces_and_validates() {
+        // End to end: explain's exemplar document and exemplar-only
+        // trace both pass check-trace, and the text output carries the
+        // conservation cross-checks.
+        let json = temp_path("explain.json");
+        let trace = temp_path("explain.trace.json");
+        let out = execute(&argv(&format!(
+            "explain --app gdb --policy sp_1024 --scale 0.1 --worst 3 --slo 1ms --json {} --trace-out {}",
+            json.display(),
+            trace.display()
+        )))
+        .unwrap();
+        assert!(out.contains("conserved"), "{out}");
+        assert!(out.contains("Table-2 decomposition"), "{out}");
+        assert!(out.contains("slo 1.000ms"), "{out}");
+        assert!(out.contains("#1 node 0"), "{out}");
+        let checked = execute(&argv(&format!(
+            "check-trace --exemplars {} --trace {}",
+            json.display(),
+            trace.display()
+        )))
+        .unwrap();
+        assert!(checked.contains("exemplars OK"), "{checked}");
+        assert!(checked.contains("trace OK"), "{checked}");
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"schema\":\"gms-explain/v1\""), "{doc}");
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn cluster_explain_reports_every_node_and_window() {
+        let out = execute(&argv(
+            "explain --app gdb --policy sp_1024 --scale 0.1 --nodes 5 --active 2 \
+             --threads 2 --worst 2 --window 20ms --slo 500us",
+        ))
+        .unwrap();
+        assert!(out.contains("5-node cluster, 2 active"), "{out}");
+        assert!(out.contains("node 0:"), "{out}");
+        assert!(out.contains("node 1:"), "{out}");
+        assert!(out.contains("windows"), "{out}");
+        // The same explain under different thread counts prints the
+        // identical report — exemplar selection is deterministic.
+        let serial = execute(&argv(
+            "explain --app gdb --policy sp_1024 --scale 0.1 --nodes 5 --active 2 \
+             --worst 2 --window 20ms --slo 500us",
+        ))
+        .unwrap();
+        assert_eq!(serial, out, "thread count changed the exemplar set");
+    }
+
+    #[test]
+    fn explain_flags_validate() {
+        assert!(execute(&argv("explain --app gdb --policy sp_1024 --worst 0")).is_err());
+        assert!(execute(&argv("explain --app gdb --policy sp_1024 --threads 2")).is_err());
+        assert!(execute(&argv("explain --app gdb --policy sp_1024 --nodes 4")).is_err());
+        assert!(execute(&argv("explain --app gdb")).is_err());
+        assert!(execute(&argv("explain --app gdb --policy sp_1024 --window 0ms")).is_err());
+    }
+
+    #[test]
+    fn slo_flag_upgrades_summaries_to_v3() {
+        let v2 = temp_path("slo-v2.summary.json");
+        let v3 = temp_path("slo-v3.summary.json");
+        execute(&argv(&format!(
+            "run --app gdb --policy sp_1024 --scale 0.1 --summary-json {}",
+            v2.display()
+        )))
+        .unwrap();
+        let out = execute(&argv(&format!(
+            "run --app gdb --policy sp_1024 --scale 0.1 --slo 1ms --summary-json {}",
+            v3.display()
+        )))
+        .unwrap();
+        assert!(out.contains("slo 1.000ms:"), "{out}");
+        assert!(out.contains("attainment"), "{out}");
+        let (v2_text, v3_text) = (
+            std::fs::read_to_string(&v2).unwrap(),
+            std::fs::read_to_string(&v3).unwrap(),
+        );
+        assert!(v2_text.contains("gms-summary/v2"), "{v2_text}");
+        assert!(!v2_text.contains("tail"), "{v2_text}");
+        assert!(v3_text.contains("gms-summary/v3"), "{v3_text}");
+        assert!(v3_text.contains("\"tail\":"), "{v3_text}");
+        assert!(v3_text.contains("\"slo\":"), "{v3_text}");
+        // Both schemas pass the validator; the cluster path too.
+        for path in [&v2, &v3] {
+            execute(&argv(&format!("check-trace --summary {}", path.display()))).unwrap();
+        }
+        let cluster = temp_path("slo-cluster.summary.json");
+        execute(&argv(&format!(
+            "cluster --nodes 4 --active 2 --app gdb --scale 0.1 --slo 1ms --summary-json {}",
+            cluster.display()
+        )))
+        .unwrap();
+        let checked = execute(&argv(&format!(
+            "check-trace --summary {}",
+            cluster.display()
+        )))
+        .unwrap();
+        assert!(checked.contains("kind cluster"), "{checked}");
+        for path in [&v2, &v3, &cluster] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn diff_bench_gates_flight_overhead_and_tails() {
+        let base = temp_path("bench-base.json");
+        let fresh = temp_path("bench-fresh.json");
+        std::fs::write(
+            &base,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":2.0,"overhead_pct":14.7}"#,
+        )
+        .unwrap();
+        // Within every gate: time +10% (< 25), tail identical, flight
+        // overhead under the ceiling, overhead_pct informational.
+        std::fs::write(
+            &fresh,
+            r#"{"sp_1024_ms_per_run":11.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":4.9,"overhead_pct":40.0}"#,
+        )
+        .unwrap();
+        let ok = execute(&argv(&format!(
+            "diff-bench {} {}",
+            base.display(),
+            fresh.display()
+        )))
+        .unwrap();
+        assert!(ok.contains("under the absolute ceiling"), "{ok}");
+        assert!(ok.contains("overhead_pct: 14.7 -> 40 (not gated)"), "{ok}");
+        // A tail drift inside the default 25% but beyond the tail's own
+        // 1% fails, as does an overhead above the absolute ceiling.
+        std::fs::write(
+            &fresh,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1700.0,"flight_overhead_pct":2.0,"overhead_pct":14.7}"#,
+        )
+        .unwrap();
+        let msg = execute(&argv(&format!(
+            "diff-bench {} {}",
+            base.display(),
+            fresh.display()
+        )))
+        .expect_err("a 3.7% tail drift must fail the 1% gate")
+        .to_string();
+        assert!(msg.contains("tolerance 1%"), "{msg}");
+        std::fs::write(
+            &fresh,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":6.1,"overhead_pct":14.7}"#,
+        )
+        .unwrap();
+        let msg = execute(&argv(&format!(
+            "diff-bench {} {}",
+            base.display(),
+            fresh.display()
+        )))
+        .expect_err("overhead above the ceiling must fail")
+        .to_string();
+        assert!(msg.contains("exceeds the absolute ceiling 5"), "{msg}");
+        // A vanished ceiling cell is a violation, not a silent pass.
+        std::fs::write(
+            &fresh,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"overhead_pct":14.7}"#,
+        )
+        .unwrap();
+        assert!(execute(&argv(&format!(
+            "diff-bench {} {}",
+            base.display(),
+            fresh.display()
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(&fresh);
+    }
+
+    #[test]
+    fn check_trace_exemplars_rejects_nonconserved_documents() {
+        let bad = temp_path("bad-explain.json");
+        // One exemplar whose components sum to 90 ns against a 100 ns
+        // wait: the conservation check must catch it.
+        std::fs::write(
+            &bad,
+            r#"{"schema":"gms-explain/v1","kind":"run","policy":"sp_1024","memory":"1/2-mem",
+"worst":1,"window_ns":null,
+"totals":{"faults":1,"wait_ns":100,"retained":1,"retained_events":3,"dropped":0},
+"tail":{"count":1,"p99_9_ns":100,"p99_99_ns":100,"max_ns":100,"rel_err":0.003906},
+"slo":{"threshold_ns":1000,"faults":1,"under":1,"attainment":1.0},
+"classes":[{"class":"remote","faults":1,"under":1}],
+"nodes":[{"node":0,"faults":1,"violations":0,"wait_ns":100,"windows":[{"window":0,"faults":1,"violations":0,"wait_ns":100}]}],
+"exemplars":[{"rank":1,"node":0,"page":7,"subpage":0,"class":"remote","at_ref":0,"fault_at_ns":0,"window":0,"wait_ns":100,"hops":2,
+"components":{"queue_ns":10,"service_ns":50,"transit_ns":10,"retry_ns":0,"disk_ns":0,"stall_ns":20}}]}"#,
+        )
+        .unwrap();
+        let msg = execute(&argv(&format!("check-trace --exemplars {}", bad.display())))
+            .expect_err("non-conserved exemplar must be rejected")
+            .to_string();
+        assert!(msg.contains("components sum to 90"), "{msg}");
+        // And per-node tallies must partition the totals.
+        std::fs::write(
+            &bad,
+            std::fs::read_to_string(&bad)
+                .unwrap()
+                .replace("\"stall_ns\":20", "\"stall_ns\":30")
+                .replace(
+                    "\"nodes\":[{\"node\":0,\"faults\":1,",
+                    "\"nodes\":[{\"node\":0,\"faults\":2,",
+                ),
+        )
+        .unwrap();
+        let msg = execute(&argv(&format!("check-trace --exemplars {}", bad.display())))
+            .expect_err("mismatched node tallies must be rejected")
+            .to_string();
+        assert!(msg.contains("do not partition"), "{msg}");
+        let _ = std::fs::remove_file(&bad);
     }
 }

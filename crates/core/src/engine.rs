@@ -227,9 +227,6 @@ pub(crate) struct ClusterCtx<'r, R: Recorder> {
     /// recorder does can feed back into timing, which is what keeps
     /// no-op and recording runs byte-identical.
     pub rec: &'r mut R,
-    /// How many of the network's logged occupancies have already been
-    /// forwarded to the recorder.
-    occ_seen: usize,
     /// Node crash/recovery schedule from the installed fault plan,
     /// sorted by time. Empty without a plan.
     crashes: Vec<NodeEvent>,
@@ -248,7 +245,6 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
             gms,
             n_active,
             rec,
-            occ_seen: 0,
             crashes,
             crash_cursor: 0,
         };
@@ -257,6 +253,7 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
             // on only when someone is listening. The log is write-only,
             // so enabling it cannot perturb timing.
             ctx.net.record_occupancies();
+            ctx.sync_log_pause();
         }
         ctx
     }
@@ -269,18 +266,48 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
         if !R::ENABLED {
             return;
         }
-        let (net, rec) = (&self.net, &mut self.rec);
-        for o in &net.occupancies()[self.occ_seen..] {
-            rec.record(Event::Occupancy {
+        // An empty batch — the steady state between fault windows when
+        // the log is paused — has nothing to forward or drain.
+        if self.net.occupancies().is_empty() {
+            return;
+        }
+        // A sync batch holds only occupancies — no fault opens or
+        // closes inside it — so one `wants_background` probe decides
+        // the whole batch exactly as a per-event check would: a
+        // recorder that declines (the flight recorder between fault
+        // windows) would have discarded every one of these events, and
+        // skipping their construction is most of what makes always-on
+        // recording affordable.
+        if self.rec.wants_background() {
+            let (net, rec) = (&self.net, &mut self.rec);
+            rec.record_batch(net.occupancies().iter().map(|o| Event::Occupancy {
                 node: o.node,
                 resource: resource_kind(o.resource),
                 what: o.what,
                 ready: o.ready,
                 start: o.start,
                 end: o.end,
-            });
+            }));
         }
-        self.occ_seen = net.occupancies().len();
+        // Drain rather than accumulate: the log stays a few entries
+        // long (one op's worth), so its pushes and this scan stay in
+        // cache and the vec never grows across the run.
+        self.net.clear_occupancies();
+    }
+
+    /// Aligns the network's occupancy-log pause state with the
+    /// recorder's appetite. Called right after recording a `Fault` or
+    /// `Restart` — the only events that flip `wants_background` — so a
+    /// declining recorder (the flight recorder between fault windows)
+    /// stops the network from even logging the occupancies its sync
+    /// gate would discard. Every net-scheduling op syncs before the
+    /// next lifecycle record, so no pending in-window entry is ever
+    /// paused away.
+    fn sync_log_pause(&mut self) {
+        if R::ENABLED {
+            self.net
+                .set_occupancy_log_paused(!self.rec.wants_background());
+        }
     }
 
     /// Applies every scheduled node crash/recovery at or before `now` to
@@ -1051,6 +1078,7 @@ impl<'a> NodeDriver<'a> {
                 at_ref: self.refs_done,
                 at: self.clock,
             });
+            ctx.sync_log_pause();
         }
         self.advance(latency, Bucket::SpLatency, Some(page));
         if R::ENABLED {
@@ -1060,6 +1088,7 @@ impl<'a> NodeDriver<'a> {
                 at: self.clock,
                 wait: prior_wait + latency,
             });
+            ctx.sync_log_pause();
         }
         self.table
             .insert(page, PageState::complete(self.geom.subpages_per_page()));
@@ -1117,6 +1146,7 @@ impl<'a> NodeDriver<'a> {
                 at_ref: self.refs_done,
                 at: self.clock,
             });
+            ctx.sync_log_pause();
             ctx.rec.record(Event::GetPage {
                 node: self.node,
                 server,
@@ -1255,6 +1285,7 @@ impl<'a> NodeDriver<'a> {
                 at: self.clock,
                 wait: extra_wait + sp_wait,
             });
+            ctx.sync_log_pause();
             if ft.arrivals.len() > 1 {
                 let survivors = plan.groups()[1..]
                     .iter()
@@ -1364,6 +1395,7 @@ impl<'a> NodeDriver<'a> {
                 at_ref: self.refs_done,
                 at: self.clock,
             });
+            ctx.sync_log_pause();
             if kind == FaultKind::Degraded {
                 ctx.rec.record(Event::DegradedFetch {
                     node: self.node,
@@ -1409,6 +1441,7 @@ impl<'a> NodeDriver<'a> {
                 at: self.clock,
                 wait,
             });
+            ctx.sync_log_pause();
         }
         self.table.mark_valid(page, sub);
         if let Some(subs) = self.lost_subs.get_mut(&page) {

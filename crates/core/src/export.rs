@@ -11,33 +11,97 @@
 //! to a report shows up in the summary without touching the renderer.
 
 use gms_net::NetResource;
-use gms_obs::{escape_json, CounterRegistry, LogHistogram};
+use gms_obs::{escape_json, CounterRegistry, LogHistogram, QuantileSketch};
+use gms_units::Duration;
 
 use crate::cluster_sim::ClusterReport;
 use crate::RunReport;
 
-/// Schema tag stamped into every summary document. `v2` added the
-/// `reliability` object (timeouts, retries, failovers, degraded
-/// re-fetches, disk fallbacks, crash losses) to both summary kinds.
+/// Schema tag stamped into every summary document by default. `v2`
+/// added the `reliability` object (timeouts, retries, failovers,
+/// degraded re-fetches, disk fallbacks, crash losses) to both summary
+/// kinds.
 pub const SUMMARY_SCHEMA: &str = "gms-summary/v2";
 
+/// Schema tag of the opt-in tail-extended summaries
+/// ([`run_summary_json_v3`] / [`cluster_summary_json_v3`]): a `v2`
+/// document plus a `tail` object (far-tail percentiles from the run's
+/// [`QuantileSketch`]) and, when an SLO threshold is given, an `slo`
+/// attainment object. The default writers keep emitting `v2`
+/// byte-for-byte — the golden digests pin them.
+pub const SUMMARY_SCHEMA_V3: &str = "gms-summary/v3";
+
+/// The percentile keys every summary `page_wait` object carries, with
+/// the quantile each is computed at, in emission order. This is the
+/// single source of truth shared between the writer
+/// ([`histogram_json`]) and the CLI's `check-trace` validator, so a
+/// percentile cannot be added to one side and silently skipped by the
+/// other.
+pub const WAIT_PERCENTILES: [(&str, f64); 3] =
+    [("p50_ns", 0.50), ("p90_ns", 0.90), ("p99_ns", 0.99)];
+
+/// The far-tail percentile keys a v3 `tail` object carries (computed
+/// from the run's [`QuantileSketch`], whose 1/256 error bound makes
+/// them meaningful). Shared with the validator like
+/// [`WAIT_PERCENTILES`].
+pub const TAIL_PERCENTILES: [(&str, f64); 2] = [("p99_9_ns", 0.999), ("p99_99_ns", 0.9999)];
+
 /// Renders a latency histogram as a JSON object with exact extremes,
-/// the standard percentile quartet, and the raw `[low, count]` buckets.
+/// the [`WAIT_PERCENTILES`] keys, and the raw `[low, count]` buckets.
 #[must_use]
 pub fn histogram_json(h: &LogHistogram) -> String {
-    let (p50, p90, p99, max) = h.quartet();
+    let percentiles: String = WAIT_PERCENTILES
+        .iter()
+        .map(|&(key, q)| format!("\"{key}\":{},", h.percentile(q)))
+        .collect();
     let buckets: Vec<String> = h.buckets().map(|(low, c)| format!("[{low},{c}]")).collect();
     format!(
-        "{{\"count\":{},\"min_ns\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+        "{{\"count\":{},\"min_ns\":{},\"mean_ns\":{:.1},{percentiles}\"max_ns\":{},\"buckets\":[{}]}}",
         h.count(),
         h.min(),
         h.mean(),
-        p50,
-        p90,
-        p99,
-        max,
+        h.max(),
         buckets.join(",")
     )
+}
+
+/// Renders a wait sketch as a v3 `tail` object: the
+/// [`TAIL_PERCENTILES`] keys plus the exact count/max and the sketch's
+/// guaranteed relative error bound.
+#[must_use]
+pub fn tail_json(sketch: &QuantileSketch) -> String {
+    let tail: String = TAIL_PERCENTILES
+        .iter()
+        .map(|&(key, q)| format!("\"{key}\":{},", sketch.quantile(q)))
+        .collect();
+    format!(
+        "{{\"count\":{},{tail}\"max_ns\":{},\"rel_err\":{:.6}}}",
+        sketch.count(),
+        sketch.max(),
+        QuantileSketch::MAX_RELATIVE_ERROR
+    )
+}
+
+/// SLO attainment of one run against a wait threshold: how many faults
+/// completed within it, as a count and a fraction (an empty run attains
+/// trivially).
+#[must_use]
+pub fn slo_counters(report: &RunReport, slo: Duration) -> CounterRegistry {
+    let total = report.fault_log.len() as u64;
+    let under = report.fault_log.iter().filter(|f| f.wait <= slo).count() as u64;
+    let mut reg = CounterRegistry::new();
+    reg.set("threshold_ns", slo.as_nanos());
+    reg.set("faults", total);
+    reg.set("under", under);
+    reg.set_f64(
+        "attainment",
+        if total == 0 {
+            1.0
+        } else {
+            under as f64 / total as f64
+        },
+    );
+    reg
 }
 
 /// The scalar counters of one run, in a fixed, documented order.
@@ -97,11 +161,31 @@ pub fn reliability_counters(report: &RunReport) -> CounterRegistry {
     reg
 }
 
-/// One run's summary as a self-contained JSON object string.
+/// One run's summary as a self-contained JSON object string
+/// (`gms-summary/v2` — the exact bytes the golden digests pin).
 #[must_use]
 pub fn run_summary_json(report: &RunReport) -> String {
+    run_summary_with(report, SUMMARY_SCHEMA, "")
+}
+
+/// One run's summary extended with the v3 tail section (and an `slo`
+/// attainment object when a threshold is given). The v2 body is
+/// byte-identical to [`run_summary_json`]'s; the extensions are
+/// appended, so v2 consumers parse v3 documents unchanged.
+#[must_use]
+pub fn run_summary_json_v3(report: &RunReport, slo: Option<Duration>) -> String {
+    let mut extra = format!(",\"tail\":{}", tail_json(&report.wait_sketch()));
+    if let Some(slo) = slo {
+        extra.push_str(&format!(",\"slo\":{}", slo_counters(report, slo).to_json()));
+    }
+    run_summary_with(report, SUMMARY_SCHEMA_V3, &extra)
+}
+
+/// The shared v2 body: `extra` is spliced (with its leading comma)
+/// between the `page_wait` object and the closing brace.
+fn run_summary_with(report: &RunReport, schema: &str, extra: &str) -> String {
     format!(
-        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"run\",\"policy\":\"{}\",\"memory\":\"{}\",\"counters\":{},\"reliability\":{},\"page_wait\":{}}}",
+        "{{\"schema\":\"{schema}\",\"kind\":\"run\",\"policy\":\"{}\",\"memory\":\"{}\",\"counters\":{},\"reliability\":{},\"page_wait\":{}{extra}}}",
         escape_json(&report.policy),
         escape_json(&report.memory),
         run_counters(report).to_json(),
@@ -112,9 +196,59 @@ pub fn run_summary_json(report: &RunReport) -> String {
 
 /// A cluster run's summary: aggregate network counters, the merged
 /// page-wait histogram, the per-node network breakdown, and one nested
-/// run summary per active node.
+/// run summary per active node (`gms-summary/v2`, byte-pinned).
 #[must_use]
 pub fn cluster_summary_json(report: &ClusterReport) -> String {
+    cluster_summary_with(report, SUMMARY_SCHEMA, "")
+}
+
+/// A cluster summary extended with the v3 tail section — the merged
+/// wait sketch across all active nodes (sketch merges are exactly
+/// associative, so this equals a sketch of every fault in the cluster)
+/// — plus, with a threshold, cluster-wide and per-node SLO attainment.
+/// Nested per-node run summaries stay v2.
+#[must_use]
+pub fn cluster_summary_json_v3(report: &ClusterReport, slo: Option<Duration>) -> String {
+    let mut merged = QuantileSketch::new();
+    for node in &report.nodes {
+        merged.merge(&node.wait_sketch());
+    }
+    let mut extra = format!(",\"tail\":{}", tail_json(&merged));
+    if let Some(slo) = slo {
+        let total: u64 = report.nodes.iter().map(|n| n.fault_log.len() as u64).sum();
+        let under: u64 = report
+            .nodes
+            .iter()
+            .map(|n| n.fault_log.iter().filter(|f| f.wait <= slo).count() as u64)
+            .sum();
+        let nodes: Vec<String> = report
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                format!(
+                    "{{\"node\":{i},\"slo\":{}}}",
+                    slo_counters(n, slo).to_json()
+                )
+            })
+            .collect();
+        extra.push_str(&format!(
+            ",\"slo\":{{\"threshold_ns\":{},\"faults\":{total},\"under\":{under},\"attainment\":{:.6},\"nodes\":[{}]}}",
+            slo.as_nanos(),
+            if total == 0 {
+                1.0
+            } else {
+                under as f64 / total as f64
+            },
+            nodes.join(",")
+        ));
+    }
+    cluster_summary_with(report, SUMMARY_SCHEMA_V3, &extra)
+}
+
+/// The shared cluster v2 body; `extra` splices before the closing
+/// brace like [`run_summary_with`]'s.
+fn cluster_summary_with(report: &ClusterReport, schema: &str, extra: &str) -> String {
     let mut reg = CounterRegistry::new();
     reg.set("active_nodes", report.nodes.len() as u64);
     reg.set("cluster_nodes", report.per_node.len() as u64);
@@ -210,7 +344,7 @@ pub fn cluster_summary_json(report: &ClusterReport) -> String {
     let nodes: Vec<String> = report.nodes.iter().map(run_summary_json).collect();
 
     format!(
-        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"kind\":\"cluster\",\"counters\":{},\"reliability\":{},\"page_wait\":{},\"per_node\":[{}],\"nodes\":[{}]}}",
+        "{{\"schema\":\"{schema}\",\"kind\":\"cluster\",\"counters\":{},\"reliability\":{},\"page_wait\":{},\"per_node\":[{}],\"nodes\":[{}]{extra}}}",
         reg.to_json(),
         rel.to_json(),
         histogram_json(&merged),
@@ -288,6 +422,92 @@ mod tests {
         ] {
             assert_eq!(rel.get(key).unwrap().as_u64(), Some(0), "{key}");
         }
+    }
+
+    #[test]
+    fn v3_run_summary_extends_v2_byte_compatibly() {
+        let report = Simulator::new(config()).run(&gms_trace::apps::gdb().scaled(0.2));
+        let v2 = run_summary_json(&report);
+        let v3 = run_summary_json_v3(&report, Some(Duration::from_millis(1)));
+        // The v3 document is the v2 bytes with the schema tag swapped
+        // and the tail/slo extensions appended before the close.
+        let body_v2 = v2
+            .strip_prefix("{\"schema\":\"gms-summary/v2\"")
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap();
+        let body_v3 = v3.strip_prefix("{\"schema\":\"gms-summary/v3\"").unwrap();
+        assert!(body_v3.starts_with(body_v2));
+
+        let doc = JsonValue::parse(&v3).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SUMMARY_SCHEMA_V3));
+        let tail = doc.get("tail").expect("tail object");
+        let sketch = report.wait_sketch();
+        for (key, q) in TAIL_PERCENTILES {
+            assert_eq!(
+                tail.get(key).unwrap().as_u64(),
+                Some(sketch.quantile(q)),
+                "{key}"
+            );
+        }
+        assert_eq!(tail.get("count").unwrap().as_u64(), Some(sketch.count()));
+        let slo = doc.get("slo").expect("slo object");
+        assert_eq!(slo.get("threshold_ns").unwrap().as_u64(), Some(1_000_000));
+        let faults = slo.get("faults").unwrap().as_u64().unwrap();
+        let under = slo.get("under").unwrap().as_u64().unwrap();
+        assert!(under <= faults);
+        let attainment = slo.get("attainment").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&attainment));
+        // Without a threshold there is no slo section, but tail stays.
+        let bare = run_summary_json_v3(&report, None);
+        let doc = JsonValue::parse(&bare).expect("valid JSON");
+        assert!(doc.get("tail").is_some());
+        assert!(doc.get("slo").is_none());
+    }
+
+    #[test]
+    fn v3_cluster_summary_merges_node_tails() {
+        let app = gms_trace::apps::gdb().scaled(0.1);
+        let config = SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .cluster_nodes(4)
+            .build();
+        let report = ClusterSim::new(config).run(&[app.clone(), app]);
+        let json = cluster_summary_json_v3(&report, Some(Duration::from_micros(500)));
+        let doc = JsonValue::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SUMMARY_SCHEMA_V3));
+        let tail = doc.get("tail").expect("tail object");
+        let total: u64 = report.nodes.iter().map(|n| n.fault_log.len() as u64).sum();
+        assert_eq!(tail.get("count").unwrap().as_u64(), Some(total));
+        // The merged sketch equals one built over every fault directly.
+        let mut direct = QuantileSketch::new();
+        for n in &report.nodes {
+            for f in &n.fault_log {
+                direct.record(f.wait.as_nanos());
+            }
+        }
+        assert_eq!(
+            tail.get("p99_9_ns").unwrap().as_u64(),
+            Some(direct.quantile(0.999))
+        );
+        let slo = doc.get("slo").expect("slo object");
+        let nodes = slo.get("nodes").unwrap().as_array().unwrap();
+        assert_eq!(nodes.len(), report.nodes.len());
+        let per_node_faults: u64 = nodes
+            .iter()
+            .map(|n| {
+                n.get("slo")
+                    .unwrap()
+                    .get("faults")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(
+            per_node_faults,
+            slo.get("faults").unwrap().as_u64().unwrap()
+        );
     }
 
     #[test]

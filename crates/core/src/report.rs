@@ -2,7 +2,7 @@
 
 use gms_cluster::GmsStats;
 use gms_net::BusyTimes;
-use gms_obs::LogHistogram;
+use gms_obs::{LogHistogram, QuantileSketch};
 use gms_units::Duration;
 
 use crate::metrics::{DistanceHistogram, FaultCounts, FaultRecord, OverlapStats};
@@ -157,6 +157,22 @@ impl RunReport {
             h.record(f.wait.as_nanos());
         }
         h
+    }
+
+    /// Mergeable far-tail sketch of the same per-fault waits, for
+    /// p99.9/p99.99 reporting (1/256 relative error vs the
+    /// histogram's 1/16). Like [`RunReport::wait_histogram`] it is
+    /// built on demand from the fault log, so it is deterministic for
+    /// a given run whatever recorder (or none) observed it, and
+    /// per-node sketches merge exactly associatively into cluster
+    /// tails.
+    #[must_use]
+    pub fn wait_sketch(&self) -> QuantileSketch {
+        let mut s = QuantileSketch::new();
+        for f in &self.fault_log {
+            s.record(f.wait.as_nanos());
+        }
+        s
     }
 
     /// Mean waiting time per fault; zero for a fault-free run.

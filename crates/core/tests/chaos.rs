@@ -13,7 +13,7 @@ use gms_core::{
     Simulator,
 };
 use gms_mem::SubpageSize;
-use gms_obs::{Event, MemoryRecorder, ResourceKind};
+use gms_obs::{Event, FlightRecorder, MemoryRecorder, ResourceKind};
 use gms_trace::apps;
 use gms_units::{Duration, NodeId, SimTime};
 
@@ -202,6 +202,56 @@ proptest! {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// The flight recorder inherits the scheduler's determinism: the
+    /// retained exemplar set — identities, windows, final waits,
+    /// complete event chains — and the per-node SLO tallies are
+    /// identical at every thread count, with and without a fault plan,
+    /// because both schedulers feed the recorder in canonical commit
+    /// order. This is what lets `gms-sim explain` answer the same way
+    /// however the cluster was scheduled.
+    #[test]
+    fn thread_count_never_changes_flight_exemplars(plan in arb_plan()) {
+        let apps = [apps::gdb().scaled(0.03), apps::ld().scaled(0.03)];
+        let policy = FetchPolicy::pipelined(SubpageSize::S1K);
+        for plan in [None, Some(plan.clone())] {
+            let run = |threads: u32| {
+                let builder = SimConfig::builder()
+                    .policy(policy)
+                    .memory(MemoryConfig::Quarter)
+                    .cluster_nodes(5)
+                    .threads(threads);
+                let cfg = match &plan {
+                    Some(plan) => builder.fault_plan(plan.clone()).build(),
+                    None => builder.build(),
+                };
+                let mut rec = FlightRecorder::new(4)
+                    .with_window(Duration::from_millis(50))
+                    .with_slo(Duration::from_micros(200));
+                let report = ClusterSim::new(cfg).run_recorded(&apps, &mut rec);
+                rec.seal();
+                let meta: Vec<_> = rec
+                    .exemplars()
+                    .iter()
+                    .map(|e| (e.node, e.page, e.subpage, e.window, e.wait, e.events.len()))
+                    .collect();
+                let tallies: Vec<_> = rec
+                    .windows()
+                    .map(|(node, ws)| (node, ws.to_vec()))
+                    .collect();
+                (report, meta, rec.exemplar_events(), tallies)
+            };
+            let serial = run(1);
+            for threads in [2, 8] {
+                let threaded = run(threads);
+                prop_assert_eq!(
+                    &serial, &threaded,
+                    "plan={} threads={}: flight artifacts diverged",
+                    plan.is_some(), threads
+                );
             }
         }
     }

@@ -1,0 +1,140 @@
+//! Engine-level contract of the flight recorder: on real runs its
+//! retained exemplars agree exactly with the engine's own fault log
+//! and replay through the attribution walk with conservation intact,
+//! while its SLO accounting covers every fault — not just the
+//! retained ones.
+
+use gms_core::{ClusterSim, FetchPolicy, MemoryConfig, SimConfig, Simulator};
+use gms_mem::SubpageSize;
+use gms_obs::{attribute, FlightRecorder};
+use gms_trace::apps;
+use gms_units::Duration;
+
+fn serial_config(policy: FetchPolicy) -> SimConfig {
+    SimConfig::builder()
+        .policy(policy)
+        .memory(MemoryConfig::Half)
+        .build()
+}
+
+#[test]
+fn exemplars_match_engine_fault_log_and_attribute() {
+    for policy in [
+        FetchPolicy::eager(SubpageSize::S1K),
+        FetchPolicy::pipelined(SubpageSize::S1K),
+        FetchPolicy::fullpage(),
+    ] {
+        let label = policy.label();
+        let mut flight = FlightRecorder::new(4);
+        let report = Simulator::new(serial_config(policy))
+            .run_recorded(&apps::gdb().scaled(0.1), &mut flight);
+        flight.seal();
+
+        assert_eq!(
+            flight.total_faults(),
+            report.faults.total(),
+            "{label}: every fault observed"
+        );
+        // The recorder's summed wait is exactly the engine's stall
+        // decomposition: sp_latency (initial waits) + page_wait
+        // (follow-on stalls).
+        assert_eq!(
+            flight.total_wait(),
+            report.sp_latency + report.page_wait,
+            "{label}: total wait conserved"
+        );
+
+        let exemplars = flight.exemplars();
+        assert!(!exemplars.is_empty(), "{label}: runs with faults retain");
+        assert!(exemplars.len() <= 4);
+        for ex in &exemplars {
+            // Each exemplar's final wait is a real fault-log entry for
+            // the same page — the chain heard about all of its stalls.
+            assert!(
+                report
+                    .fault_log
+                    .iter()
+                    .any(|f| f.at_ref == ex.at_ref && f.wait == ex.wait),
+                "{label}: exemplar (page {}, wait {}) missing from fault log",
+                ex.page,
+                ex.wait
+            );
+        }
+
+        // The exemplar stream replays through the attribution walk
+        // with per-fault conservation checked inside `attribute`.
+        let stream = flight.exemplar_events();
+        let attrib = attribute(&stream).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(attrib.faults.len(), exemplars.len());
+        let mut attributed: Vec<u64> = attrib
+            .faults
+            .iter()
+            .map(|f| f.total_wait().as_nanos())
+            .collect();
+        let mut recorded: Vec<u64> = exemplars.iter().map(|e| e.wait.as_nanos()).collect();
+        attributed.sort_unstable();
+        recorded.sort_unstable();
+        assert_eq!(attributed, recorded, "{label}: decompositions match");
+    }
+}
+
+#[test]
+fn flight_recording_never_perturbs_the_run() {
+    let app = apps::gdb().scaled(0.1);
+    let baseline = Simulator::new(serial_config(FetchPolicy::eager(SubpageSize::S1K))).run(&app);
+    let mut flight = FlightRecorder::new(2);
+    let recorded = Simulator::new(serial_config(FetchPolicy::eager(SubpageSize::S1K)))
+        .run_recorded(&app, &mut flight);
+    assert_eq!(baseline, recorded, "recorder is a write-only side channel");
+}
+
+#[test]
+fn cluster_flight_covers_every_active_node() {
+    let config = SimConfig::builder()
+        .policy(FetchPolicy::eager(SubpageSize::S1K))
+        .memory(MemoryConfig::Half)
+        .cluster_nodes(4)
+        .build();
+    let app = apps::gdb().scaled(0.1);
+    let mut flight = FlightRecorder::new(3).with_slo(Duration::from_micros(50));
+    let report = ClusterSim::new(config).run_recorded(&[app.clone(), app], &mut flight);
+    flight.seal();
+
+    let total: u64 = report.nodes.iter().map(|n| n.faults.total()).sum();
+    assert_eq!(flight.total_faults(), total);
+    let wait: Duration = report
+        .nodes
+        .iter()
+        .map(|n| n.sp_latency + n.page_wait)
+        .sum();
+    assert_eq!(flight.total_wait(), wait);
+
+    // Per-node SLO tallies partition the totals.
+    let tallies: Vec<_> = flight.windows().collect();
+    assert_eq!(
+        tallies.len(),
+        report.nodes.len(),
+        "one tally per active node"
+    );
+    for (i, (node, windows)) in tallies.iter().enumerate() {
+        let n = &report.nodes[i];
+        assert_eq!(node.index() as usize, i);
+        let faults: u64 = windows.iter().map(|w| w.faults).sum();
+        let wait: Duration = windows.iter().map(|w| w.wait).sum();
+        let violations: u64 = windows.iter().map(|w| w.violations).sum();
+        assert_eq!(faults, n.faults.total());
+        assert_eq!(wait, n.sp_latency + n.page_wait);
+        let slow = n
+            .fault_log
+            .iter()
+            .filter(|f| f.wait > Duration::from_micros(50))
+            .count() as u64;
+        assert_eq!(violations, slow, "violations agree with the fault log");
+    }
+
+    // Exemplars from a cluster stream still replay through attribute.
+    let attrib = attribute(&flight.exemplar_events()).expect("cluster exemplars attributable");
+    assert_eq!(attrib.faults.len(), flight.retained());
+    // And the recorder held O(K) events, far fewer than the run emitted.
+    assert!(flight.retained() <= 3 * report.nodes.len());
+}

@@ -188,6 +188,11 @@ pub struct ClusterNetwork {
     params: NetParams,
     nodes: Vec<NodeNet>,
     log: Option<Vec<Occupancy>>,
+    /// While `true`, an enabled log records nothing. A consumer that
+    /// knows the entries of a span will be discarded unseen (the flight
+    /// recorder between fault windows) pauses the log across it rather
+    /// than paying to push and then skip every entry.
+    log_paused: bool,
     faults: Option<FaultInjector>,
 }
 
@@ -204,6 +209,7 @@ impl ClusterNetwork {
             params,
             nodes: (0..nodes).map(|_| NodeNet::default()).collect(),
             log: None,
+            log_paused: false,
             faults: None,
         }
     }
@@ -267,9 +273,10 @@ impl ClusterNetwork {
     /// Starts recording every resource occupancy (off by default; the
     /// log grows with every transfer, so tests enable it explicitly).
     pub fn record_occupancies(&mut self) {
-        // Occupancies dominate a traced run's event volume (~12k per
-        // bench run); start the log big enough that growth reallocs
-        // are rare instead of copying the whole history repeatedly.
+        // Consumers that never drain accumulate the whole run here
+        // (occupancies dominate traced event volume); start big enough
+        // that growth reallocs are rare. Draining consumers stay far
+        // below this watermark and pay the allocation once.
         self.log = Some(Vec::with_capacity(8192));
     }
 
@@ -278,6 +285,24 @@ impl ClusterNetwork {
     #[must_use]
     pub fn occupancies(&self) -> &[Occupancy] {
         self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// Pause or resume an enabled occupancy log. While paused, nothing
+    /// is recorded; scheduling is unaffected (the log is write-only).
+    /// Pausing without [`ClusterNetwork::record_occupancies`] is a
+    /// no-op.
+    pub fn set_occupancy_log_paused(&mut self, paused: bool) {
+        self.log_paused = paused;
+    }
+
+    /// Forget the logged occupancies, keeping the allocation. A consumer
+    /// that drains the log at every sync keeps it a few entries long —
+    /// cache-resident and never growing — instead of accumulating the
+    /// whole run's history only to scan each entry once.
+    pub fn clear_occupancies(&mut self) {
+        if let Some(log) = &mut self.log {
+            log.clear();
+        }
     }
 
     /// Queueing delay summed over every resource of every node — the
@@ -332,14 +357,16 @@ impl ClusterNetwork {
         end: SimTime,
     ) {
         if let Some(log) = &mut self.log {
-            log.push(Occupancy {
-                node,
-                resource,
-                what,
-                ready,
-                start,
-                end,
-            });
+            if !self.log_paused {
+                log.push(Occupancy {
+                    node,
+                    resource,
+                    what,
+                    ready,
+                    start,
+                    end,
+                });
+            }
         }
     }
 

@@ -358,6 +358,30 @@ impl Event {
         }
     }
 
+    /// The page the event concerns, for the page-scoped events of the
+    /// fault lifecycle (`None` for occupancies and node-level events,
+    /// which carry no page). Consumers that route events by
+    /// `(node, page)` — the flight recorder, the attribution walk's
+    /// stall targeting — key off this.
+    #[must_use]
+    pub fn page(&self) -> Option<u64> {
+        match *self {
+            Event::Fault { page, .. }
+            | Event::GetPage { page, .. }
+            | Event::Restart { page, .. }
+            | Event::Arrival { page, .. }
+            | Event::Stall { page, .. }
+            | Event::PutPage { page, .. }
+            | Event::Timeout { page, .. }
+            | Event::Retry { page, .. }
+            | Event::Failover { page, .. }
+            | Event::DegradedFetch { page, .. }
+            | Event::PolicyDecision { page, .. }
+            | Event::Prefetch { page, .. } => Some(page),
+            Event::Occupancy { .. } | Event::NodeDown { .. } | Event::NodeUp { .. } => None,
+        }
+    }
+
     /// The node this event belongs to.
     #[must_use]
     pub fn node(&self) -> NodeId {
@@ -411,6 +435,16 @@ mod tests {
             at: SimTime::ZERO,
         };
         assert_eq!(e.node(), NodeId::new(3));
+        assert_eq!(e.page(), Some(7));
+        let occ = Event::Occupancy {
+            node: NodeId::new(1),
+            resource: ResourceKind::Cpu,
+            what: "request",
+            ready: SimTime::ZERO,
+            start: SimTime::ZERO,
+            end: SimTime::from_nanos(10),
+        };
+        assert_eq!(occ.page(), None);
         assert_eq!(FaultClass::LazySubpage.label(), "lazy");
     }
 

@@ -44,6 +44,17 @@ fn low_of(index: usize) -> u64 {
     (SUBS + sub) << (octave - 1)
 }
 
+/// Midpoint of a bucket (exact value for the single-value buckets
+/// below [`SUBS`]): every sub-bucket of octave `o` spans `2^(o-1)`
+/// values, so the midpoint is half that width above the lower bound.
+fn mid_of(index: usize) -> u64 {
+    if (index as u64) < SUBS {
+        return index as u64;
+    }
+    let octave = (index as u64 / SUBS) as u32;
+    low_of(index) + (1u64 << (octave - 1)) / 2
+}
+
 impl LogHistogram {
     /// An empty histogram.
     #[must_use]
@@ -133,6 +144,34 @@ impl LogHistogram {
             seen += c;
             if seen >= rank {
                 return low_of(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` as a *two-sided*
+    /// estimate: the midpoint of the bucket holding the
+    /// `ceil(q * count)`-th smallest sample (exact for values below
+    /// 32), clamped to the exact min/max. Where
+    /// [`LogHistogram::percentile`] reports the bucket's lower bound —
+    /// one-sided, never above the true statistic but up to 1/16 below
+    /// it — `quantile` splits the bucket width both ways, bounding the
+    /// relative error to 1/64 on either side. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        if rank >= self.total {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return mid_of(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -358,6 +397,33 @@ mod tests {
                     "q={q}: p={p} vs exact={exact}, err={err}"
                 );
             }
+        }
+
+        /// `quantile` is two-sided: within 1/64 of the exact order
+        /// statistic on either side (where `percentile` is one-sided
+        /// below it), monotone in q, and bounded by [min, max].
+        #[test]
+        fn quantile_two_sided_error_bounded(
+            mut samples in prop::collection::vec(1u64..100_000_000, 1..200),
+        ) {
+            let mut h = LogHistogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            samples.sort_unstable();
+            let mut last = 0u64;
+            for step in 1..=20 {
+                let q = step as f64 / 20.0;
+                let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+                let exact = samples[rank - 1] as f64;
+                let v = h.quantile(q);
+                let err = (v as f64 - exact).abs() / exact;
+                prop_assert!(err <= 1.0 / 64.0, "q={q}: {v} vs exact {exact}, err {err}");
+                prop_assert!(v >= last, "quantile not monotone at q={q}");
+                prop_assert!(v >= h.min() && v <= h.max());
+                last = v;
+            }
+            prop_assert_eq!(h.quantile(1.0), *samples.last().unwrap());
         }
 
         /// Percentile is monotone in q and bounded by [min, max].

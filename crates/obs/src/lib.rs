@@ -17,9 +17,18 @@
 //!   follow-on arrivals → putpage write-back), stamped with sim time,
 //!   node ids and `(resource, direction)` keys taken straight from the
 //!   cluster network's occupancy log.
+//! * [`FlightRecorder`] — a bounded [`Recorder`] for always-on tail
+//!   forensics: it retains the *complete* event chain only for the
+//!   worst-K faults per node per window (a reservoir keyed by page
+//!   wait), plus per-window SLO tallies over every fault, in O(K)
+//!   memory instead of O(total events).
 //! * [`LogHistogram`] — HDR-style log-bucketed latency histogram with
 //!   ~3% relative error, for p50/p90/p99/max reporting without storing
 //!   every sample.
+//! * [`QuantileSketch`] — a sparse, mergeable DDSketch-style quantile
+//!   sketch with a proven two-sided 1/256 relative error bound and
+//!   exactly commutative/associative merges, for p99.9/p99.99
+//!   reporting and cross-thread rollups.
 //! * [`CounterRegistry`] — an ordered name → value registry that
 //!   exporters iterate instead of hand-listing scalar fields.
 //! * [`perfetto_trace`] — Chrome/Perfetto `trace.json` export: one
@@ -62,10 +71,12 @@
 mod attrib;
 mod counters;
 mod event;
+mod flight;
 mod hist;
 mod json;
 mod perfetto;
 mod recorder;
+mod sketch;
 mod timeseries;
 
 pub use attrib::{
@@ -74,8 +85,10 @@ pub use attrib::{
 };
 pub use counters::CounterRegistry;
 pub use event::{Event, FaultClass, PolicyChoice, ResourceKind};
+pub use flight::{Exemplar, FlightRecorder, WindowTally};
 pub use hist::LogHistogram;
 pub use json::{escape_json, JsonValue};
 pub use perfetto::{perfetto_trace, trace_nodes, APP_TRACK};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder};
+pub use sketch::QuantileSketch;
 pub use timeseries::{metrics_json, TimeSeriesRecorder, Window, METRICS_SCHEMA};

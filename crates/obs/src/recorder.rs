@@ -21,6 +21,35 @@ pub trait Recorder {
     /// Observe one event. Implementations must not influence the
     /// simulation: a recorder is a write-only side channel.
     fn record(&mut self, event: Event);
+
+    /// Observe a homogeneous batch of occupancy events (the engine's
+    /// network sync delivers them in bursts). Semantically identical to
+    /// calling [`Recorder::record`] on each event in order — the
+    /// default does exactly that — but an implementation whose
+    /// occupancy handling is a plain buffer append can override it to
+    /// amortize the per-event capacity checks across the batch. Callers
+    /// must only pass events the recorder treats uniformly (no
+    /// `Fault`/`Restart`/`Arrival`/`Stall` lifecycle edges).
+    #[inline]
+    fn record_batch(&mut self, events: impl Iterator<Item = Event>) {
+        for event in events {
+            self.record(event);
+        }
+    }
+
+    /// Whether the recorder currently wants *background* events —
+    /// occupancies that belong to no open fault window (no `Fault`
+    /// observed without its matching `Restart`). The engine may skip
+    /// constructing and forwarding such events while this returns
+    /// `false`, so a recorder returning `false` must already treat them
+    /// as discarded: the hint can only elide work, never change what
+    /// the recorder retains. Buffering recorders keep the default
+    /// `true`; the bounded flight recorder returns `false` between
+    /// fault windows, which is most of a run.
+    #[inline]
+    fn wants_background(&self) -> bool {
+        true
+    }
 }
 
 /// The disabled recorder: `ENABLED = false`, `record` unreachable.
@@ -168,6 +197,16 @@ impl<R: Recorder> Recorder for &mut R {
     #[inline]
     fn record(&mut self, event: Event) {
         (**self).record(event);
+    }
+
+    #[inline]
+    fn record_batch(&mut self, events: impl Iterator<Item = Event>) {
+        (**self).record_batch(events);
+    }
+
+    #[inline]
+    fn wants_background(&self) -> bool {
+        (**self).wants_background()
     }
 }
 
