@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gms_bench::{
-    apps, jobs, scale, ClusterSim, FaultPlan, FetchPolicy, MemoryConfig, RunReport, SimConfig,
-    Simulator, SubpageSize, Sweep, Table,
+    apps, jobs, scale, ClusterSim, FaultPlan, FetchPolicy, MemoryConfig, ReplicationConfig,
+    RunReport, SimConfig, Simulator, SubpageSize, Sweep, Table,
 };
 use gms_obs::{FlightRecorder, MemoryRecorder};
 use gms_trace::synth::LAYOUT_BASE;
@@ -189,6 +189,34 @@ fn main() {
     let cluster_warm = cluster_sim.run(&cluster_apps);
     let cluster_refs: u64 = cluster_warm.nodes.iter().map(|r| r.total_refs).sum();
 
+    // Replicated cluster cell: the same topology keeping two copies of
+    // every evicted page. The replica writes are real traffic on the
+    // shared wires, so the cell prices crash-survivability against the
+    // single-copy cell above. The wall-clock leaves are informational
+    // in the perf gate; `replica_writes` and the simulated makespan are
+    // deterministic engine outputs and get the standard gate.
+    const REPLICAS: u32 = 2;
+    let replicated_sim = ClusterSim::new(
+        SimConfig::builder()
+            .policy(FetchPolicy::eager(SubpageSize::S1K))
+            .memory(MemoryConfig::Half)
+            .cluster_nodes(CLUSTER_NODES)
+            .replication(ReplicationConfig {
+                replicas: REPLICAS,
+                ..ReplicationConfig::default()
+            })
+            .build(),
+    );
+    let replicated_warm = replicated_sim.run(&cluster_apps);
+    let replica_writes = replicated_warm
+        .nodes
+        .first()
+        .map_or(0, |n| n.gms.replica_writes);
+    assert!(
+        replica_writes > 0,
+        "replicated evictions must write standby copies"
+    );
+
     // Flight-recorder overhead: the cluster cell again with a bounded
     // worst-K `FlightRecorder` attached — the always-on production
     // configuration the explain path reads. Unlike the full
@@ -235,6 +263,7 @@ fn main() {
     let mut sweep_serial_times = Vec::with_capacity(ROUNDS);
     let mut sweep_parallel_times = Vec::with_capacity(ROUNDS);
     let mut cluster_times = Vec::with_capacity(ROUNDS);
+    let mut replicated_times = Vec::with_capacity(ROUNDS);
     let mut big_serial_times = Vec::with_capacity(ROUNDS);
     let mut big_threaded_times = Vec::with_capacity(ROUNDS);
     let time = |acc: &mut Vec<f64>, run: &mut dyn FnMut()| {
@@ -263,6 +292,9 @@ fn main() {
         sweep_parallel_times.push(sweep_once(parallel_jobs));
         time(&mut cluster_times, &mut || {
             std::hint::black_box(cluster_sim.run(&cluster_apps));
+        });
+        time(&mut replicated_times, &mut || {
+            std::hint::black_box(replicated_sim.run(&cluster_apps));
         });
         time(&mut big_serial_times, &mut || {
             std::hint::black_box(big_serial_sim.run(&big_apps));
@@ -317,6 +349,7 @@ fn main() {
     let flight_overhead = median(&mut flight_ratios) - 1.0;
     let flight_untraced_secs = median(&mut flight_untraced_times);
     let cluster_secs = median(&mut cluster_times);
+    let replicated_secs = median(&mut replicated_times);
     let flight_secs = median(&mut flight_times);
     let big_serial_secs = median(&mut big_serial_times);
     let big_threaded_secs = median(&mut big_threaded_times);
@@ -393,6 +426,15 @@ fn main() {
         cluster_warm.makespan.as_millis_f64(),
         cluster_warm.net.queue_delay.as_millis_f64(),
         cluster_warm.net.wire_utilization * 100.0
+    );
+    println!(
+        "replicated cluster cell ({CLUSTER_ACTIVE} active of {CLUSTER_NODES} nodes, sp_1024, \
+         {REPLICAS} copies): {:.2} ms/run ({:+.1}% vs single-copy), {} replica writes, \
+         simulated makespan {:.2} ms",
+        replicated_secs * 1e3,
+        (replicated_secs / cluster_secs - 1.0) * 100.0,
+        replica_writes,
+        replicated_warm.makespan.as_millis_f64()
     );
     println!(
         "flight recorder (cluster cell, worst-{FLIGHT_KEEP}): {:.2} ms/run vs {:.2} ms untraced \
@@ -546,6 +588,28 @@ fn main() {
     json.push_str(&format!(
         "    \"sim_queue_delay_ms\": {:.3}\n",
         cluster_warm.net.queue_delay.as_millis_f64()
+    ));
+    json.push_str("  },\n");
+    // The crash-survivable cluster cell. Wall-clock leaves are
+    // informational (host-dependent); `replica_writes` and the
+    // simulated makespan are deterministic and gated normally.
+    json.push_str("  \"replication\": {\n");
+    json.push_str(&format!("    \"nodes\": {CLUSTER_NODES},\n"));
+    json.push_str(&format!("    \"active\": {CLUSTER_ACTIVE},\n"));
+    json.push_str(&format!("    \"replicas\": {REPLICAS},\n"));
+    json.push_str("    \"policy\": \"sp_1024\",\n");
+    json.push_str(&format!(
+        "    \"replicated_ms_per_run\": {:.3},\n",
+        replicated_secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"replication_overhead_pct\": {:.1},\n",
+        (replicated_secs / cluster_secs - 1.0) * 100.0
+    ));
+    json.push_str(&format!("    \"replica_writes\": {replica_writes},\n"));
+    json.push_str(&format!(
+        "    \"sim_makespan_ms\": {:.3}\n",
+        replicated_warm.makespan.as_millis_f64()
     ));
     json.push_str("  },\n");
     json.push_str("  \"cluster_scaling\": {\n");

@@ -18,8 +18,9 @@ use std::fs;
 use std::path::PathBuf;
 
 pub use gms_core::{
-    ClusterReport, ClusterSim, FaultPlan, FetchPolicy, MemoryConfig, PipelineStrategy, RunReport,
-    SimConfig, SimConfigBuilder, Simulator, Sweep, SweepCell, SweepResults,
+    ClusterReport, ClusterSim, FaultPlan, FetchPolicy, MemoryConfig, PipelineStrategy,
+    ReplicationConfig, RunReport, SimConfig, SimConfigBuilder, Simulator, Sweep, SweepCell,
+    SweepResults,
 };
 pub use gms_mem::SubpageSize;
 pub use gms_trace::apps::{self, AppProfile};

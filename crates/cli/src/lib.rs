@@ -24,8 +24,9 @@ use std::path::{Path, PathBuf};
 use gms_core::{
     cluster_summary_json, cluster_summary_json_v3, run_summary_json, run_summary_json_v3,
     tail_json, AccessCost, ClusterReport, ClusterSim, FaultKind, FaultPlan, FetchPolicy,
-    MemoryConfig, PipelineStrategy, ReplacementKind, RunReport, SimConfig, Simulator, Sweep,
-    SUMMARY_SCHEMA, SUMMARY_SCHEMA_V3, TAIL_PERCENTILES, WAIT_PERCENTILES,
+    MemoryConfig, PipelineStrategy, ReplacementKind, ReplicationConfig, RetryConfig, RunReport,
+    SimConfig, Simulator, Sweep, SUMMARY_SCHEMA, SUMMARY_SCHEMA_V3, TAIL_PERCENTILES,
+    WAIT_PERCENTILES,
 };
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{AccessPattern, NetParams, RecvOverhead, Timeline, TransferPlan};
@@ -63,6 +64,8 @@ USAGE:
   gms-sim run --app <name> --policy <label> [--memory full|half|quarter|<frames>]
               [--scale <f>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2] [--pal]
+              [--max-fetch-attempts <n>] [--max-putpage-attempts <n>]
+              [--backoff-divisor <n>] [--backoff-cap <n>]
               [--fault-plan <spec>] [--slo <dur>]
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
@@ -73,6 +76,9 @@ USAGE:
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--threads <n>] [--net atm|ethernet|fast4|fast16]
               [--replacement lru|fifo|clock|random2]
+              [--replicas <k>] [--repair-rate <bytes/s>]
+              [--max-fetch-attempts <n>] [--max-putpage-attempts <n>]
+              [--backoff-divisor <n>] [--backoff-cap <n>]
               [--fault-plan <spec>] [--slo <dur>]
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
@@ -101,6 +107,24 @@ serving-node CPU/DMA. --threads <n> runs the node event loops on up to
 <n> worker threads under a conservative scheduler; the report is
 byte-identical whatever the thread count (default: 1, the serial
 reference).
+
+--replicas <k> keeps k copies of every evicted page on k distinct idle
+nodes (default 1, the paper's single-copy global memory). With k >= 2 a
+crashed node's pages survive on the remaining replicas: fetches fail
+over to the next copy instead of falling back to disk, and a
+rate-limited background repair stream (--repair-rate bytes per second,
+default 20000000) re-replicates the survivors, competing with
+foreground faults for the same wires. Replicated runs print a
+`replication:` line (copies, replica writes, repair volume, directory
+rebuilds, and the window of vulnerability during which any page had
+fewer copies than configured); single-copy output is unchanged,
+byte-for-byte.
+
+The retry knobs default to the engine's historical constants: a fetch
+gives up on a custodian after --max-fetch-attempts 4 tries, a putpage
+send is assumed delivered after --max-putpage-attempts 8, and the
+backoff before attempt n is timeout/--backoff-divisor (4) doubled per
+retry up to 2^--backoff-cap (3) base units.
 
 --trace-out writes a Chrome/Perfetto trace (load it at
 https://ui.perfetto.dev): one track per (node, resource) with spans for
@@ -430,6 +454,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 None => ReplacementKind::Lru,
             };
             let pal = args.take_flag("--pal");
+            let retry = parse_retry(&mut args)?;
             let fault_plan = args.take_value("--fault-plan");
             let slo = match args.take_value("--slo") {
                 Some(s) => Some(parse_duration(&s)?),
@@ -446,6 +471,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 net,
                 replacement,
                 pal,
+                retry,
                 fault_plan.as_deref(),
                 slo,
                 trace_out.as_deref(),
@@ -546,6 +572,8 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 Some(r) => parse_replacement(&r)?,
                 None => ReplacementKind::Lru,
             };
+            let retry = parse_retry(&mut args)?;
+            let replication = parse_replication(&mut args, nodes, active)?;
             let fault_plan = args.take_value("--fault-plan");
             let slo = match args.take_value("--slo") {
                 Some(s) => Some(parse_duration(&s)?),
@@ -564,6 +592,8 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 memory,
                 net,
                 replacement,
+                retry,
+                replication,
                 fault_plan.as_deref(),
                 slo,
                 trace_out.as_deref(),
@@ -839,6 +869,63 @@ fn parse_fault_plan(
     FaultPlan::parse(spec, Some(horizon)).map_err(|e| err(format!("bad --fault-plan: {e}")))
 }
 
+/// Extracts the retry knobs shared by `run` and `cluster`. Every flag
+/// defaults to the constant the engine used when the knobs were
+/// hard-coded, and the combination is validated here — a bad value is a
+/// [`CliError`], never a builder panic.
+fn parse_retry(args: &mut Args) -> Result<RetryConfig, CliError> {
+    let mut retry = RetryConfig::default();
+    if let Some(v) = args.take_value("--max-fetch-attempts") {
+        retry.max_fetch_attempts = v.parse().map_err(|_| err("bad --max-fetch-attempts"))?;
+    }
+    if let Some(v) = args.take_value("--max-putpage-attempts") {
+        retry.max_putpage_attempts = v.parse().map_err(|_| err("bad --max-putpage-attempts"))?;
+    }
+    if let Some(v) = args.take_value("--backoff-divisor") {
+        retry.backoff_divisor = v.parse().map_err(|_| err("bad --backoff-divisor"))?;
+    }
+    if let Some(v) = args.take_value("--backoff-cap") {
+        retry.backoff_cap = v.parse().map_err(|_| err("bad --backoff-cap"))?;
+    }
+    retry
+        .validate()
+        .map_err(|e| err(format!("bad retry config: {e}")))?;
+    Ok(retry)
+}
+
+/// Extracts `--replicas` and `--repair-rate` for `cluster`. K copies
+/// need K distinct idle holders, so the replica count is checked
+/// against the topology before it can reach the builder.
+fn parse_replication(
+    args: &mut Args,
+    nodes: u32,
+    active: u32,
+) -> Result<ReplicationConfig, CliError> {
+    let mut replication = ReplicationConfig::default();
+    if let Some(r) = args.take_value("--replicas") {
+        replication.replicas = r.parse().map_err(|_| err("bad --replicas"))?;
+    }
+    if replication.replicas == 0 {
+        return Err(err("--replicas must be at least 1"));
+    }
+    let idle = nodes - active;
+    if replication.replicas > idle {
+        return Err(err(format!(
+            "--replicas {} needs that many distinct idle holders, but --nodes {nodes} \
+             --active {active} leaves only {idle}",
+            replication.replicas
+        )));
+    }
+    if let Some(r) = args.take_value("--repair-rate") {
+        let rate: u64 = r.parse().map_err(|_| err("bad --repair-rate"))?;
+        if rate == 0 {
+            return Err(err("--repair-rate must be positive (bytes per second)"));
+        }
+        replication.repair_rate = rate;
+    }
+    Ok(replication)
+}
+
 /// The human-readable reliability line, printed only for fault-injected
 /// runs (a clean run has nothing to report).
 fn reliability_line(
@@ -915,6 +1002,7 @@ fn run_command(
     net: NetParams,
     replacement: ReplacementKind,
     pal: bool,
+    retry: RetryConfig,
     fault_plan: Option<&str>,
     slo: Option<Duration>,
     trace_out: Option<&Path>,
@@ -932,6 +1020,7 @@ fn run_command(
         .net(net)
         .replacement(replacement)
         .access_cost(access_cost)
+        .retry(retry)
         .build();
     let injecting = fault_plan.is_some();
     if let Some(spec) = fault_plan {
@@ -1089,6 +1178,8 @@ fn cluster_command(
     memory: MemoryConfig,
     net: NetParams,
     replacement: ReplacementKind,
+    retry: RetryConfig,
+    replication: ReplicationConfig,
     fault_plan: Option<&str>,
     slo: Option<Duration>,
     trace_out: Option<&Path>,
@@ -1102,6 +1193,8 @@ fn cluster_command(
         .replacement(replacement)
         .cluster_nodes(nodes)
         .threads(threads)
+        .retry(retry)
+        .replication(replication)
         .build();
     let injecting = fault_plan.is_some();
     if let Some(spec) = fault_plan {
@@ -1146,6 +1239,24 @@ fn cluster_command(
                 .first()
                 .map_or(0, |n| n.gms.pages_lost_to_crash),
         ));
+    }
+    // The replication line appears only when the run actually keeps
+    // spare copies; the single-copy default stays byte-identical to the
+    // pre-replication output.
+    if replication.replicas > 1 {
+        if let Some(gms) = report.nodes.first().map(|n| &n.gms) {
+            let _ = writeln!(
+                out,
+                "replication: {} copies, {} replica writes, {} pages re-replicated \
+                 ({} repair bytes), {} directory rebuilds, vulnerable {:.2} ms",
+                gms.replicas,
+                gms.replica_writes,
+                gms.pages_re_replicated,
+                gms.repair_bytes,
+                gms.directory_rebuilds,
+                gms.window_of_vulnerability_ns as f64 / 1e6,
+            );
+        }
     }
     if let Some(slo) = slo {
         out.push_str(&slo_line(slo, report.nodes.iter()));
@@ -1882,7 +1993,7 @@ fn trace_cells(doc: &JsonValue) -> Result<BTreeMap<String, f64>, CliError> {
 /// (`jobs`, `threads` — and with them the thread-scaling wall-clock
 /// cells, whose values depend entirely on how many cores the host
 /// offers).
-const INFORMATIONAL_CELLS: [&str; 8] = [
+const INFORMATIONAL_CELLS: [&str; 10] = [
     "overhead_pct",
     "speedup",
     "jobs",
@@ -1893,6 +2004,12 @@ const INFORMATIONAL_CELLS: [&str; 8] = [
     // rounds establish how much they wobble, then they join the gate.
     "leap_1024_ms_per_run",
     "indigo_1024_ms_per_run",
+    // The replicated-cluster wall-clock and its derived ratio: same
+    // treatment as the other new timing cells and ratios above. The
+    // section's `replica_writes` and `sim_makespan_ms` leaves are
+    // deterministic simulated outputs and stay gated.
+    "replicated_ms_per_run",
+    "replication_overhead_pct",
 ];
 
 /// Per-cell gating rules layered over a diff's default tolerance.
@@ -2034,7 +2151,7 @@ fn diff_command(
 /// Every instant-event kind the simulator emits. `check-trace` rejects
 /// anything else, so a renamed or misspelled event breaks loudly here
 /// rather than silently vanishing from downstream tooling.
-pub const INSTANT_KINDS: [&str; 13] = [
+pub const INSTANT_KINDS: [&str; 16] = [
     "fault",
     "getpage",
     "restart",
@@ -2048,6 +2165,9 @@ pub const INSTANT_KINDS: [&str; 13] = [
     "degraded-fetch",
     "policy-decision",
     "prefetch",
+    "replica-write",
+    "repair",
+    "directory-rebuild",
 ];
 
 /// Validates exported trace/summary/metrics/attribution files by
@@ -2730,6 +2850,112 @@ mod tests {
         .unwrap();
         assert!(out.contains("2 active node(s)"), "{out}");
         assert!(out.contains("reliability:"), "{out}");
+    }
+
+    #[test]
+    fn cluster_replicas_flag_survives_a_crash_without_loss() {
+        // The robustness tentpole's CLI face: two copies per page turn
+        // a node crash into repair traffic instead of lost pages.
+        let out = execute(&argv(
+            "cluster --nodes 5 --active 2 --scale 0.1 --replicas 2 \
+             --fault-plan crash=n3@25%",
+        ))
+        .unwrap();
+        assert!(out.contains("0 pages lost to crashes"), "{out}");
+        assert!(out.contains("replication: 2 copies"), "{out}");
+        assert!(out.contains("directory rebuilds"), "{out}");
+        // A clean replicated run still reports its replica writes, but
+        // has no reliability line to print.
+        let clean = execute(&argv(
+            "cluster --nodes 5 --active 2 --scale 0.1 --replicas 2",
+        ))
+        .unwrap();
+        assert!(!clean.contains("reliability:"), "{clean}");
+        assert!(clean.contains("replication: 2 copies"), "{clean}");
+    }
+
+    #[test]
+    fn cluster_single_copy_output_is_unchanged_by_the_flag() {
+        // `--replicas 1` is the default spelled out: byte-identical
+        // output, no replication line.
+        let default = execute(&argv("cluster --nodes 4 --active 2 --scale 0.1")).unwrap();
+        let explicit = execute(&argv(
+            "cluster --nodes 4 --active 2 --scale 0.1 --replicas 1",
+        ))
+        .unwrap();
+        assert_eq!(default, explicit);
+        assert!(!default.contains("replication:"), "{default}");
+    }
+
+    #[test]
+    fn cluster_replication_flags_validate() {
+        assert!(execute(&argv("cluster --nodes 4 --active 2 --replicas 0")).is_err());
+        assert!(execute(&argv("cluster --nodes 4 --active 2 --replicas two")).is_err());
+        // Three copies need three idle holders; 4 nodes with 2 active
+        // leave only two.
+        assert!(execute(&argv("cluster --nodes 4 --active 2 --replicas 3")).is_err());
+        assert!(execute(&argv(
+            "cluster --nodes 4 --active 2 --replicas 2 --repair-rate 0"
+        ))
+        .is_err());
+        assert!(execute(&argv(
+            "cluster --nodes 4 --active 2 --replicas 2 --repair-rate fast"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn retry_flags_default_to_the_historical_constants() {
+        // Spelling out the defaults changes nothing, byte-for-byte.
+        let default = execute(&argv("run --app gdb --policy sp_1024 --scale 0.2")).unwrap();
+        let explicit = execute(&argv(
+            "run --app gdb --policy sp_1024 --scale 0.2 --max-fetch-attempts 4 \
+             --max-putpage-attempts 8 --backoff-divisor 4 --backoff-cap 3",
+        ))
+        .unwrap();
+        assert_eq!(default, explicit);
+        // The cluster command takes the same knobs.
+        let out = execute(&argv(
+            "cluster --nodes 4 --active 2 --scale 0.1 --max-fetch-attempts 6",
+        ))
+        .unwrap();
+        assert!(out.contains("2 active node(s)"), "{out}");
+    }
+
+    #[test]
+    fn retry_flags_reject_degenerate_knobs_as_errors() {
+        // Satellite 1's contract: bad knobs are CLI errors with the
+        // validator's message, not builder panics.
+        for bad in [
+            "--max-fetch-attempts 0",
+            "--max-putpage-attempts 0",
+            "--backoff-divisor 0",
+            "--backoff-cap 64",
+            "--max-fetch-attempts many",
+        ] {
+            let msg = execute(&argv(&format!(
+                "run --app gdb --policy sp_1024 --scale 0.2 {bad}"
+            )))
+            .expect_err(bad)
+            .to_string();
+            assert!(
+                msg.contains("bad "),
+                "{bad} should fail with a flag error, got: {msg}"
+            );
+        }
+        // More retries under loss means fewer timeouts surface as disk
+        // fallbacks — the knob demonstrably reaches the engine.
+        let stingy = execute(&argv(
+            "run --app gdb --policy sp_1024 --scale 0.2 --max-fetch-attempts 1 \
+             --fault-plan loss=0.05,seed=3",
+        ))
+        .unwrap();
+        let patient = execute(&argv(
+            "run --app gdb --policy sp_1024 --scale 0.2 --max-fetch-attempts 8 \
+             --fault-plan loss=0.05,seed=3",
+        ))
+        .unwrap();
+        assert_ne!(stingy, patient, "retry budget must change the outcome");
     }
 
     #[test]

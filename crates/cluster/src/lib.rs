@@ -54,5 +54,7 @@ pub mod proto;
 
 pub use directory::Directory;
 pub use epoch::EpochManager;
-pub use gms::{GetPageOutcome, Gms, GmsStats, PutPageOutcome};
+pub use gms::{
+    CrashReport, GetPageOutcome, Gms, GmsStats, PutPageOutcome, RepairAction, ReplicationConfig,
+};
 pub use node::{GlobalEntry, Node};

@@ -155,6 +155,12 @@ impl Node {
         self.pages.contains_key(&page)
     }
 
+    /// The cache entry for `page`, if cached here.
+    #[must_use]
+    pub fn entry(&self, page: PageId) -> Option<&GlobalEntry> {
+        self.pages.get(&page)
+    }
+
     /// Stores `page`. If the cache is full, the oldest page is pushed out
     /// first and returned (in the real system it would go to disk — "the
     /// oldest page in the network").

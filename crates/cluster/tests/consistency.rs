@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use gms_cluster::{GetPageOutcome, Gms};
+use gms_cluster::{Directory, GetPageOutcome, Gms, ReplicationConfig};
 use gms_mem::PageId;
 use gms_units::NodeId;
 
@@ -113,13 +113,13 @@ proptest! {
         let mut gms = Gms::new(5, 64);
         gms.warm_cache((0..pages).map(PageId::new));
         let victim = NodeId::new(victim);
-        let lost = gms.crash_node(victim);
+        let crash = gms.crash_node(victim);
         prop_assert!(gms.is_consistent());
         for (page, custodian) in gms.directory().iter() {
             prop_assert!(custodian != victim, "{page} still maps to the crashed node");
             prop_assert!(!gms.node_is_down(custodian), "{page} maps to a down node");
         }
-        prop_assert_eq!(gms.stats().pages_lost_to_crash, lost);
+        prop_assert_eq!(gms.stats().pages_lost_to_crash, crash.pages_lost);
         if recover {
             gms.recover_node(victim);
             prop_assert!(!gms.node_is_down(victim));
@@ -148,6 +148,84 @@ proptest! {
         let before = gms.stats().displaced_to_disk;
         let displaced = gms.retire_node(NodeId::new(1));
         prop_assert_eq!(gms.stats().displaced_to_disk - before, displaced.len() as u64);
+        prop_assert!(gms.is_consistent());
+    }
+
+    /// Growing the directory rehashes custodianship without orphaning a
+    /// single entry: every recorded `(page, holders)` set survives the
+    /// resize byte-identically, and every custodian lands in range.
+    #[test]
+    fn directory_resize_never_orphans_an_entry(
+        entries in prop::collection::vec(
+            (0u64..10_000, 0u32..4, prop::collection::vec(0u32..4, 0..3)),
+            1..80,
+        ),
+        grow_to in 4u32..40,
+    ) {
+        let mut dir = Directory::with_replicas(4, 2);
+        let mut expected: Vec<(PageId, Vec<NodeId>)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (page, primary, extras) in entries {
+            if !seen.insert(page) {
+                continue; // one replica set per page
+            }
+            let page = PageId::new(page);
+            let mut holders = vec![NodeId::new(primary)];
+            dir.record(page, holders[0]);
+            for extra in extras {
+                let extra = NodeId::new(extra);
+                if !holders.contains(&extra) {
+                    dir.add_replica(page, extra);
+                    holders.push(extra);
+                }
+            }
+            expected.push((page, holders));
+        }
+        let total_before = dir.total_replicas();
+        let under_before = dir.under_replicated();
+        dir.resize(grow_to);
+        prop_assert_eq!(dir.len(), expected.len());
+        prop_assert_eq!(dir.total_replicas(), total_before);
+        prop_assert_eq!(dir.under_replicated(), under_before);
+        for (page, holders) in expected {
+            prop_assert_eq!(dir.replicas(page), holders.as_slice(), "{} orphaned", page);
+            prop_assert!(dir.custodian(page).index() < grow_to);
+        }
+    }
+
+    /// A custodian crash rebuilds its directory shard from surviving
+    /// replica announcements: afterwards each warmed page maps to
+    /// exactly its surviving holders, in the original order.
+    #[test]
+    fn crash_rebuild_reconstructs_surviving_holders(
+        pages in 1u64..80,
+        victim in 1u32..6,
+        k in 1u32..3,
+    ) {
+        let mut gms = Gms::with_replication(
+            6,
+            1,
+            64,
+            ReplicationConfig { replicas: k, ..ReplicationConfig::default() },
+        );
+        gms.warm_cache((0..pages).map(PageId::new));
+        let before: Vec<(PageId, Vec<NodeId>)> = (0..pages)
+            .map(PageId::new)
+            .map(|p| (p, gms.directory().replicas(p).to_vec()))
+            .collect();
+        let victim = NodeId::new(victim);
+        gms.crash_node(victim);
+        prop_assert_eq!(gms.stats().directory_rebuilds, 1);
+        for (page, holders) in before {
+            let survivors: Vec<NodeId> =
+                holders.into_iter().filter(|&n| n != victim).collect();
+            prop_assert_eq!(
+                gms.directory().replicas(page),
+                survivors.as_slice(),
+                "{} not rebuilt from announcements",
+                page
+            );
+        }
         prop_assert!(gms.is_consistent());
     }
 }

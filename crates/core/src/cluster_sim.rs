@@ -96,12 +96,13 @@ pub(crate) fn run_cluster<R: Recorder + Send>(
             .map(|input| input.footprint.div_ceil(page_bytes))
             .sum();
         // Idle nodes need room for the combined footprint plus churn
-        // headroom.
+        // headroom — and K copies of everything when replicating.
         let per_idle = total_pages
             .div_ceil(u64::from(cfg.cluster_nodes - active))
             .max(1)
-            * 2;
-        let mut gms = Gms::with_active(cfg.cluster_nodes, active, per_idle);
+            * 2
+            * u64::from(cfg.replication.replicas.max(1));
+        let mut gms = Gms::with_replication(cfg.cluster_nodes, active, per_idle, cfg.replication);
         for (i, input) in inputs.iter().enumerate() {
             let base_page = geom.page_of(input.base);
             let pages = input.footprint.div_ceil(page_bytes);
@@ -121,7 +122,7 @@ pub(crate) fn run_cluster<R: Recorder + Send>(
             net.install_faults(FaultInjector::new(plan.clone()));
         }
     }
-    let mut ctx = ClusterCtx::new(net, gms, active, rec);
+    let mut ctx = ClusterCtx::new(net, gms, active, page_bytes, rec);
 
     let mut drivers: Vec<NodeDriver<'_>> = inputs
         .iter()
@@ -138,6 +139,15 @@ pub(crate) fn run_cluster<R: Recorder + Send>(
         crate::sched::run_serial(&mut drivers, inputs, &mut ctx);
     } else {
         crate::sched::run_parallel(&mut drivers, inputs, &mut ctx, cfg.threads);
+    }
+
+    // Close any window of vulnerability still open at the end of the
+    // run: exposure that never healed counts in full. The network
+    // horizon (latest booked instant) is a pure function of the inputs,
+    // so the close time is thread-count independent.
+    let end = ctx.net.horizon();
+    if let Some(gms) = ctx.gms.as_mut() {
+        gms.close_vulnerability(end.elapsed_since(SimTime::ZERO).as_nanos());
     }
 
     let reports: Vec<RunReport> = drivers

@@ -1,10 +1,70 @@
 //! Simulation configuration.
 
+use gms_cluster::ReplicationConfig;
 use gms_mem::PageSize;
 use gms_net::{FaultPlan, NetParams};
 use gms_units::Duration;
 
 use crate::FetchPolicy;
+
+/// The engine's remote-transfer retry knobs. The defaults reproduce the
+/// constants the engine originally hard-coded, so a default
+/// `RetryConfig` leaves every report byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Remote-transfer attempts before giving up on a custodian: the
+    /// initial request plus `max_fetch_attempts - 1` retries.
+    pub max_fetch_attempts: u32,
+    /// Putpage send attempts before the model assumes delivery. Putpage
+    /// is positive-ACK with retransmit; this backstop bounds the retry
+    /// loop so every run terminates even under adversarial loss rates
+    /// (at 5% loss the default backstop fires with probability
+    /// 0.05⁸ ≈ 4e-11).
+    pub max_putpage_attempts: u32,
+    /// The first backoff is `timeout / backoff_divisor`.
+    pub backoff_divisor: u32,
+    /// Each retry doubles the backoff, up to `1 << backoff_cap` base
+    /// units.
+    pub backoff_cap: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_fetch_attempts: 4,
+            max_putpage_attempts: 8,
+            backoff_divisor: 4,
+            backoff_cap: 3,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Checks the knobs for values that would wedge or overflow the
+    /// retry loops, returning a human-readable complaint instead of
+    /// panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero attempt counts (the loops would never send), a zero
+    /// backoff divisor (division by zero), and a backoff cap at or above
+    /// 64 (the doubling factor `1 << cap` would overflow `u64`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_fetch_attempts == 0 {
+            return Err("max fetch attempts must be at least 1".into());
+        }
+        if self.max_putpage_attempts == 0 {
+            return Err("max putpage attempts must be at least 1".into());
+        }
+        if self.backoff_divisor == 0 {
+            return Err("backoff divisor must be at least 1".into());
+        }
+        if self.backoff_cap >= 64 {
+            return Err("backoff cap must be below 64 (doubling factor overflows)".into());
+        }
+        Ok(())
+    }
+}
 
 /// How much local memory the traced program gets (Figure 3's three
 /// configurations).
@@ -151,6 +211,14 @@ pub struct SimConfig {
     /// parallel scheduler. Reports are byte-identical for every value —
     /// the thread count is purely a wall-clock knob.
     pub threads: u32,
+    /// Remote-transfer retry knobs. The defaults reproduce the engine's
+    /// original hard-coded constants byte-for-byte.
+    pub retry: RetryConfig,
+    /// Page replication: how many copies each putpage writes and how
+    /// fast crash-repair traffic re-replicates. The default (one copy,
+    /// no repair work to do) is byte-identical to the pre-replication
+    /// engine.
+    pub replication: ReplicationConfig,
 }
 
 impl SimConfig {
@@ -185,6 +253,8 @@ impl Default for SimConfig {
             replacement: ReplacementKind::default(),
             fault_plan: None,
             threads: 1,
+            retry: RetryConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -284,6 +354,37 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the remote-transfer retry knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knobs fail [`RetryConfig::validate`]. Callers that
+    /// must not panic (the CLI) validate first and surface the error.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        if let Err(e) = retry.validate() {
+            panic!("invalid retry config: {e}");
+        }
+        self.config.retry = retry;
+        self
+    }
+
+    /// Sets the page-replication parameters (copies per putpage and the
+    /// background repair rate). Feasibility against the cluster size —
+    /// `replicas` distinct idle holders must exist — is checked when the
+    /// GMS is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `repair_rate` is zero.
+    #[must_use]
+    pub fn replication(mut self, replication: ReplicationConfig) -> Self {
+        assert!(replication.replicas >= 1, "need at least one copy");
+        assert!(replication.repair_rate > 0, "repair rate must be positive");
+        self.config.replication = replication;
+        self
+    }
+
     /// Finalizes the configuration.
     #[must_use]
     pub fn build(self) -> SimConfig {
@@ -353,5 +454,75 @@ mod tests {
     #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_panics() {
         let _ = SimConfig::builder().threads(0);
+    }
+
+    #[test]
+    fn retry_defaults_match_original_constants() {
+        let retry = SimConfig::default().retry;
+        assert_eq!(retry.max_fetch_attempts, 4);
+        assert_eq!(retry.max_putpage_attempts, 8);
+        assert_eq!(retry.backoff_divisor, 4);
+        assert_eq!(retry.backoff_cap, 3);
+        assert!(retry.validate().is_ok());
+    }
+
+    #[test]
+    fn retry_validation_rejects_degenerate_knobs() {
+        let ok = RetryConfig::default();
+        assert!(RetryConfig {
+            max_fetch_attempts: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryConfig {
+            max_putpage_attempts: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryConfig {
+            backoff_divisor: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RetryConfig {
+            backoff_cap: 64,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid retry config")]
+    fn builder_rejects_invalid_retry() {
+        let _ = SimConfig::builder().retry(RetryConfig {
+            max_fetch_attempts: 0,
+            ..RetryConfig::default()
+        });
+    }
+
+    #[test]
+    fn replication_defaults_to_single_copy() {
+        let config = SimConfig::default();
+        assert_eq!(config.replication.replicas, 1);
+        let two = SimConfig::builder()
+            .replication(ReplicationConfig {
+                replicas: 2,
+                ..ReplicationConfig::default()
+            })
+            .build();
+        assert_eq!(two.replication.replicas, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one copy")]
+    fn zero_replicas_panics() {
+        let _ = SimConfig::builder().replication(ReplicationConfig {
+            replicas: 0,
+            ..ReplicationConfig::default()
+        });
     }
 }

@@ -84,21 +84,13 @@ pub(crate) fn namespace_page(base: u64, page: PageId) -> PageId {
     PageId::new(base + page.get())
 }
 
-/// Remote-transfer attempts before giving up on the custodian: the
-/// initial request plus three retries.
-const MAX_FETCH_ATTEMPTS: u32 = 4;
-
-/// Putpage send attempts before the model assumes delivery. Putpage is
-/// positive-ACK with retransmit; this backstop bounds the retry loop so
-/// every run terminates even under adversarial loss rates (at 5% loss
-/// the backstop fires with probability 0.05⁸ ≈ 4e-11).
-const MAX_PUTPAGE_ATTEMPTS: u32 = 8;
-
-/// Backoff before retry `attempt + 1`: a quarter-timeout unit doubled
-/// per attempt, capped at two full timeouts.
-fn backoff_delay(timeout: Duration, attempt: u32) -> Duration {
-    let factor = 1u64 << attempt.min(3);
-    timeout / 4 * factor
+/// Backoff before retry `attempt + 1`: a `timeout / backoff_divisor`
+/// base unit doubled per attempt, capped at `1 << backoff_cap` units.
+/// The default knobs give a quarter-timeout unit capped at two full
+/// timeouts — the engine's original hard-coded schedule.
+fn backoff_delay(timeout: Duration, attempt: u32, retry: &crate::RetryConfig) -> Duration {
+    let factor = 1u64 << attempt.min(retry.backoff_cap);
+    timeout / u64::from(retry.backoff_divisor) * factor
 }
 
 /// Runs traces under one [`SimConfig`].
@@ -232,14 +224,38 @@ pub(crate) struct ClusterCtx<'r, R: Recorder> {
     crashes: Vec<NodeEvent>,
     /// How many of `crashes` have been applied to the GMS.
     crash_cursor: usize,
+    /// Size of one full page, for charging repair transfers.
+    page_bytes: gms_units::Bytes,
+    /// Simulated time one background repair copy occupies at the
+    /// configured repair rate (`page_bytes / repair_rate`). Zero under
+    /// the disk policy.
+    repair_interval: Duration,
+    /// The repair pacer: no repair copy is sent before this instant, so
+    /// re-replication proceeds at most one page per `repair_interval`
+    /// and competes with foreground traffic instead of healing for
+    /// free.
+    next_repair_at: SimTime,
 }
 
 impl<'r, R: Recorder> ClusterCtx<'r, R> {
-    pub fn new(net: ClusterNetwork, gms: Option<Gms>, n_active: u32, rec: &'r mut R) -> Self {
+    pub fn new(
+        net: ClusterNetwork,
+        gms: Option<Gms>,
+        n_active: u32,
+        page_bytes: gms_units::Bytes,
+        rec: &'r mut R,
+    ) -> Self {
         let crashes = net
             .fault_plan()
             .map(|p| p.crashes.clone())
             .unwrap_or_default();
+        let repair_interval = gms
+            .as_ref()
+            .map(|g| {
+                let rate = g.replication().repair_rate.max(1);
+                Duration::from_nanos(page_bytes.get().saturating_mul(1_000_000_000) / rate)
+            })
+            .unwrap_or(Duration::ZERO);
         let mut ctx = ClusterCtx {
             net,
             gms,
@@ -247,6 +263,9 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
             rec,
             crashes,
             crash_cursor: 0,
+            page_bytes,
+            repair_interval,
+            next_repair_at: SimTime::ZERO,
         };
         if R::ENABLED {
             // Occupancy logging is off by default (it allocates); turn it
@@ -339,16 +358,71 @@ impl<'r, R: Recorder> ClusterCtx<'r, R> {
                     }
                 }
             } else if !gms.node_is_down(ev.node) {
-                let pages_lost = gms.crash_node(ev.node);
+                let crash = gms.crash_node(ev.node);
                 if R::ENABLED {
                     self.rec.record(Event::NodeDown {
                         node: ev.node,
                         at: ev.at,
-                        pages_lost,
+                        pages_lost: crash.pages_lost,
                     });
+                    if crash.directory_entries_rebuilt > 0 {
+                        self.rec.record(Event::DirectoryRebuild {
+                            node: ev.node,
+                            entries: crash.directory_entries_rebuilt,
+                            at: ev.at,
+                        });
+                    }
+                }
+                // Repair work starts after the crash, never before it.
+                if self.next_repair_at < ev.at {
+                    self.next_repair_at = ev.at;
                 }
             }
         }
+        self.pump_repairs(now);
+        if let Some(gms) = self.gms.as_mut() {
+            gms.account_vulnerability(now.elapsed_since(SimTime::ZERO).as_nanos());
+        }
+    }
+
+    /// Sends at most one queued background repair copy, if the pacer
+    /// allows it at `now`. Called from [`apply_fault_schedule`], whose
+    /// invocation sequence is canonical across thread counts (shared
+    /// sections commit in ascending `(park clock, node id)` order), so
+    /// the repair traffic — real transfers on the shared network,
+    /// contending with foreground faults — is deterministic too. With
+    /// the default single-copy config the queue is always empty and
+    /// this is a no-op.
+    ///
+    /// [`apply_fault_schedule`]: ClusterCtx::apply_fault_schedule
+    fn pump_repairs(&mut self, now: SimTime) {
+        if self.next_repair_at > now {
+            return;
+        }
+        let Some(gms) = self.gms.as_mut() else {
+            return;
+        };
+        if !gms.repair_pending() {
+            return;
+        }
+        let Some(action) = gms.repair_one(self.page_bytes.get()) else {
+            return;
+        };
+        // Charged like any other transfer: the copy occupies the
+        // source's outbound and the target's inbound wire/DMA/CPU.
+        let _ = self
+            .net
+            .send(now, action.source, action.target, self.page_bytes);
+        if R::ENABLED {
+            self.rec.record(Event::Repair {
+                node: action.source,
+                target: action.target,
+                page: action.page.get(),
+                at: now,
+            });
+        }
+        self.next_repair_at = now + self.repair_interval;
+        self.sync_net();
     }
 }
 
@@ -1221,17 +1295,20 @@ impl<'a> NodeDriver<'a> {
                             at: self.clock,
                         });
                     }
-                    if attempt >= MAX_FETCH_ATTEMPTS {
+                    if attempt >= self.cfg.retry.max_fetch_attempts {
                         // Retries exhausted: repair the directory (the
-                        // entry names an unreachable custodian) and
-                        // degrade to disk.
-                        ctx.gms
+                        // entry names an unreachable custodian). With
+                        // replication a standby may survive — fail over
+                        // to it with a fresh attempt budget *before*
+                        // degrading to disk; each exhausted custodian
+                        // drops one replica, so the rounds are bounded
+                        // by K.
+                        let promoted = ctx
+                            .gms
                             .as_mut()
                             .expect("remote fault needs a cluster")
                             .record_failover(self.node, gpage);
                         self.failovers += 1;
-                        self.fell_back_to_disk += 1;
-                        self.served_by.remove(&page);
                         if R::ENABLED {
                             ctx.rec.record(Event::Failover {
                                 node: self.node,
@@ -1240,9 +1317,15 @@ impl<'a> NodeDriver<'a> {
                                 at: self.clock,
                             });
                         }
+                        if promoted.is_some() {
+                            attempt = 1;
+                            continue;
+                        }
+                        self.fell_back_to_disk += 1;
+                        self.served_by.remove(&page);
                         return self.disk_fault(page, sub, extra_wait, false, ctx);
                     }
-                    let backoff = backoff_delay(timeout, attempt);
+                    let backoff = backoff_delay(timeout, attempt, &self.cfg.retry);
                     self.advance(backoff, Bucket::SpLatency, Some(page));
                     extra_wait += backoff;
                     attempt += 1;
@@ -1454,7 +1537,7 @@ impl<'a> NodeDriver<'a> {
     /// Runs one transfer toward `server`, retrying on loss with capped
     /// exponential backoff. Returns the delivered timeline plus the stall
     /// time spent on failed attempts (charged to `sp_latency` already),
-    /// or `None` after [`MAX_FETCH_ATTEMPTS`] expiries.
+    /// or `None` after `max_fetch_attempts` expiries.
     fn transfer_with_retries<R: Recorder>(
         &mut self,
         page: PageId,
@@ -1462,9 +1545,10 @@ impl<'a> NodeDriver<'a> {
         tplan: &TransferPlan,
         ctx: &mut ClusterCtx<'_, R>,
     ) -> (Option<FaultTimeline>, Duration) {
+        let max_attempts = self.cfg.retry.max_fetch_attempts;
         let timeout = ctx.net.params().getpage_timeout(tplan.messages()[0]);
         let mut extra = Duration::ZERO;
-        for attempt in 1..=MAX_FETCH_ATTEMPTS {
+        for attempt in 1..=max_attempts {
             match ctx.net.try_fault(self.clock, self.node, server, tplan) {
                 FaultAttempt::Delivered(ft) => {
                     ctx.sync_net();
@@ -1483,8 +1567,8 @@ impl<'a> NodeDriver<'a> {
                             at: self.clock,
                         });
                     }
-                    if attempt < MAX_FETCH_ATTEMPTS {
-                        let backoff = backoff_delay(timeout, attempt);
+                    if attempt < max_attempts {
+                        let backoff = backoff_delay(timeout, attempt, &self.cfg.retry);
                         self.advance(backoff, Bucket::SpLatency, Some(page));
                         extra += backoff;
                         self.retries += 1;
@@ -1549,6 +1633,7 @@ impl<'a> NodeDriver<'a> {
             // positive-ACK with retransmit: a lost transfer is re-sent —
             // the ACK timeout runs off the critical path, so only the
             // extra send setups charge the application.
+            let replicas = gms.replication().replicas;
             if let Some(put) = gms.try_putpage(self.node, self.global_page(victim), state.dirty) {
                 let mut attempt: u32 = 0;
                 loop {
@@ -1572,7 +1657,7 @@ impl<'a> NodeDriver<'a> {
                     let setup = send.cpu_free_at.elapsed_since(self.clock);
                     self.advance(setup, Bucket::Putpage, None);
                     attempt += 1;
-                    if !lost || attempt >= MAX_PUTPAGE_ATTEMPTS {
+                    if !lost || attempt >= self.cfg.retry.max_putpage_attempts {
                         break;
                     }
                     self.retries += 1;
@@ -1584,6 +1669,37 @@ impl<'a> NodeDriver<'a> {
                             at: self.clock,
                         });
                     }
+                }
+                // K − 1 standby copies, each a real transfer to a
+                // distinct holder. Standby writes are ACK-reliable (no
+                // loss roll — the putpage loop above already models the
+                // lossy path once), never displace, and stop early when
+                // no eligible node has room: the page then runs
+                // under-replicated until repair catches up.
+                for copy in 1..replicas {
+                    let Some(holder) = ctx
+                        .gms
+                        .as_mut()
+                        .expect("putpage succeeded, so a cluster exists")
+                        .replicate(self.node, self.global_page(victim), state.dirty)
+                    else {
+                        break;
+                    };
+                    let send =
+                        ctx.net
+                            .send(self.clock, self.node, holder, self.geom.page_size().bytes());
+                    if R::ENABLED {
+                        ctx.rec.record(Event::ReplicaWrite {
+                            node: self.node,
+                            holder,
+                            page: victim.get(),
+                            copy: copy as u8,
+                            at: self.clock,
+                        });
+                    }
+                    ctx.sync_net();
+                    let setup = send.cpu_free_at.elapsed_since(self.clock);
+                    self.advance(setup, Bucket::Putpage, None);
                 }
             }
             // else: every would-be custodian is down — the page leaves the

@@ -148,7 +148,10 @@ fn is_adaptive_label(label: &str) -> bool {
 /// The reliability counters of one run (the `v2` addition): timeout,
 /// retry and failover telemetry from the fault-injection machinery. All
 /// zero for a fault-free run. `pages_lost_to_crash` comes from the
-/// cluster-wide GMS statistics.
+/// cluster-wide GMS statistics. Replicated runs (K > 1) append the
+/// replication ledger; single-copy summaries keep their exact v2 shape
+/// (the golden-digest regression pins them byte-for-byte), mirroring
+/// how prefetch counters exist only for adaptive policies.
 #[must_use]
 pub fn reliability_counters(report: &RunReport) -> CounterRegistry {
     let mut reg = CounterRegistry::new();
@@ -158,6 +161,17 @@ pub fn reliability_counters(report: &RunReport) -> CounterRegistry {
     reg.set("degraded_fetches", report.faults.degraded);
     reg.set("fell_back_to_disk", report.fell_back_to_disk);
     reg.set("pages_lost_to_crash", report.gms.pages_lost_to_crash);
+    if report.gms.replicas > 1 {
+        reg.set("replicas", u64::from(report.gms.replicas));
+        reg.set("replica_writes", report.gms.replica_writes);
+        reg.set("pages_re_replicated", report.gms.pages_re_replicated);
+        reg.set("repair_bytes", report.gms.repair_bytes);
+        reg.set("directory_rebuilds", report.gms.directory_rebuilds);
+        reg.set(
+            "window_of_vulnerability_ns",
+            report.gms.window_of_vulnerability_ns,
+        );
+    }
     reg
 }
 
@@ -317,6 +331,19 @@ fn cluster_summary_with(report: &ClusterReport, schema: &str, extra: &str) -> St
             .first()
             .map_or(0, |n| n.gms.pages_lost_to_crash),
     );
+    // The replication ledger is cluster-wide GMS state: taken once, and
+    // only when replication is actually on (K = 1 summaries stay
+    // byte-pinned).
+    if let Some(gms) = report.nodes.first().map(|n| &n.gms) {
+        if gms.replicas > 1 {
+            rel.set("replicas", u64::from(gms.replicas));
+            rel.set("replica_writes", gms.replica_writes);
+            rel.set("pages_re_replicated", gms.pages_re_replicated);
+            rel.set("repair_bytes", gms.repair_bytes);
+            rel.set("directory_rebuilds", gms.directory_rebuilds);
+            rel.set("window_of_vulnerability_ns", gms.window_of_vulnerability_ns);
+        }
+    }
 
     let mut merged = LogHistogram::new();
     for node in &report.nodes {
@@ -421,6 +448,45 @@ mod tests {
             "pages_lost_to_crash",
         ] {
             assert_eq!(rel.get(key).unwrap().as_u64(), Some(0), "{key}");
+        }
+    }
+
+    #[test]
+    fn replication_counters_appear_only_when_replicating() {
+        use crate::ReplicationConfig;
+        let app = gms_trace::apps::gdb().scaled(0.1);
+        // K = 1 (the golden-pinned shape): no replication keys at all.
+        let single = ClusterSim::new(config()).run(std::slice::from_ref(&app));
+        let doc = JsonValue::parse(&cluster_summary_json(&single)).unwrap();
+        let rel = doc.get("reliability").expect("reliability object");
+        assert!(rel.get("replicas").is_none(), "K=1 emits no replica keys");
+        assert!(rel.get("replica_writes").is_none());
+
+        // K = 2: the ledger appears in both cluster and nested run
+        // summaries, and every standby copy was a counted write.
+        let mut cfg = config();
+        cfg.cluster_nodes = 5;
+        cfg.replication = ReplicationConfig {
+            replicas: 2,
+            ..ReplicationConfig::default()
+        };
+        let double = ClusterSim::new(cfg).run(std::slice::from_ref(&app));
+        let doc = JsonValue::parse(&cluster_summary_json(&double)).unwrap();
+        let rel = doc.get("reliability").expect("reliability object");
+        assert_eq!(rel.get("replicas").unwrap().as_u64(), Some(2));
+        let stats = &double.nodes[0].gms;
+        assert_eq!(
+            rel.get("replica_writes").unwrap().as_u64(),
+            Some(stats.replica_writes)
+        );
+        assert!(stats.replica_writes > 0, "evictions must write standbys");
+        for key in [
+            "pages_re_replicated",
+            "repair_bytes",
+            "directory_rebuilds",
+            "window_of_vulnerability_ns",
+        ] {
+            assert!(rel.get(key).is_some(), "missing {key}");
         }
     }
 

@@ -74,13 +74,16 @@ mod sweep;
 
 pub use analysis::{burstiness, cumulative_fault_series, downsample, sorted_wait_curve, speedup};
 pub use cluster_sim::{ClusterReport, ClusterSim};
-pub use config::{AccessCost, MemoryConfig, ReplacementKind, SimConfig, SimConfigBuilder};
+pub use config::{
+    AccessCost, MemoryConfig, ReplacementKind, RetryConfig, SimConfig, SimConfigBuilder,
+};
 pub use engine::Simulator;
 pub use export::{
     cluster_summary_json, cluster_summary_json_v3, histogram_json, reliability_counters,
     run_counters, run_summary_json, run_summary_json_v3, slo_counters, tail_json, SUMMARY_SCHEMA,
     SUMMARY_SCHEMA_V3, TAIL_PERCENTILES, WAIT_PERCENTILES,
 };
+pub use gms_cluster::ReplicationConfig;
 pub use gms_net::{DegradeWindow, FaultPlan, NodeEvent};
 pub use metrics::{
     ClusterNetStats, DistanceHistogram, FaultCounts, FaultKind, FaultRecord, NodeNetStats,

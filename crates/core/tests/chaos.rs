@@ -9,8 +9,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use gms_core::{
-    ClusterSim, DegradeWindow, FaultPlan, FetchPolicy, MemoryConfig, NodeEvent, SimConfig,
-    Simulator,
+    ClusterSim, DegradeWindow, FaultPlan, FetchPolicy, MemoryConfig, NodeEvent, ReplicationConfig,
+    SimConfig, Simulator,
 };
 use gms_mem::SubpageSize;
 use gms_obs::{Event, FlightRecorder, MemoryRecorder, ResourceKind};
@@ -304,6 +304,82 @@ proptest! {
         }
     }
 
+    /// The replication tentpole's zero-loss drill: with K = 2 copies,
+    /// an arbitrary single idle-node crash (with or without recovery)
+    /// loses *nothing* — `pages_lost_to_crash` stays zero and the run
+    /// falls back to disk exactly as often as the crash-free run, every
+    /// fetch of a dead primary's page failing over to its surviving
+    /// standby instead. The crashed run's report, summary JSON and
+    /// Perfetto trace are also byte-identical across thread counts:
+    /// repair traffic is pumped in the canonical commit order, so it
+    /// inherits the scheduler's determinism.
+    #[test]
+    fn two_replicas_survive_any_single_crash(
+        crash_ns in 0u64..40_000_000,
+        victim in 2u32..5,
+        recover in prop::bool::ANY,
+    ) {
+        let apps = [apps::gdb().scaled(0.03), apps::ld().scaled(0.03)];
+        let mut crashes = vec![NodeEvent {
+            node: NodeId::new(victim),
+            at: SimTime::from_nanos(crash_ns),
+            up: false,
+        }];
+        if recover {
+            crashes.push(NodeEvent {
+                node: NodeId::new(victim),
+                at: SimTime::from_nanos(crash_ns + 10_000_000),
+                up: true,
+            });
+        }
+        let plan = FaultPlan { crashes, ..FaultPlan::default() };
+        let run = |threads: u32, plan: Option<FaultPlan>| {
+            let builder = SimConfig::builder()
+                .policy(FetchPolicy::eager(SubpageSize::S1K))
+                .memory(MemoryConfig::Quarter)
+                .cluster_nodes(5)
+                .replication(ReplicationConfig {
+                    replicas: 2,
+                    ..ReplicationConfig::default()
+                })
+                .threads(threads);
+            let cfg = match plan {
+                Some(plan) => builder.fault_plan(plan).build(),
+                None => builder.build(),
+            };
+            let mut rec = MemoryRecorder::new();
+            let report = ClusterSim::new(cfg).run_recorded(&apps, &mut rec);
+            let summary = gms_core::cluster_summary_json(&report);
+            let trace = gms_obs::perfetto_trace(rec.iter());
+            (report, summary, trace)
+        };
+        let (crashed, summary, trace) = run(1, Some(plan.clone()));
+        for node in &crashed.nodes {
+            node.assert_conserved();
+        }
+        let gms = &crashed.nodes[0].gms;
+        prop_assert_eq!(gms.pages_lost_to_crash, 0, "K=2 must survive one crash");
+        let (clean, _, _) = run(1, None);
+        let fell_back = |r: &gms_core::ClusterReport| {
+            r.nodes.iter().map(|n| n.fell_back_to_disk).sum::<u64>()
+        };
+        let disk_faults = |r: &gms_core::ClusterReport| {
+            r.nodes.iter().map(|n| n.faults.disk).sum::<u64>()
+        };
+        prop_assert_eq!(
+            fell_back(&crashed),
+            fell_back(&clean),
+            "a crash must not add disk fallbacks at K=2"
+        );
+        prop_assert_eq!(disk_faults(&crashed), disk_faults(&clean));
+        for threads in [2, 8] {
+            let (r, s, t) = run(threads, Some(plan.clone()));
+            prop_assert_eq!(&crashed, &r, "threads={}: report diverged", threads);
+            prop_assert_eq!(&summary, &s, "threads={}: summary diverged", threads);
+            prop_assert_eq!(&trace, &t, "threads={}: trace diverged", threads);
+        }
+    }
+
     /// The same non-empty plan replayed twice gives byte-identical
     /// reports: fault injection is deterministic, not merely bounded.
     #[test]
@@ -436,6 +512,49 @@ fn partial_crash_is_partial_degradation() {
         "the crashed custodian's pages must miss"
     );
     assert!(report.gms.pages_lost_to_crash > 0);
+}
+
+/// A mid-run crash under K = 2 triggers visible background repair: the
+/// surviving copies are re-replicated as real rate-limited transfers
+/// (`pages_re_replicated`, `repair_bytes`), the window of vulnerability
+/// is measured, the dead custodian's directory shard is rebuilt from
+/// surviving announcements — and still nothing is lost.
+#[test]
+fn crash_repair_restores_replication_without_loss() {
+    let app = apps::gdb().scaled(0.1);
+    let plan = FaultPlan::parse("crash=n2@1ms", None).expect("valid");
+    let cfg = SimConfig::builder()
+        .policy(FetchPolicy::eager(SubpageSize::S1K))
+        .memory(MemoryConfig::Quarter)
+        .cluster_nodes(5)
+        .replication(ReplicationConfig {
+            replicas: 2,
+            ..ReplicationConfig::default()
+        })
+        .fault_plan(plan)
+        .build();
+    let report = ClusterSim::new(cfg).run(std::slice::from_ref(&app));
+    let node = &report.nodes[0];
+    node.assert_conserved();
+    assert_eq!(node.total_refs, app.target_refs());
+    let gms = &node.gms;
+    assert_eq!(gms.replicas, 2);
+    assert_eq!(gms.pages_lost_to_crash, 0, "the standby copies survive");
+    assert!(gms.replica_writes > 0, "evictions write standby copies");
+    assert!(
+        gms.pages_re_replicated > 0,
+        "the victim's pages must be repaired in the background"
+    );
+    assert_eq!(
+        gms.repair_bytes,
+        gms.pages_re_replicated * 8192,
+        "each repair copies one full page"
+    );
+    assert_eq!(gms.directory_rebuilds, 1, "one custodian shard rebuilt");
+    assert!(
+        gms.window_of_vulnerability_ns > 0,
+        "exposure between crash and repair is measured"
+    );
 }
 
 /// Degradation windows slow transfers without changing their shape:

@@ -161,6 +161,40 @@ impl FaultPlan {
             .sort_by_key(|e| (e.at.as_nanos(), e.node.index(), e.up));
         Ok(plan)
     }
+
+    /// Renders the plan back to the compact spec grammar of
+    /// [`FaultPlan::parse`]. Times are emitted in absolute nanoseconds,
+    /// so the result never depends on a horizon; parsing it back yields
+    /// an equal plan (provided the crash schedule is in the parser's
+    /// canonical `(at, node, up)` order, which every parsed plan is).
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        let mut fields = Vec::new();
+        if self.loss > 0.0 {
+            fields.push(format!("loss={}", self.loss));
+        }
+        if self.seed != 0 {
+            fields.push(format!("seed={}", self.seed));
+        }
+        for w in &self.degrades {
+            fields.push(format!(
+                "degrade=n{}@{}ns..{}nsx{}",
+                w.node.index(),
+                w.from.as_nanos(),
+                w.until.as_nanos(),
+                w.factor
+            ));
+        }
+        for e in &self.crashes {
+            fields.push(format!(
+                "{}=n{}@{}ns",
+                if e.up { "recover" } else { "crash" },
+                e.node.index(),
+                e.at.as_nanos()
+            ));
+        }
+        fields.join(",")
+    }
 }
 
 /// Parses a `n<K>@...` prefix, returning the node and the remainder.

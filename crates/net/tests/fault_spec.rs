@@ -1,0 +1,112 @@
+//! Property tests for the [`FaultPlan`] spec grammar: malformed specs
+//! come back as `Err`, never a panic, and a well-formed plan survives a
+//! spec → string → spec round trip byte-exactly.
+
+use proptest::prelude::*;
+
+use gms_net::{DegradeWindow, FaultPlan, NodeEvent};
+use gms_units::{Duration, NodeId, SimTime};
+
+/// An arbitrary well-formed plan, already in the parser's canonical
+/// crash order.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    let event =
+        (0u32..16, 0u64..100_000_000_000, prop::bool::ANY).prop_map(|(node, at, up)| NodeEvent {
+            node: NodeId::new(node),
+            at: SimTime::from_nanos(at),
+            up,
+        });
+    let degrade = (
+        0u32..16,
+        0u64..50_000_000_000,
+        1u64..50_000_000_000,
+        1u32..20,
+    )
+        .prop_map(|(node, from, len, factor)| DegradeWindow {
+            node: NodeId::new(node),
+            from: SimTime::from_nanos(from),
+            until: SimTime::from_nanos(from + len),
+            factor: f64::from(factor),
+        });
+    (
+        0u32..1000,
+        0u64..1_000_000_000_000,
+        prop::collection::vec(degrade, 0..4),
+        prop::collection::vec(event, 0..6),
+    )
+        .prop_map(|(loss_permille, seed, degrades, mut crashes)| {
+            crashes.sort_by_key(|e| (e.at.as_nanos(), e.node.index(), e.up));
+            FaultPlan {
+                loss: f64::from(loss_permille) / 1000.0,
+                seed,
+                degrades,
+                crashes,
+            }
+        })
+}
+
+/// The character soup junk specs are drawn from: everything the real
+/// grammar uses, so random strings regularly get *close* to valid.
+const ALPHABET: &[u8] = b"abcdeglnorsuvx0123456789=@.,%_-";
+
+fn arb_junk_spec() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..ALPHABET.len(), 0..60)
+        .prop_map(|picks| picks.into_iter().map(|i| ALPHABET[i] as char).collect())
+}
+
+proptest! {
+    /// Whatever bytes land on the CLI flag, `parse` answers — it never
+    /// panics, and junk that happens to parse is well-formed (loss in
+    /// range, degrade windows non-empty with factors ≥ 1).
+    #[test]
+    fn arbitrary_specs_never_panic(spec in arb_junk_spec()) {
+        if let Ok(plan) = FaultPlan::parse(&spec, Some(Duration::from_millis(100))) {
+            assert!((0.0..1.0).contains(&plan.loss));
+            for w in &plan.degrades {
+                assert!(w.from < w.until);
+                assert!(w.factor >= 1.0);
+            }
+        }
+    }
+
+    /// Structured near-misses: a valid grammar skeleton around one
+    /// out-of-range or malformed component must be rejected as `Err`
+    /// (not clamped, not panicked).
+    #[test]
+    fn malformed_components_are_errors(
+        loss_permille in 1000u32..100_000,
+        node in 0u32..100,
+        t in 0u64..1_000,
+    ) {
+        let loss = f64::from(loss_permille) / 1000.0;
+        // Loss at or above 1 is a probability error.
+        prop_assert!(FaultPlan::parse(&format!("loss={loss}"), None).is_err());
+        // Percent times without a horizon have nothing to scale.
+        prop_assert!(FaultPlan::parse(&format!("crash=n{node}@25%"), None).is_err());
+        // Bare numbers have no unit.
+        prop_assert!(FaultPlan::parse(&format!("crash=n{node}@{t}"), None).is_err());
+        // Junk units are not units.
+        prop_assert!(FaultPlan::parse(&format!("crash=n{node}@{t}parsecs"), None).is_err());
+        // A node spec without the `n` sigil is malformed.
+        prop_assert!(FaultPlan::parse(&format!("crash={node}@{t}ms"), None).is_err());
+        // Degrade factors below 1 would be a speed-up, not a fault.
+        prop_assert!(
+            FaultPlan::parse(&format!("degrade=n{node}@1ms..2msx0.25"), None).is_err()
+        );
+        // Inverted degrade windows are empty.
+        prop_assert!(
+            FaultPlan::parse(&format!("degrade=n{node}@9ms..2msx2"), None).is_err()
+        );
+    }
+
+    /// `to_spec` is a faithful inverse of `parse`: rendering a plan and
+    /// parsing it back reproduces the plan exactly — loss, seed, every
+    /// window, every crash, in order.
+    #[test]
+    fn spec_round_trips(plan in arb_plan()) {
+        let spec = plan.to_spec();
+        let reparsed = FaultPlan::parse(&spec, None)
+            .unwrap_or_else(|e| panic!("own spec `{spec}` rejected: {e}"));
+        prop_assert_eq!(reparsed, plan);
+    }
+}

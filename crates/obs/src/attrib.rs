@@ -547,7 +547,10 @@ where
             | Event::NodeUp { .. }
             | Event::DegradedFetch { .. }
             | Event::PolicyDecision { .. }
-            | Event::Prefetch { .. } => {}
+            | Event::Prefetch { .. }
+            | Event::ReplicaWrite { .. }
+            | Event::Repair { .. }
+            | Event::DirectoryRebuild { .. } => {}
         }
     }
     if let Some(f) = open {

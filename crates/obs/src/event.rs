@@ -329,6 +329,45 @@ pub enum Event {
         /// Issue / close time.
         at: SimTime,
     },
+    /// A standby copy of an evicted page was written to an extra holder
+    /// (replicated putpage, K > 1).
+    ReplicaWrite {
+        /// The evicting node.
+        node: NodeId,
+        /// The node absorbing the standby copy.
+        holder: NodeId,
+        /// The evicted page (node-local id).
+        page: u64,
+        /// Which copy this is (1-based: the first standby is 1; the
+        /// primary putpage is copy 0 and has its own `PutPage` event).
+        copy: u8,
+        /// Write time.
+        at: SimTime,
+    },
+    /// Background repair copied an under-replicated page to a new
+    /// holder, restoring it toward its replication target.
+    Repair {
+        /// The surviving holder serving the copy.
+        node: NodeId,
+        /// The node receiving the new copy.
+        target: NodeId,
+        /// The repaired page (raw global id: repair is a background
+        /// activity with no owning application context, so the id is
+        /// not de-namespaced).
+        page: u64,
+        /// Repair transfer time.
+        at: SimTime,
+    },
+    /// A crashed custodian's directory shard was rebuilt from surviving
+    /// replica announcements.
+    DirectoryRebuild {
+        /// The crashed custodian whose shard was rebuilt.
+        node: NodeId,
+        /// Directory entries reconstructed from announcements.
+        entries: u64,
+        /// Rebuild time (the crash instant).
+        at: SimTime,
+    },
 }
 
 impl Event {
@@ -352,7 +391,10 @@ impl Event {
             | Event::NodeUp { at, .. }
             | Event::DegradedFetch { at, .. }
             | Event::PolicyDecision { at, .. }
-            | Event::Prefetch { at, .. } => at,
+            | Event::Prefetch { at, .. }
+            | Event::ReplicaWrite { at, .. }
+            | Event::Repair { at, .. }
+            | Event::DirectoryRebuild { at, .. } => at,
             Event::Stall { start, .. } => start,
             Event::Occupancy { start, .. } => start,
         }
@@ -377,8 +419,16 @@ impl Event {
             | Event::Failover { page, .. }
             | Event::DegradedFetch { page, .. }
             | Event::PolicyDecision { page, .. }
-            | Event::Prefetch { page, .. } => Some(page),
-            Event::Occupancy { .. } | Event::NodeDown { .. } | Event::NodeUp { .. } => None,
+            | Event::Prefetch { page, .. }
+            | Event::ReplicaWrite { page, .. } => Some(page),
+            // Repair carries a raw (namespaced) global id and is
+            // background work with no faulting context: it must not be
+            // routed into per-page flight logs.
+            Event::Occupancy { .. }
+            | Event::NodeDown { .. }
+            | Event::NodeUp { .. }
+            | Event::Repair { .. }
+            | Event::DirectoryRebuild { .. } => None,
         }
     }
 
@@ -400,7 +450,10 @@ impl Event {
             | Event::NodeUp { node, .. }
             | Event::DegradedFetch { node, .. }
             | Event::PolicyDecision { node, .. }
-            | Event::Prefetch { node, .. } => node,
+            | Event::Prefetch { node, .. }
+            | Event::ReplicaWrite { node, .. }
+            | Event::Repair { node, .. }
+            | Event::DirectoryRebuild { node, .. } => node,
         }
     }
 }
@@ -484,5 +537,35 @@ mod tests {
         };
         assert_eq!(p.node(), NodeId::new(1));
         assert_eq!(p.at(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn replication_events_route_correctly() {
+        let w = Event::ReplicaWrite {
+            node: NodeId::new(0),
+            holder: NodeId::new(3),
+            page: 12,
+            copy: 1,
+            at: SimTime::from_nanos(9),
+        };
+        assert_eq!(w.node(), NodeId::new(0));
+        assert_eq!(w.page(), Some(12));
+        assert_eq!(w.at(), SimTime::from_nanos(9));
+        let r = Event::Repair {
+            node: NodeId::new(2),
+            target: NodeId::new(4),
+            page: 1 << 40 | 12,
+            at: SimTime::from_nanos(11),
+        };
+        assert_eq!(r.node(), NodeId::new(2));
+        assert_eq!(r.page(), None, "repair must stay out of per-page logs");
+        let d = Event::DirectoryRebuild {
+            node: NodeId::new(3),
+            entries: 40,
+            at: SimTime::from_nanos(13),
+        };
+        assert_eq!(d.node(), NodeId::new(3));
+        assert_eq!(d.page(), None);
+        assert_eq!(d.at(), SimTime::from_nanos(13));
     }
 }

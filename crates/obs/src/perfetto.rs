@@ -284,6 +284,50 @@ where
                 );
                 push_instant(&mut out, pid, APP_TRACK, "prefetch", at.as_nanos(), &args);
             }
+            Event::ReplicaWrite {
+                holder,
+                page,
+                copy,
+                at,
+                ..
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"holder\":{},\"copy\":{copy}}}",
+                    holder.index()
+                );
+                push_instant(
+                    &mut out,
+                    pid,
+                    APP_TRACK,
+                    "replica-write",
+                    at.as_nanos(),
+                    &args,
+                );
+            }
+            Event::Repair {
+                node,
+                target,
+                page,
+                at,
+            } => {
+                let args = format!(
+                    ",\"args\":{{\"page\":{page},\"source\":{},\"target\":{}}}",
+                    node.index(),
+                    target.index()
+                );
+                push_instant(&mut out, pid, APP_TRACK, "repair", at.as_nanos(), &args);
+            }
+            Event::DirectoryRebuild { entries, at, .. } => {
+                let args = format!(",\"args\":{{\"entries\":{entries}}}");
+                push_instant(
+                    &mut out,
+                    pid,
+                    APP_TRACK,
+                    "directory-rebuild",
+                    at.as_nanos(),
+                    &args,
+                );
+            }
         }
         parts.push(out);
     }

@@ -196,7 +196,10 @@ impl Recorder for TimeSeriesRecorder {
             | Event::Arrival { .. }
             | Event::Failover { .. }
             | Event::PolicyDecision { .. }
-            | Event::Prefetch { .. } => {}
+            | Event::Prefetch { .. }
+            | Event::ReplicaWrite { .. }
+            | Event::Repair { .. }
+            | Event::DirectoryRebuild { .. } => {}
         }
     }
 }
