@@ -26,7 +26,7 @@ use gms_bench::{
     apps, jobs, scale, ClusterSim, FaultPlan, FetchPolicy, MemoryConfig, ReplicationConfig,
     RunReport, SimConfig, Simulator, SubpageSize, Sweep, Table,
 };
-use gms_obs::{FlightRecorder, MemoryRecorder};
+use gms_obs::{FlightRecorder, HeatMap, MemoryRecorder};
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::MaterializedTrace;
 
@@ -236,6 +236,20 @@ fn main() {
     );
     let flight_retained_events = flight_rec.retained_events();
 
+    // Heat-map overhead: the cluster cell with the default `--heat-out`
+    // configuration — 64-page regions, wire tracking off, so the
+    // engine skips the background occupancy stream entirely. Bounded
+    // like the flight recorder, so its cell carries the same absolute
+    // ceiling (`heat_overhead_pct` < 5).
+    let mut heat_rec = HeatMap::new();
+    let heat_warm = cluster_sim.run_recorded(&cluster_apps, &mut heat_rec);
+    assert_eq!(
+        heat_warm, cluster_warm,
+        "heat map is a write-only side channel"
+    );
+    let heat_regions = heat_rec.regions().len();
+    assert!(heat_regions > 0, "cluster cell must touch some regions");
+
     // Thread-scaling cell: a 64-node cluster with 16 active nodes,
     // serial reference scheduler vs. `jobs()` worker threads. The
     // threaded wall-clock is an environment fact (it tracks the host's
@@ -348,6 +362,28 @@ fn main() {
         .collect();
     let flight_overhead = median(&mut flight_ratios) - 1.0;
     let flight_untraced_secs = median(&mut flight_untraced_times);
+    // Heat overhead: same back-to-back A/B shape as the flight loop.
+    // Resetting the reused map is harness bookkeeping and stays
+    // untimed.
+    let mut heat_untraced_times = Vec::with_capacity(OVERHEAD_PAIRS);
+    let mut heat_times = Vec::with_capacity(OVERHEAD_PAIRS);
+    for _ in 0..OVERHEAD_PAIRS {
+        time(&mut heat_untraced_times, &mut || {
+            std::hint::black_box(cluster_sim.run(&cluster_apps));
+        });
+        heat_rec.clear();
+        time(&mut heat_times, &mut || {
+            std::hint::black_box(cluster_sim.run_recorded(&cluster_apps, &mut heat_rec));
+        });
+    }
+    let mut heat_ratios: Vec<f64> = heat_untraced_times
+        .iter()
+        .zip(&heat_times)
+        .map(|(u, h)| h / u)
+        .collect();
+    let heat_overhead = median(&mut heat_ratios) - 1.0;
+    let heat_untraced_secs = median(&mut heat_untraced_times);
+    let heat_secs = median(&mut heat_times);
     let cluster_secs = median(&mut cluster_times);
     let replicated_secs = median(&mut replicated_times);
     let flight_secs = median(&mut flight_times);
@@ -443,6 +479,14 @@ fn main() {
         flight_untraced_secs * 1e3,
         flight_overhead * 100.0,
         flight_retained_events
+    );
+    println!(
+        "heat map (cluster cell, 64-page regions, wire tracking off): {:.2} ms/run vs \
+         {:.2} ms untraced ({:+.1}%, {} regions; ceiling 5%)",
+        heat_secs * 1e3,
+        heat_untraced_secs * 1e3,
+        heat_overhead * 100.0,
+        heat_regions
     );
     println!(
         "cluster scaling ({BIG_ACTIVE} active of {BIG_NODES} nodes, sp_1024): \
@@ -548,6 +592,27 @@ fn main() {
     json.push_str(&format!(
         "    \"flight_overhead_pct\": {:.1}\n",
         flight_overhead * 100.0
+    ));
+    json.push_str("  },\n");
+    // The bounded region-heat accumulator on the same cluster cell,
+    // in its default `--heat-out` configuration (wire tracking off).
+    // `heat_overhead_pct` is the perf gate's second absolute-ceiling
+    // cell.
+    json.push_str("  \"heat\": {\n");
+    json.push_str("    \"policy\": \"sp_1024\",\n");
+    json.push_str("    \"region_pages\": 64,\n");
+    json.push_str(&format!(
+        "    \"untraced_ms_per_run\": {:.3},\n",
+        heat_untraced_secs * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"recording_ms_per_run\": {:.3},\n",
+        heat_secs * 1e3
+    ));
+    json.push_str(&format!("    \"regions\": {heat_regions},\n"));
+    json.push_str(&format!(
+        "    \"heat_overhead_pct\": {:.1}\n",
+        heat_overhead * 100.0
     ));
     json.push_str("  },\n");
     // Parallel wall-clocks are environment facts — they track the host

@@ -31,10 +31,10 @@ use gms_core::{
 use gms_mem::{PageSize, SubpageSize};
 use gms_net::{AccessPattern, NetParams, RecvOverhead, Timeline, TransferPlan};
 use gms_obs::{
-    attribute, attribution_json, escape_json, metrics_json, perfetto_trace, prefetch_stats,
-    AttributionReport, ComponentRow, Exemplar, FaultAttribution, FlightRecorder, JsonValue,
-    MemoryRecorder, QuantileSketch, ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA,
-    METRICS_SCHEMA,
+    attribute, attribution_json, escape_json, heat_json, heat_perfetto, metrics_json,
+    perfetto_trace, prefetch_stats, AttributionReport, ComponentRow, Exemplar, FaultAttribution,
+    FlightRecorder, HeatMap, JsonValue, MemoryRecorder, QuantileSketch, Recorder as _,
+    ResourceKind, TimeSeriesRecorder, ATTRIB_SCHEMA, HEAT_SCHEMA, METRICS_SCHEMA,
 };
 use gms_trace::apps::{self, AppProfile};
 use gms_units::{Bytes, Duration, SimTime};
@@ -69,9 +69,11 @@ USAGE:
               [--fault-plan <spec>] [--slo <dur>]
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
+              [--heat-out <path> [--regions <pages>]]
   gms-sim sweep --app <name> [--scale <f>] [--jobs <n>] [--trace-dir <dir>]
                 [--policies <label>,<label>,...]
               [--fault-plan <spec>]
+              [--heat-out <path> [--regions <pages>]]
   gms-sim cluster --nodes <k> --active <a> [--app <name>] [--policy <label>]
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--threads <n>] [--net atm|ethernet|fast4|fast16]
@@ -82,6 +84,7 @@ USAGE:
               [--fault-plan <spec>] [--slo <dur>]
               [--trace-out <path>] [--summary-json <path>]
               [--metrics-out <path>] [--prom-out <path>] [--metrics-window <dur>]
+              [--heat-out <path> [--regions <pages>]]
   gms-sim profile --app <name> --policy <label> [--by resource|class|node]
               [--memory full|half|quarter|<frames>] [--scale <f>]
               [--net ...] [--replacement ...] [--pal] [--fault-plan <spec>]
@@ -91,10 +94,17 @@ USAGE:
               [--net ...] [--replacement ...] [--pal] [--fault-plan <spec>]
               [--nodes <k> --active <a> [--threads <n>]]
               [--json <path>] [--trace-out <path>]
+  gms-sim heat --app <name> --policy <label> [--by region|page|node]
+              [--regions <pages>] [--top <n>]
+              [--memory full|half|quarter|<frames>] [--scale <f>]
+              [--net ...] [--replacement ...] [--pal] [--fault-plan <spec>]
+              [--nodes <k> --active <a> [--threads <n>]]
+              [--json <path>] [--perfetto-out <path>]
   gms-sim diff-trace <a.summary.json> <b.summary.json> [--tolerance <pct>] [--full]
   gms-sim diff-bench <a.json> <b.json> [--tolerance <pct>]
   gms-sim check-trace [--trace <path>] [--summary <path>]
               [--metrics <path>] [--attrib <path>] [--exemplars <path>]
+              [--heat <path>]
   gms-sim latency [--subpage <bytes>]
 
 Sweeps fan the grid's cells over `--jobs` worker threads (default: all
@@ -152,6 +162,33 @@ and the sums are checked against the report's latency buckets to the
 nanosecond. --by picks the aggregation (resource components, fault
 class, or node); --json writes the gms-attrib/v1 document.
 
+heat is the *spatial* counterpart of profile and explain: it re-runs
+the workload under a bounded heat-map recorder that folds every fault
+into per-(node, region) accumulators — fault counts by class, first
+touches vs refaults with refault-interval percentiles, subpage-arrival
+popcounts, prefetched-vs-wasted bytes, and replica/repair traffic —
+where a region is --regions consecutive pages (a power of two; default
+64, leap's region granularity). The accumulated totals are cross-
+checked against the run report before anything prints: region faults
+must sum to the report's per-class fault counts exactly, and wasted
+prefetch bytes must equal the report's mispredicted_prefetch_bytes.
+--by picks the table (region — the default, page — single-page
+regions, or node); --top bounds the table rows (default 10). --json
+writes the gms-heat/v1 document; --perfetto-out writes Perfetto
+counter tracks (per-node fault rate and wire-utilization, plus the
+--top hottest regions' fault-rate series).
+
+--heat-out on run, cluster and sweep writes the same gms-heat/v1
+document as a cheap export alongside the normal output: the heat
+recorder declines background occupancy events, so it costs the benched
+heat_overhead_pct (gated under an absolute ceiling of 5%) rather than
+full-trace buffering, and the simulated report stays byte-identical.
+A sweep's document is every cell's accumulator merged (the merge is
+commutative and associative, so worker scheduling cannot change it).
+--regions picks the granularity; the heat *command* additionally
+tracks wire occupancies for its utilization counters, which --heat-out
+deliberately does not.
+
 explain is the tail-latency counterpart of profile. It re-runs the
 workload under a bounded flight recorder that retains complete event
 chains only for the --worst <k> slowest faults per node (per --window
@@ -172,11 +209,11 @@ which is the CI perf gate; cells holding derived ratios or environment
 facts (overhead_pct, speedup, jobs) are reported but not gated, since
 they swing wildly in relative terms when the underlying — and gated —
 time cells wobble by a few percent. Two cell families get their own
-gates instead of the default tolerance: `flight_overhead_pct` must stay
-under an absolute ceiling of 5 (bounded tracing must stay cheap no
-matter what the baseline measured), and the `p99_9_us` far-tail cells —
-deterministic simulated values, not wall-clock — are gated at a tight
-1%.
+gates instead of the default tolerance: `flight_overhead_pct` and
+`heat_overhead_pct` must each stay under an absolute ceiling of 5
+(bounded always-on recorders must stay cheap no matter what the
+baseline measured), and the `p99_9_us` far-tail cells — deterministic
+simulated values, not wall-clock — are gated at a tight 1%.
 
 check-trace re-parses exported files and validates their schema,
 including an allowlist of known instant-event kinds; --metrics and
@@ -185,6 +222,12 @@ including the attribution conservation invariant. --summary accepts
 v2 and v3 summaries, checking the shared percentile key lists plus the
 v3 tail/slo objects; --exemplars validates a gms-explain/v1 document,
 re-checking that every exemplar's components sum to its recorded wait.
+--heat validates a gms-heat/v1 document: per-region class counts must
+sum to their totals, region sums must reproduce the document totals
+field by field, first touches + refaults must partition the faults,
+and per-node tallies must agree; given --summary in the same
+invocation, the heat totals are additionally cross-checked against the
+summary's fault and prefetch counters.
 
 --fault-plan injects deterministic faults: a comma-separated list of
   loss=<p>        per-message loss probability (0..1)
@@ -463,6 +506,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             let metrics = MetricsOpts::parse(&mut args)?;
+            let heat = HeatOpts::parse(&mut args)?;
             args.finish()?;
             run_command(
                 &app.scaled(scale),
@@ -477,6 +521,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 trace_out.as_deref(),
                 summary_json.as_deref(),
                 &metrics,
+                &heat,
             )
         }
         "sweep" => {
@@ -509,6 +554,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 ),
                 None => None,
             };
+            let heat = HeatOpts::parse(&mut args)?;
             args.finish()?;
             sweep_command(
                 &app.scaled(scale),
@@ -516,6 +562,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 fault_plan.as_deref(),
                 trace_dir,
                 policies,
+                &heat,
             )
         }
         "cluster" => {
@@ -582,6 +629,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             let trace_out = args.take_value("--trace-out").map(PathBuf::from);
             let summary_json = args.take_value("--summary-json").map(PathBuf::from);
             let metrics = MetricsOpts::parse(&mut args)?;
+            let heat = HeatOpts::parse(&mut args)?;
             args.finish()?;
             cluster_command(
                 &app.scaled(scale),
@@ -599,6 +647,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 trace_out.as_deref(),
                 summary_json.as_deref(),
                 &metrics,
+                &heat,
             )
         }
         "profile" => {
@@ -758,6 +807,100 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 trace_out.as_deref(),
             )
         }
+        "heat" => {
+            let app = parse_app(
+                &args
+                    .take_value("--app")
+                    .ok_or_else(|| err("--app is required"))?,
+            )?;
+            let policy = parse_policy(
+                &args
+                    .take_value("--policy")
+                    .ok_or_else(|| err("--policy is required"))?,
+            )?;
+            let memory = match args.take_value("--memory") {
+                Some(m) => parse_memory(&m)?,
+                None => MemoryConfig::Half,
+            };
+            let scale: f64 = match args.take_value("--scale") {
+                Some(s) => s.parse().map_err(|_| err("bad --scale"))?,
+                None => 1.0,
+            };
+            let net = match args.take_value("--net") {
+                Some(n) => parse_net(&n)?,
+                None => NetParams::paper(),
+            };
+            let replacement = match args.take_value("--replacement") {
+                Some(r) => parse_replacement(&r)?,
+                None => ReplacementKind::Lru,
+            };
+            let pal = args.take_flag("--pal");
+            let by = args
+                .take_value("--by")
+                .unwrap_or_else(|| "region".to_owned());
+            if !matches!(by.as_str(), "region" | "page" | "node") {
+                return Err(err(format!(
+                    "bad --by '{by}' (expected region, page or node)"
+                )));
+            }
+            let region_pages = parse_region_pages(&mut args)?;
+            let top: usize = match args.take_value("--top") {
+                Some(t) => {
+                    let n: usize = t.parse().map_err(|_| err("bad --top"))?;
+                    if n == 0 {
+                        return Err(err("--top must be at least 1"));
+                    }
+                    n
+                }
+                None => 10,
+            };
+            let threads: u32 = match args.take_value("--threads") {
+                Some(t) => {
+                    let n: u32 = t.parse().map_err(|_| err("bad --threads"))?;
+                    if n == 0 {
+                        return Err(err("--threads must be at least 1"));
+                    }
+                    n
+                }
+                None => 1,
+            };
+            let cluster = match (args.take_value("--nodes"), args.take_value("--active")) {
+                (None, None) => {
+                    if threads != 1 {
+                        return Err(err("--threads only applies to cluster runs (--nodes)"));
+                    }
+                    None
+                }
+                (Some(n), Some(a)) => {
+                    let nodes: u32 = n.parse().map_err(|_| err("bad --nodes"))?;
+                    let active: u32 = a.parse().map_err(|_| err("bad --active"))?;
+                    if active == 0 || active >= nodes {
+                        return Err(err("need 0 < --active < --nodes"));
+                    }
+                    Some((nodes, active, threads))
+                }
+                _ => return Err(err("--nodes and --active go together")),
+            };
+            let fault_plan = args.take_value("--fault-plan");
+            let json_out = args.take_value("--json").map(PathBuf::from);
+            let perfetto_out = args.take_value("--perfetto-out").map(PathBuf::from);
+            args.finish()?;
+            heat_command(
+                &app.scaled(scale),
+                policy,
+                memory,
+                net,
+                replacement,
+                pal,
+                cluster,
+                &by,
+                region_pages,
+                top,
+                fault_plan.as_deref(),
+                json_out.as_deref(),
+                perfetto_out.as_deref(),
+            )
+        }
         "diff-trace" => {
             let tolerance = parse_tolerance(&mut args, 5.0)?;
             let full = args.take_flag("--full");
@@ -799,15 +942,18 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
             let metrics = args.take_value("--metrics").map(PathBuf::from);
             let attrib = args.take_value("--attrib").map(PathBuf::from);
             let exemplars = args.take_value("--exemplars").map(PathBuf::from);
+            let heat = args.take_value("--heat").map(PathBuf::from);
             args.finish()?;
             if trace.is_none()
                 && summary.is_none()
                 && metrics.is_none()
                 && attrib.is_none()
                 && exemplars.is_none()
+                && heat.is_none()
             {
                 return Err(err(
-                    "check-trace needs --trace, --summary, --metrics, --attrib and/or --exemplars",
+                    "check-trace needs --trace, --summary, --metrics, --attrib, --exemplars \
+                     and/or --heat",
                 ));
             }
             check_trace_command(
@@ -816,6 +962,7 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
                 metrics.as_deref(),
                 attrib.as_deref(),
                 exemplars.as_deref(),
+                heat.as_deref(),
             )
         }
         "latency" => {
@@ -994,6 +1141,74 @@ impl MetricsOpts {
     }
 }
 
+/// The spatial-heat export flags shared by `run`, `cluster` and
+/// `sweep`.
+struct HeatOpts {
+    out: Option<PathBuf>,
+    region_pages: Option<u64>,
+}
+
+impl HeatOpts {
+    /// Extracts `--heat-out` and `--regions`.
+    fn parse(args: &mut Args) -> Result<Self, CliError> {
+        let out = args.take_value("--heat-out").map(PathBuf::from);
+        let region_pages = parse_region_pages(args)?;
+        if region_pages.is_some() && out.is_none() {
+            return Err(err("--regions needs --heat-out"));
+        }
+        Ok(HeatOpts { out, region_pages })
+    }
+
+    /// Whether a heat export was requested.
+    fn wanted(&self) -> bool {
+        self.out.is_some()
+    }
+
+    /// An empty accumulator at the requested granularity. Wire
+    /// tracking stays off: the export path declines background
+    /// occupancies, which is what keeps it under the benched
+    /// `heat_overhead_pct` ceiling.
+    fn build(&self) -> HeatMap {
+        let mut heat = HeatMap::new();
+        if let Some(pages) = self.region_pages {
+            heat = heat.with_region_pages(pages);
+        }
+        heat
+    }
+
+    /// Writes the gms-heat/v1 document, appending a status line.
+    fn export(&self, heat: &HeatMap, out: &mut String) -> Result<(), CliError> {
+        if let Some(path) = &self.out {
+            write_file(path, &heat_json(heat))?;
+            let _ = writeln!(
+                out,
+                "heat: {} ({} regions of {} pages)",
+                path.display(),
+                heat.regions().len(),
+                heat.region_pages()
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Extracts and validates `--regions`: pages per region, a power of
+/// two (1 makes every page its own region).
+fn parse_region_pages(args: &mut Args) -> Result<Option<u64>, CliError> {
+    match args.take_value("--regions") {
+        Some(r) => {
+            let n: u64 = r.parse().map_err(|_| err(format!("bad --regions '{r}'")))?;
+            if !n.is_power_of_two() {
+                return Err(err(format!(
+                    "--regions {n} must be a power of two (pages per region)"
+                )));
+            }
+            Ok(Some(n))
+        }
+        None => Ok(None),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_command(
     app: &AppProfile,
@@ -1008,6 +1223,7 @@ fn run_command(
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
     metrics: &MetricsOpts,
+    heat: &HeatOpts,
 ) -> Result<String, CliError> {
     let access_cost = if pal {
         AccessCost::PalEmulated
@@ -1027,8 +1243,8 @@ fn run_command(
         config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
     }
     let sim = Simulator::new(config);
-    // Record only when someone asked for a trace or metrics export; a
-    // summary alone is computed from the report's fault log.
+    // Record only when someone asked for a trace, metrics or heat
+    // export; a summary alone is computed from the report's fault log.
     let (report, extra) = if trace_out.is_some() || metrics.wanted() {
         let mut rec = MemoryRecorder::new();
         let report = sim.run_recorded(app, &mut rec);
@@ -1038,6 +1254,24 @@ fn run_command(
             let _ = writeln!(line, "trace: {} ({} events)", path.display(), rec.len());
         }
         metrics.export(&rec, &mut line)?;
+        if heat.wanted() {
+            // The heat fold is a pure function of the stream, so
+            // replaying the buffered trace equals recording live.
+            let mut hm = heat.build();
+            for &event in rec.iter() {
+                hm.record(event);
+            }
+            heat.export(&hm, &mut line)?;
+        }
+        (report, line)
+    } else if heat.wanted() {
+        // Heat alone records directly: the accumulator declines
+        // background events, so the engine skips the occupancy
+        // firehose entirely.
+        let mut hm = heat.build();
+        let report = sim.run_recorded(app, &mut hm);
+        let mut line = String::new();
+        heat.export(&hm, &mut line)?;
         (report, line)
     } else {
         (sim.run(app), String::new())
@@ -1120,6 +1354,7 @@ fn sweep_command(
     fault_plan: Option<&str>,
     trace_dir: Option<PathBuf>,
     policies: Option<Vec<FetchPolicy>>,
+    heat: &HeatOpts,
 ) -> Result<String, CliError> {
     let mut sweep = Sweep::new(app.clone());
     if let Some(policies) = policies {
@@ -1131,6 +1366,9 @@ fn sweep_command(
     }
     if let Some(dir) = &trace_dir {
         sweep = sweep.trace_dir(dir.clone());
+    }
+    if heat.wanted() {
+        sweep = sweep.heat(heat.build());
     }
     let results = sweep.run_parallel(jobs);
     let mut out = String::new();
@@ -1165,6 +1403,9 @@ fn sweep_command(
             dir.display()
         );
     }
+    if let Some(merged) = results.heat() {
+        heat.export(merged, &mut out)?;
+    }
     Ok(out)
 }
 
@@ -1185,6 +1426,7 @@ fn cluster_command(
     trace_out: Option<&Path>,
     summary_json: Option<&Path>,
     metrics: &MetricsOpts,
+    heat: &HeatOpts,
 ) -> Result<String, CliError> {
     let mut config = SimConfig::builder()
         .policy(policy)
@@ -1211,6 +1453,19 @@ fn cluster_command(
             let _ = writeln!(line, "trace: {} ({} events)", path.display(), rec.len());
         }
         metrics.export(&rec, &mut line)?;
+        if heat.wanted() {
+            let mut hm = heat.build();
+            for &event in rec.iter() {
+                hm.record(event);
+            }
+            heat.export(&hm, &mut line)?;
+        }
+        (report, line)
+    } else if heat.wanted() {
+        let mut hm = heat.build();
+        let report = sim.run_recorded(&apps, &mut hm);
+        let mut line = String::new();
+        heat.export(&hm, &mut line)?;
         (report, line)
     } else {
         (sim.run(&apps), String::new())
@@ -1909,6 +2164,263 @@ fn explain_json(
     s
 }
 
+/// `gms-sim heat`: re-runs the workload under a heat-map recorder
+/// (wire tracking on), cross-checks the accumulated totals against the
+/// run report's own accounting, and prints the requested spatial
+/// breakdown with refault-interval percentiles.
+#[allow(clippy::too_many_arguments)]
+fn heat_command(
+    app: &AppProfile,
+    policy: FetchPolicy,
+    memory: MemoryConfig,
+    net: NetParams,
+    replacement: ReplacementKind,
+    pal: bool,
+    cluster: Option<(u32, u32, u32)>,
+    by: &str,
+    region_pages: Option<u64>,
+    top: usize,
+    fault_plan: Option<&str>,
+    json_out: Option<&Path>,
+    perfetto_out: Option<&Path>,
+) -> Result<String, CliError> {
+    let access_cost = if pal {
+        AccessCost::PalEmulated
+    } else {
+        AccessCost::TlbSupported
+    };
+    let mut builder = SimConfig::builder()
+        .policy(policy)
+        .memory(memory)
+        .net(net)
+        .replacement(replacement)
+        .access_cost(access_cost);
+    if let Some((nodes, _, threads)) = cluster {
+        builder = builder.cluster_nodes(nodes).threads(threads);
+    }
+    let mut config = builder.build();
+    if let Some(spec) = fault_plan {
+        config.fault_plan = Some(parse_fault_plan(spec, &config, app)?);
+    }
+    // --by page means single-page regions; an explicit --regions must
+    // agree rather than being silently overridden.
+    let pages = match (by, region_pages) {
+        ("page", Some(p)) if p != 1 => {
+            return Err(err(format!(
+                "--by page means single-page regions; --regions {p} conflicts"
+            )));
+        }
+        ("page", _) => 1,
+        (_, Some(p)) => p,
+        (_, None) => 64,
+    };
+    let mut heat = HeatMap::new().with_region_pages(pages).with_wire_tracking();
+
+    enum Ran {
+        Serial(Box<RunReport>),
+        Cluster(ClusterReport),
+    }
+    let (what, ran) = match cluster {
+        Some((nodes, active, _)) => {
+            let apps = vec![app.clone(); active as usize];
+            let report = ClusterSim::new(config).run_recorded(&apps, &mut heat);
+            (
+                format!("{nodes}-node cluster, {active} active"),
+                Ran::Cluster(report),
+            )
+        }
+        None => {
+            let report = Simulator::new(config).run_recorded(app, &mut heat);
+            ("serial run".to_owned(), Ran::Serial(Box::new(report)))
+        }
+    };
+    let node_reports: Vec<&RunReport> = match &ran {
+        Ran::Serial(r) => vec![r],
+        Ran::Cluster(c) => c.nodes.iter().collect(),
+    };
+
+    // Cross-check 1: the per-region fault counts, summed per class,
+    // must reproduce the engine's own accounting exactly.
+    let totals = heat.totals();
+    let reported = [
+        node_reports.iter().map(|r| r.faults.remote).sum::<u64>(),
+        node_reports.iter().map(|r| r.faults.disk).sum(),
+        node_reports.iter().map(|r| r.faults.lazy_subpage).sum(),
+        node_reports.iter().map(|r| r.faults.degraded).sum(),
+    ];
+    if totals.faults != reported {
+        return Err(err(format!(
+            "heat map counted {:?} faults by class, the report counted {reported:?}",
+            totals.faults
+        )));
+    }
+    // Cross-check 2: prefetch accounting reconciles with the adaptive
+    // engine's own counters to the byte.
+    let prefetched: u64 = node_reports.iter().map(|r| r.prefetched_subpages).sum();
+    let mispredicted: u64 = node_reports
+        .iter()
+        .map(|r| r.mispredicted_prefetch_bytes)
+        .sum();
+    if totals.prefetched_subpages != prefetched {
+        return Err(err(format!(
+            "heat map counted {} prefetched subpages, the report says {prefetched}",
+            totals.prefetched_subpages
+        )));
+    }
+    if totals.wasted_bytes != mispredicted {
+        return Err(err(format!(
+            "heat map counted {} wasted prefetch bytes, the report's \
+             mispredicted_prefetch_bytes is {mispredicted}",
+            totals.wasted_bytes
+        )));
+    }
+    // Cross-check 3: first touches and refaults partition the faults.
+    if totals.first_touches + totals.refaults != totals.total_faults() {
+        return Err(err(format!(
+            "first touches {} + refaults {} != faults {}",
+            totals.first_touches,
+            totals.refaults,
+            totals.total_faults()
+        )));
+    }
+
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "heat: {} — {} ({what}): {} faults over {} regions of {} pages",
+        app.name(),
+        policy.label(),
+        totals.total_faults(),
+        heat.regions().len(),
+        heat.region_pages()
+    );
+    let _ = writeln!(
+        out,
+        "conserved: region faults == report faults ({} remote, {} disk, {} lazy, \
+         {} degraded); wasted prefetch {} bytes == mispredicted_prefetch_bytes",
+        reported[0], reported[1], reported[2], reported[3], mispredicted
+    );
+    let _ = writeln!(
+        out,
+        "first touches {} + refaults {} == {} faults",
+        totals.first_touches,
+        totals.refaults,
+        totals.total_faults()
+    );
+    let sketch = heat.refault_sketch();
+    if !sketch.is_empty() {
+        let _ = writeln!(
+            out,
+            "refault intervals: p50 {:.0} us, p90 {:.0} us, p99 {:.0} us, max {:.0} us",
+            us(sketch.quantile(0.50)),
+            us(sketch.quantile(0.90)),
+            us(sketch.quantile(0.99)),
+            us(sketch.max())
+        );
+    }
+
+    match by {
+        "node" => {
+            // Region stats regrouped per node, next to the node-scoped
+            // counters (repairs, wire busy) regions cannot carry.
+            let _ = writeln!(
+                out,
+                "{:<5} {:>8} {:>8} {:>9} {:>10} {:>8} {:>12}",
+                "node", "faults", "first", "refaults", "replica_w", "repairs", "wire_busy_ms"
+            );
+            let mut per_node: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+            for (node, _, stats) in heat.regions() {
+                let slot = per_node.entry(node.index()).or_default();
+                slot.0 += stats.first_touches;
+                slot.1 += stats.refaults();
+            }
+            for (node, nh) in heat.nodes() {
+                let (first, refaults) = per_node.get(&node.index()).copied().unwrap_or((0, 0));
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:>8} {:>8} {:>9} {:>10} {:>8} {:>12.3}",
+                    node.index(),
+                    nh.faults,
+                    first,
+                    refaults,
+                    nh.replica_writes,
+                    nh.repairs,
+                    nh.wire_busy.iter().sum::<u64>() as f64 / 1e6
+                );
+            }
+        }
+        _ => {
+            let label = if by == "page" { "page" } else { "region" };
+            let _ = writeln!(
+                out,
+                "{:<5} {:>8} {:>10} {:>7} {:>6} {:>8} {:>9} {:>9} {:>9} {:>8}",
+                "node",
+                label,
+                "first_pg",
+                "faults",
+                "first",
+                "refaults",
+                "rf_p50_us",
+                "rf_p99_us",
+                "arrivals",
+                "waste_b"
+            );
+            let mut hot = heat.regions();
+            hot.sort_by_key(|&(node, region, stats)| {
+                (
+                    std::cmp::Reverse(stats.total_faults()),
+                    node.index(),
+                    region,
+                )
+            });
+            let shown = hot.len().min(top);
+            for (node, region, stats) in hot.into_iter().take(top) {
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:>8} {:>10} {:>7} {:>6} {:>8} {:>9.0} {:>9.0} {:>9} {:>8}",
+                    node.index(),
+                    region,
+                    region * heat.region_pages(),
+                    stats.total_faults(),
+                    stats.first_touches,
+                    stats.refaults(),
+                    us(stats.refault.quantile(0.50)),
+                    us(stats.refault.quantile(0.99)),
+                    stats.subpage_arrivals,
+                    stats.wasted_bytes
+                );
+            }
+            if shown < heat.regions().len() {
+                let _ = writeln!(
+                    out,
+                    "({} cooler regions not shown; raise --top)",
+                    heat.regions().len() - shown
+                );
+            }
+        }
+    }
+    if policy.is_adaptive() {
+        let _ = writeln!(
+            out,
+            "prefetch: {} subpages ({} bytes) predicted, {} subpages ({} bytes) never touched",
+            totals.prefetched_subpages,
+            totals.prefetched_bytes,
+            totals.wasted_subpages,
+            totals.wasted_bytes
+        );
+    }
+    if let Some(path) = json_out {
+        write_file(path, &heat_json(&heat))?;
+        let _ = writeln!(out, "heat json: {}", path.display());
+    }
+    if let Some(path) = perfetto_out {
+        write_file(path, &heat_perfetto(&heat, top))?;
+        let _ = writeln!(out, "heat counters: {}", path.display());
+    }
+    Ok(out)
+}
+
 /// Extracts `--tolerance` (a percentage) or uses the default.
 fn parse_tolerance(args: &mut Args, default: f64) -> Result<f64, CliError> {
     match args.take_value("--tolerance") {
@@ -2040,7 +2552,7 @@ impl CellGates<'_> {
     /// `diff-bench` rules: the CI perf gate.
     const BENCH: CellGates<'static> = CellGates {
         informational: &INFORMATIONAL_CELLS,
-        ceilings: &[("flight_overhead_pct", 5.0)],
+        ceilings: &[("flight_overhead_pct", 5.0), ("heat_overhead_pct", 5.0)],
         suffix_tolerance: &[("p99_9_us", 1.0), ("p99_99_us", 1.0)],
     };
 }
@@ -2178,6 +2690,7 @@ fn check_trace_command(
     metrics: Option<&Path>,
     attrib: Option<&Path>,
     exemplars: Option<&Path>,
+    heat: Option<&Path>,
 ) -> Result<String, CliError> {
     let read = |path: &Path| -> Result<String, CliError> {
         std::fs::read_to_string(path)
@@ -2502,6 +3015,204 @@ fn check_trace_command(
             out,
             "exemplars OK: {} ({retained} of {faults} faults retained, conserved)",
             path.display()
+        );
+    }
+    if let Some(path) = heat {
+        let doc = parse(path, &read(path)?)?;
+        let schema = doc.get("schema").and_then(JsonValue::as_str);
+        if schema != Some(HEAT_SCHEMA) {
+            return Err(err(format!(
+                "{}: schema {schema:?}, expected {HEAT_SCHEMA:?}",
+                path.display()
+            )));
+        }
+        let region_pages = doc
+            .get("region_pages")
+            .and_then(JsonValue::as_u64)
+            .filter(|p| p.is_power_of_two())
+            .ok_or_else(|| {
+                err(format!(
+                    "{}: region_pages missing or not a power of two",
+                    path.display()
+                ))
+            })?;
+        if doc
+            .get("quantum_ns")
+            .and_then(JsonValue::as_u64)
+            .filter(|&q| q > 0)
+            .is_none()
+        {
+            return Err(err(format!("{}: bad quantum_ns", path.display())));
+        }
+        // A faults object must be internally consistent: the four
+        // class counts sum to its own total.
+        let fault_counts = |v: &JsonValue, what: &str| -> Result<[u64; 5], CliError> {
+            let f = v
+                .get("faults")
+                .ok_or_else(|| err(format!("{}: {what} has no faults object", path.display())))?;
+            let mut counts = [0u64; 5];
+            for (i, key) in ["remote", "disk", "lazy", "degraded", "total"]
+                .iter()
+                .enumerate()
+            {
+                counts[i] = f.get(key).and_then(JsonValue::as_u64).ok_or_else(|| {
+                    err(format!("{}: {what} faults.{key} missing", path.display()))
+                })?;
+            }
+            if counts[..4].iter().sum::<u64>() != counts[4] {
+                return Err(err(format!(
+                    "{}: {what} fault classes sum to {}, total says {}",
+                    path.display(),
+                    counts[..4].iter().sum::<u64>(),
+                    counts[4]
+                )));
+            }
+            Ok(counts)
+        };
+        let int_of = |v: &JsonValue, what: &str, key: &str| -> Result<u64, CliError> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| err(format!("{}: {what}.{key} missing", path.display())))
+        };
+        let totals = doc
+            .get("totals")
+            .ok_or_else(|| err(format!("{}: no totals object", path.display())))?;
+        let total_faults = fault_counts(totals, "totals")?;
+        let total_first = int_of(totals, "totals", "first_touches")?;
+        let total_refaults = int_of(totals, "totals", "refaults")?;
+        if total_first + total_refaults != total_faults[4] {
+            return Err(err(format!(
+                "{}: totals first_touches {total_first} + refaults {total_refaults} != \
+                 faults {}",
+                path.display(),
+                total_faults[4]
+            )));
+        }
+        // Region rows must partition the totals exactly, field by
+        // field — the heat map's conservation promise.
+        let regions = doc
+            .get("regions")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no regions array", path.display())))?;
+        let mut sum_faults = [0u64; 5];
+        let mut sums = [0u64; 8]; // first, refaults, arrivals, pf_sp, pf_b, waste_sp, waste_b, repl_w
+        const SUM_KEYS: [&str; 8] = [
+            "first_touches",
+            "refaults",
+            "subpage_arrivals",
+            "prefetched_subpages",
+            "prefetched_bytes",
+            "wasted_subpages",
+            "wasted_bytes",
+            "replica_writes",
+        ];
+        for (i, r) in regions.iter().enumerate() {
+            let what = format!("region {i}");
+            let rf = fault_counts(r, &what)?;
+            for (s, v) in sum_faults.iter_mut().zip(rf) {
+                *s += v;
+            }
+            for (slot, key) in sums.iter_mut().zip(SUM_KEYS) {
+                *slot += int_of(r, &what, key)?;
+            }
+            let first = int_of(r, &what, "first_touches")?;
+            let refaults = int_of(r, &what, "refaults")?;
+            if first + refaults != rf[4] {
+                return Err(err(format!(
+                    "{}: {what} first_touches {first} + refaults {refaults} != faults {}",
+                    path.display(),
+                    rf[4]
+                )));
+            }
+            let sketch = r
+                .get("refault_ns")
+                .ok_or_else(|| err(format!("{}: {what} has no refault_ns", path.display())))?;
+            let count = int_of(sketch, &what, "count")?;
+            if count != refaults {
+                return Err(err(format!(
+                    "{}: {what} refault_ns.count {count} != refaults {refaults}",
+                    path.display()
+                )));
+            }
+        }
+        if sum_faults != total_faults {
+            return Err(err(format!(
+                "{}: region faults sum to {sum_faults:?}, totals say {total_faults:?}",
+                path.display()
+            )));
+        }
+        for (key, (&sum, total)) in SUM_KEYS.iter().zip(
+            sums.iter()
+                .zip(SUM_KEYS.map(|k| int_of(totals, "totals", k))),
+        ) {
+            let total = total?;
+            if sum != total {
+                return Err(err(format!(
+                    "{}: region {key} sum to {sum}, totals say {total}",
+                    path.display()
+                )));
+            }
+        }
+        // Per-node rows carry the counters regions cannot (repairs,
+        // wire time); their fault tallies must agree with the totals.
+        let nodes = doc
+            .get("nodes")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err(format!("{}: no nodes array", path.display())))?;
+        let (mut node_faults, mut node_repl, mut node_repairs) = (0u64, 0u64, 0u64);
+        for (i, n) in nodes.iter().enumerate() {
+            let what = format!("node {i}");
+            node_faults += int_of(n, &what, "faults")?;
+            node_repl += int_of(n, &what, "replica_writes")?;
+            node_repairs += int_of(n, &what, "repairs")?;
+            int_of(n, &what, "wire_busy_ns")?;
+        }
+        if node_faults != total_faults[4] {
+            return Err(err(format!(
+                "{}: node faults sum to {node_faults}, totals say {}",
+                path.display(),
+                total_faults[4]
+            )));
+        }
+        if node_repl != sums[7] || node_repairs != int_of(totals, "totals", "repairs")? {
+            return Err(err(format!(
+                "{}: node replica/repair tallies do not match totals",
+                path.display()
+            )));
+        }
+        // With a summary in the same invocation, the heat totals must
+        // reproduce the engine's own counters.
+        if let Some(spath) = summary {
+            let sdoc = parse(spath, &read(spath)?)?;
+            let counters = sdoc
+                .get("counters")
+                .ok_or_else(|| err(format!("{}: no counters object", spath.display())))?;
+            for (key, heat_val) in [
+                ("faults_remote", total_faults[0]),
+                ("faults_disk", total_faults[1]),
+                ("faults_lazy_subpage", total_faults[2]),
+                ("faults_degraded", total_faults[3]),
+                ("prefetched_subpages", sums[3]),
+                ("mispredicted_prefetch_bytes", sums[6]),
+            ] {
+                // Adaptive-only counters are absent from static-policy
+                // summaries; only compare the keys the summary carries.
+                if let Some(v) = counters.get(key).and_then(JsonValue::as_u64) {
+                    if v != heat_val {
+                        return Err(err(format!(
+                            "{}: heat counts {heat_val} for {key}, summary says {v}",
+                            path.display()
+                        )));
+                    }
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "heat OK: {} ({} regions of {region_pages} pages, {} faults, conserved)",
+            path.display(),
+            regions.len(),
+            total_faults[4]
         );
     }
     Ok(out)
@@ -3553,14 +4264,15 @@ mod tests {
         let fresh = temp_path("bench-fresh.json");
         std::fs::write(
             &base,
-            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":2.0,"overhead_pct":14.7}"#,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":2.0,"heat_overhead_pct":1.0,"overhead_pct":14.7}"#,
         )
         .unwrap();
         // Within every gate: time +10% (< 25), tail identical, flight
-        // overhead under the ceiling, overhead_pct informational.
+        // and heat overheads under their ceilings, overhead_pct
+        // informational.
         std::fs::write(
             &fresh,
-            r#"{"sp_1024_ms_per_run":11.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":4.9,"overhead_pct":40.0}"#,
+            r#"{"sp_1024_ms_per_run":11.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":4.9,"heat_overhead_pct":4.9,"overhead_pct":40.0}"#,
         )
         .unwrap();
         let ok = execute(&argv(&format!(
@@ -3575,7 +4287,7 @@ mod tests {
         // 1% fails, as does an overhead above the absolute ceiling.
         std::fs::write(
             &fresh,
-            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1700.0,"flight_overhead_pct":2.0,"overhead_pct":14.7}"#,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1700.0,"flight_overhead_pct":2.0,"heat_overhead_pct":1.0,"overhead_pct":14.7}"#,
         )
         .unwrap();
         let msg = execute(&argv(&format!(
@@ -3588,7 +4300,7 @@ mod tests {
         assert!(msg.contains("tolerance 1%"), "{msg}");
         std::fs::write(
             &fresh,
-            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":6.1,"overhead_pct":14.7}"#,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":6.1,"heat_overhead_pct":1.0,"overhead_pct":14.7}"#,
         )
         .unwrap();
         let msg = execute(&argv(&format!(
@@ -3599,10 +4311,25 @@ mod tests {
         .expect_err("overhead above the ceiling must fail")
         .to_string();
         assert!(msg.contains("exceeds the absolute ceiling 5"), "{msg}");
+        // The heat recorder's ceiling is gated the same way.
+        std::fs::write(
+            &fresh,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"flight_overhead_pct":2.0,"heat_overhead_pct":5.2,"overhead_pct":14.7}"#,
+        )
+        .unwrap();
+        let msg = execute(&argv(&format!(
+            "diff-bench {} {}",
+            base.display(),
+            fresh.display()
+        )))
+        .expect_err("heat overhead above the ceiling must fail")
+        .to_string();
+        assert!(msg.contains("heat_overhead_pct"), "{msg}");
+        assert!(msg.contains("exceeds the absolute ceiling 5"), "{msg}");
         // A vanished ceiling cell is a violation, not a silent pass.
         std::fs::write(
             &fresh,
-            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"overhead_pct":14.7}"#,
+            r#"{"sp_1024_ms_per_run":10.0,"sp_1024_p99_9_us":1636.3,"heat_overhead_pct":1.0,"overhead_pct":14.7}"#,
         )
         .unwrap();
         assert!(execute(&argv(&format!(
@@ -3613,6 +4340,166 @@ mod tests {
         .is_err());
         let _ = std::fs::remove_file(&base);
         let _ = std::fs::remove_file(&fresh);
+    }
+
+    #[test]
+    fn heat_command_reconciles_on_a_cluster() {
+        // Acceptance: a 7-node cluster heat report reconciles exactly
+        // with the engine's own accounting, and the exported document
+        // passes check-trace.
+        let json = temp_path("heat-cluster.json");
+        let counters = temp_path("heat-cluster.perfetto.json");
+        let cmd = format!(
+            "heat --app gdb --policy indigo_1024 --scale 0.1 --nodes 7 --active 4 \
+             --top 3 --json {} --perfetto-out {}",
+            json.display(),
+            counters.display()
+        );
+        let out = execute(&argv(&cmd)).unwrap();
+        assert!(out.contains("7-node cluster, 4 active"), "{out}");
+        assert!(
+            out.contains("conserved: region faults == report faults"),
+            "{out}"
+        );
+        assert!(out.contains("== mispredicted_prefetch_bytes"), "{out}");
+        assert!(out.contains("refault intervals: p50"), "{out}");
+        let checked = execute(&argv(&format!("check-trace --heat {}", json.display()))).unwrap();
+        assert!(checked.contains("heat OK"), "{checked}");
+        let doc = std::fs::read_to_string(&json).unwrap();
+        assert!(doc.contains("\"schema\":\"gms-heat/v1\""), "{doc}");
+        let trace = std::fs::read_to_string(&counters).unwrap();
+        assert!(trace.contains("wire-utilization"), "{trace}");
+        assert!(trace.contains("hot-region"), "{trace}");
+        // The identical command under worker threads prints the same
+        // report and the same document bytes.
+        let threaded = execute(&argv(&format!("{cmd} --threads 4"))).unwrap();
+        assert_eq!(threaded, out, "thread count changed the heat report");
+        assert_eq!(
+            std::fs::read_to_string(&json).unwrap(),
+            doc,
+            "thread count changed the heat document"
+        );
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&counters);
+    }
+
+    #[test]
+    fn heat_out_artifacts_cross_check_against_summaries() {
+        // run, cluster and sweep all take --heat-out; each artifact
+        // passes check-trace --heat, including the summary cross-check.
+        let heat = temp_path("run-heat.json");
+        let summary = temp_path("run-heat-summary.json");
+        let out = execute(&argv(&format!(
+            "run --app modula3 --policy leap_1024 --scale 0.1 --regions 16 \
+             --heat-out {} --summary-json {}",
+            heat.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(out.contains("heat: "), "{out}");
+        assert!(out.contains("of 16 pages"), "{out}");
+        let checked = execute(&argv(&format!(
+            "check-trace --heat {} --summary {}",
+            heat.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(checked.contains("heat OK"), "{checked}");
+        assert!(checked.contains("of 16 pages"), "{checked}");
+
+        let cluster_out = execute(&argv(&format!(
+            "cluster --app gdb --policy sp_1024 --scale 0.1 --nodes 5 --active 2 \
+             --heat-out {} --summary-json {}",
+            heat.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(cluster_out.contains("heat: "), "{cluster_out}");
+        let checked = execute(&argv(&format!(
+            "check-trace --heat {} --summary {}",
+            heat.display(),
+            summary.display()
+        )))
+        .unwrap();
+        assert!(checked.contains("heat OK"), "{checked}");
+
+        let sweep_out = execute(&argv(&format!(
+            "sweep --app gdb --scale 0.05 --jobs 2 --heat-out {}",
+            heat.display()
+        )))
+        .unwrap();
+        assert!(sweep_out.contains("heat: "), "{sweep_out}");
+        let checked = execute(&argv(&format!("check-trace --heat {}", heat.display()))).unwrap();
+        assert!(checked.contains("heat OK"), "{checked}");
+        let _ = std::fs::remove_file(&heat);
+        let _ = std::fs::remove_file(&summary);
+    }
+
+    #[test]
+    fn check_trace_heat_rejects_corrupted_documents() {
+        // Start from a genuine artifact and break one number at a time:
+        // every conservation check must catch its own corruption.
+        let json = temp_path("heat-good.json");
+        let bad = temp_path("heat-bad.json");
+        execute(&argv(&format!(
+            "heat --app gdb --policy sp_1024 --scale 0.1 --json {}",
+            json.display()
+        )))
+        .unwrap();
+        let doc = std::fs::read_to_string(&json).unwrap();
+
+        // Bump the totals' remote-fault count: the class counts no
+        // longer sum to the totals' own fault total.
+        let idx = doc.find("\"remote\":").unwrap() + "\"remote\":".len();
+        let end = idx + doc[idx..].find(',').unwrap();
+        let n: u64 = doc[idx..end].parse().unwrap();
+        std::fs::write(&bad, format!("{}{}{}", &doc[..idx], n + 1, &doc[end..])).unwrap();
+        let msg = execute(&argv(&format!("check-trace --heat {}", bad.display())))
+            .expect_err("inconsistent fault classes must be rejected")
+            .to_string();
+        assert!(msg.contains("fault classes sum to"), "{msg}");
+
+        // Bump the totals' refaults: first touches and refaults no
+        // longer partition the faults.
+        let idx = doc.find("\"refaults\":").unwrap() + "\"refaults\":".len();
+        let end = idx + doc[idx..].find(',').unwrap();
+        let n: u64 = doc[idx..end].parse().unwrap();
+        std::fs::write(&bad, format!("{}{}{}", &doc[..idx], n + 1, &doc[end..])).unwrap();
+        let msg = execute(&argv(&format!("check-trace --heat {}", bad.display())))
+            .expect_err("broken first-touch/refault partition must be rejected")
+            .to_string();
+        assert!(msg.contains("refaults"), "{msg}");
+
+        // A foreign schema is rejected outright.
+        std::fs::write(&bad, doc.replace("gms-heat/v1", "gms-heat/v0")).unwrap();
+        let msg = execute(&argv(&format!("check-trace --heat {}", bad.display())))
+            .expect_err("wrong schema must be rejected")
+            .to_string();
+        assert!(msg.contains("schema"), "{msg}");
+        let _ = std::fs::remove_file(&json);
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn heat_flags_validate() {
+        assert!(execute(&argv("heat --app gdb")).is_err());
+        assert!(execute(&argv("heat --app gdb --policy sp_1024 --by quadrant")).is_err());
+        assert!(execute(&argv("heat --app gdb --policy sp_1024 --regions 48")).is_err());
+        assert!(execute(&argv(
+            "heat --app gdb --policy sp_1024 --by page --regions 4"
+        ))
+        .is_err());
+        assert!(execute(&argv("heat --app gdb --policy sp_1024 --top 0")).is_err());
+        assert!(execute(&argv("heat --app gdb --policy sp_1024 --threads 2")).is_err());
+        assert!(execute(&argv("heat --app gdb --policy sp_1024 --nodes 4")).is_err());
+        assert!(execute(&argv("run --app gdb --policy sp_1024 --regions 16")).is_err());
+        let heat = temp_path("flags-heat.json");
+        assert!(execute(&argv(&format!(
+            "run --app gdb --policy sp_1024 --heat-out {} --regions 48",
+            heat.display()
+        )))
+        .is_err());
+        let _ = std::fs::remove_file(&heat);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use gms_obs::{perfetto_trace, MemoryRecorder};
+use gms_obs::{perfetto_trace, HeatMap, MemoryRecorder, Recorder as _};
 use gms_trace::apps::AppProfile;
 use gms_trace::synth::LAYOUT_BASE;
 use gms_trace::MaterializedTrace;
@@ -57,6 +57,7 @@ pub struct Sweep {
     memories: Vec<MemoryConfig>,
     configure: Arc<dyn Fn(SimConfigBuilder) -> SimConfigBuilder + Send + Sync>,
     trace_dir: Option<PathBuf>,
+    heat: Option<HeatMap>,
 }
 
 impl std::fmt::Debug for Sweep {
@@ -89,6 +90,7 @@ impl Sweep {
             ],
             configure: Arc::new(|b| b),
             trace_dir: None,
+            heat: None,
         }
     }
 
@@ -126,6 +128,18 @@ impl Sweep {
     #[must_use]
     pub fn trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Accumulates a spatial [`HeatMap`] over the whole grid:
+    /// `template` fixes the region granularity and quantum, every cell
+    /// records into its own clone, and the per-cell partials roll up
+    /// through [`HeatMap::merge`] — whose commutativity is what makes
+    /// the rolled-up map identical whichever worker finished first.
+    /// Available from [`SweepResults::heat`].
+    #[must_use]
+    pub fn heat(mut self, template: HeatMap) -> Self {
+        self.heat = Some(template);
         self
     }
 
@@ -173,11 +187,15 @@ impl Sweep {
             std::fs::create_dir_all(dir).expect("sweep trace directory is creatable");
         }
         let trace_dir = &self.trace_dir;
+        let heat_template = &self.heat;
 
-        let run_cell = |policy: FetchPolicy, memory: MemoryConfig| -> SweepCell {
+        let run_cell = |policy: FetchPolicy,
+                        memory: MemoryConfig|
+         -> (SweepCell, Option<HeatMap>) {
             let builder = SimConfig::builder().policy(policy).memory(memory);
             let config = configure(builder).build();
             let sim = Simulator::new(config);
+            let mut cell_heat = heat_template.clone();
             let report = match trace_dir {
                 Some(dir) => {
                     let mut rec = MemoryRecorder::new();
@@ -202,27 +220,53 @@ impl Sweep {
                         run_summary_json(&report),
                     )
                     .expect("sweep summary file is writable");
+                    // The heat fold is a pure function of the event
+                    // stream, so replaying the buffered trace is
+                    // equivalent to recording live.
+                    if let Some(heat) = &mut cell_heat {
+                        for &event in rec.iter() {
+                            heat.record(event);
+                        }
+                    }
                     report
                 }
-                None => sim.run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE),
+                None => match &mut cell_heat {
+                    Some(heat) => {
+                        sim.run_trace_recorded(&mut trace.cursor(), footprint, LAYOUT_BASE, heat)
+                    }
+                    None => sim.run_trace(&mut trace.cursor(), footprint, LAYOUT_BASE),
+                },
             };
-            SweepCell {
-                policy,
-                memory,
-                report,
+            (
+                SweepCell {
+                    policy,
+                    memory,
+                    report,
+                },
+                cell_heat,
+            )
+        };
+
+        let merge_heat = |cells: &[(SweepCell, Option<HeatMap>)]| -> Option<HeatMap> {
+            let mut total = heat_template.clone()?;
+            for (_, cell_heat) in cells {
+                total.merge(cell_heat.as_ref().expect("every cell recorded heat"));
             }
+            Some(total)
         };
 
         let workers = jobs.max(1).min(coords.len());
         if workers == 1 {
-            let cells = coords.iter().map(|&(p, m)| run_cell(p, m)).collect();
-            return SweepResults::new(cells);
+            let cells: Vec<_> = coords.iter().map(|&(p, m)| run_cell(p, m)).collect();
+            let heat = merge_heat(&cells);
+            return SweepResults::new(cells.into_iter().map(|(c, _)| c).collect(), heat);
         }
 
         // Order-preserving work stealing: workers claim cell indices
         // from a shared counter and deposit results into per-cell
         // slots, so completion order never affects report order.
-        let slots: Vec<OnceLock<SweepCell>> = coords.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<(SweepCell, Option<HeatMap>)>> =
+            coords.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -238,11 +282,12 @@ impl Sweep {
                 });
             }
         });
-        let cells = slots
+        let cells: Vec<_> = slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("worker pool computed every cell"))
             .collect();
-        SweepResults::new(cells)
+        let heat = merge_heat(&cells);
+        SweepResults::new(cells.into_iter().map(|(c, _)| c).collect(), heat)
     }
 }
 
@@ -259,16 +304,24 @@ pub struct SweepResults {
     /// `(policy, memory) -> cells index`, built once so lookups on
     /// large grids (and repeated `speedup` calls) stay O(1).
     index: HashMap<(FetchPolicy, MemoryConfig), usize>,
+    heat: Option<HeatMap>,
 }
 
 impl SweepResults {
-    fn new(cells: Vec<SweepCell>) -> Self {
+    fn new(cells: Vec<SweepCell>, heat: Option<HeatMap>) -> Self {
         let mut index = HashMap::with_capacity(cells.len());
         for (i, cell) in cells.iter().enumerate() {
             // First occurrence wins, matching the old linear scan.
             index.entry((cell.policy, cell.memory)).or_insert(i);
         }
-        SweepResults { cells, index }
+        SweepResults { cells, index, heat }
+    }
+
+    /// The grid-wide heat map, when the sweep was built with
+    /// [`Sweep::heat`]: every cell's accumulator merged in cell order.
+    #[must_use]
+    pub fn heat(&self) -> Option<&HeatMap> {
+        self.heat.as_ref()
     }
 
     /// All cells, memory-major in the order they ran.
@@ -384,6 +437,33 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_axis_panics() {
         let _ = Sweep::new(apps::gdb().scaled(0.1)).policies([]).run();
+    }
+
+    #[test]
+    fn heat_rolls_up_across_cells_and_workers() {
+        let grid = || {
+            Sweep::new(apps::gdb().scaled(0.1))
+                .policies([
+                    FetchPolicy::fullpage(),
+                    FetchPolicy::eager(SubpageSize::S1K),
+                ])
+                .memories([MemoryConfig::Full, MemoryConfig::Half])
+                .heat(HeatMap::new().with_region_pages(16))
+        };
+        let serial = grid().run();
+        let parallel = grid().run_parallel(3);
+        let (a, b) = (
+            serial.heat().expect("heat requested"),
+            parallel.heat().expect("heat requested"),
+        );
+        // The merged map is worker-order independent, byte for byte.
+        assert_eq!(gms_obs::heat_json(a), gms_obs::heat_json(b));
+        assert_eq!(a.region_pages(), 16);
+        // Grid-wide heat faults are the sum of the cell reports'.
+        let reported: u64 = serial.cells().iter().map(|c| c.report.faults.total()).sum();
+        assert_eq!(a.totals().total_faults(), reported);
+        // Without the hook there is nothing to fetch.
+        assert!(tiny_sweep().heat().is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use gms_core::{
     SimConfig, Simulator,
 };
 use gms_mem::SubpageSize;
-use gms_obs::{Event, FlightRecorder, MemoryRecorder, ResourceKind};
+use gms_obs::{heat_json, Event, FlightRecorder, HeatMap, MemoryRecorder, ResourceKind};
 use gms_trace::apps;
 use gms_units::{Duration, NodeId, SimTime};
 
@@ -252,6 +252,48 @@ proptest! {
                     "plan={} threads={}: flight artifacts diverged",
                     plan.is_some(), threads
                 );
+            }
+        }
+    }
+
+    /// The heat map inherits the same determinism, even under the
+    /// history-dependent adaptive engines: its exported `gms-heat/v1`
+    /// document is byte-identical at every thread count, with and
+    /// without a fault plan, because the map is a pure fold over the
+    /// canonically ordered event stream the scheduler commits.
+    #[test]
+    fn thread_count_never_changes_heat_json(plan in arb_plan()) {
+        let apps = [apps::gdb().scaled(0.03), apps::ld().scaled(0.03)];
+        for policy in [
+            FetchPolicy::leap(SubpageSize::S1K),
+            FetchPolicy::indigo(SubpageSize::S1K),
+        ] {
+            for plan in [None, Some(plan.clone())] {
+                let run = |threads: u32| {
+                    let builder = SimConfig::builder()
+                        .policy(policy)
+                        .memory(MemoryConfig::Quarter)
+                        .cluster_nodes(5)
+                        .threads(threads);
+                    let cfg = match &plan {
+                        Some(plan) => builder.fault_plan(plan.clone()).build(),
+                        None => builder.build(),
+                    };
+                    let mut heat = HeatMap::new()
+                        .with_region_pages(16)
+                        .with_wire_tracking();
+                    let report = ClusterSim::new(cfg).run_recorded(&apps, &mut heat);
+                    (report, heat_json(&heat))
+                };
+                let serial = run(1);
+                for threads in [2, 8] {
+                    let threaded = run(threads);
+                    prop_assert_eq!(
+                        &serial, &threaded,
+                        "{} plan={} threads={}: heat document diverged",
+                        policy.label(), plan.is_some(), threads
+                    );
+                }
             }
         }
     }

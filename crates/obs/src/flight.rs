@@ -50,7 +50,7 @@ use crate::recorder::Recorder;
 /// combined. The keys are trusted simulator state (`(node, page)`), not
 /// attacker input, so a two-instruction mix is enough.
 #[derive(Debug, Default, Clone, Copy)]
-struct OwnerHasher(u64);
+pub(crate) struct OwnerHasher(u64);
 
 impl Hasher for OwnerHasher {
     #[inline]

@@ -29,6 +29,12 @@
 //!   sketch with a proven two-sided 1/256 relative error bound and
 //!   exactly commutative/associative merges, for p99.9/p99.99
 //!   reporting and cross-thread rollups.
+//! * [`HeatMap`] — a bounded, mergeable spatial-heat accumulator keyed
+//!   by fixed-size page regions per node: fault counts by class,
+//!   first-touch vs refault split with refault-interval sketches,
+//!   subpage-arrival popcounts, prefetched-vs-wasted bytes and
+//!   replica/repair traffic, exported as `gms-heat/v1` JSON
+//!   ([`heat_json`]) and Perfetto counter tracks ([`heat_perfetto`]).
 //! * [`CounterRegistry`] — an ordered name → value registry that
 //!   exporters iterate instead of hand-listing scalar fields.
 //! * [`perfetto_trace`] — Chrome/Perfetto `trace.json` export: one
@@ -72,6 +78,7 @@ mod attrib;
 mod counters;
 mod event;
 mod flight;
+mod heat;
 mod hist;
 mod json;
 mod perfetto;
@@ -86,6 +93,7 @@ pub use attrib::{
 pub use counters::CounterRegistry;
 pub use event::{Event, FaultClass, PolicyChoice, ResourceKind};
 pub use flight::{Exemplar, FlightRecorder, WindowTally};
+pub use heat::{heat_json, heat_perfetto, HeatMap, HeatTotals, NodeHeat, RegionStats, HEAT_SCHEMA};
 pub use hist::LogHistogram;
 pub use json::{escape_json, JsonValue};
 pub use perfetto::{perfetto_trace, trace_nodes, APP_TRACK};

@@ -27,13 +27,13 @@ use crate::json::escape_json;
 /// `tid` of the synthetic per-node application track.
 pub const APP_TRACK: usize = 5;
 
-fn us(nanos: u64) -> String {
+pub(crate) fn us(nanos: u64) -> String {
     // Emit as exact microsecond decimals: ns / 1000 with 3 fractional
     // digits, no float rounding.
     format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
 }
 
-fn push_meta(out: &mut String, pid: u32, tid: usize, kind: &str, name: &str) {
+pub(crate) fn push_meta(out: &mut String, pid: u32, tid: usize, kind: &str, name: &str) {
     out.push_str(&format!(
         "{{\"ph\":\"M\",\"name\":\"{kind}\",\"pid\":{pid},\"tid\":{tid},\
          \"args\":{{\"name\":\"{}\"}}}}",

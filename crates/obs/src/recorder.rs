@@ -137,6 +137,18 @@ impl MemoryRecorder {
         out
     }
 
+    /// Opens the next chunk, allocating only past the high-water mark.
+    /// Outlined: it runs once per [`CHUNK`] events, and keeping it out
+    /// of [`Recorder::record`]'s body leaves the hot path as a bounds
+    /// check and a push.
+    #[inline(never)]
+    fn advance_chunk(&mut self) {
+        if self.used == self.chunks.len() {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.used += 1;
+    }
+
     /// Deterministically merges several recorder arenas — e.g. one per
     /// worker shard of an offline analysis — into a single stream
     /// ordered by `(timestamp, arena index, within-arena position)`.
@@ -171,12 +183,35 @@ impl Recorder for MemoryRecorder {
     #[inline]
     fn record(&mut self, event: Event) {
         if self.used == 0 || self.chunks[self.used - 1].len() == CHUNK {
-            if self.used == self.chunks.len() {
-                self.chunks.push(Vec::with_capacity(CHUNK));
-            }
-            self.used += 1;
+            self.advance_chunk();
         }
         self.chunks[self.used - 1].push(event);
+    }
+
+    /// Occupancy bursts append chunk-wise: one capacity decision per
+    /// chunk-sized slice of the batch instead of per event, with the
+    /// bulk copy done by `extend` on a `take`-bounded iterator (which
+    /// never grows the fixed-capacity chunk). Order and content are
+    /// exactly those of per-event [`Recorder::record`] calls.
+    #[inline]
+    fn record_batch(&mut self, mut events: impl Iterator<Item = Event>) {
+        loop {
+            if self.used == 0 || self.chunks[self.used - 1].len() == CHUNK {
+                // Pull one event before opening a chunk so an exhausted
+                // batch never leaves an empty chunk counted as used
+                // (`used > 0` must keep implying at least one event).
+                let Some(event) = events.next() else { return };
+                self.advance_chunk();
+                self.chunks[self.used - 1].push(event);
+            }
+            let chunk = &mut self.chunks[self.used - 1];
+            chunk.extend(events.by_ref().take(CHUNK - chunk.len()));
+            if chunk.len() < CHUNK {
+                // `take` stopped because the batch ran dry, not because
+                // the chunk filled: the batch is fully absorbed.
+                return;
+            }
+        }
     }
 }
 
@@ -297,6 +332,59 @@ mod tests {
                 other => panic!("unexpected event {other:?}"),
             }
         }
+    }
+
+    /// `record_batch` is byte-equivalent to per-event `record` across
+    /// every chunk-boundary alignment: batches that start mid-chunk,
+    /// fill a chunk exactly, span several chunks, or are empty.
+    #[test]
+    fn record_batch_matches_per_event_recording() {
+        for (prefill, batch) in [
+            (0, 0),
+            (0, 1),
+            (0, CHUNK),
+            (0, CHUNK + 1),
+            (0, 3 * CHUNK + 17),
+            (5, CHUNK - 5),
+            (5, CHUNK),
+            (CHUNK - 1, 2),
+            (CHUNK, CHUNK),
+        ] {
+            let event_at = |i: usize| Event::Restart {
+                node: NodeId::new(0),
+                page: i as u64,
+                at: SimTime::from_nanos(i as u64),
+                wait: gms_units::Duration::ZERO,
+            };
+            let mut batched = MemoryRecorder::new();
+            let mut serial = MemoryRecorder::new();
+            for i in 0..prefill {
+                batched.record(event_at(i));
+                serial.record(event_at(i));
+            }
+            batched.record_batch((prefill..prefill + batch).map(event_at));
+            for i in prefill..prefill + batch {
+                serial.record(event_at(i));
+            }
+            assert_eq!(
+                batched.len(),
+                prefill + batch,
+                "prefill={prefill} batch={batch}"
+            );
+            assert_eq!(
+                batched.into_events(),
+                serial.into_events(),
+                "prefill={prefill} batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_on_empty_recorder_stays_empty() {
+        let mut rec = MemoryRecorder::new();
+        rec.record_batch(std::iter::empty());
+        assert!(rec.is_empty());
+        assert_eq!(rec.len(), 0);
     }
 
     fn restart_at(page: u64, nanos: u64) -> Event {

@@ -63,7 +63,7 @@ fn mid_of(index: u32) -> u64 {
 
 /// A sparse, mergeable log-bucketed quantile sketch of `u64` samples
 /// (nanoseconds in this workspace, but unit-agnostic).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantileSketch {
     /// `(bucket index, count)` pairs, sorted by index, counts > 0.
     buckets: Vec<(u32, u64)>,
@@ -71,6 +71,17 @@ pub struct QuantileSketch {
     sum: u128,
     min: u64,
     max: u64,
+}
+
+/// `default()` is [`QuantileSketch::new`]. (A derived `Default` would
+/// zero the `min` sentinel that `new` pins to `u64::MAX`, making every
+/// later `min()` report 0 — so the empty states must coincide for
+/// sketches reached through `Default`, e.g. inside `entry().or_default()`
+/// accumulators, to behave.)
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl QuantileSketch {
